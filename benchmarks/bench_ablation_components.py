@@ -1,0 +1,93 @@
+"""Ablation A1: what do the Fourier terms and exogenous shocks buy?
+
+The paper's third family stacks two mechanisms on top of SARIMAX —
+exogenous shock indicators (Section 4.2) and Fourier terms (Section 4.4) —
+but Table 2 only reports the combined model. This ablation separates them
+on the Experiment Two logical-IOPS metric (trend + surges + 6-hourly
+backups): SARIMAX alone, +Fourier, +Exogenous, +both, plus naive anchors.
+
+Expected shape: every SARIMAX variant crushes the naive baselines; the
+exogenous/Fourier increments are small on this metric because the 6-hourly
+backups are 24-periodic and thus largely absorbed by the seasonal
+component — which is itself a finding the paper's mixed Table 2(b)
+orderings (SARIMAX occasionally beating SARIMAX FFT) corroborate.
+"""
+
+import pytest
+
+from repro.core import accuracy_report
+from repro.models import Naive, Sarimax, SeasonalNaive
+from repro.reporting import Table
+from repro.shocks import build_shock_calendar
+
+from .conftest import metric_series
+
+ORDER = (2, 1, 1)
+SEASONAL = (1, 1, 1, 24)
+
+
+@pytest.fixture(scope="module")
+def ablation_rows(oltp_run):
+    series = metric_series(oltp_run, "cdbm011", "logical_iops")
+    train, test = series.train_test_split()
+    horizon = len(test)
+    calendar = build_shock_calendar(train, period=24, candidate_periods=(24, 168))
+    exog = calendar.train_matrix()
+    exog_future = calendar.future_matrix(horizon)
+
+    rows = []
+
+    def score(label, forecast):
+        rows.append((label, accuracy_report(test, forecast.mean)))
+
+    score("Naive", Naive().fit(train).forecast(horizon))
+    score("SeasonalNaive(24)", SeasonalNaive(24).fit(train).forecast(horizon))
+    score("SARIMAX", Sarimax(ORDER, seasonal=SEASONAL).fit(train).forecast(horizon))
+    score(
+        "SARIMAX + Fourier",
+        Sarimax(ORDER, seasonal=SEASONAL, fourier_periods=[168], fourier_orders=[2])
+        .fit(train)
+        .forecast(horizon),
+    )
+    score(
+        "SARIMAX + Exogenous",
+        Sarimax(ORDER, seasonal=SEASONAL)
+        .fit(train, exog=exog)
+        .forecast(horizon, exog_future=exog_future),
+    )
+    score(
+        "SARIMAX + Exog + Fourier",
+        Sarimax(ORDER, seasonal=SEASONAL, fourier_periods=[168], fourier_orders=[2])
+        .fit(train, exog=exog)
+        .forecast(horizon, exog_future=exog_future),
+    )
+    return rows
+
+
+def test_ablation_components(benchmark, oltp_run, ablation_rows):
+    series = metric_series(oltp_run, "cdbm011", "logical_iops")
+    train, test = series.train_test_split()
+    benchmark.pedantic(
+        lambda: Sarimax(ORDER, seasonal=SEASONAL).fit(train),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = Table(
+        ["Variant", "RMSE", "MAPE %", "MAPA %"],
+        title="Ablation A1: component contributions (OLTP logical IOPS)",
+    )
+    scores = {}
+    for label, report in ablation_rows:
+        scores[label] = report.rmse
+        table.add_row([label, report.rmse, report.mape, report.mapa])
+    print()
+    table.print()
+
+    # Every SARIMAX variant beats both naive anchors.
+    sarimax_best = min(v for k, v in scores.items() if k.startswith("SARIMAX"))
+    sarimax_worst = max(v for k, v in scores.items() if k.startswith("SARIMAX"))
+    assert sarimax_worst < scores["Naive"]
+    assert sarimax_best < scores["SeasonalNaive(24)"]
+    # The full stack stays competitive with the best single increment.
+    assert scores["SARIMAX + Exog + Fourier"] <= sarimax_best * 1.5

@@ -1,0 +1,115 @@
+"""Ablation A5: one workload, three forecast granularities (Table 1 rows).
+
+Table 1 defines budgets for hourly, daily and weekly forecasts. This
+ablation takes a single long workload (the web-transactions scenario,
+which has both daily and weekly structure), aggregates it to each
+granularity, runs the pipeline under each Table 1 budget and scores the
+prediction against held-out truth.
+
+Expected shape: the hourly and daily forecasts exploit their seasonal
+structure (high MAPA); the weekly forecast — too short for any seasonal
+cycle — degrades gracefully to a trend model and still produces a usable
+prediction, which is the point of the paper's granularity-aware budgets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries, mapa, rmse
+from repro.reporting import Table
+from repro.selection import AutoConfig, auto_select
+from repro.workloads import web_transactions
+
+
+def _held_out_eval(series: TimeSeries):
+    """Split per Table 1, select on train, score on the held-out test."""
+    train, test = series.train_test_split()
+    outcome = auto_select(
+        series,
+        config=AutoConfig(n_jobs=0, refit_on_full=False),
+        train=train,
+        test=test,
+    )
+    horizon = len(test)
+    kwargs = {}
+    if (
+        outcome.best_spec is not None
+        and outcome.best_spec.exog_columns
+        and outcome.shock_calendar is not None
+    ):
+        kwargs["exog_future"] = outcome.shock_calendar.future_matrix(horizon)[
+            :, : outcome.best_spec.exog_columns
+        ]
+    forecast = outcome.model.forecast(horizon, **kwargs)
+    return outcome, rmse(test, forecast.mean), mapa(test, forecast.mean)
+
+
+@pytest.fixture(scope="module")
+def granularity_rows():
+    # 110 days of hourly data supports all three Table 1 budgets
+    # (hourly needs 1008 h = 42 d; daily 90 d; weekly 92 w is NOT
+    # reachable, so weekly uses a proportional fallback split).
+    hourly = web_transactions(days=110, seed=12)
+    daily = hourly.aggregate(Frequency.DAILY)
+    weekly = hourly.aggregate(Frequency.WEEKLY)
+
+    rows = []
+    for label, series in (("Hourly", hourly), ("Daily", daily), ("Weekly", weekly)):
+        try:
+            train, test = series.train_test_split()
+        except Exception:
+            # Weekly: 15 points < the 92 budget → explicit short split.
+            train, test = series.split(len(series) - 3)
+        outcome = auto_select(
+            series,
+            config=AutoConfig(n_jobs=0, refit_on_full=False),
+            train=train,
+            test=test,
+        )
+        horizon = len(test)
+        kwargs = {}
+        if (
+            outcome.best_spec is not None
+            and outcome.best_spec.exog_columns
+            and outcome.shock_calendar is not None
+        ):
+            kwargs["exog_future"] = outcome.shock_calendar.future_matrix(horizon)[
+                :, : outcome.best_spec.exog_columns
+            ]
+        forecast = outcome.model.forecast(horizon, **kwargs)
+        rows.append(
+            (
+                label,
+                len(train),
+                len(test),
+                outcome.model.label(),
+                rmse(test, forecast.mean),
+                mapa(test, forecast.mean),
+                float(np.mean(np.abs(test.values))),
+            )
+        )
+    return rows
+
+
+def test_ablation_granularity(benchmark, granularity_rows):
+    hourly = web_transactions(days=110, seed=12)
+    benchmark(lambda: hourly.aggregate(Frequency.DAILY))
+
+    table = Table(
+        ["Granularity", "Train", "Test", "Selected model", "RMSE", "MAPA %", "|actual| mean"],
+        title="Ablation A5: forecast quality per Table 1 granularity",
+    )
+    for row in granularity_rows:
+        table.add_row([row[0], str(row[1]), str(row[2]), row[3], row[4], row[5], row[6]])
+    print()
+    table.print()
+
+    by_label = {row[0]: row for row in granularity_rows}
+    # Table 1 budgets honoured for the granularities that can meet them.
+    assert (by_label["Hourly"][1], by_label["Hourly"][2]) == (984, 24)
+    assert (by_label["Daily"][1], by_label["Daily"][2]) == (83, 7)
+    # Seasonal granularities forecast accurately relative to scale.
+    assert by_label["Hourly"][5] > 85.0
+    assert by_label["Daily"][5] > 80.0
+    # Weekly degrades gracefully: still a usable forecast (< 20 % error).
+    assert by_label["Weekly"][4] < 0.2 * by_label["Weekly"][6]

@@ -1,0 +1,84 @@
+"""Ablation A3: the HES branch vs the SARIMAX branch of Figure 4.
+
+Section 8: "The user can select between SARIMAX or HES, as we have shown
+that these two models cover most nuances shown in computational
+workloads." This ablation runs both branches of the pipeline across four
+structurally different workloads (the two experiments' key metrics plus
+two scenario-library shapes) and reports which branch wins where, plus
+TBATS as the complex-seasonality reference of Section 4.3.
+
+Expected shape: SARIMAX-family wins on shock-laden metrics (it can carry
+exogenous regressors); HES stays competitive on smooth seasonal + trend
+shapes — together covering every workload, as the paper claims.
+"""
+
+import pytest
+
+from repro.core import rmse
+from repro.models import HoltWinters, Tbats
+from repro.reporting import Table
+from repro.selection import AutoConfig, auto_select
+from repro.workloads import web_transactions, weekly_business_app
+
+from .conftest import metric_series
+
+
+def _cases(olap_run, oltp_run):
+    return [
+        ("OLAP cpu", metric_series(olap_run, "cdbm011", "cpu")),
+        ("OLTP iops", metric_series(oltp_run, "cdbm011", "logical_iops")),
+        ("web transactions", web_transactions(days=45)),
+        ("weekly business app", weekly_business_app(days=45)),
+    ]
+
+
+@pytest.fixture(scope="module")
+def branch_scores(olap_run, oltp_run):
+    rows = []
+    for name, series in _cases(olap_run, oltp_run):
+        train, test = series.train_test_split()
+        horizon = len(test)
+
+        hes = auto_select(
+            series, config=AutoConfig(technique="hes", refit_on_full=False),
+            train=train, test=test,
+        )
+        sarimax = auto_select(
+            series, config=AutoConfig(technique="sarimax", refit_on_full=False, n_jobs=0),
+            train=train, test=test,
+        )
+        tbats = Tbats(
+            periods=[24], max_harmonics=2, try_boxcox=False, maxiter=60
+        ).fit(train)
+        tbats_rmse = rmse(test, tbats.forecast(horizon).mean)
+        rows.append((name, hes.test_rmse, sarimax.test_rmse, tbats_rmse))
+    return rows
+
+
+def test_ablation_hes_vs_sarimax(benchmark, olap_run, oltp_run, branch_scores):
+    series = metric_series(olap_run, "cdbm011", "cpu")
+    train, __ = series.train_test_split()
+    benchmark.pedantic(
+        lambda: HoltWinters(24).fit(train), rounds=1, iterations=1
+    )
+
+    table = Table(
+        ["Workload", "HES RMSE", "SARIMAX RMSE", "TBATS RMSE", "Winner"],
+        title="Ablation A3: HES vs SARIMAX vs TBATS across workload shapes",
+    )
+    for name, hes, sarimax, tbats in branch_scores:
+        winner = min(
+            [("HES", hes), ("SARIMAX", sarimax), ("TBATS", tbats)],
+            key=lambda kv: kv[1],
+        )[0]
+        table.add_row([name, hes, sarimax, tbats, winner])
+    print()
+    table.print()
+
+    for name, hes, sarimax, tbats in branch_scores:
+        best = min(hes, sarimax, tbats)
+        # The two production branches together cover every workload: the
+        # better of HES/SARIMAX is never far behind the overall winner.
+        assert min(hes, sarimax) <= best * 2.0, name
+        # The SARIMAX branch never catastrophically loses to HES.
+        assert sarimax <= hes * 3.0, name

@@ -1,0 +1,87 @@
+"""Ablation A2: correlogram-guided pruning vs the exhaustive grid.
+
+Section 6.3: "In practice, we could reduce the number of models by tuning
+… looking at where the data points intersect with the shaded areas …
+thereby reducing the thousands of potential models considerably." The
+paper's scaling worry is concrete — four nodes would mean "nearly 24000"
+models.
+
+This ablation quantifies the trade on the OLAP CPU metric: candidate
+count, wall-clock, and the RMSE of the winner, pruned vs a stratified
+sample of the exhaustive grid (the full 660 under ``REPRO_FULL_GRID=1``).
+The expected shape: an order-of-magnitude fewer candidates at (near-)equal
+winner quality.
+"""
+
+import time
+
+import pytest
+
+from repro.reporting import Table
+from repro.selection import evaluate_grid, pruned_sarimax_grid, sarimax_grid
+
+from .conftest import FULL_GRID, N_JOBS, metric_series
+
+
+@pytest.fixture(scope="module")
+def comparison(olap_run):
+    series = metric_series(olap_run, "cdbm011", "cpu")
+    train, test = series.train_test_split()
+
+    full = sarimax_grid(24)
+    if not FULL_GRID:
+        # Stratified sample: every 7th candidate keeps all (d,q,P,D,Q)
+        # shapes and spreads across lags while staying tractable.
+        full = full[::7]
+    pruned = pruned_sarimax_grid(train, 24)
+
+    t0 = time.perf_counter()
+    full_results = evaluate_grid(full, train, test, n_jobs=N_JOBS)
+    full_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pruned_results = evaluate_grid(pruned, train, test, n_jobs=N_JOBS)
+    pruned_time = time.perf_counter() - t0
+
+    return {
+        "full": (full, full_results, full_time),
+        "pruned": (pruned, pruned_results, pruned_time),
+    }
+
+
+def test_ablation_pruning(benchmark, olap_run, comparison):
+    series = metric_series(olap_run, "cdbm011", "cpu")
+    train, __ = series.train_test_split()
+    benchmark(lambda: pruned_sarimax_grid(train, 24))
+
+    full_specs, full_results, full_time = comparison["full"]
+    pruned_specs, pruned_results, pruned_time = comparison["pruned"]
+    best_full = next(r for r in full_results if not r.failed)
+    best_pruned = next(r for r in pruned_results if not r.failed)
+
+    table = Table(
+        ["Strategy", "Candidates", "Eval time (s)", "Best model", "Best RMSE"],
+        title="Ablation A2: exhaustive grid vs correlogram pruning (OLAP CPU)",
+    )
+    label = "exhaustive" if FULL_GRID else "exhaustive (1-in-7 sample)"
+    table.add_row(
+        [label, str(len(full_specs)), full_time, best_full.spec.describe(), best_full.rmse]
+    )
+    table.add_row(
+        [
+            "correlogram-pruned",
+            str(len(pruned_specs)),
+            pruned_time,
+            best_pruned.spec.describe(),
+            best_pruned.rmse,
+        ]
+    )
+    print()
+    table.print()
+
+    # Pruning shrinks the candidate set substantially…
+    assert len(pruned_specs) * 2 <= len(full_specs)
+    # …without giving up meaningful winner quality.
+    assert best_pruned.rmse <= best_full.rmse * 1.25, (
+        f"pruned winner {best_pruned.rmse:.3f} vs full {best_full.rmse:.3f}"
+    )

@@ -1,0 +1,100 @@
+"""Ablation A8: the paper's grid + holdout-RMSE vs stepwise + AICc.
+
+Two selection philosophies for the same problem:
+
+* **the paper**: enumerate a (pruned) grid of SARIMA orders, fit each on
+  the training split, rank by *held-out* RMSE;
+* **auto.arima**: greedy Hyndman–Khandakar neighbourhood walk ranked by
+  *in-sample* AICc.
+
+This ablation runs both on the key metric of each experiment and compares
+candidate counts, wall-clock and the final held-out RMSE of the winner.
+
+Expected shape: stepwise needs ~10–40 fits where the pruned grid runs
+dozens and the full grid 660, at broadly comparable forecast quality —
+the paper's exhaustive protocol buys *robustness of the ranking* (it
+directly optimises the deployment criterion, holdout RMSE) rather than
+strictly better forecasts.
+"""
+
+import time
+
+import pytest
+
+from repro.core import rmse
+from repro.models import Arima
+from repro.reporting import Table
+from repro.selection import evaluate_grid, pruned_sarimax_grid, stepwise_search
+
+from .conftest import N_JOBS, metric_series
+
+CASES = [
+    ("OLAP cdbm011 cpu", "olap", "cdbm011", "cpu"),
+    ("OLTP cdbm011 iops", "oltp", "cdbm011", "logical_iops"),
+]
+
+
+@pytest.fixture(scope="module")
+def comparison_rows(olap_run, oltp_run):
+    runs = {"olap": olap_run, "oltp": oltp_run}
+    rows = []
+    for label, which, instance, metric in CASES:
+        series = metric_series(runs[which], instance, metric)
+        train, test = series.train_test_split()
+
+        t0 = time.perf_counter()
+        specs = pruned_sarimax_grid(train, 24)
+        grid_results = evaluate_grid(specs, train, test, n_jobs=N_JOBS)
+        grid_time = time.perf_counter() - t0
+        grid_best = next(r for r in grid_results if not r.failed)
+
+        t0 = time.perf_counter()
+        step = stepwise_search(train, period=24)
+        step_fit = Arima(step.order, seasonal=step.seasonal).fit(train)
+        step_rmse = rmse(test, step_fit.forecast(len(test)).mean)
+        step_time = time.perf_counter() - t0
+
+        rows.append(
+            (
+                label,
+                len(specs),
+                grid_time,
+                grid_best.rmse,
+                step.n_fits,
+                step_time,
+                step_rmse,
+            )
+        )
+    return rows
+
+
+def test_ablation_stepwise(benchmark, olap_run, oltp_run, comparison_rows):
+    series = metric_series(olap_run, "cdbm011", "cpu")
+    train, __ = series.train_test_split()
+    benchmark.pedantic(lambda: stepwise_search(train, period=24), rounds=1, iterations=1)
+
+    table = Table(
+        [
+            "Workload",
+            "Grid cands",
+            "Grid s",
+            "Grid RMSE",
+            "Stepwise fits",
+            "Stepwise s",
+            "Stepwise RMSE",
+        ],
+        title="Ablation A8: grid + holdout RMSE (paper) vs stepwise + AICc",
+    )
+    for row in comparison_rows:
+        table.add_row([row[0], str(row[1]), row[2], row[3], str(row[4]), row[5], row[6]])
+    print()
+    table.print()
+
+    for label, n_grid, __, grid_rmse, n_step, __, step_rmse in comparison_rows:
+        # Stepwise is far cheaper in candidate count…
+        assert n_step < n_grid
+        # …and lands in the same quality regime (within 2x of the grid
+        # winner — AICc does not optimise holdout RMSE directly).
+        assert step_rmse <= 2.0 * grid_rmse, (label, step_rmse, grid_rmse)
+        # The paper's protocol never loses to stepwise on its own criterion.
+        assert grid_rmse <= step_rmse * 1.05, (label, grid_rmse, step_rmse)

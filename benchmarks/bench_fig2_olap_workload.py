@@ -1,0 +1,67 @@
+"""Figure 2: Key Metrics — Workload Descriptions, Experiment One (OLAP).
+
+Regenerates the three per-instance metric traces of the paper's Figure 2
+(CPU, memory, logical IOPS for cdbm011/cdbm012), saves them as figure
+CSVs, and asserts the structural traits the paper reads off the charts:
+
+* spikes/surges in usage at peak times (C1, seasonality);
+* load growth as the dataset gets bigger (C2, trend);
+* the midnight backup on node 1 only (C4, shock);
+* logical-IOPS peak in the paper's millions-per-hour regime.
+"""
+
+import numpy as np
+
+from repro.core import seasonal_strength, trend_strength
+from repro.reporting import Table, workload_chart
+from repro.shocks import build_shock_calendar
+from repro.workloads import generate_olap_run
+
+from .conftest import metric_series, output_path
+
+
+def test_fig2_olap_workload(benchmark, olap_run):
+    # Benchmark the full substrate: simulate + aggregate Experiment One.
+    benchmark.pedantic(generate_olap_run, rounds=1, iterations=1)
+
+    table = Table(
+        ["Instance", "Metric", "Mean", "Peak", "Seasonal F_s", "Trend F_t"],
+        title="Figure 2: OLAP workload description",
+    )
+    for instance, bundle in olap_run.instances.items():
+        fig = workload_chart(
+            f"fig2_{instance}",
+            {m: metric_series(olap_run, instance, m) for m in ("cpu", "memory", "logical_iops")},
+        )
+        fig.save(output_path(f"fig2_{instance}.csv"))
+        for metric in ("cpu", "memory", "logical_iops"):
+            series = metric_series(olap_run, instance, metric)
+            table.add_row(
+                [
+                    instance,
+                    metric,
+                    float(series.values.mean()),
+                    float(series.values.max()),
+                    seasonal_strength(series, 24),
+                    trend_strength(series, 24),
+                ]
+            )
+    print()
+    table.print()
+
+    # --- structural assertions -------------------------------------------
+    for instance in ("cdbm011", "cdbm012"):
+        cpu = metric_series(olap_run, instance, "cpu")
+        assert seasonal_strength(cpu, 24) > 0.8, f"{instance}: C1 missing"
+
+    iops_backup_node = metric_series(olap_run, "cdbm011", "logical_iops")
+    iops_other_node = metric_series(olap_run, "cdbm012", "logical_iops")
+    assert build_shock_calendar(iops_backup_node, period=24).n_columns >= 1
+    assert build_shock_calendar(iops_other_node, period=24).n_columns == 0
+
+    # Paper: ~2.3M logical IOPS/hour at peak.
+    assert 1e6 < iops_other_node.values.max() < 6e6
+
+    # Mild growth (C2): last week busier than first week.
+    week = 7 * 24
+    assert iops_other_node.values[-week:].mean() > iops_other_node.values[:week].mean()

@@ -1,0 +1,93 @@
+"""Table 2(b): Experiment Results — OLTP.
+
+Same protocol as Table 2(a) but on Experiment Two: trend (+50 users/day),
+multiple seasonality (daily cycle + 07:00/09:00 login surges) and 6-hourly
+backup shocks. Prints the paper-style table and asserts the paper's shape:
+
+* the seasonal SARIMAX families beat plain ARIMA on every metric — the
+  OLTP gap is larger than the OLAP one because plain ARIMA cannot track
+  surges and shocks;
+* the models still cope when "complex data structures such as multiple
+  seasonality and shocks" are added (IOPS accuracy within sane MAPE).
+"""
+
+import pytest
+
+from repro.reporting import Table
+
+from .conftest import best_of_family, metric_series
+
+INSTANCES = ("cdbm011", "cdbm012")
+METRICS = ("cpu", "memory", "logical_iops")
+FAMILIES = ("ARIMA", "SARIMAX", "SARIMAX FFT Exogenous")
+
+
+@pytest.fixture(scope="module")
+def table_rows(oltp_run):
+    rows = []
+    for instance in INSTANCES:
+        for metric in METRICS:
+            series = metric_series(oltp_run, instance, metric)
+            train, test = series.train_test_split()
+            for family in FAMILIES:
+                results = best_of_family(family, train, test)
+                best = next(r for r in results if not r.failed)
+                rows.append((instance, metric, family, best))
+    return rows
+
+
+def test_table2b_oltp(benchmark, oltp_run, table_rows):
+    series = metric_series(oltp_run, "cdbm011", "logical_iops")
+    train, test = series.train_test_split()
+    benchmark.pedantic(
+        lambda: best_of_family("SARIMAX FFT Exogenous", train, test),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = Table(
+        ["Forecast Model", "Metric", "RMSE", "MAPE %", "MAPA %", "Instance"],
+        title="Table 2(b): Experiment Results - OLTP",
+    )
+    for instance, metric, family, best in table_rows:
+        table.add_row(
+            [
+                best.spec.describe(),
+                metric,
+                best.rmse,
+                best.accuracy.mape,
+                best.accuracy.mapa,
+                instance,
+            ]
+        )
+    print()
+    table.print()
+
+    by_key = {
+        (instance, metric, family): best
+        for instance, metric, family, best in table_rows
+    }
+
+    for instance in INSTANCES:
+        for metric in METRICS:
+            arima = by_key[(instance, metric, "ARIMA")].rmse
+            seasonal_best = min(
+                by_key[(instance, metric, "SARIMAX")].rmse,
+                by_key[(instance, metric, "SARIMAX FFT Exogenous")].rmse,
+            )
+            assert seasonal_best <= arima * 1.05, (
+                f"{instance}/{metric}: seasonal families should not lose to "
+                f"ARIMA ({seasonal_best:.3f} vs {arima:.3f})"
+            )
+
+    # Complex structure handled: IOPS (trend + surges + backups) forecast
+    # accuracy stays useful — MAPA comfortably positive, as in the paper's
+    # 80-90 % range for Table 2(b) IOPS rows.
+    for instance in INSTANCES:
+        best_iops = min(
+            (by_key[(instance, "logical_iops", f)] for f in FAMILIES[1:]),
+            key=lambda r: r.rmse,
+        )
+        assert best_iops.accuracy.mapa > 60.0, (
+            f"{instance} iops MAPA {best_iops.accuracy.mapa:.1f}"
+        )

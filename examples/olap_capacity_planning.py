@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Experiment One, end to end: OLAP cluster → agent → planner → sizing.
+
+Recreates the paper's Experiment One environment (a two-node clustered
+database running a 40-user OLAP workload with a nightly backup on node 1),
+monitors it with a fault-injecting agent, stores the polls in the central
+repository, and asks the :class:`CapacityPlanner` the capacity-planning
+questions from Section 8:
+
+* short-term monitoring — what will resource usage look like tomorrow?
+* proactive thresholds — is any instance about to run out of CPU?
+* sizing — what shape should this workload's cloud instance be?
+
+Run:  python examples/olap_capacity_planning.py
+"""
+
+from repro import AutoConfig
+from repro.agent import FaultModel, MonitoringAgent
+from repro.service import CapacityPlanner
+from repro.workloads import OlapExperiment, generate_olap_run
+
+# --- 1. Simulate the Experiment One cluster at 15-minute polls ------------
+config = OlapExperiment()
+run = generate_olap_run(config, hourly=False)
+print(f"simulated {config.days:g} days of {list(run.instances)} at 15-min polls")
+
+# --- 2. Monitor it with an imperfect agent --------------------------------
+agent = MonitoringAgent(fault_model=FaultModel(miss_probability=0.01))
+samples = agent.poll_run(run)
+print(f"agent recorded {len(samples)} samples (some polls were missed)")
+
+# --- 3. Central repository + planner ---------------------------------------
+planner = CapacityPlanner(config=AutoConfig(n_jobs=0))
+planner.ingest(samples)
+
+for instance in ("cdbm011", "cdbm012"):
+    print(f"\n=== {instance} ===")
+    for metric, threshold, unit in (
+        ("cpu", 80.0, 1.0),
+        ("logical_iops", 4_000_000.0, 50_000.0),
+        ("memory", 16_384.0, 512.0),
+    ):
+        forecast = planner.forecast(instance, metric)
+        advisory = planner.threshold_advisory(instance, metric, threshold)
+        sizing = planner.capacity_recommendation(instance, metric, unit=unit)
+        peak = forecast.mean.values.max()
+        print(f"  {metric:13s} model={forecast.model_label}")
+        print(f"  {'':13s} next-24h peak ≈ {peak:,.1f}")
+        print(f"  {'':13s} threshold: {advisory.describe()}")
+        print(f"  {'':13s} sizing   : {sizing.describe()}")

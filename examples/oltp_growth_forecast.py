@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Experiment Two: forecasting a growing OLTP workload with shocks.
+
+The paper's hardest scenario — trend (+50 users/day), multiple seasonality
+(daily cycle + 07:00/09:00 login surges) and 6-hourly backup shocks — and
+the paper's answer to it: SARIMAX with exogenous variables and Fourier
+terms. This example compares that model against plain ARIMA and HES on the
+logical-IOPS metric (the one whose Figure 3(c)/7(c) panels the paper
+highlights) and shows the learned shock calendar.
+
+Run:  python examples/oltp_growth_forecast.py
+"""
+
+from repro import Arima, HoltWinters, Sarimax, accuracy_report
+from repro.core import interpolate_missing
+from repro.reporting import Table
+from repro.shocks import build_shock_calendar
+from repro.workloads import generate_oltp_run
+
+# --- 1. The Experiment Two workload, aggregated hourly --------------------
+run = generate_oltp_run()
+iops = interpolate_missing(run.instances["cdbm011"].logical_iops)
+train, test = iops.train_test_split()
+horizon = len(test)
+print(f"training on {len(train)} hourly points, testing on {horizon}")
+
+# --- 2. Learn the shock calendar (the 6-hourly backups) --------------------
+calendar = build_shock_calendar(train, period=24)
+print("shock calendar:")
+for line in calendar.describe():
+    print("  •", line)
+exog = calendar.train_matrix()
+exog_future = calendar.future_matrix(horizon)
+
+# --- 3. Fit the three techniques the paper compares ------------------------
+results = []
+
+arima = Arima((2, 1, 1)).fit(train)
+results.append(("ARIMA (2,1,1)", arima.forecast(horizon)))
+
+sarimax = Sarimax((2, 1, 1), seasonal=(1, 1, 1, 24)).fit(train)
+results.append(("SARIMAX (2,1,1)(1,1,1,24)", sarimax.forecast(horizon)))
+
+full = Sarimax(
+    (2, 1, 1),
+    seasonal=(1, 1, 1, 24),
+    fourier_periods=[168],
+    fourier_orders=[2],
+).fit(train, exog=exog)
+results.append(
+    ("SARIMAX FFT Exogenous", full.forecast(horizon, exog_future=exog_future))
+)
+
+hes = HoltWinters(period=24, seasonal="add").fit(train)
+results.append(("HES (Holt-Winters)", hes.forecast(horizon)))
+
+# --- 4. Score -----------------------------------------------------------------
+table = Table(
+    ["Model", "RMSE", "MAPE %", "MAPA %"],
+    title="Experiment Two, logical IOPS, cdbm011 — 24 h ahead",
+)
+for label, forecast in results:
+    report = accuracy_report(test, forecast.mean)
+    table.add_row([label, report.rmse, report.mape, report.mapa])
+table.print()
+
+best = min(results, key=lambda r: accuracy_report(test, r[1].mean).rmse)
+print(f"\nwinner: {best[0]} — the paper's Table 2(b) ordering reproduced"
+      if best[0].startswith("SARIMAX") else f"\nwinner: {best[0]}")

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Application-layer monitoring: predict a transaction slow-down.
+
+Section 8: "In conjunction with OATS, the Oracle Applications Testing
+Suite, we can predict if a transaction is beginning to slow down to aid
+pro-active monitoring of the application layer."
+
+This example simulates a web checkout transaction (a group of clicks:
+browse → add-to-cart → payment) backed by a database whose utilisation
+cycles daily, plus a gradual degradation of 2 %/day — the "performance
+problem that begins weeks earlier". It then forecasts the response time
+two weeks out and shows the SLA breach being predicted while every
+observed sample still sits below the SLA.
+
+Run:  python examples/transaction_slowdown.py
+"""
+
+import numpy as np
+
+from repro import AutoConfig, Frequency, TimeSeries, auto_forecast
+from repro.reporting import Table, render_panel
+from repro.service import predict_breach
+from repro.workloads import CHECKOUT, TransactionSimulator
+
+# --- 1. The transaction and its backing database load ----------------------
+rng = np.random.default_rng(7)
+hours = np.arange(60 * 24)
+utilisation = TimeSeries(
+    np.clip(
+        0.35 + 0.15 * np.sin(2 * np.pi * hours / 24) + rng.normal(0, 0.01, hours.size),
+        0.0,
+        0.9,
+    ),
+    Frequency.HOURLY,
+    name="db_utilisation",
+)
+simulator = TransactionSimulator(CHECKOUT, degradation_per_day=0.02, jitter_cv=0.03)
+response = simulator.response_times(utilisation)
+
+table = Table(["Click step", "Base ms", "Mean ms under load"], title="The checkout transaction")
+for name, series in simulator.per_step_times(utilisation).items():
+    base = next(s.base_ms for s in CHECKOUT.steps if s.name == name)
+    table.add_row([name, base, float(series.values.mean())])
+table.print()
+
+# --- 2. Observe 45 days, forecast 14 more ----------------------------------
+observed = response[: 45 * 24]
+sla_ms = 1.08 * float(observed.values.max())
+print(f"\nSLA: {sla_ms:,.0f} ms — observed max so far: {observed.values.max():,.0f} ms (compliant)")
+
+forecast, outcome = auto_forecast(
+    observed, horizon=14 * 24, config=AutoConfig(technique="hes")
+)
+advisory = predict_breach(forecast, sla_ms)
+
+print(render_panel(
+    title="checkout response time (ms)",
+    history=observed.tail(7 * 24),
+    forecast=forecast,
+    threshold=sla_ms,
+))
+
+# --- 3. Did the prediction come true? ---------------------------------------
+future = response[45 * 24 :]
+actually_breached = bool((future.values >= sla_ms).any())
+print(f"advisory : {advisory.describe()}")
+print(f"reality  : the SLA {'IS' if actually_breached else 'is NOT'} breached "
+      f"within the simulated future (max {future.values.max():,.0f} ms)")

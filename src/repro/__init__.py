@@ -1,0 +1,75 @@
+"""repro — Database Workload Capacity Planning via Time Series Analysis & ML.
+
+A from-scratch reproduction of Higginson et al., *Database Workload
+Capacity Planning using Time Series Analysis and Machine Learning*
+(SIGMOD 2020). The package layers:
+
+* :mod:`repro.core` — time-series substrate: the :class:`TimeSeries` type,
+  ACF/PACF, stationarity tests, decomposition, Box–Cox, Fourier analysis,
+  accuracy metrics.
+* :mod:`repro.models` — forecasting models implemented from first
+  principles: ARIMA/SARIMAX (CSS), Holt–Winters (HES), TBATS, baselines.
+* :mod:`repro.shocks` — shock detection and exogenous-variable calendars.
+* :mod:`repro.selection` — the paper's self-selecting ML pipeline
+  (Figure 4): grids, correlogram pruning, auto-selection, staleness.
+* :mod:`repro.workloads` — the simulated clustered-database substrate
+  (Experiments One & Two plus extra scenarios).
+* :mod:`repro.agent` — polling agent with fault injection and the SQLite
+  metrics repository.
+* :mod:`repro.service` — the :class:`CapacityPlanner` facade, threshold
+  advisories and capacity sizing.
+
+Quickstart::
+
+    from repro import TimeSeries, Frequency, auto_forecast
+    forecast, outcome = auto_forecast(my_hourly_series)
+    print(outcome.describe())
+"""
+
+from .core import (
+    Frequency,
+    TimeSeries,
+    accuracy_report,
+    mapa,
+    mape,
+    rmse,
+)
+from .models import (
+    Arima,
+    ArimaOrder,
+    Forecast,
+    HoltWinters,
+    Sarimax,
+    SeasonalOrder,
+    Tbats,
+)
+from .selection import AutoConfig, ModelMonitor, auto_forecast, auto_select
+from .service import CapacityPlanner, predict_breach, recommend_capacity
+from .shocks import build_shock_calendar
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "TimeSeries",
+    "Frequency",
+    "rmse",
+    "mape",
+    "mapa",
+    "accuracy_report",
+    "Arima",
+    "ArimaOrder",
+    "SeasonalOrder",
+    "Sarimax",
+    "HoltWinters",
+    "Tbats",
+    "Forecast",
+    "AutoConfig",
+    "auto_select",
+    "auto_forecast",
+    "ModelMonitor",
+    "CapacityPlanner",
+    "predict_breach",
+    "recommend_capacity",
+    "build_shock_calendar",
+]

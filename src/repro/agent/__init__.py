@@ -1,0 +1,12 @@
+"""Monitoring plane: the polling agent and the central metrics repository."""
+
+from .agent import AgentSample, FaultModel, MonitoringAgent
+from .repository import MetricsRepository, StoredModelRecord
+
+__all__ = [
+    "MonitoringAgent",
+    "FaultModel",
+    "AgentSample",
+    "MetricsRepository",
+    "StoredModelRecord",
+]

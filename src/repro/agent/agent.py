@@ -1,0 +1,136 @@
+"""Monitoring agent: polls instance metrics on a schedule, imperfectly.
+
+The paper's approach (Section 5.1): "capture key metrics (CPU, IOPS and
+Memory) … via an agent. The Agent specifically executes commands on the
+hosts that retrieve the metric values from the database and polls these
+metrics at regular intervals," and "it is possible that the agent may have
+been at fault and may not have executed or polled the value … this can
+happen in live environments due to maintenance cycles or faults."
+
+:class:`MonitoringAgent` therefore does two things: it samples the
+simulated instance traces on the 15-minute polling grid, and it *drops*
+samples according to a configurable fault model (independent misses plus
+occasional multi-hour maintenance outages), producing exactly the gappy
+raw data the pipeline's interpolation stage exists for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.timeseries import TimeSeries
+from ..exceptions import DataError
+from ..workloads.cluster import ClusterRun
+
+__all__ = ["FaultModel", "MonitoringAgent", "AgentSample"]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """How unreliable the agent is.
+
+    Parameters
+    ----------
+    miss_probability:
+        Chance that any individual poll silently fails.
+    outage_probability_per_day:
+        Chance per simulated day of a maintenance outage starting.
+    outage_duration_polls:
+        Length of each outage in polls (e.g. 8 polls = 2 h at 15 min).
+    """
+
+    miss_probability: float = 0.005
+    outage_probability_per_day: float = 0.05
+    outage_duration_polls: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.miss_probability < 1.0:
+            raise DataError("miss_probability must be in [0, 1)")
+        if not 0.0 <= self.outage_probability_per_day <= 1.0:
+            raise DataError("outage_probability_per_day must be in [0, 1]")
+        if self.outage_duration_polls < 1:
+            raise DataError("outage_duration_polls must be >= 1")
+
+    def dropped_mask(
+        self, n_polls: int, polls_per_day: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Boolean mask of polls the agent failed to record."""
+        dropped = rng.random(n_polls) < self.miss_probability
+        n_days = max(1, n_polls // max(polls_per_day, 1))
+        for day in range(n_days):
+            if rng.random() < self.outage_probability_per_day:
+                start = day * polls_per_day + int(rng.integers(0, max(polls_per_day, 1)))
+                dropped[start : start + self.outage_duration_polls] = True
+        return dropped
+
+
+@dataclass(frozen=True)
+class AgentSample:
+    """One recorded poll."""
+
+    instance: str
+    metric: str
+    timestamp: float
+    value: float
+
+
+class MonitoringAgent:
+    """Samples a simulated cluster run into raw (possibly gappy) polls.
+
+    Parameters
+    ----------
+    fault_model:
+        The agent's unreliability; ``None`` gives a perfect agent.
+    seed:
+        RNG seed for the fault process (separate from the workload seed so
+        the same workload can be observed by differently flaky agents).
+    """
+
+    def __init__(self, fault_model: FaultModel | None = None, seed: int = 99) -> None:
+        self.fault_model = fault_model
+        self.seed = seed
+
+    def poll_run(self, run: ClusterRun) -> list[AgentSample]:
+        """Poll every metric of every instance in a cluster run."""
+        rng = np.random.default_rng(self.seed)
+        polls_per_day = int(round(86400.0 / run.frequency.seconds))
+        samples: list[AgentSample] = []
+        for instance, bundle in run.instances.items():
+            for metric, series in bundle.as_dict().items():
+                if self.fault_model is not None:
+                    dropped = self.fault_model.dropped_mask(
+                        len(series), polls_per_day, rng
+                    )
+                else:
+                    dropped = np.zeros(len(series), dtype=bool)
+                ts = series.timestamps
+                vals = series.values
+                for i in range(len(series)):
+                    if dropped[i]:
+                        continue
+                    samples.append(
+                        AgentSample(
+                            instance=instance,
+                            metric=metric,
+                            timestamp=float(ts[i]),
+                            value=float(vals[i]),
+                        )
+                    )
+        return samples
+
+    def poll_series(self, instance: str, metric: str, series: TimeSeries) -> list[AgentSample]:
+        """Poll a single metric trace (used by tests and examples)."""
+        rng = np.random.default_rng(self.seed)
+        polls_per_day = int(round(86400.0 / series.frequency.seconds))
+        if self.fault_model is not None:
+            dropped = self.fault_model.dropped_mask(len(series), polls_per_day, rng)
+        else:
+            dropped = np.zeros(len(series), dtype=bool)
+        ts = series.timestamps
+        return [
+            AgentSample(instance=instance, metric=metric, timestamp=float(ts[i]), value=float(series.values[i]))
+            for i in range(len(series))
+            if not dropped[i]
+        ]

@@ -1,0 +1,291 @@
+"""Command-line interface: the library's operations as shell commands.
+
+The paper's system is an operations tool, so this reproduction ships one
+too::
+
+    python -m repro simulate --experiment oltp --out metrics.db
+    python -m repro inspect  --db metrics.db --instance cdbm011 --metric cpu
+    python -m repro forecast --db metrics.db --instance cdbm011 --metric cpu \
+                             --threshold 80
+    python -m repro advise   --db metrics.db --threshold cpu=80 \
+                             --threshold logical_iops=4e6
+
+``simulate`` runs one of the paper's experiments (or a scenario) through
+the monitoring agent into a SQLite repository; ``inspect`` prints the
+Figure 4 characterisation (stationarity, seasonality, shocks, faults);
+``forecast`` runs the self-selection pipeline and renders a Figure 8-style
+panel; ``advise`` produces the estate report across every stored metric.
+
+Metric series can also be read from / written to plain CSV
+(``timestamp,value`` rows) with ``--csv`` for integration with anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+
+import numpy as np
+
+from .agent import FaultModel, MetricsRepository, MonitoringAgent
+from .core import (
+    Frequency,
+    TimeSeries,
+    adf_test,
+    detect_seasonalities,
+    interpolate_missing,
+    seasonal_strength,
+    trend_strength,
+)
+from .exceptions import CapacityPlanningError
+from .reporting import Table, render_panel
+from .selection import AutoConfig, auto_forecast
+from .service import EstatePlanner
+from .shocks import build_shock_calendar, discard_faults
+from .workloads import (
+    batch_etl,
+    generate_olap_run,
+    generate_oltp_run,
+    unstable_system,
+    web_transactions,
+    weekly_business_app,
+)
+
+__all__ = ["main", "build_parser"]
+
+_SCENARIOS = {
+    "web": web_transactions,
+    "etl": batch_etl,
+    "erp": weekly_business_app,
+    "faulty": unstable_system,
+}
+
+_FREQUENCIES = {f.value: f for f in Frequency}
+
+
+# ---------------------------------------------------------------------------
+# IO helpers
+# ---------------------------------------------------------------------------
+def _load_csv_series(path: str, frequency: Frequency) -> TimeSeries:
+    samples: list[tuple[float, float]] = []
+    with open(path, newline="") as fh:
+        for row in csv.reader(fh):
+            if not row or row[0].strip().lower() in ("timestamp", "time", "t"):
+                continue
+            value = float(row[1]) if row[1].strip() else float("nan")
+            samples.append((float(row[0]), value))
+    return TimeSeries.from_samples(samples, frequency=frequency)
+
+
+def _write_csv_series(path: str, series: TimeSeries) -> None:
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["timestamp", "value"])
+        for ts, value in zip(series.timestamps, series.values):
+            writer.writerow([f"{ts:.0f}", "" if np.isnan(value) else f"{value:.6g}"])
+
+
+def _load_series(args, parser: argparse.ArgumentParser) -> TimeSeries:
+    frequency = _FREQUENCIES[args.frequency]
+    if getattr(args, "csv", None):
+        return _load_csv_series(args.csv, frequency)
+    if getattr(args, "db", None):
+        if not (args.instance and args.metric):
+            parser.error("--db requires --instance and --metric")
+        with MetricsRepository(args.db) as repo:
+            return repo.load_series(args.instance, args.metric, frequency=frequency)
+    parser.error("supply a data source: --csv FILE or --db FILE")
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+def _cmd_simulate(args, parser) -> int:
+    if args.experiment in ("olap", "oltp"):
+        run = (
+            generate_olap_run(hourly=False)
+            if args.experiment == "olap"
+            else generate_oltp_run(hourly=False)
+        )
+        fault_model = FaultModel() if args.faulty_agent else None
+        agent = MonitoringAgent(fault_model=fault_model, seed=args.seed)
+        samples = agent.poll_run(run)
+        if not args.out:
+            parser.error("--out DB is required for cluster experiments")
+        with MetricsRepository(args.out) as repo:
+            n = repo.ingest(samples)
+        print(f"simulated experiment {args.experiment}: {n} samples → {args.out}")
+        return 0
+    series = _SCENARIOS[args.experiment](days=args.days, seed=args.seed)
+    if args.out:
+        _write_csv_series(args.out, series)
+        print(f"simulated scenario {args.experiment}: {len(series)} points → {args.out}")
+    else:
+        print(f"simulated scenario {args.experiment}: {len(series)} points (no --out given)")
+    return 0
+
+
+def _cmd_inspect(args, parser) -> int:
+    series = interpolate_missing(_load_series(args, parser))
+    period = series.frequency.default_period
+
+    table = Table(["Property", "Value"], title=f"Characterisation: {series.name or 'series'}")
+    table.add_row(["observations", str(len(series))])
+    table.add_row(["frequency", series.frequency.label()])
+    stats = series.summary()
+    table.add_row(["mean / std", f"{stats['mean']:,.2f} / {stats['std']:,.2f}"])
+    table.add_row(["min / max", f"{stats['min']:,.2f} / {stats['max']:,.2f}"])
+    adf = adf_test(series)
+    table.add_row(["stationary (ADF)", f"{'yes' if adf.stationary else 'no'} (p={adf.p_value:.3f})"])
+    table.add_row(["trend strength", trend_strength(series, period)])
+    table.add_row(["seasonal strength", seasonal_strength(series, period)])
+    seasons = detect_seasonalities(
+        series, candidates=[p for p in (period, series.frequency.secondary_period) if p]
+    )
+    table.add_row(["seasonal periods", ",".join(str(p) for p in seasons.periods) or "-"])
+    calendar = build_shock_calendar(series, period=period)
+    table.add_row(["recurring shocks", str(calendar.n_columns)])
+    faults = discard_faults(series, period=period)
+    table.add_row(["fault verdict", faults.verdict.value])
+    table.print()
+    for line in calendar.describe():
+        print(f"  shock: {line}")
+    return 0
+
+
+def _cmd_forecast(args, parser) -> int:
+    series = _load_series(args, parser)
+    config = AutoConfig(technique=args.technique, n_jobs=args.jobs)
+    forecast, outcome = auto_forecast(series, horizon=args.horizon, config=config)
+    forecast = forecast.clipped(0.0)
+
+    history = interpolate_missing(series)
+    shocks = outcome.shock_calendar.describe() if outcome.shock_calendar else []
+    print(
+        render_panel(
+            title=series.name or f"{args.instance or 'series'}/{args.metric or ''}",
+            history=history.tail(min(len(history), 7 * 24)),
+            forecast=forecast,
+            shocks=shocks,
+            threshold=args.threshold,
+        )
+    )
+    print(f"selected: {outcome.describe()}")
+    if args.out:
+        from .reporting import prediction_chart
+
+        fig = prediction_chart(
+            "forecast", history.tail(min(len(history), 7 * 24)), forecast.mean, forecast
+        )
+        fig.save(args.out)
+        print(f"forecast data → {args.out}")
+    return 0
+
+
+def _parse_thresholds(pairs: list[str], parser) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            parser.error(f"--threshold expects metric=value, got {pair!r}")
+        metric, __, value = pair.partition("=")
+        out[metric.strip()] = float(value)
+    return out
+
+
+def _cmd_advise(args, parser) -> int:
+    thresholds = _parse_thresholds(args.threshold, parser)
+    planner = EstatePlanner(config=AutoConfig(n_jobs=args.jobs))
+    with MetricsRepository(args.db) as repo:
+        for instance in repo.instances():
+            for metric in repo.metrics(instance):
+                series = repo.load_series(instance, metric)
+                planner.register(
+                    customer=args.customer,
+                    workload=instance,
+                    metric=metric,
+                    series=series,
+                    threshold=thresholds.get(metric),
+                )
+    report = planner.run()
+    for line in report.summary_lines():
+        print(line)
+    return 0 if not report.failed else 1
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Database workload capacity planning (SIGMOD 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_source(p):
+        p.add_argument("--csv", help="CSV file of timestamp,value rows")
+        p.add_argument("--db", help="SQLite metrics repository")
+        p.add_argument("--instance", help="instance name within --db")
+        p.add_argument("--metric", help="metric name within --db")
+        p.add_argument(
+            "--frequency",
+            choices=sorted(_FREQUENCIES),
+            default=Frequency.HOURLY.value,
+            help="series granularity (default hourly)",
+        )
+
+    p_sim = sub.add_parser("simulate", help="generate a workload (experiment or scenario)")
+    p_sim.add_argument(
+        "--experiment",
+        choices=["olap", "oltp", *sorted(_SCENARIOS)],
+        required=True,
+    )
+    p_sim.add_argument("--out", help="output: .db for experiments, .csv for scenarios")
+    p_sim.add_argument("--days", type=float, default=45.0)
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument(
+        "--faulty-agent", action="store_true", help="inject agent polling faults"
+    )
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    p_ins = sub.add_parser("inspect", help="characterise a metric series (Figure 4 analysis)")
+    add_source(p_ins)
+    p_ins.set_defaults(func=_cmd_inspect)
+
+    p_fc = sub.add_parser("forecast", help="self-select a model and forecast")
+    add_source(p_fc)
+    p_fc.add_argument("--horizon", type=int, default=None, help="steps ahead (default: Table 1)")
+    p_fc.add_argument("--technique", choices=["auto", "sarimax", "hes"], default="auto")
+    p_fc.add_argument("--threshold", type=float, default=None, help="capacity threshold to check")
+    p_fc.add_argument("--jobs", type=int, default=0, help="grid workers (0 = all cores)")
+    p_fc.add_argument("--out", help="write forecast chart data to this CSV")
+    p_fc.set_defaults(func=_cmd_forecast)
+
+    p_adv = sub.add_parser("advise", help="estate report across a metrics repository")
+    p_adv.add_argument("--db", required=True)
+    p_adv.add_argument("--customer", default="estate")
+    p_adv.add_argument(
+        "--threshold",
+        action="append",
+        metavar="METRIC=VALUE",
+        help="capacity threshold per metric (repeatable)",
+    )
+    p_adv.add_argument("--jobs", type=int, default=0)
+    p_adv.set_defaults(func=_cmd_advise)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args, parser)
+    except CapacityPlanningError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

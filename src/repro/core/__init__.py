@@ -1,0 +1,103 @@
+"""Core time-series analysis substrate.
+
+Everything the forecasting models and the self-selection pipeline need:
+the :class:`TimeSeries` value type, sampling :class:`Frequency` definitions
+with the paper's Table 1 split rules, accuracy metrics, autocorrelation
+analysis, stationarity tests, seasonal decomposition, Box–Cox transforms,
+Fourier regressors and gap repair.
+"""
+
+from .boxcox import boxcox, guerrero_lambda, inv_boxcox
+from .decompose import Decomposition, decompose, seasonal_strength, trend_strength
+from .fourier import (
+    SeasonalityReport,
+    detect_seasonalities,
+    fourier_terms,
+    periodogram,
+)
+from .frequency import SPLIT_RULES, Frequency, SplitRule
+from .metrics import (
+    AccuracyReport,
+    accuracy_report,
+    aic,
+    aicc,
+    bic,
+    mae,
+    mapa,
+    mape,
+    mase,
+    rmse,
+    smape,
+)
+from .preprocessing import (
+    Gap,
+    find_gaps,
+    interpolate_missing,
+    standardize,
+    winsorize,
+)
+from .stationarity import (
+    UnitRootResult,
+    adf_test,
+    difference,
+    integrate,
+    kpss_test,
+    ndiffs,
+    nsdiffs,
+)
+from .stats import Correlogram, LjungBoxResult, acf, correlogram, ljung_box, pacf
+from .timeseries import TimeSeries
+
+__all__ = [
+    "TimeSeries",
+    "Frequency",
+    "SplitRule",
+    "SPLIT_RULES",
+    # metrics
+    "rmse",
+    "mae",
+    "mape",
+    "mapa",
+    "smape",
+    "mase",
+    "aic",
+    "aicc",
+    "bic",
+    "AccuracyReport",
+    "accuracy_report",
+    # stats
+    "acf",
+    "pacf",
+    "ljung_box",
+    "LjungBoxResult",
+    "Correlogram",
+    "correlogram",
+    # stationarity
+    "adf_test",
+    "kpss_test",
+    "difference",
+    "integrate",
+    "ndiffs",
+    "nsdiffs",
+    "UnitRootResult",
+    # decomposition
+    "decompose",
+    "Decomposition",
+    "seasonal_strength",
+    "trend_strength",
+    # transforms
+    "boxcox",
+    "inv_boxcox",
+    "guerrero_lambda",
+    # fourier
+    "fourier_terms",
+    "periodogram",
+    "detect_seasonalities",
+    "SeasonalityReport",
+    # preprocessing
+    "interpolate_missing",
+    "find_gaps",
+    "Gap",
+    "winsorize",
+    "standardize",
+]

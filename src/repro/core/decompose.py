@@ -1,0 +1,195 @@
+"""Classical seasonal decomposition (the paper's Figure 1(b)).
+
+The pipeline "discovers the seasonality of the data by decomposing it"
+(Section 4.1, using ``statsmodels.tsa.seasonal`` in the original system).
+This module provides the equivalent from scratch: a centred moving-average
+trend estimate, seasonal component from period-wise averages of the
+detrended series, and the residual remainder, in both additive and
+multiplicative flavours.
+
+It also provides the Wang–Smith–Hyndman *strength* measures used by the
+``ndiffs``/``nsdiffs`` heuristics and by workload characterisation:
+
+* trend strength     ``F_t = max(0, 1 - Var(R) / Var(T + R))``
+* seasonal strength  ``F_s = max(0, 1 - Var(R) / Var(S + R))``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DataError
+from .timeseries import TimeSeries
+
+__all__ = [
+    "Decomposition",
+    "decompose",
+    "seasonal_strength",
+    "trend_strength",
+]
+
+
+def _values(series) -> np.ndarray:
+    x = series.values if isinstance(series, TimeSeries) else np.asarray(series, dtype=float)
+    if x.ndim != 1:
+        raise DataError("expected a one-dimensional series")
+    if not np.isfinite(x).all():
+        raise DataError("series contains NaN/inf; interpolate gaps first")
+    return x
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """Trend / seasonal / residual split of a series.
+
+    The trend is ``NaN`` at the edges where the centred moving average is
+    undefined (half a period at each end), exactly as in the classical
+    method; ``seasonal`` repeats one full period of seasonal effects.
+    """
+
+    observed: np.ndarray
+    trend: np.ndarray
+    seasonal: np.ndarray
+    residual: np.ndarray
+    period: int
+    model: str
+
+    @property
+    def seasonal_profile(self) -> np.ndarray:
+        """One period of seasonal effects, starting at phase 0."""
+        return self.seasonal[: self.period].copy()
+
+    def seasonal_strength(self) -> float:
+        """Wang–Smith–Hyndman seasonal strength of this decomposition."""
+        return _strength(self.seasonal, self.residual)
+
+    def trend_strength(self) -> float:
+        """Wang–Smith–Hyndman trend strength of this decomposition."""
+        return _strength(self.trend, self.residual)
+
+
+def _centred_moving_average(x: np.ndarray, period: int) -> np.ndarray:
+    """Centred MA of window ``period``; NaN where the window is incomplete."""
+    n = x.size
+    out = np.full(n, np.nan)
+    if period % 2 == 1:
+        half = period // 2
+        kernel = np.ones(period) / period
+        smoothed = np.convolve(x, kernel, mode="valid")
+        out[half : half + smoothed.size] = smoothed
+    else:
+        # 2 x period MA: average of two adjacent period-windows.
+        kernel = np.ones(period + 1)
+        kernel[0] = kernel[-1] = 0.5
+        kernel /= period
+        half = period // 2
+        smoothed = np.convolve(x, kernel, mode="valid")
+        out[half : half + smoothed.size] = smoothed
+    return out
+
+
+def decompose(series, period: int, model: str = "additive") -> Decomposition:
+    """Classical decomposition of ``series`` with seasonal ``period``.
+
+    Parameters
+    ----------
+    model:
+        ``"additive"`` (observed = T + S + R) or ``"multiplicative"``
+        (observed = T * S * R; requires strictly positive data).
+    """
+    x = _values(series)
+    if period < 2:
+        raise DataError(f"decomposition period must be >= 2, got {period}")
+    if x.size < 2 * period:
+        raise DataError(
+            f"need at least two full periods ({2 * period} points) to decompose, got {x.size}"
+        )
+    if model not in ("additive", "multiplicative"):
+        raise DataError(f"model must be additive or multiplicative, got {model!r}")
+    if model == "multiplicative" and np.any(x <= 0):
+        raise DataError("multiplicative decomposition requires strictly positive data")
+
+    trend = _centred_moving_average(x, period)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        detrended = x - trend if model == "additive" else x / trend
+
+    # Period-phase means of the detrended series give the seasonal profile.
+    profile = np.empty(period)
+    for phase in range(period):
+        vals = detrended[phase::period]
+        vals = vals[np.isfinite(vals)]
+        profile[phase] = vals.mean() if vals.size else (0.0 if model == "additive" else 1.0)
+    # Normalise so seasonal effects sum to 0 (add.) / average to 1 (mult.).
+    if model == "additive":
+        profile -= profile.mean()
+    else:
+        mean = profile.mean()
+        if mean != 0:
+            profile /= mean
+
+    reps = int(np.ceil(x.size / period))
+    seasonal = np.tile(profile, reps)[: x.size]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        if model == "additive":
+            residual = x - trend - seasonal
+        else:
+            residual = x / (trend * seasonal)
+    return Decomposition(
+        observed=x,
+        trend=trend,
+        seasonal=seasonal,
+        residual=residual,
+        period=period,
+        model=model,
+    )
+
+
+def _strength(component: np.ndarray, residual: np.ndarray) -> float:
+    mask = np.isfinite(component) & np.isfinite(residual)
+    if mask.sum() < 3:
+        return 0.0
+    var_r = float(np.var(residual[mask]))
+    var_cr = float(np.var(component[mask] + residual[mask]))
+    if var_cr <= 1e-300:
+        return 0.0
+    return max(0.0, 1.0 - var_r / var_cr)
+
+
+def seasonal_strength(series, period: int) -> float:
+    """Seasonal strength ``F_s`` in [0, 1]; high values ⇒ strong seasonality.
+
+    Returns 0 for series too short to decompose, so callers can use it as a
+    soft signal without pre-checking lengths.
+    """
+    x = _values(series)
+    if period < 2 or x.size < 2 * period:
+        return 0.0
+    if np.allclose(x, x[0]):
+        return 0.0
+    return decompose(x, period).seasonal_strength()
+
+
+def trend_strength(series, period: int | None = None) -> float:
+    """Trend strength ``F_t`` in [0, 1]; high values ⇒ pronounced trend.
+
+    When ``period`` is omitted (non-seasonal data) the trend is estimated
+    with a loess-like moving average of about a tenth of the series length.
+    """
+    x = _values(series)
+    if np.allclose(x, x[0]):
+        return 0.0
+    if period is not None and period >= 2 and x.size >= 2 * period:
+        return decompose(x, period).trend_strength()
+    window = max(3, min(x.size // 3, max(5, x.size // 10)))
+    if window % 2 == 0:
+        window += 1
+    if x.size < window + 2:
+        return 0.0
+    kernel = np.ones(window) / window
+    trend = np.convolve(x, kernel, mode="valid")
+    half = window // 2
+    aligned = x[half : half + trend.size]
+    residual = aligned - trend
+    return _strength(trend, residual)

@@ -1,0 +1,210 @@
+"""Fourier regressors and frequency-domain seasonality detection.
+
+Section 4.4 of the paper handles *multiple* seasonality (e.g. a daily cycle
+inside a weekly cycle) by adding Fourier terms — pairs of
+``sin(2πkt/P)``/``cos(2πkt/P)`` columns — as external regressors to a
+SARIMAX model. This module builds those design matrices and detects which
+seasonal periods a series actually exhibits, using the FFT periodogram
+("Frequency Domain" analysis in the paper's Section 4 taxonomy) backed up
+by the seasonal-strength measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DataError
+from .decompose import seasonal_strength
+from .timeseries import TimeSeries
+
+__all__ = [
+    "fourier_terms",
+    "periodogram",
+    "detect_seasonalities",
+    "SeasonalityReport",
+]
+
+
+def _values(series) -> np.ndarray:
+    x = series.values if isinstance(series, TimeSeries) else np.asarray(series, dtype=float)
+    if x.ndim != 1:
+        raise DataError("expected a one-dimensional series")
+    if not np.isfinite(x).all():
+        raise DataError("series contains NaN/inf; interpolate gaps first")
+    return x
+
+
+def fourier_terms(
+    n: int,
+    periods: list[float] | tuple[float, ...],
+    orders: list[int] | tuple[int, ...],
+    start: int = 0,
+) -> np.ndarray:
+    """Fourier design matrix for ``n`` time points.
+
+    For each period ``P_i`` and harmonic ``k = 1..K_i`` two columns are
+    emitted: ``sin(2πkt/P_i)`` and ``cos(2πkt/P_i)``, giving
+    ``2 * sum(orders)`` columns in total — equation (15) of the paper.
+
+    Parameters
+    ----------
+    start:
+        Index of the first time point; forecasting code passes the length
+        of the training sample so future regressors continue the same
+        phase.
+    """
+    if len(periods) != len(orders):
+        raise DataError("periods and orders must have the same length")
+    if n <= 0:
+        raise DataError("n must be positive")
+    t = np.arange(start, start + n, dtype=float)
+    cols: list[np.ndarray] = []
+    for period, order in zip(periods, orders):
+        if period <= 1:
+            raise DataError(f"Fourier period must exceed 1, got {period}")
+        if order < 1:
+            raise DataError(f"Fourier order must be >= 1, got {order}")
+        if 2 * order > period:
+            raise DataError(
+                f"order {order} too high for period {period}: 2K must not exceed P"
+            )
+        for k in range(1, order + 1):
+            angle = 2.0 * np.pi * k * t / period
+            cols.append(np.sin(angle))
+            cols.append(np.cos(angle))
+    return np.column_stack(cols)
+
+
+def periodogram(series, detrend: bool = True) -> tuple[np.ndarray, np.ndarray]:
+    """FFT periodogram of a series.
+
+    Returns ``(periods, power)`` for the positive, non-DC frequencies,
+    sorted by descending power. A linear trend is removed first by default
+    so growth does not masquerade as a very long season.
+    """
+    x = _values(series)
+    n = x.size
+    if n < 8:
+        raise DataError(f"periodogram needs at least 8 points, got {n}")
+    if detrend:
+        t = np.arange(n, dtype=float)
+        coeffs = np.polyfit(t, x, deg=1)
+        x = x - np.polyval(coeffs, t)
+    else:
+        x = x - x.mean()
+    spectrum = np.fft.rfft(x)
+    power = np.abs(spectrum) ** 2 / n
+    freqs = np.fft.rfftfreq(n, d=1.0)
+    keep = freqs > 0
+    freqs = freqs[keep]
+    power = power[keep]
+    periods = 1.0 / freqs
+    order = np.argsort(power)[::-1]
+    return periods[order], power[order]
+
+
+@dataclass(frozen=True)
+class SeasonalityReport:
+    """Detected seasonal structure of a metric series.
+
+    Attributes
+    ----------
+    periods:
+        Confirmed seasonal periods, shortest first (e.g. ``[24, 168]``);
+        the shortest is the natural SARIMA ``F`` and the rest feed the
+        Fourier-term branch.
+    strengths:
+        Incremental seasonal-strength value for each confirmed period
+        (strength measured after removing shorter confirmed cycles).
+    multiple:
+        True when more than one period was confirmed — the trigger for the
+        paper's Fourier-term branch ("we apply Fourier analysis if we
+        detect time series data with multiple seasonality").
+    """
+
+    periods: list[int]
+    strengths: list[float]
+
+    @property
+    def multiple(self) -> bool:
+        return len(self.periods) > 1
+
+    @property
+    def primary(self) -> int | None:
+        return self.periods[0] if self.periods else None
+
+
+def detect_seasonalities(
+    series,
+    candidates: list[int] | None = None,
+    min_strength: float = 0.3,
+    max_periods: int = 3,
+) -> SeasonalityReport:
+    """Find the seasonal periods a series exhibits.
+
+    The periodogram proposes candidate periods (snapped to integers and to
+    any conventional ``candidates`` supplied, e.g. ``[24, 168]`` for hourly
+    data); each proposal is confirmed with the seasonal-strength measure so
+    spurious spectral peaks are dropped.
+    """
+    x = _values(series)
+    proposals: list[int] = []
+    if candidates:
+        proposals.extend(int(c) for c in candidates)
+    if x.size >= 8:
+        periods, power = periodogram(x)
+        cutoff = power[0] * 0.05 if power.size else 0.0
+        for period, pw in zip(periods[:12], power[:12]):
+            if pw < cutoff:
+                break
+            p = int(round(period))
+            if p < 2 or p > x.size // 2:
+                continue
+            # Snap near-misses (e.g. 23.8) onto supplied conventional periods.
+            snapped = p
+            if candidates:
+                for c in candidates:
+                    if abs(p - c) <= max(1, int(0.08 * c)):
+                        snapped = int(c)
+                        break
+            if snapped not in proposals:
+                proposals.append(snapped)
+
+    # Order matters: conventional periods (24, 168 for hourly data) are
+    # tested first, in ascending order, then periodogram discoveries by
+    # power. Each confirmed component is *removed* before testing the next
+    # period, so a longer period (168) is only kept when it explains
+    # structure the shorter one (24) does not — the "seasons within
+    # seasons" criterion of Section 4.4 without double-counting harmonics.
+    # Testing 24 before a spike-train alias like 6 also means scheduled
+    # 6-hourly shocks (which are 24-periodic too) do not generate spurious
+    # short periods.
+    ordered: list[int] = sorted(int(c) for c in candidates) if candidates else []
+    for p in proposals:
+        if p not in ordered:
+            ordered.append(p)
+    kept: list[tuple[int, float]] = []
+    work = x.copy()
+    for p in ordered:
+        if len(kept) >= max_periods:
+            break
+        if p < 2 or x.size < 2 * p:
+            continue
+        strength = seasonal_strength(work, p)
+        # A phase-mean profile estimated from w windows absorbs roughly
+        # 1/w of pure-noise variance, so with few windows even white noise
+        # scores a nontrivial "strength". Demand the margin above that
+        # overfitting floor.
+        windows = x.size / p
+        threshold = min_strength + 1.0 / windows
+        if strength >= threshold:
+            kept.append((p, strength))
+            from .decompose import decompose  # local import avoids cycle at module load
+
+            work = work - decompose(work, p).seasonal
+    return SeasonalityReport(
+        periods=[p for p, __ in kept],
+        strengths=[s for __, s in kept],
+    )

@@ -1,0 +1,162 @@
+"""Sampling frequencies and the paper's train/test sizing rules.
+
+The paper (Table 1, derived from the Makridakis competitions) prescribes how
+many observations are needed for each forecast granularity and how they are
+split between training and test sets:
+
+=============== ===== ========= ======== ==========
+Forecast        Obs   Train     Test     Prediction
+=============== ===== ========= ======== ==========
+Hourly          1008  984       24       24 hours
+Daily           90    83        7        7 days
+Weekly          92    88        4        4 weeks
+=============== ===== ========= ======== ==========
+
+:class:`Frequency` encodes the supported sampling granularities together with
+their natural seasonal periods (e.g. 24 for hourly data with a daily cycle)
+and the Table 1 sizing rules, so that every other layer of the library can ask
+"how much data do I need?" and "how do I split it?" in one place.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["Frequency", "SplitRule", "SPLIT_RULES"]
+
+
+@dataclass(frozen=True)
+class SplitRule:
+    """Observation budget for one forecast granularity (paper Table 1).
+
+    Attributes
+    ----------
+    observations:
+        Total number of points the pipeline expects to work with.
+    train_size:
+        Number of leading points used to fit models.
+    test_size:
+        Number of trailing points held out to score models by RMSE.
+    horizon:
+        Number of future points the stored model predicts.
+    """
+
+    observations: int
+    train_size: int
+    test_size: int
+    horizon: int
+
+    def __post_init__(self) -> None:
+        if self.train_size + self.test_size != self.observations:
+            raise ValueError(
+                "train_size + test_size must equal observations "
+                f"({self.train_size} + {self.test_size} != {self.observations})"
+            )
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+
+
+class Frequency(enum.Enum):
+    """Sampling granularity of a monitored metric series.
+
+    Each member carries the number of samples per hour-of-day cycle that the
+    paper treats as the *primary* seasonal period, plus the weekly period used
+    when multiple seasonality is detected (Section 4.4).
+    """
+
+    MINUTE_15 = "15min"
+    HOURLY = "hourly"
+    DAILY = "daily"
+    WEEKLY = "weekly"
+    MONTHLY = "monthly"
+
+    @property
+    def seconds(self) -> int:
+        """Length of one sampling interval in seconds."""
+        return _SECONDS[self]
+
+    @property
+    def samples_per_hour(self) -> float:
+        """Number of samples in one hour (may be fractional for coarse freqs)."""
+        return 3600.0 / self.seconds
+
+    @property
+    def samples_per_day(self) -> float:
+        """Number of samples in one day."""
+        return 86400.0 / self.seconds
+
+    @property
+    def default_period(self) -> int:
+        """Primary seasonal period used by SARIMA's ``F`` parameter.
+
+        Hourly data has a daily cycle (24), daily data a weekly cycle (7),
+        weekly data a yearly cycle (52), monthly data a yearly cycle (12) and
+        15-minute data a daily cycle (96).
+        """
+        return _DEFAULT_PERIOD[self]
+
+    @property
+    def secondary_period(self) -> int | None:
+        """Secondary (longer) seasonal period for multi-seasonal data.
+
+        Hourly data commonly exhibits a weekly cycle (168) on top of the
+        daily one; this is the ``P2`` of the paper's Section 4.4. ``None``
+        when no conventional secondary period exists.
+        """
+        return _SECONDARY_PERIOD[self]
+
+    @property
+    def split_rule(self) -> SplitRule:
+        """The paper's Table 1 train/test budget for this granularity."""
+        try:
+            return SPLIT_RULES[self]
+        except KeyError:
+            raise KeyError(
+                f"no Table 1 split rule is defined for {self.name}; "
+                "supply an explicit train/test split"
+            ) from None
+
+    def label(self) -> str:
+        """Human-readable label used in report tables."""
+        return _LABEL[self]
+
+
+_SECONDS = {
+    Frequency.MINUTE_15: 15 * 60,
+    Frequency.HOURLY: 3600,
+    Frequency.DAILY: 86400,
+    Frequency.WEEKLY: 7 * 86400,
+    Frequency.MONTHLY: 30 * 86400,
+}
+
+_DEFAULT_PERIOD = {
+    Frequency.MINUTE_15: 96,
+    Frequency.HOURLY: 24,
+    Frequency.DAILY: 7,
+    Frequency.WEEKLY: 52,
+    Frequency.MONTHLY: 12,
+}
+
+_SECONDARY_PERIOD = {
+    Frequency.MINUTE_15: 96 * 7,
+    Frequency.HOURLY: 168,
+    Frequency.DAILY: None,
+    Frequency.WEEKLY: None,
+    Frequency.MONTHLY: None,
+}
+
+_LABEL = {
+    Frequency.MINUTE_15: "15-minute",
+    Frequency.HOURLY: "Hourly",
+    Frequency.DAILY: "Daily",
+    Frequency.WEEKLY: "Weekly",
+    Frequency.MONTHLY: "Monthly",
+}
+
+#: Table 1 of the paper: observation budgets per forecast granularity.
+SPLIT_RULES: dict[Frequency, SplitRule] = {
+    Frequency.HOURLY: SplitRule(observations=1008, train_size=984, test_size=24, horizon=24),
+    Frequency.DAILY: SplitRule(observations=90, train_size=83, test_size=7, horizon=7),
+    Frequency.WEEKLY: SplitRule(observations=92, train_size=88, test_size=4, horizon=4),
+}

@@ -1,0 +1,180 @@
+"""Forecast accuracy metrics and information criteria.
+
+The paper scores every candidate model on a held-out test window using the
+Root Mean Squared Error (RMSE) and additionally reports the Mean Absolute
+Percentage Error (MAPE) and Mean Absolute Percentage Accuracy (MAPA) in its
+Table 2. TBATS configuration search (Section 4.3) uses the Akaike
+Information Criterion. All of those live here, together with a few standard
+extras (MAE, sMAPE, MASE) used by the test-suite and ablation benches.
+
+Every function accepts plain arrays or :class:`~repro.core.timeseries.TimeSeries`
+objects and validates alignment before computing anything.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+import numpy as np
+
+from ..exceptions import DataError
+from .timeseries import TimeSeries
+
+__all__ = [
+    "rmse",
+    "mae",
+    "mape",
+    "mapa",
+    "smape",
+    "mase",
+    "aic",
+    "aicc",
+    "bic",
+    "AccuracyReport",
+    "accuracy_report",
+]
+
+
+def _aligned(actual, predicted) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce the two inputs to aligned finite float arrays."""
+    a = actual.values if isinstance(actual, TimeSeries) else np.asarray(actual, dtype=float)
+    p = predicted.values if isinstance(predicted, TimeSeries) else np.asarray(predicted, dtype=float)
+    if a.shape != p.shape:
+        raise DataError(f"actual and predicted lengths differ: {a.shape} vs {p.shape}")
+    if a.size == 0:
+        raise DataError("cannot score an empty forecast")
+    mask = np.isfinite(a) & np.isfinite(p)
+    if not mask.any():
+        raise DataError("no overlapping finite values to score")
+    return a[mask], p[mask]
+
+
+def rmse(actual, predicted) -> float:
+    """Root Mean Squared Error — the paper's model-selection criterion."""
+    a, p = _aligned(actual, predicted)
+    return float(np.sqrt(np.mean((a - p) ** 2)))
+
+
+def mae(actual, predicted) -> float:
+    """Mean Absolute Error."""
+    a, p = _aligned(actual, predicted)
+    return float(np.mean(np.abs(a - p)))
+
+
+def mape(actual, predicted, epsilon: float = 1e-12) -> float:
+    """Mean Absolute Percentage Error, in percent.
+
+    Points where the actual value is (numerically) zero are excluded rather
+    than allowed to blow the metric up; if every actual is zero the result
+    is ``inf``, matching the convention that MAPE is undefined there.
+    """
+    a, p = _aligned(actual, predicted)
+    nonzero = np.abs(a) > epsilon
+    if not nonzero.any():
+        return math.inf
+    return float(100.0 * np.mean(np.abs((a[nonzero] - p[nonzero]) / a[nonzero])))
+
+
+def mapa(actual, predicted) -> float:
+    """Mean Absolute Percentage Accuracy: ``max(0, 100 - MAPE)``.
+
+    The paper reports MAPA alongside MAPE; for wildly wrong forecasts MAPE
+    can exceed 100 %, in which case accuracy is floored at zero.
+    """
+    value = mape(actual, predicted)
+    if math.isinf(value):
+        return 0.0
+    return max(0.0, 100.0 - value)
+
+
+def smape(actual, predicted, epsilon: float = 1e-12) -> float:
+    """Symmetric MAPE in percent (0–200 scale), robust to zeros."""
+    a, p = _aligned(actual, predicted)
+    denom = (np.abs(a) + np.abs(p)) / 2.0
+    mask = denom > epsilon
+    if not mask.any():
+        return 0.0
+    return float(100.0 * np.mean(np.abs(a[mask] - p[mask]) / denom[mask]))
+
+
+def mase(actual, predicted, training, season: int = 1) -> float:
+    """Mean Absolute Scaled Error against a seasonal-naive baseline.
+
+    Parameters
+    ----------
+    training:
+        In-sample series used to scale the error (Hyndman & Koehler 2006).
+    season:
+        Seasonal period of the naive baseline; 1 gives the plain naive walk.
+    """
+    a, p = _aligned(actual, predicted)
+    t = training.values if isinstance(training, TimeSeries) else np.asarray(training, dtype=float)
+    t = t[np.isfinite(t)]
+    if t.size <= season:
+        raise DataError(f"training series must exceed the season ({season})")
+    scale = np.mean(np.abs(t[season:] - t[:-season]))
+    if scale == 0:
+        return math.inf if np.any(a != p) else 0.0
+    return float(np.mean(np.abs(a - p)) / scale)
+
+
+def aic(sse: float, n_obs: int, n_params: int) -> float:
+    """Akaike Information Criterion for a Gaussian sum-of-squares fit.
+
+    ``AIC = n log(SSE / n) + 2k`` — the form TBATS uses to pick between
+    configurations (with/without Box-Cox, trend, damping, ARMA errors).
+    """
+    if n_obs <= 0:
+        raise DataError("n_obs must be positive")
+    if sse < 0:
+        raise DataError("sse must be non-negative")
+    sse = max(sse, 1e-300)
+    return float(n_obs * math.log(sse / n_obs) + 2.0 * n_params)
+
+
+def aicc(sse: float, n_obs: int, n_params: int) -> float:
+    """Small-sample corrected AIC."""
+    base = aic(sse, n_obs, n_params)
+    denom = n_obs - n_params - 1
+    if denom <= 0:
+        return math.inf
+    return float(base + 2.0 * n_params * (n_params + 1) / denom)
+
+
+def bic(sse: float, n_obs: int, n_params: int) -> float:
+    """Bayesian Information Criterion for a Gaussian sum-of-squares fit."""
+    if n_obs <= 0:
+        raise DataError("n_obs must be positive")
+    sse = max(sse, 1e-300)
+    return float(n_obs * math.log(sse / n_obs) + n_params * math.log(n_obs))
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Bundle of the accuracy figures the paper reports per model."""
+
+    rmse: float
+    mae: float
+    mape: float
+    mapa: float
+    smape: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "rmse": self.rmse,
+            "mae": self.mae,
+            "mape": self.mape,
+            "mapa": self.mapa,
+            "smape": self.smape,
+        }
+
+
+def accuracy_report(actual, predicted) -> AccuracyReport:
+    """Compute the full set of Table 2 accuracy metrics at once."""
+    return AccuracyReport(
+        rmse=rmse(actual, predicted),
+        mae=mae(actual, predicted),
+        mape=mape(actual, predicted),
+        mapa=mapa(actual, predicted),
+        smape=smape(actual, predicted),
+    )

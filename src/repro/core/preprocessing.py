@@ -1,0 +1,123 @@
+"""Gap repair and data conditioning for agent-collected series.
+
+The first stage of the paper's pipeline (Figure 4) "gathers the data and
+checks for any missing values … a linear interpolation exercise is carried
+out to fill in the gaps based on known data points". Agents miss polls
+during maintenance windows and faults, so every series entering a model
+passes through :func:`interpolate_missing` first.
+
+This module also provides gap inspection (for repository health reports),
+winsorisation (for robust summaries) and z-score standardisation helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DataError
+from .timeseries import TimeSeries
+
+__all__ = [
+    "interpolate_missing",
+    "find_gaps",
+    "Gap",
+    "winsorize",
+    "standardize",
+]
+
+
+@dataclass(frozen=True)
+class Gap:
+    """A maximal run of consecutive missing samples."""
+
+    start_index: int
+    length: int
+
+    @property
+    def end_index(self) -> int:
+        """Index one past the last missing sample."""
+        return self.start_index + self.length
+
+
+def find_gaps(series: TimeSeries) -> list[Gap]:
+    """Locate maximal runs of missing (NaN) samples."""
+    missing = np.isnan(series.values)
+    gaps: list[Gap] = []
+    idx = 0
+    n = len(series)
+    while idx < n:
+        if missing[idx]:
+            start = idx
+            while idx < n and missing[idx]:
+                idx += 1
+            gaps.append(Gap(start_index=start, length=idx - start))
+        else:
+            idx += 1
+    return gaps
+
+
+def interpolate_missing(series: TimeSeries, max_gap: int | None = None) -> TimeSeries:
+    """Fill missing samples by linear interpolation between known points.
+
+    Leading/trailing gaps (which have only one known neighbour) are filled
+    by extending the nearest known value, since extrapolating a slope from
+    a single boundary point would invent a trend the agent never observed.
+
+    Parameters
+    ----------
+    max_gap:
+        When given, raise :class:`DataError` if any single gap exceeds this
+        many samples — a guard for repository windows so a dead agent does
+        not silently become a long straight line that models would happily
+        fit.
+    """
+    values = series.values
+    missing = np.isnan(values)
+    if not missing.any():
+        return series
+    if missing.all():
+        raise DataError("every sample is missing; nothing to interpolate from")
+    if max_gap is not None:
+        worst = max(g.length for g in find_gaps(series))
+        if worst > max_gap:
+            raise DataError(
+                f"longest gap is {worst} samples, exceeding the max_gap of {max_gap}"
+            )
+    idx = np.arange(values.size, dtype=float)
+    known = ~missing
+    filled = values.copy()
+    filled[missing] = np.interp(idx[missing], idx[known], values[known])
+    return series.with_values(filled)
+
+
+def winsorize(series: TimeSeries, lower: float = 0.01, upper: float = 0.99) -> TimeSeries:
+    """Clip values to the given empirical quantiles.
+
+    Used for robust reporting summaries; the modelling path never winsorises
+    because shocks (backups) are signal, not noise, in this domain.
+    """
+    if not 0.0 <= lower < upper <= 1.0:
+        raise DataError(f"need 0 <= lower < upper <= 1, got ({lower}, {upper})")
+    finite = series.values[np.isfinite(series.values)]
+    if finite.size == 0:
+        raise DataError("series has no finite values")
+    lo, hi = np.quantile(finite, [lower, upper])
+    return series.with_values(np.clip(series.values, lo, hi))
+
+
+def standardize(series: TimeSeries) -> tuple[TimeSeries, float, float]:
+    """Z-score standardise a series, returning ``(scaled, mean, std)``.
+
+    A zero-variance series is returned centred with ``std = 1`` so callers
+    can always invert with ``scaled * std + mean``.
+    """
+    finite = series.values[np.isfinite(series.values)]
+    if finite.size == 0:
+        raise DataError("series has no finite values")
+    mean = float(finite.mean())
+    std = float(finite.std())
+    if std <= 1e-300:
+        std = 1.0
+    return series.with_values((series.values - mean) / std), mean, std

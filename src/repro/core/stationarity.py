@@ -1,0 +1,330 @@
+"""Stationarity testing and differencing-order heuristics.
+
+The Box–Jenkins stage of the paper's pipeline (Section 4.1) must decide the
+non-seasonal differencing order ``d`` and the seasonal order ``D`` before a
+SARIMA grid can be enumerated. We implement:
+
+* the Augmented Dickey–Fuller (ADF) unit-root test with MacKinnon (2010)
+  finite-sample critical values,
+* the KPSS stationarity test (Kwiatkowski et al. 1992) as a complementary
+  check,
+* ``ndiffs`` / ``nsdiffs`` heuristics in the style of the ``forecast`` R
+  package: difference until ADF rejects a unit root, and seasonally
+  difference when the Wang–Smith–Hyndman seasonal-strength measure is high.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DataError
+from .decompose import seasonal_strength
+from .timeseries import TimeSeries
+
+__all__ = [
+    "adf_test",
+    "kpss_test",
+    "difference",
+    "integrate",
+    "ndiffs",
+    "nsdiffs",
+    "UnitRootResult",
+]
+
+
+def _values(series) -> np.ndarray:
+    x = series.values if isinstance(series, TimeSeries) else np.asarray(series, dtype=float)
+    if x.ndim != 1:
+        raise DataError("expected a one-dimensional series")
+    if not np.isfinite(x).all():
+        raise DataError("series contains NaN/inf; interpolate gaps first")
+    return x
+
+
+# ---------------------------------------------------------------------------
+# MacKinnon (2010) response-surface critical values: tau = b0 + b1/T + b2/T^2
+# keyed by regression kind ("n" none, "c" constant, "ct" constant+trend) and
+# significance level.
+# ---------------------------------------------------------------------------
+_MACKINNON = {
+    "n": {
+        0.01: (-2.56574, -2.2358, -3.627),
+        0.05: (-1.94100, -0.2686, -3.365),
+        0.10: (-1.61682, 0.2656, -2.714),
+    },
+    "c": {
+        0.01: (-3.43035, -6.5393, -16.786),
+        0.05: (-2.86154, -2.8903, -4.234),
+        0.10: (-2.56677, -1.5384, -2.809),
+    },
+    "ct": {
+        0.01: (-3.95877, -9.0531, -28.428),
+        0.05: (-3.41049, -4.3904, -9.036),
+        0.10: (-3.12705, -2.5856, -3.925),
+    },
+}
+
+_KPSS_CRITICAL = {
+    # level-stationarity critical values (eta_mu)
+    "c": {0.10: 0.347, 0.05: 0.463, 0.025: 0.574, 0.01: 0.739},
+    # trend-stationarity critical values (eta_tau)
+    "ct": {0.10: 0.119, 0.05: 0.146, 0.025: 0.176, 0.01: 0.216},
+}
+
+
+@dataclass(frozen=True)
+class UnitRootResult:
+    """Outcome of a unit-root / stationarity test.
+
+    Attributes
+    ----------
+    statistic:
+        Test statistic (tau for ADF, eta for KPSS).
+    p_value:
+        Approximate p-value (interpolated through tabulated critical values).
+    critical_values:
+        Mapping of significance level to critical value.
+    n_lags:
+        Number of augmentation lags (ADF) or bandwidth (KPSS) used.
+    stationary:
+        The test's verdict at the 5 % level. For ADF stationarity means the
+        unit-root null *was* rejected; for KPSS it means the stationarity
+        null was *not* rejected.
+    """
+
+    statistic: float
+    p_value: float
+    critical_values: dict[float, float]
+    n_lags: int
+    stationary: bool
+
+
+def _ols(y: np.ndarray, X: np.ndarray) -> tuple[np.ndarray, np.ndarray, float]:
+    """Least squares returning (beta, residuals, sigma2-hat)."""
+    beta, *_ = np.linalg.lstsq(X, y, rcond=None)
+    resid = y - X @ beta
+    dof = max(1, X.shape[0] - X.shape[1])
+    sigma2 = float(resid @ resid) / dof
+    return beta, resid, sigma2
+
+
+def _interp_p_value(stat: float, crit: dict[float, float], *, lower_rejects: bool) -> float:
+    """Piecewise p-value from three tabulated critical values.
+
+    For ADF more-negative statistics reject (``lower_rejects=True``); for
+    KPSS larger statistics reject. The returned p-value is clamped to
+    [0.001, 0.999] and linearly interpolated between tabulated points, which
+    is accurate enough for threshold decisions at conventional levels.
+    """
+    levels = sorted(crit)  # e.g. [0.01, 0.05, 0.10]
+    points = [(crit[lvl], lvl) for lvl in levels]
+    if lower_rejects:
+        points.sort()  # most negative (strongest rejection) first
+        xs = [p[0] for p in points]
+        ps = [p[1] for p in points]
+        if stat <= xs[0]:
+            return 0.001
+        if stat >= xs[-1]:
+            # Beyond the weakest tabulated level: extrapolate toward 1.
+            span = xs[-1] - xs[0]
+            frac = min(1.0, (stat - xs[-1]) / max(span, 1e-9))
+            return min(0.999, ps[-1] + frac * (0.999 - ps[-1]))
+        return float(np.interp(stat, xs, ps))
+    points.sort()
+    xs = [p[0] for p in points]  # ascending critical values
+    ps = [p[1] for p in points]  # descending p at those values
+    if stat >= xs[-1]:
+        return 0.001
+    if stat <= xs[0]:
+        span = xs[-1] - xs[0]
+        frac = min(1.0, (xs[0] - stat) / max(span, 1e-9))
+        return min(0.999, ps[0] + frac * (0.999 - ps[0]))
+    return float(np.interp(stat, xs, ps))
+
+
+def adf_test(series, regression: str = "c", max_lags: int | None = None) -> UnitRootResult:
+    """Augmented Dickey–Fuller unit-root test.
+
+    Regresses ``Δy_t`` on ``y_{t-1}`` plus ``k`` lagged differences (k chosen
+    by the Schwert rule unless ``max_lags`` is given) and deterministic terms
+    per ``regression``: ``"n"`` none, ``"c"`` constant, ``"ct"`` constant and
+    linear trend. The tau statistic on the ``y_{t-1}`` coefficient is
+    compared to MacKinnon finite-sample critical values.
+    """
+    if regression not in _MACKINNON:
+        raise DataError(f"regression must be one of n/c/ct, got {regression!r}")
+    x = _values(series)
+    n = x.size
+    if n < 12:
+        raise DataError(f"ADF needs at least 12 observations, got {n}")
+    if max_lags is None:
+        max_lags = int(np.floor(12.0 * (n / 100.0) ** 0.25))
+    max_lags = max(0, min(max_lags, n // 2 - 2))
+
+    dy = np.diff(x)
+    k = max_lags
+    # Shrink k until the regression has enough degrees of freedom.
+    while k > 0 and (n - 1 - k) < (k + 4):
+        k -= 1
+    rows = n - 1 - k
+    y_reg = dy[k:]
+    cols = [x[k : n - 1]]  # y_{t-1}
+    for i in range(1, k + 1):
+        cols.append(dy[k - i : n - 1 - i])
+    if regression in ("c", "ct"):
+        cols.append(np.ones(rows))
+    if regression == "ct":
+        cols.append(np.arange(rows, dtype=float))
+    X = np.column_stack(cols)
+    beta, resid, sigma2 = _ols(y_reg, X)
+    xtx_inv = np.linalg.pinv(X.T @ X)
+    se_gamma = float(np.sqrt(max(sigma2 * xtx_inv[0, 0], 1e-300)))
+    tau = float(beta[0] / se_gamma)
+
+    crit = {
+        lvl: b0 + b1 / rows + b2 / rows**2
+        for lvl, (b0, b1, b2) in _MACKINNON[regression].items()
+    }
+    p_value = _interp_p_value(tau, crit, lower_rejects=True)
+    return UnitRootResult(
+        statistic=tau,
+        p_value=p_value,
+        critical_values=crit,
+        n_lags=k,
+        stationary=p_value <= 0.05,
+    )
+
+
+def kpss_test(series, regression: str = "c", n_lags: int | None = None) -> UnitRootResult:
+    """KPSS stationarity test (null hypothesis: the series *is* stationary).
+
+    Uses the Newey–West long-run variance estimate with the automatic
+    bandwidth ``4 (n/100)^{1/4}`` unless ``n_lags`` is supplied.
+    """
+    if regression not in _KPSS_CRITICAL:
+        raise DataError(f"regression must be c or ct, got {regression!r}")
+    x = _values(series)
+    n = x.size
+    if n < 12:
+        raise DataError(f"KPSS needs at least 12 observations, got {n}")
+    if regression == "c":
+        resid = x - x.mean()
+    else:
+        t = np.arange(n, dtype=float)
+        X = np.column_stack([np.ones(n), t])
+        __, resid, _ = _ols(x, X)
+    if n_lags is None:
+        n_lags = int(np.ceil(4.0 * (n / 100.0) ** 0.25))
+    n_lags = max(0, min(n_lags, n - 1))
+    s = np.cumsum(resid)
+    gamma0 = float(resid @ resid) / n
+    long_run = gamma0
+    for lag in range(1, n_lags + 1):
+        w = 1.0 - lag / (n_lags + 1.0)
+        long_run += 2.0 * w * float(resid[lag:] @ resid[:-lag]) / n
+    long_run = max(long_run, 1e-300)
+    eta = float(np.sum(s**2) / (n**2 * long_run))
+    crit = dict(_KPSS_CRITICAL[regression])
+    p_value = _interp_p_value(eta, crit, lower_rejects=False)
+    return UnitRootResult(
+        statistic=eta,
+        p_value=p_value,
+        critical_values=crit,
+        n_lags=n_lags,
+        stationary=p_value > 0.05,
+    )
+
+
+def difference(values: np.ndarray, d: int = 1, seasonal_d: int = 0, period: int = 1) -> np.ndarray:
+    """Apply ``(1-B)^d (1-B^s)^D`` to an array, shortening it accordingly."""
+    x = np.asarray(values, dtype=float)
+    if d < 0 or seasonal_d < 0:
+        raise DataError("differencing orders must be non-negative")
+    if seasonal_d > 0 and period < 2:
+        raise DataError("seasonal differencing requires period >= 2")
+    for __ in range(seasonal_d):
+        if x.size <= period:
+            raise DataError("series too short for the requested seasonal differencing")
+        x = x[period:] - x[:-period]
+    for __ in range(d):
+        if x.size <= 1:
+            raise DataError("series too short for the requested differencing")
+        x = np.diff(x)
+    return x
+
+
+def integrate(
+    diffed: np.ndarray,
+    original: np.ndarray,
+    d: int = 1,
+    seasonal_d: int = 0,
+    period: int = 1,
+) -> np.ndarray:
+    """Invert :func:`difference` for values that *extend* ``original``.
+
+    Given forecasts ``diffed`` of the differenced process and the original
+    undifferenced history, reconstruct forecasts on the original scale by
+    cumulatively undoing each differencing operation (non-seasonal layers
+    were applied last, so they are undone first).
+    """
+    history_stack = [np.asarray(original, dtype=float)]
+    x = history_stack[0]
+    for __ in range(seasonal_d):
+        x = x[period:] - x[:-period]
+        history_stack.append(x)
+    for __ in range(d):
+        x = np.diff(x)
+        history_stack.append(x)
+    out = np.asarray(diffed, dtype=float).copy()
+    # Undo non-seasonal differences.
+    for layer in range(d):
+        base = history_stack[-2 - layer]
+        out = np.cumsum(out) + base[-1]
+    # Undo seasonal differences.
+    for layer in range(seasonal_d):
+        base = history_stack[seasonal_d - 1 - layer]
+        rebuilt = np.empty_like(out)
+        for h in range(out.size):
+            prev = rebuilt[h - period] if h >= period else base[base.size - period + h]
+            rebuilt[h] = out[h] + prev
+        out = rebuilt
+    return out
+
+
+def ndiffs(series, max_d: int = 2, alpha: float = 0.05) -> int:
+    """Number of non-seasonal differences needed for ADF stationarity.
+
+    Mirrors the ``forecast::ndiffs`` behaviour: difference until the ADF
+    test rejects a unit root at level ``alpha`` or ``max_d`` is reached.
+    """
+    x = _values(series)
+    for d in range(max_d + 1):
+        probe = difference(x, d=d) if d else x
+        if probe.size < 12 or np.allclose(probe, probe[0]):
+            return d
+        if adf_test(probe).p_value <= alpha:
+            return d
+    return max_d
+
+
+def nsdiffs(series, period: int, max_d: int = 1, threshold: float = 0.64) -> int:
+    """Number of seasonal differences, via the seasonal-strength heuristic.
+
+    Computes Wang–Smith–Hyndman seasonal strength ``F_s`` on a classical
+    decomposition; one seasonal difference is recommended when
+    ``F_s > threshold`` (0.64 is the ``forecast`` package default).
+    """
+    if period < 2:
+        return 0
+    x = _values(series)
+    d = 0
+    while d < max_d:
+        if x.size < 2 * period + 1:
+            break
+        if seasonal_strength(x, period) <= threshold:
+            break
+        x = difference(x, d=0, seasonal_d=1, period=period)
+        d += 1
+    return d

@@ -1,0 +1,286 @@
+"""The :class:`TimeSeries` value type used throughout the library.
+
+A workload metric trace is a regularly sampled sequence of float values with
+a start time and a :class:`~repro.core.frequency.Frequency`. The paper's
+problem definition (Section 3) treats every monitored metric — CPU, memory,
+logical IOPS — as exactly this shape, so all models, selectors and reporting
+code in this library consume and produce ``TimeSeries`` objects.
+
+Values may contain ``NaN`` to represent samples the monitoring agent failed
+to collect; :mod:`repro.core.preprocessing` fills those by linear
+interpolation before any model sees the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..exceptions import DataError, FrequencyError
+from .frequency import Frequency
+
+__all__ = ["TimeSeries"]
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """An immutable, regularly sampled metric trace.
+
+    Parameters
+    ----------
+    values:
+        Sample values; coerced to a read-only ``float64`` array. ``NaN``
+        marks a missing sample.
+    frequency:
+        Sampling granularity.
+    start:
+        Timestamp (seconds since an arbitrary epoch) of the first sample.
+    name:
+        Optional metric name, e.g. ``"cpu"`` or ``"logical_iops"``.
+    """
+
+    values: np.ndarray
+    frequency: Frequency = Frequency.HOURLY
+    start: float = 0.0
+    name: str = ""
+    _timestamps: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.values, dtype=np.float64)
+        if arr.ndim != 1:
+            raise DataError(f"a TimeSeries must be one-dimensional, got shape {arr.shape}")
+        if arr.size == 0:
+            raise DataError("a TimeSeries must contain at least one value")
+        arr = arr.copy()
+        arr.setflags(write=False)
+        object.__setattr__(self, "values", arr)
+        object.__setattr__(self, "_timestamps", None)
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.values)
+
+    def __getitem__(self, key: int | slice) -> "float | TimeSeries":
+        if isinstance(key, slice):
+            start_idx, __, step = key.indices(len(self))
+            if step != 1:
+                raise DataError("TimeSeries slicing must use step 1 to stay regular")
+            vals = self.values[key]
+            if vals.size == 0:
+                raise DataError("slice produced an empty TimeSeries")
+            return replace(
+                self,
+                values=vals,
+                start=self.start + start_idx * self.frequency.seconds,
+            )
+        return float(self.values[key])
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Per-sample timestamps in seconds since the epoch of ``start``."""
+        cached = self._timestamps
+        if cached is None:
+            cached = self.start + np.arange(len(self)) * float(self.frequency.seconds)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_timestamps", cached)
+        return cached
+
+    @property
+    def end(self) -> float:
+        """Timestamp of the last sample."""
+        return self.start + (len(self) - 1) * self.frequency.seconds
+
+    def has_missing(self) -> bool:
+        """True when any sample is ``NaN`` (an agent fault left a gap)."""
+        return bool(np.isnan(self.values).any())
+
+    def missing_indices(self) -> np.ndarray:
+        """Indices of missing (``NaN``) samples."""
+        return np.flatnonzero(np.isnan(self.values))
+
+    def is_finite(self) -> bool:
+        """True when every sample is finite (no NaN or inf)."""
+        return bool(np.isfinite(self.values).all())
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_samples(
+        cls,
+        samples: Iterable[tuple[float, float]],
+        frequency: Frequency,
+        name: str = "",
+    ) -> "TimeSeries":
+        """Build a series from irregular ``(timestamp, value)`` samples.
+
+        Samples are snapped onto the regular grid implied by ``frequency``;
+        grid cells with no sample become ``NaN`` and cells with multiple
+        samples keep their mean. This mirrors how the repository turns raw
+        agent polls into a regular series.
+        """
+        pairs = sorted(samples)
+        if not pairs:
+            raise DataError("no samples supplied")
+        step = frequency.seconds
+        t0 = pairs[0][0]
+        n_slots = int(round((pairs[-1][0] - t0) / step)) + 1
+        sums = np.zeros(n_slots)
+        counts = np.zeros(n_slots)
+        for ts, value in pairs:
+            slot = int(round((ts - t0) / step))
+            if not 0 <= slot < n_slots:
+                raise DataError(f"sample at {ts} falls outside the inferred grid")
+            sums[slot] += value
+            counts[slot] += 1
+        with np.errstate(invalid="ignore"):
+            values = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+        return cls(values=values, frequency=frequency, start=float(t0), name=name)
+
+    def with_values(self, values: np.ndarray) -> "TimeSeries":
+        """Return a copy of this series with replaced values (same metadata)."""
+        if np.asarray(values).shape != self.values.shape:
+            raise DataError(
+                "with_values requires the same length "
+                f"({np.asarray(values).shape} != {self.values.shape})"
+            )
+        return replace(self, values=np.asarray(values, dtype=np.float64))
+
+    def rename(self, name: str) -> "TimeSeries":
+        """Return a copy with a different metric name."""
+        return replace(self, name=name)
+
+    # ------------------------------------------------------------------
+    # Splitting and joining
+    # ------------------------------------------------------------------
+    def split(self, train_size: int) -> tuple["TimeSeries", "TimeSeries"]:
+        """Split into a ``(train, test)`` pair after ``train_size`` samples."""
+        if not 0 < train_size < len(self):
+            raise DataError(
+                f"train_size must be in (0, {len(self)}), got {train_size}"
+            )
+        return self[:train_size], self[train_size:]
+
+    def train_test_split(self) -> tuple["TimeSeries", "TimeSeries"]:
+        """Split per the paper's Table 1 rule for this frequency.
+
+        When the series is longer than the Table 1 observation budget the
+        *most recent* window of the prescribed size is used, matching the
+        pipeline's behaviour of forecasting from the latest data.
+        """
+        rule = self.frequency.split_rule
+        if len(self) < rule.observations:
+            raise DataError(
+                f"{self.frequency.label()} forecasts need {rule.observations} "
+                f"observations (Table 1); series has {len(self)}"
+            )
+        window = self[len(self) - rule.observations :]
+        return window.split(rule.train_size)
+
+    def append(self, other: "TimeSeries") -> "TimeSeries":
+        """Concatenate a contiguous follow-on series."""
+        if other.frequency is not self.frequency:
+            raise FrequencyError(
+                f"cannot append {other.frequency.name} data to {self.frequency.name} series"
+            )
+        expected = self.end + self.frequency.seconds
+        if abs(other.start - expected) > 1e-6 * self.frequency.seconds:
+            raise DataError(
+                f"appended series must start at {expected}, got {other.start}"
+            )
+        return replace(self, values=np.concatenate([self.values, other.values]))
+
+    def tail(self, n: int) -> "TimeSeries":
+        """The last ``n`` samples as a series."""
+        if not 0 < n <= len(self):
+            raise DataError(f"tail size must be in (0, {len(self)}], got {n}")
+        return self[len(self) - n :]
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def aggregate(self, target: Frequency, how: str = "mean") -> "TimeSeries":
+        """Down-sample to a coarser frequency (e.g. 15-minute → hourly).
+
+        Trailing samples that do not fill a complete target bucket are
+        dropped, matching the repository's aggregation policy. Buckets whose
+        samples are all missing stay ``NaN``; partially missing buckets use
+        the available samples.
+
+        Parameters
+        ----------
+        how:
+            ``"mean"`` (default, for gauges like CPU%), ``"sum"`` (for
+            counters like IOPS totals) or ``"max"`` (for peak sizing).
+        """
+        ratio_exact = target.seconds / self.frequency.seconds
+        ratio = int(round(ratio_exact))
+        if ratio < 1 or abs(ratio_exact - ratio) > 1e-9:
+            raise FrequencyError(
+                f"cannot aggregate {self.frequency.name} to {target.name}: "
+                "target must be a coarser integer multiple"
+            )
+        if ratio == 1:
+            return replace(self, frequency=target)
+        n_buckets = len(self) // ratio
+        if n_buckets == 0:
+            raise DataError(
+                f"series too short to form one {target.name} bucket (need {ratio} samples)"
+            )
+        block = self.values[: n_buckets * ratio].reshape(n_buckets, ratio)
+        empty = np.isnan(block).all(axis=1)  # whole bucket missing stays NaN
+        safe = np.where(empty[:, None], 0.0, block)
+        with np.errstate(invalid="ignore"):
+            if how == "mean":
+                agg = np.nanmean(safe, axis=1)
+            elif how == "sum":
+                agg = np.nansum(safe, axis=1)
+            elif how == "max":
+                agg = np.nanmax(safe, axis=1)
+            else:
+                raise DataError(f"unknown aggregation {how!r}; use mean, sum or max")
+        agg[empty] = np.nan
+        return TimeSeries(values=agg, frequency=target, start=self.start, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic (used by the workload simulator)
+    # ------------------------------------------------------------------
+    def _binary(self, other: "TimeSeries | float", op) -> "TimeSeries":
+        if isinstance(other, TimeSeries):
+            if other.frequency is not self.frequency or len(other) != len(self):
+                raise FrequencyError("elementwise ops need aligned series")
+            return self.with_values(op(self.values, other.values))
+        return self.with_values(op(self.values, float(other)))
+
+    def __add__(self, other: "TimeSeries | float") -> "TimeSeries":
+        return self._binary(other, np.add)
+
+    def __sub__(self, other: "TimeSeries | float") -> "TimeSeries":
+        return self._binary(other, np.subtract)
+
+    def __mul__(self, other: "TimeSeries | float") -> "TimeSeries":
+        return self._binary(other, np.multiply)
+
+    def summary(self) -> dict[str, float]:
+        """Descriptive statistics (ignores missing values)."""
+        finite = self.values[np.isfinite(self.values)]
+        if finite.size == 0:
+            raise DataError("series has no finite values to summarise")
+        return {
+            "n": float(len(self)),
+            "missing": float(np.isnan(self.values).sum()),
+            "mean": float(np.mean(finite)),
+            "std": float(np.std(finite)),
+            "min": float(np.min(finite)),
+            "max": float(np.max(finite)),
+        }

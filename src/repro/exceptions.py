@@ -1,0 +1,41 @@
+"""Exception hierarchy for the capacity-planning library.
+
+All library errors derive from :class:`CapacityPlanningError` so callers can
+catch one base class at API boundaries while still being able to distinguish
+data problems (bad input series) from modelling problems (a model that could
+not be estimated) and configuration problems.
+"""
+
+from __future__ import annotations
+
+
+class CapacityPlanningError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class DataError(CapacityPlanningError):
+    """The input data is unusable: wrong shape, too short, non-finite, etc."""
+
+
+class FrequencyError(DataError):
+    """Two series (or a series and a model) disagree about sampling frequency."""
+
+
+class ModelError(CapacityPlanningError):
+    """A model could not be specified, estimated or used for forecasting."""
+
+
+class ConvergenceError(ModelError):
+    """Numerical optimisation failed to converge to a usable parameter set."""
+
+
+class NotFittedError(ModelError):
+    """A forecast was requested from a model that has not been fitted."""
+
+
+class SelectionError(CapacityPlanningError):
+    """Automatic model selection could not produce any viable candidate."""
+
+
+class RepositoryError(CapacityPlanningError):
+    """The metrics repository rejected an operation (bad key, closed handle)."""

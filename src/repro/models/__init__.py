@@ -1,0 +1,37 @@
+"""Forecasting models: ARIMA family, exponential smoothing, TBATS, baselines.
+
+All models follow the two-step :class:`~repro.models.base.ForecastModel`
+protocol (``fit`` → fitted object → ``forecast``) and return
+:class:`~repro.models.base.Forecast` objects carrying predicted values and
+error bars.
+"""
+
+from .arima import Arima, ArimaOrder, FittedArima, SeasonalOrder
+from .base import FittedModel, Forecast, ForecastModel
+from .ets import FittedExpSmoothing, Holt, HoltWinters, SimpleExpSmoothing
+from .naive import Drift, MovingAverage, Naive, SeasonalNaive
+from .sarimax import FittedSarimax, Sarimax
+from .tbats import FittedTbats, Tbats, TbatsConfig
+
+__all__ = [
+    "Forecast",
+    "ForecastModel",
+    "FittedModel",
+    "Arima",
+    "ArimaOrder",
+    "SeasonalOrder",
+    "FittedArima",
+    "Sarimax",
+    "FittedSarimax",
+    "SimpleExpSmoothing",
+    "Holt",
+    "HoltWinters",
+    "FittedExpSmoothing",
+    "Tbats",
+    "FittedTbats",
+    "TbatsConfig",
+    "Naive",
+    "SeasonalNaive",
+    "Drift",
+    "MovingAverage",
+]

@@ -1,0 +1,406 @@
+"""Exponential smoothing models: SES, Holt's linear trend and Holt–Winters.
+
+Section 4.3 of the paper presents exponential smoothing as "the other side
+of the coin" from ARIMA: recent observations get exponentially more weight,
+which suits workloads with drift or without stable autocorrelation
+structure. The pipeline's HES branch (Figure 4) uses the Holt–Winters
+seasonal method; SES and Holt are provided both as building blocks and as
+baselines.
+
+All three share one recursion engine with additive or multiplicative
+seasonality and optional damped trend. Smoothing parameters are estimated
+by minimising the in-sample one-step sum of squared errors with L-BFGS-B.
+Prediction intervals use the standard analytic variance expressions for the
+additive cases (Hyndman et al., *Forecasting: Principles & Practice*) and a
+residual-bootstrap simulation for multiplicative seasonality, where no
+closed form exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import optimize
+
+from ..core.timeseries import TimeSeries
+from ..exceptions import ConvergenceError, ModelError
+from .base import FittedModel, Forecast, ForecastModel, check_series
+
+__all__ = [
+    "SimpleExpSmoothing",
+    "Holt",
+    "HoltWinters",
+    "FittedExpSmoothing",
+]
+
+_BOUND = (1e-4, 0.9999)
+_PHI_BOUND = (0.8, 0.998)
+
+
+@dataclass(frozen=True)
+class _EtsSpec:
+    """Which components the smoothing model carries."""
+
+    trend: bool
+    damped: bool
+    seasonal: str | None  # None | "add" | "mul"
+    period: int
+
+    def n_smoothing_params(self) -> int:
+        n = 1  # alpha
+        if self.trend:
+            n += 1  # beta
+            if self.damped:
+                n += 1  # phi
+        if self.seasonal:
+            n += 1  # gamma
+        return n
+
+
+def _run_recursion(
+    y: np.ndarray,
+    spec: _EtsSpec,
+    alpha: float,
+    beta: float,
+    gamma: float,
+    phi: float,
+    level0: float,
+    trend0: float,
+    seasonal0: np.ndarray,
+):
+    """One pass of the smoothing recursion; returns (errors, final state).
+
+    The recursion follows the standard error-correction form; seasonal
+    indices rotate through a length-``period`` buffer.
+    """
+    n = y.size
+    m = spec.period
+    level = level0
+    trend = trend0
+    seas = seasonal0.copy()
+    errors = np.empty(n)
+    for t in range(n):
+        damped_trend = phi * trend if spec.trend else 0.0
+        s_idx = t % m if spec.seasonal else 0
+        if spec.seasonal == "add":
+            fitted = level + damped_trend + seas[s_idx]
+        elif spec.seasonal == "mul":
+            fitted = (level + damped_trend) * seas[s_idx]
+        else:
+            fitted = level + damped_trend
+        err = y[t] - fitted
+        errors[t] = err
+        prev_level = level
+        if spec.seasonal == "add":
+            level = alpha * (y[t] - seas[s_idx]) + (1 - alpha) * (prev_level + damped_trend)
+            seas[s_idx] = gamma * (y[t] - prev_level - damped_trend) + (1 - gamma) * seas[s_idx]
+        elif spec.seasonal == "mul":
+            denom = seas[s_idx] if abs(seas[s_idx]) > 1e-12 else 1e-12
+            level = alpha * (y[t] / denom) + (1 - alpha) * (prev_level + damped_trend)
+            base = prev_level + damped_trend
+            seas[s_idx] = gamma * (y[t] / (base if abs(base) > 1e-12 else 1e-12)) + (1 - gamma) * seas[s_idx]
+        else:
+            level = alpha * y[t] + (1 - alpha) * (prev_level + damped_trend)
+        if spec.trend:
+            trend = beta * (level - prev_level) + (1 - beta) * damped_trend
+    return errors, level, trend, seas
+
+
+def _initial_state(y: np.ndarray, spec: _EtsSpec) -> tuple[float, float, np.ndarray]:
+    """Heuristic initial level/trend/seasonal state (Hyndman-style)."""
+    m = spec.period
+    if spec.seasonal:
+        first = y[:m]
+        level0 = float(first.mean())
+        if spec.trend and y.size >= 2 * m:
+            second = y[m : 2 * m]
+            trend0 = float((second.mean() - first.mean()) / m)
+        else:
+            trend0 = 0.0
+        if spec.seasonal == "add":
+            seasonal0 = first - level0
+        else:
+            base = level0 if abs(level0) > 1e-12 else 1e-12
+            seasonal0 = first / base
+    else:
+        level0 = float(y[0])
+        trend0 = float(y[1] - y[0]) if spec.trend and y.size > 1 else 0.0
+        seasonal0 = np.zeros(max(m, 1)) if spec.seasonal != "mul" else np.ones(max(m, 1))
+    return level0, trend0, np.asarray(seasonal0, dtype=float)
+
+
+@dataclass
+class FittedExpSmoothing(FittedModel):
+    """A fitted exponential-smoothing model (SES / Holt / Holt–Winters)."""
+
+    spec: _EtsSpec = field(default=None)
+    alpha: float = 0.0
+    beta: float = 0.0
+    gamma: float = 0.0
+    phi: float = 1.0
+    level: float = 0.0
+    trend: float = 0.0
+    seasonal_state: np.ndarray = field(default=None, repr=False)
+    family: str = "HES"
+
+    def label(self) -> str:
+        return self.family
+
+    def _point_forecast(self, horizon: int) -> np.ndarray:
+        m = self.spec.period
+        out = np.empty(horizon)
+        for h in range(1, horizon + 1):
+            if self.spec.trend:
+                if self.spec.damped:
+                    damp_sum = sum(self.phi**j for j in range(1, h + 1))
+                else:
+                    damp_sum = float(h)
+                base = self.level + damp_sum * self.trend
+            else:
+                base = self.level
+            if self.spec.seasonal:
+                # Seasonal buffer index continuing the training rotation.
+                s_idx = (len(self.train) + h - 1) % m
+                if self.spec.seasonal == "add":
+                    base = base + self.seasonal_state[s_idx]
+                else:
+                    base = base * self.seasonal_state[s_idx]
+            out[h - 1] = base
+        return out
+
+    def _forecast_std(self, horizon: int) -> np.ndarray:
+        """Forecast standard deviations.
+
+        Additive models use the closed-form cumulative-variance expressions;
+        multiplicative seasonality falls back to a fixed-seed Gaussian
+        simulation through the recursion (500 paths).
+        """
+        sigma = np.sqrt(self.sigma2)
+        m = self.spec.period
+        if self.spec.seasonal != "mul":
+            c = np.zeros(horizon)  # c_j for j = 1..horizon-1 offset
+            var = np.empty(horizon)
+            acc = 0.0
+            for h in range(1, horizon + 1):
+                var[h - 1] = self.sigma2 * (1.0 + acc)
+                # c_h term added for the *next* step.
+                j = h
+                cj = self.alpha
+                if self.spec.trend:
+                    if self.spec.damped:
+                        cj += self.alpha * self.beta * sum(self.phi**i for i in range(1, j + 1))
+                    else:
+                        cj += self.alpha * self.beta * j
+                if self.spec.seasonal == "add" and m > 1 and j % m == 0:
+                    cj += self.gamma * (1 - self.alpha)
+                acc += cj * cj
+            return np.sqrt(var)
+        # Multiplicative: simulate.
+        rng = np.random.default_rng(1234)
+        n_paths = 500
+        sims = np.empty((n_paths, horizon))
+        for i in range(n_paths):
+            level, trend, seas = self.level, self.trend, self.seasonal_state.copy()
+            for h in range(horizon):
+                damped_trend = self.phi * trend if self.spec.trend else 0.0
+                s_idx = (len(self.train) + h) % m
+                point = (level + damped_trend) * seas[s_idx]
+                value = point + rng.normal(0.0, sigma)
+                prev_level = level
+                denom = seas[s_idx] if abs(seas[s_idx]) > 1e-12 else 1e-12
+                level = self.alpha * (value / denom) + (1 - self.alpha) * (prev_level + damped_trend)
+                base = prev_level + damped_trend
+                seas[s_idx] = self.gamma * (value / (base if abs(base) > 1e-12 else 1e-12)) + (
+                    1 - self.gamma
+                ) * seas[s_idx]
+                if self.spec.trend:
+                    trend = self.beta * (level - prev_level) + (1 - self.beta) * damped_trend
+                sims[i, h] = value
+        return sims.std(axis=0)
+
+    def forecast(self, horizon: int, alpha: float = 0.05) -> Forecast:
+        if horizon <= 0:
+            raise ModelError(f"horizon must be positive, got {horizon}")
+        mean = self._point_forecast(horizon)
+        std = self._forecast_std(horizon)
+        return self.make_forecast(mean, std, alpha)
+
+
+class _EtsBase(ForecastModel):
+    """Shared fitting machinery for the smoothing family."""
+
+    _family = "HES"
+
+    def _spec(self) -> _EtsSpec:
+        raise NotImplementedError
+
+    def _fixed_params(self) -> dict[str, float]:
+        return {}
+
+    @property
+    def min_observations(self) -> int:
+        spec = self._spec()
+        if spec.seasonal:
+            return 2 * spec.period + 1
+        return 4
+
+    def fit(self, series: TimeSeries, **kwargs) -> FittedExpSmoothing:
+        if kwargs:
+            raise ModelError(f"unexpected fit options: {sorted(kwargs)}")
+        spec = self._spec()
+        y = check_series(series, self.min_observations)
+        level0, trend0, seasonal0 = _initial_state(y, spec)
+        fixed = self._fixed_params()
+
+        names = ["alpha"]
+        if spec.trend:
+            names.append("beta")
+            if spec.damped:
+                names.append("phi")
+        if spec.seasonal:
+            names.append("gamma")
+        free = [n for n in names if n not in fixed]
+
+        defaults = {"alpha": 0.3, "beta": 0.1, "gamma": 0.1, "phi": 0.97}
+
+        def unpack(x: np.ndarray) -> dict[str, float]:
+            params = dict(defaults)
+            params.update(fixed)
+            for name, value in zip(free, x):
+                params[name] = float(value)
+            if not spec.trend:
+                params["beta"] = 0.0
+                params["phi"] = 1.0
+            elif not spec.damped:
+                params["phi"] = 1.0
+            if not spec.seasonal:
+                params["gamma"] = 0.0
+            return params
+
+        def objective(x: np.ndarray) -> float:
+            p = unpack(x)
+            errors, *_ = _run_recursion(
+                y, spec, p["alpha"], p["beta"], p["gamma"], p["phi"], level0, trend0, seasonal0
+            )
+            sse = float(errors @ errors)
+            return sse if np.isfinite(sse) else 1e12
+
+        if free:
+            x0 = np.array([defaults[n] if n != "phi" else 0.97 for n in free])
+            bounds = [(_PHI_BOUND if n == "phi" else _BOUND) for n in free]
+            result = optimize.minimize(
+                objective, x0, method="L-BFGS-B", bounds=bounds, options={"maxiter": 200}
+            )
+            if not np.isfinite(result.fun):
+                raise ConvergenceError(f"{self._family} optimisation diverged")
+            x_best = result.x
+        else:
+            x_best = np.empty(0)
+
+        p = unpack(x_best)
+        errors, level, trend, seas = _run_recursion(
+            y, spec, p["alpha"], p["beta"], p["gamma"], p["phi"], level0, trend0, seasonal0
+        )
+        skip = spec.period if spec.seasonal else 1
+        used = errors[skip:] if errors.size > skip else errors
+        n_params = len(free) + 2 + (spec.period if spec.seasonal else 0)
+        dof = max(1, used.size - len(free) - 1)
+        sigma2 = float(used @ used) / dof
+        return FittedExpSmoothing(
+            train=series,
+            residuals=errors,
+            sigma2=sigma2,
+            n_params=n_params,
+            spec=spec,
+            alpha=p["alpha"],
+            beta=p["beta"],
+            gamma=p["gamma"],
+            phi=p["phi"],
+            level=level,
+            trend=trend,
+            seasonal_state=seas,
+            family=self._family,
+        )
+
+
+class SimpleExpSmoothing(_EtsBase):
+    """Simple exponential smoothing — no trend, no seasonality.
+
+    Suitable for stationary workloads; the single ``alpha`` controls how
+    quickly old observations are forgotten.
+    """
+
+    _family = "SES"
+
+    def __init__(self, alpha: float | None = None) -> None:
+        if alpha is not None and not 0.0 < alpha < 1.0:
+            raise ModelError(f"alpha must be in (0, 1), got {alpha}")
+        self.alpha = alpha
+
+    def _spec(self) -> _EtsSpec:
+        return _EtsSpec(trend=False, damped=False, seasonal=None, period=1)
+
+    def _fixed_params(self) -> dict[str, float]:
+        return {} if self.alpha is None else {"alpha": self.alpha}
+
+
+class Holt(_EtsBase):
+    """Holt's linear trend method, optionally damped.
+
+    Handles workloads with drift but no stable seasonal pattern ("fixed
+    drift" in the paper's Section 4.3 terminology).
+    """
+
+    _family = "HLT"
+
+    def __init__(self, damped: bool = False) -> None:
+        self.damped = bool(damped)
+
+    def _spec(self) -> _EtsSpec:
+        return _EtsSpec(trend=True, damped=self.damped, seasonal=None, period=1)
+
+
+class HoltWinters(_EtsBase):
+    """Holt–Winters seasonal exponential smoothing — the paper's **HES**.
+
+    Parameters
+    ----------
+    period:
+        Seasonal period (24 for hourly data with a daily cycle).
+    seasonal:
+        ``"add"`` for stable-amplitude cycles, ``"mul"`` when seasonal
+        swings scale with the level (typical for growing OLTP workloads).
+    trend:
+        Include Holt's trend component (default True).
+    damped:
+        Damp the trend for long horizons.
+    """
+
+    _family = "HES"
+
+    def __init__(
+        self,
+        period: int,
+        seasonal: str = "add",
+        trend: bool = True,
+        damped: bool = False,
+    ) -> None:
+        if period < 2:
+            raise ModelError(f"seasonal period must be >= 2, got {period}")
+        if seasonal not in ("add", "mul"):
+            raise ModelError(f"seasonal must be 'add' or 'mul', got {seasonal!r}")
+        self.period = int(period)
+        self.seasonal = seasonal
+        self.trend = bool(trend)
+        self.damped = bool(damped)
+        if damped and not trend:
+            raise ModelError("damped=True requires trend=True")
+
+    def _spec(self) -> _EtsSpec:
+        return _EtsSpec(
+            trend=self.trend,
+            damped=self.damped,
+            seasonal=self.seasonal,
+            period=self.period,
+        )

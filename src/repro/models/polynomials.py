@@ -1,0 +1,140 @@
+"""Lag-polynomial algebra shared by the ARIMA-family estimators.
+
+Conventions (increasing powers of the backshift operator ``B``):
+
+* AR polynomial  ``φ(B) = 1 − φ₁B − … − φ_pB^p``  →  ``[1, -φ₁, …, -φ_p]``
+* MA polynomial  ``θ(B) = 1 + θ₁B + … + θ_qB^q``  →  ``[1, θ₁, …, θ_q]``
+* seasonal polynomials are the same shapes in powers of ``B^s``
+* differencing   ``(1−B)^d (1−B^s)^D`` expands to an ordinary polynomial
+
+With these conventions a SARIMA model is ``ar_full(B) y_t = ma_full(B) a_t``
+where ``ar_full`` multiplies the non-seasonal AR, seasonal AR and the
+differencing operators, and CSS residuals fall out of a single
+``scipy.signal.lfilter(ar_full, ma_full, y)`` call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+__all__ = [
+    "ar_poly",
+    "ma_poly",
+    "seasonal_expand",
+    "difference_poly",
+    "polymul",
+    "is_stable",
+    "min_root_modulus",
+    "psi_weights",
+]
+
+
+def ar_poly(coeffs: np.ndarray) -> np.ndarray:
+    """AR coefficients ``[φ₁..φ_p]`` → polynomial ``[1, -φ₁, …, -φ_p]``."""
+    c = np.asarray(coeffs, dtype=float)
+    return np.concatenate([[1.0], -c]) if c.size else np.array([1.0])
+
+
+def ma_poly(coeffs: np.ndarray) -> np.ndarray:
+    """MA coefficients ``[θ₁..θ_q]`` → polynomial ``[1, θ₁, …, θ_q]``."""
+    c = np.asarray(coeffs, dtype=float)
+    return np.concatenate([[1.0], c]) if c.size else np.array([1.0])
+
+
+def seasonal_expand(poly: np.ndarray, period: int) -> np.ndarray:
+    """Re-express a polynomial in ``B^s`` as a polynomial in ``B``.
+
+    ``[1, a, b]`` with period 4 becomes ``1 + aB⁴ + bB⁸``.
+    """
+    p = np.asarray(poly, dtype=float)
+    if period < 1:
+        raise ModelError(f"seasonal period must be >= 1, got {period}")
+    if period == 1 or p.size == 1:
+        return p.copy()
+    out = np.zeros((p.size - 1) * period + 1)
+    out[::period] = p
+    return out
+
+
+def difference_poly(d: int, seasonal_d: int = 0, period: int = 1) -> np.ndarray:
+    """Expansion of ``(1−B)^d (1−B^s)^D`` as an ordinary polynomial."""
+    if d < 0 or seasonal_d < 0:
+        raise ModelError("differencing orders must be non-negative")
+    out = np.array([1.0])
+    simple = np.array([1.0, -1.0])
+    for __ in range(d):
+        out = np.convolve(out, simple)
+    if seasonal_d:
+        if period < 2:
+            raise ModelError("seasonal differencing needs period >= 2")
+        seasonal = np.zeros(period + 1)
+        seasonal[0] = 1.0
+        seasonal[-1] = -1.0
+        for __ in range(seasonal_d):
+            out = np.convolve(out, seasonal)
+    return out
+
+
+def polymul(*polys: np.ndarray) -> np.ndarray:
+    """Product of lag polynomials (plain convolution)."""
+    out = np.array([1.0])
+    for p in polys:
+        out = np.convolve(out, np.asarray(p, dtype=float))
+    return out
+
+
+def min_root_modulus(poly: np.ndarray) -> float:
+    """Smallest root modulus of a lag polynomial (∞ for degree-0).
+
+    Stationarity/invertibility requires all roots strictly *outside* the
+    unit circle, i.e. a minimum modulus > 1.
+    """
+    p = np.asarray(poly, dtype=float)
+    # Trim trailing coefficients that are negligible relative to the
+    # largest one: they add spurious near-infinite-degree roots that
+    # np.roots resolves into numerical garbage.
+    tol = 1e-12 * float(np.max(np.abs(p))) if p.size else 0.0
+    last = p.size
+    while last > 1 and abs(p[last - 1]) <= tol:
+        last -= 1
+    p = p[:last]
+    if p.size <= 1:
+        return np.inf
+    # numpy's roots expects decreasing powers.
+    roots = np.roots(p[::-1])
+    if roots.size == 0:
+        return np.inf
+    return float(np.min(np.abs(roots)))
+
+
+def is_stable(poly: np.ndarray, tol: float = 1.0 + 1e-6) -> bool:
+    """True when every root lies outside the unit circle (modulus > tol)."""
+    return min_root_modulus(poly) > tol
+
+
+def psi_weights(ar_full: np.ndarray, ma_full: np.ndarray, n_weights: int) -> np.ndarray:
+    """MA(∞) weights of ``ma(B)/ar(B)`` up to ``n_weights`` terms.
+
+    These are the ψ-weights used for h-step forecast variance:
+    ``Var(ŷ_{t+h}) = σ² Σ_{j<h} ψ_j²``. The recursion handles
+    non-stationary ``ar_full`` (with differencing factors folded in), where
+    the finite truncation is exactly what the forecast variance needs.
+    """
+    if n_weights <= 0:
+        raise ModelError("n_weights must be positive")
+    a = np.asarray(ar_full, dtype=float)
+    m = np.asarray(ma_full, dtype=float)
+    if a[0] != 1.0 or m[0] != 1.0:
+        raise ModelError("lag polynomials must be normalised with leading 1")
+    psi = np.zeros(n_weights)
+    psi[0] = 1.0
+    for j in range(1, n_weights):
+        theta_j = m[j] if j < m.size else 0.0
+        acc = theta_j
+        upper = min(j, a.size - 1)
+        for k in range(1, upper + 1):
+            acc -= a[k] * psi[j - k]
+        psi[j] = acc
+    return psi

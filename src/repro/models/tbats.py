@@ -1,0 +1,523 @@
+"""TBATS: Trigonometric seasonality, Box–Cox, ARMA errors, Trend, Seasonal.
+
+Implements the model of Section 4.3 (De Livera, Hyndman & Snyder 2011),
+equations (7)–(14) of the paper:
+
+    y_t^(λ) = l_{t-1} + φ·b_{t-1} + Σ_i s^(i)_{t-1} + d_t
+    l_t     = l_{t-1} + φ·b_{t-1} + α·d_t
+    b_t     = φ·b_{t-1} + β·d_t
+    d_t     = Σ φ_i d_{t-i} + Σ θ_j e_{t-j} + e_t
+
+with each seasonal component represented by ``k_i`` trigonometric harmonic
+pairs. We store each pair as a single complex state ``z = s + i·s*`` so one
+multiplication by ``e^{-iλ}`` performs the rotation of equations (12)–(13).
+
+Model configuration follows the paper's recipe: candidate configurations —
+with/without Box–Cox, with/without trend, with/without damping, with/without
+ARMA(p, q) errors, and different harmonic counts — are each fitted by
+minimising the one-step sum of squared innovations, and the winner is the
+configuration with the lowest AIC. The Box–Cox exponent is chosen by
+Guerrero's method and held fixed during the inner optimisation (a standard
+simplification that keeps the search well-conditioned).
+
+Prediction intervals are produced by simulating the fitted state space
+forward with Gaussian innovations (fixed seed for reproducibility) and, when
+a Box–Cox transform is active, back-transforming the simulated quantiles so
+the intervals are correct on the original scale.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import optimize
+
+from ..core.boxcox import boxcox, guerrero_lambda, inv_boxcox
+from ..core.metrics import aic as _aic
+from ..core.timeseries import TimeSeries
+from ..exceptions import ConvergenceError, ModelError
+from .base import FittedModel, Forecast, ForecastModel, check_series
+
+__all__ = ["Tbats", "FittedTbats", "TbatsConfig"]
+
+
+@dataclass(frozen=True)
+class TbatsConfig:
+    """One concrete TBATS configuration evaluated during model selection."""
+
+    use_boxcox: bool
+    use_trend: bool
+    use_damping: bool
+    arma_p: int
+    arma_q: int
+    harmonics: tuple[int, ...]
+
+    def describe(self) -> str:
+        bits = []
+        bits.append("BoxCox" if self.use_boxcox else "no-BoxCox")
+        if self.use_trend:
+            bits.append("damped-trend" if self.use_damping else "trend")
+        if self.arma_p or self.arma_q:
+            bits.append(f"ARMA({self.arma_p},{self.arma_q})")
+        bits.append("k=" + ",".join(str(k) for k in self.harmonics))
+        return " ".join(bits)
+
+
+@dataclass
+class _State:
+    """Mutable recursion state for one pass through the data."""
+
+    level: float
+    trend: float
+    z: np.ndarray  # complex harmonic states, concatenated across seasons
+    d_hist: np.ndarray  # last p values of the ARMA(d) process
+    e_hist: np.ndarray  # last q innovations
+
+
+def _initial_harmonics(
+    y: np.ndarray, periods: tuple[int, ...], harmonics: tuple[int, ...]
+) -> tuple[np.ndarray, float, float]:
+    """Initial level, trend slope and harmonic states by OLS.
+
+    Pure rotation (γ = 0) implies ``s_{j,t} = s_{j,0}cos(λt) + s*_{j,0}sin(λt)``,
+    so regressing the data on an intercept, a slope and cos/sin columns gives
+    the initial states directly.
+    """
+    n = y.size
+    t = np.arange(n, dtype=float)
+    cols = [np.ones(n), t]
+    for period, k in zip(periods, harmonics):
+        for j in range(1, k + 1):
+            lam = 2.0 * np.pi * j / period
+            cols.append(np.cos(lam * t))
+            cols.append(np.sin(lam * t))
+    X = np.column_stack(cols)
+    beta, *_ = np.linalg.lstsq(X, y, rcond=None)
+    level0 = float(beta[0])
+    trend0 = float(beta[1])
+    z0 = []
+    idx = 2
+    for period, k in zip(periods, harmonics):
+        for __ in range(k):
+            z0.append(complex(beta[idx], beta[idx + 1]))
+            idx += 2
+    return np.asarray(z0, dtype=complex), level0, trend0
+
+
+def _rotations(periods: tuple[int, ...], harmonics: tuple[int, ...]) -> np.ndarray:
+    """Per-harmonic complex rotation factors ``e^{-iλ_j}``."""
+    rot = []
+    for period, k in zip(periods, harmonics):
+        for j in range(1, k + 1):
+            lam = 2.0 * np.pi * j / period
+            rot.append(np.exp(-1j * lam))
+    return np.asarray(rot, dtype=complex)
+
+
+def _run(
+    y: np.ndarray,
+    config: TbatsConfig,
+    params: dict[str, np.ndarray | float],
+    init: _State,
+    rot: np.ndarray,
+) -> tuple[np.ndarray, _State]:
+    """One filtering pass; returns innovations and the final state."""
+    alpha = params["alpha"]
+    beta = params["beta"]
+    phi = params["phi"]
+    gamma = params["gamma1"] + 1j * params["gamma2"]  # per-season, broadcast below
+    ar = params["ar"]
+    ma = params["ma"]
+    p, q = ar.size, ma.size
+
+    level, trend = init.level, init.trend
+    z = init.z.copy()
+    d_hist = init.d_hist.copy()
+    e_hist = init.e_hist.copy()
+    gamma_vec = np.repeat(gamma, params["k_per_season"]) if z.size else np.empty(0, complex)
+
+    innovations = np.empty(y.size)
+    for t in range(y.size):
+        seasonal = float(np.sum(z.real)) if z.size else 0.0
+        d_pred = float(ar @ d_hist) if p else 0.0
+        if q:
+            d_pred += float(ma @ e_hist)
+        y_hat = level + phi * trend + seasonal + d_pred
+        e = y[t] - y_hat
+        d = d_pred + e
+        innovations[t] = e
+        prev_level = level
+        level = prev_level + phi * trend + alpha * d
+        if config.use_trend:
+            trend = phi * trend + beta * d
+        if z.size:
+            z = rot * z + gamma_vec * d
+        if p:
+            d_hist = np.roll(d_hist, 1)
+            d_hist[0] = d
+        if q:
+            e_hist = np.roll(e_hist, 1)
+            e_hist[0] = e
+    return innovations, _State(level, trend, z, d_hist, e_hist)
+
+
+def _pack_params(config: TbatsConfig, n_seasons: int):
+    """Describe the free-parameter vector for a configuration."""
+    names: list[tuple[str, int]] = [("alpha", 1)]
+    if config.use_trend:
+        names.append(("beta", 1))
+        if config.use_damping:
+            names.append(("phi", 1))
+    if n_seasons:
+        names.append(("gamma1", n_seasons))
+        names.append(("gamma2", n_seasons))
+    if config.arma_p:
+        names.append(("ar", config.arma_p))
+    if config.arma_q:
+        names.append(("ma", config.arma_q))
+    return names
+
+
+_BOUNDS = {
+    "alpha": (1e-4, 0.995),
+    "beta": (1e-4, 0.5),
+    "phi": (0.8, 0.999),
+    "gamma1": (-0.5, 0.5),
+    "gamma2": (-0.5, 0.5),
+    "ar": (-0.95, 0.95),
+    "ma": (-0.95, 0.95),
+}
+
+_DEFAULTS = {
+    "alpha": 0.1,
+    "beta": 0.01,
+    "phi": 0.98,
+    "gamma1": 0.001,
+    "gamma2": 0.001,
+    "ar": 0.1,
+    "ma": 0.1,
+}
+
+
+@dataclass
+class FittedTbats(FittedModel):
+    """A fitted TBATS model (winning configuration of the AIC search)."""
+
+    config: TbatsConfig = field(default=None)
+    periods: tuple[int, ...] = ()
+    params: dict = field(default=None, repr=False)
+    final_state: _State = field(default=None, repr=False)
+    boxcox_lambda: float | None = None
+    aic_value: float = math.inf
+    #: Standardisation factor: the state space lives in y/y_scale units
+    #: (of the Box-Cox-transformed series when a transform is active).
+    y_scale: float = 1.0
+    _rot: np.ndarray = field(default=None, repr=False)
+
+    def label(self) -> str:
+        return f"TBATS {{{self.config.describe()}}}"
+
+    def _simulate(self, horizon: int, n_paths: int, rng: np.random.Generator) -> np.ndarray:
+        # Simulation runs in the standardised state space.
+        sigma = math.sqrt(self.sigma2) / self.y_scale
+        cfg, p = self.config, self.params
+        ar, ma = p["ar"], p["ma"]
+        out = np.empty((n_paths, horizon))
+        for i in range(n_paths):
+            state = _State(
+                self.final_state.level,
+                self.final_state.trend,
+                self.final_state.z.copy(),
+                self.final_state.d_hist.copy(),
+                self.final_state.e_hist.copy(),
+            )
+            gamma_vec = (
+                np.repeat(p["gamma1"] + 1j * p["gamma2"], p["k_per_season"])
+                if state.z.size
+                else np.empty(0, complex)
+            )
+            for h in range(horizon):
+                seasonal = float(np.sum(state.z.real)) if state.z.size else 0.0
+                d_pred = float(ar @ state.d_hist) if ar.size else 0.0
+                if ma.size:
+                    d_pred += float(ma @ state.e_hist)
+                e = rng.normal(0.0, sigma) if n_paths > 1 else 0.0
+                d = d_pred + e
+                y_hat = state.level + p["phi"] * state.trend + seasonal + d
+                out[i, h] = y_hat
+                prev_level = state.level
+                state.level = prev_level + p["phi"] * state.trend + p["alpha"] * d
+                if cfg.use_trend:
+                    state.trend = p["phi"] * state.trend + p["beta"] * d
+                if state.z.size:
+                    state.z = self._rot * state.z + gamma_vec * d
+                if ar.size:
+                    state.d_hist = np.roll(state.d_hist, 1)
+                    state.d_hist[0] = d
+                if ma.size:
+                    state.e_hist = np.roll(state.e_hist, 1)
+                    state.e_hist[0] = e
+        return out
+
+    def forecast(self, horizon: int, alpha: float = 0.05, n_paths: int = 300) -> Forecast:
+        if horizon <= 0:
+            raise ModelError(f"horizon must be positive, got {horizon}")
+        point = self._simulate(horizon, 1, np.random.default_rng(0))[0]
+        sims = self._simulate(horizon, n_paths, np.random.default_rng(2024))
+        lo_q, hi_q = alpha / 2.0, 1.0 - alpha / 2.0
+        lower = np.quantile(sims, lo_q, axis=0)
+        upper = np.quantile(sims, hi_q, axis=0)
+        # Back from standardised state-space units to data units.
+        point = point * self.y_scale
+        lower = lower * self.y_scale
+        upper = upper * self.y_scale
+        if self.boxcox_lambda is not None:
+            point = inv_boxcox(point, self.boxcox_lambda)
+            lower = inv_boxcox(lower, self.boxcox_lambda)
+            upper = inv_boxcox(upper, self.boxcox_lambda)
+        mean_ts = self._future_series(point)
+        return Forecast(
+            mean=mean_ts,
+            lower=self._future_series(np.minimum(lower, point)),
+            upper=self._future_series(np.maximum(upper, point)),
+            alpha=alpha,
+            model_label=self.label(),
+        )
+
+
+class Tbats(ForecastModel):
+    """TBATS specification with AIC-driven configuration search.
+
+    Parameters
+    ----------
+    periods:
+        Seasonal periods, e.g. ``[24, 168]`` for hourly data with daily and
+        weekly cycles. May be empty for a non-seasonal TBATS.
+    max_harmonics:
+        Cap on harmonics per season (``k_i``); candidates ``1..cap`` are
+        resolved by a quick pre-fit before the main configuration search.
+    try_boxcox / try_trend / try_damping / try_arma:
+        Toggle the corresponding configuration dimensions of the search
+        (each doubles — or for ARMA quadruples — the candidate count).
+    """
+
+    def __init__(
+        self,
+        periods: list[int] | tuple[int, ...] = (),
+        max_harmonics: int = 3,
+        try_boxcox: bool = True,
+        try_trend: bool = True,
+        try_damping: bool = False,
+        try_arma: bool = True,
+        maxiter: int = 120,
+    ) -> None:
+        self.periods = tuple(int(p) for p in periods)
+        if any(p < 2 for p in self.periods):
+            raise ModelError("every TBATS period must be >= 2")
+        if len(set(self.periods)) != len(self.periods):
+            raise ModelError("duplicate seasonal periods")
+        self.max_harmonics = max(1, int(max_harmonics))
+        self.try_boxcox = try_boxcox
+        self.try_trend = try_trend
+        self.try_damping = try_damping
+        self.try_arma = try_arma
+        self.maxiter = maxiter
+
+    @property
+    def min_observations(self) -> int:
+        return max(10, 2 * max(self.periods, default=4) + 1)
+
+    # ------------------------------------------------------------------
+    def _select_harmonics(self, y: np.ndarray) -> tuple[int, ...]:
+        """Pick ``k_i`` per season by AIC of an OLS Fourier regression.
+
+        This mirrors the original TBATS procedure of resolving harmonic
+        counts *before* the expensive state-space search: the detrended
+        series is regressed on ``k`` harmonic pairs for each candidate
+        ``k`` and the AIC-best count wins; the chosen seasonality is then
+        removed before evaluating the next (longer) period.
+        """
+        from ..core.fourier import fourier_terms
+
+        n = y.size
+        t = np.arange(n, dtype=float)
+        base = np.column_stack([np.ones(n), t])
+        beta, *_ = np.linalg.lstsq(base, y, rcond=None)
+        resid = y - base @ beta
+        ks: list[int] = []
+        for period in self.periods:
+            cap = min(self.max_harmonics, max(1, (period - 1) // 2))
+            best_k, best_score, best_X = 1, math.inf, None
+            for k in range(1, cap + 1):
+                X = fourier_terms(n, [period], [k])
+                b, *_ = np.linalg.lstsq(X, resid, rcond=None)
+                sse = float(np.sum((resid - X @ b) ** 2))
+                score = _aic(sse, n, 2 * k)
+                if score < best_score:
+                    best_k, best_score, best_X = k, score, X @ b
+            ks.append(best_k)
+            resid = resid - best_X
+        return tuple(ks)
+
+    def _configs(self, harmonics: tuple[int, ...]) -> list[TbatsConfig]:
+        boxcox_opts = [False, True] if self.try_boxcox else [False]
+        trend_opts = [False, True] if self.try_trend else [True]
+        arma_opts = [(0, 0), (1, 1)] if self.try_arma else [(0, 0)]
+        configs = []
+        for use_bc, use_tr, (p, q) in itertools.product(
+            boxcox_opts, trend_opts, arma_opts
+        ):
+            ks = harmonics
+            damp_opts = [False, True] if (use_tr and self.try_damping) else [False]
+            for damped in damp_opts:
+                configs.append(
+                    TbatsConfig(
+                        use_boxcox=use_bc,
+                        use_trend=use_tr,
+                        use_damping=damped,
+                        arma_p=p,
+                        arma_q=q,
+                        harmonics=ks,
+                    )
+                )
+        return configs
+
+    def _fit_config(self, y: np.ndarray, config: TbatsConfig) -> tuple[float, dict, _State, np.ndarray, np.ndarray]:
+        periods = self.periods
+        rot = _rotations(periods, config.harmonics)
+        z0, level0, trend0 = (
+            _initial_harmonics(y, periods, config.harmonics)
+            if periods
+            else (np.empty(0, complex), float(np.mean(y)), 0.0)
+        )
+        if not config.use_trend:
+            trend0 = 0.0
+        init = _State(
+            level=level0,
+            trend=trend0,
+            z=z0,
+            d_hist=np.zeros(config.arma_p),
+            e_hist=np.zeros(config.arma_q),
+        )
+        layout = _pack_params(config, len(periods))
+
+        def unpack(x: np.ndarray) -> dict:
+            params = {
+                "alpha": _DEFAULTS["alpha"],
+                "beta": 0.0,
+                "phi": 1.0,
+                "gamma1": np.zeros(len(periods)),
+                "gamma2": np.zeros(len(periods)),
+                "ar": np.zeros(config.arma_p),
+                "ma": np.zeros(config.arma_q),
+                "k_per_season": np.asarray(config.harmonics, dtype=int),
+            }
+            i = 0
+            for name, size in layout:
+                chunk = x[i : i + size]
+                i += size
+                if name in ("alpha", "beta", "phi"):
+                    params[name] = float(chunk[0])
+                else:
+                    params[name] = np.asarray(chunk, dtype=float)
+            if not config.use_damping:
+                params["phi"] = 1.0 if config.use_trend else params["phi"]
+            return params
+
+        def objective(x: np.ndarray) -> float:
+            params = unpack(x)
+            if params["ar"].size and np.sum(np.abs(params["ar"])) >= 0.98:
+                return 1e12
+            with np.errstate(over="ignore", invalid="ignore"):
+                e, __ = _run(y, config, params, init, rot)
+                sse = float(e @ e)
+            return sse if np.isfinite(sse) else 1e12
+
+        x0_parts, bounds = [], []
+        for name, size in layout:
+            x0_parts.extend([_DEFAULTS[name]] * size)
+            bounds.extend([_BOUNDS[name]] * size)
+        x0 = np.asarray(x0_parts)
+
+        result = optimize.minimize(
+            objective, x0, method="L-BFGS-B", bounds=bounds, options={"maxiter": self.maxiter}
+        )
+        params = unpack(result.x)
+        with np.errstate(over="ignore", invalid="ignore"):
+            e, final_state = _run(y, config, params, init, rot)
+            sse = float(e @ e)
+        if not np.isfinite(sse):
+            # The optimiser ended in a divergent corner (e.g. a seasonal
+            # smoothing bound); this configuration must lose the AIC race.
+            return math.inf, params, final_state, e, rot
+        n_params = sum(size for __, size in layout) + 2 + 2 * sum(config.harmonics)
+        score = _aic(sse, y.size, n_params) + (1 if config.use_boxcox else 0)
+        return score, params, final_state, e, rot
+
+    def fit(self, series: TimeSeries, **kwargs) -> FittedTbats:
+        if kwargs:
+            raise ModelError(f"unexpected fit options: {sorted(kwargs)}")
+        y_raw = check_series(series, self.min_observations)
+
+        # The state space is fitted on standardised data: TBATS is linear
+        # in y (given a Box-Cox branch), so dividing by the standard
+        # deviation changes nothing statistically while keeping the
+        # optimiser and the seasonal rotation numerically well-conditioned
+        # for metrics in the 10^5-IOPS range.
+        scale_raw = max(float(np.std(y_raw)), 1e-12)
+
+        lam = None
+        y_bc = None
+        scale_bc = 1.0
+        if self.try_boxcox:
+            if np.all(y_raw > 0):
+                lam = guerrero_lambda(y_raw, max(self.periods, default=2))
+                y_bc = boxcox(y_raw, lam)
+                scale_bc = max(float(np.std(y_bc)), 1e-12)
+            # Non-positive data silently skips the Box-Cox branch.
+
+        harmonics = self._select_harmonics(y_raw) if self.periods else ()
+        best = None
+        for config in self._configs(harmonics):
+            if config.use_boxcox:
+                if y_bc is None:
+                    continue
+                y = y_bc / scale_bc
+                cfg_lambda = lam
+                cfg_scale = scale_bc
+            else:
+                y = y_raw / scale_raw
+                cfg_lambda = None
+                cfg_scale = scale_raw
+            try:
+                score, params, state, e, rot = self._fit_config(y, config)
+            except (np.linalg.LinAlgError, ValueError):
+                continue
+            if best is None or score < best[0]:
+                best = (score, config, params, state, e, rot, cfg_lambda, cfg_scale)
+        if best is None or not math.isfinite(best[0]):
+            raise ConvergenceError("no TBATS configuration could be fitted")
+
+        score, config, params, state, e, rot, cfg_lambda, cfg_scale = best
+        skip = max(self.periods, default=1)
+        used = e[skip:] if e.size > skip else e
+        n_params = len(_pack_params(config, len(self.periods)))
+        dof = max(1, used.size - n_params)
+        sigma2_scaled = float(used @ used) / dof
+        return FittedTbats(
+            train=series,
+            residuals=e * cfg_scale,
+            sigma2=sigma2_scaled * cfg_scale**2,
+            n_params=n_params + 2 * sum(config.harmonics) + 2,
+            config=config,
+            periods=self.periods,
+            params=params,
+            final_state=state,
+            boxcox_lambda=cfg_lambda,
+            aic_value=score,
+            y_scale=cfg_scale,
+            _rot=rot,
+        )

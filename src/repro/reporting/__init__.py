@@ -1,0 +1,17 @@
+"""Reporting helpers: paper-style tables, figure-data export, dashboards."""
+
+from .dashboard import DashboardPanel, render_dashboard, render_panel, sparkline
+from .figures import FigureData, prediction_chart, workload_chart
+from .tables import Table, format_number
+
+__all__ = [
+    "Table",
+    "format_number",
+    "FigureData",
+    "prediction_chart",
+    "workload_chart",
+    "DashboardPanel",
+    "render_panel",
+    "render_dashboard",
+    "sparkline",
+]

@@ -1,0 +1,114 @@
+"""Text dashboard: the paper's Figure 8 UI, rendered for a terminal.
+
+Figure 8 of the paper shows the production UI: per-instance resource
+charts with the selected model (SARIMAX or HES), the prediction line and
+its error bars, plus the exogenous-event selection. This module renders
+the same information as fixed-width text — an ASCII sparkline of recent
+history, the forecast band, the model identity and any learned shocks —
+so the library is usable over ssh exactly where DBAs live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.timeseries import TimeSeries
+from ..exceptions import DataError
+from ..models.base import Forecast
+
+__all__ = ["sparkline", "render_panel", "render_dashboard", "DashboardPanel"]
+
+_BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: np.ndarray, width: int = 60) -> str:
+    """Compress a series into a fixed-width unicode sparkline.
+
+    Values are bucket-averaged down to ``width`` columns and mapped onto
+    eight bar heights; NaN buckets render as spaces.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise DataError("cannot sparkline an empty array")
+    if width < 1:
+        raise DataError("width must be >= 1")
+    if arr.size > width:
+        # Average into width buckets (trailing partial bucket included).
+        edges = np.linspace(0, arr.size, width + 1).astype(int)
+        buckets = [arr[a:b] for a, b in zip(edges[:-1], edges[1:]) if b > a]
+        arr = np.array([np.nanmean(b) if np.isfinite(b).any() else np.nan for b in buckets])
+    finite = arr[np.isfinite(arr)]
+    if finite.size == 0:
+        return " " * arr.size
+    lo, hi = float(finite.min()), float(finite.max())
+    span = hi - lo
+    chars = []
+    for v in arr:
+        if not np.isfinite(v):
+            chars.append(" ")
+            continue
+        level = 0 if span <= 0 else int(round((v - lo) / span * (len(_BARS) - 1)))
+        chars.append(_BARS[level])
+    return "".join(chars)
+
+
+@dataclass(frozen=True)
+class DashboardPanel:
+    """One Figure 8 panel: a metric, its model and its forecast."""
+
+    title: str
+    history: TimeSeries
+    forecast: Forecast
+    shocks: list[str] = None
+    threshold: float | None = None
+
+    def render(self, width: int = 60) -> str:
+        hist = self.history.values
+        fc = self.forecast
+        lines = [f"┌─ {self.title} — {fc.model_label}"]
+        lines.append(f"│ history  {sparkline(hist, width)}")
+        lines.append(f"│ forecast {sparkline(fc.mean.values, width)}")
+        peak = float(np.nanmax(hist))
+        trough = float(np.nanmin(hist))
+        fc_peak = float(fc.mean.values.max())
+        band = float(np.mean(fc.upper.values - fc.lower.values))
+        lines.append(
+            f"│ observed [{trough:,.1f} … {peak:,.1f}]   "
+            f"predicted peak {fc_peak:,.1f} ± {band / 2:,.1f}"
+        )
+        if self.threshold is not None:
+            from ..service.thresholds import predict_breach
+
+            advisory = predict_breach(fc, self.threshold)
+            lines.append(f"│ threshold {self.threshold:g}: {advisory.describe()}")
+        for shock in self.shocks or []:
+            lines.append(f"│ exogenous: {shock}")
+        lines.append("└" + "─" * (width + 10))
+        return "\n".join(lines)
+
+
+def render_panel(
+    title: str,
+    history: TimeSeries,
+    forecast: Forecast,
+    shocks: list[str] | None = None,
+    threshold: float | None = None,
+    width: int = 60,
+) -> str:
+    """Render one dashboard panel (convenience wrapper)."""
+    return DashboardPanel(
+        title=title,
+        history=history,
+        forecast=forecast,
+        shocks=shocks or [],
+        threshold=threshold,
+    ).render(width=width)
+
+
+def render_dashboard(panels: list[DashboardPanel], width: int = 60) -> str:
+    """Render a multi-panel dashboard (one clustered instance per panel)."""
+    if not panels:
+        raise DataError("no panels to render")
+    return "\n".join(panel.render(width=width) for panel in panels)

@@ -1,0 +1,114 @@
+"""Figure-data export: the series behind the paper's charts, as CSV/dicts.
+
+The benches run headless, so instead of rendering PNGs they emit the exact
+data series each paper figure plots (training window, prediction line,
+error bars, per-metric traces) in a structured form — a dict of aligned
+columns — plus a CSV writer, so any plotting tool can reproduce the charts.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.timeseries import TimeSeries
+from ..exceptions import DataError
+from ..models.base import Forecast
+
+__all__ = ["FigureData", "prediction_chart", "workload_chart"]
+
+
+@dataclass
+class FigureData:
+    """Aligned named columns for one chart panel."""
+
+    name: str
+    columns: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def add(self, label: str, values: np.ndarray) -> None:
+        arr = np.asarray(values, dtype=float)
+        if self.columns:
+            n = len(next(iter(self.columns.values())))
+            if arr.size != n:
+                raise DataError(
+                    f"column {label!r} has {arr.size} values, figure has {n}"
+                )
+        self.columns[label] = arr
+
+    def to_csv(self) -> str:
+        if not self.columns:
+            raise DataError("figure has no columns")
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        labels = list(self.columns)
+        writer.writerow(labels)
+        for row in zip(*(self.columns[l] for l in labels)):
+            writer.writerow([f"{v:.6g}" if v == v else "" for v in row])
+        return buf.getvalue()
+
+    def save(self, path: str) -> None:
+        with open(path, "w", newline="") as fh:
+            fh.write(self.to_csv())
+
+    def summary(self) -> dict[str, tuple[float, float]]:
+        """(min, max) per column — a quick shape check without plotting."""
+        out = {}
+        for label, values in self.columns.items():
+            finite = values[np.isfinite(values)]
+            if finite.size:
+                out[label] = (float(finite.min()), float(finite.max()))
+        return out
+
+
+def prediction_chart(
+    name: str, history: TimeSeries, actual: TimeSeries, forecast: Forecast
+) -> FigureData:
+    """The data behind a Figure 6/7-style panel.
+
+    Columns: timestamp, the training history (blue region), the held-out
+    actuals and the prediction with its error bars (yellow region), all
+    aligned on one time axis with NaN padding.
+    """
+    n_hist = len(history)
+    n_fc = forecast.horizon
+    total = n_hist + n_fc
+    pad = np.full(total, np.nan)
+
+    fig = FigureData(name=name)
+    timestamps = np.concatenate([history.timestamps, forecast.mean.timestamps])
+    fig.add("timestamp", timestamps)
+
+    hist_col = pad.copy()
+    hist_col[:n_hist] = history.values
+    fig.add("history", hist_col)
+
+    actual_col = pad.copy()
+    actual_col[n_hist : n_hist + min(len(actual), n_fc)] = actual.values[:n_fc]
+    fig.add("actual", actual_col)
+
+    for label, series in (
+        ("prediction", forecast.mean),
+        ("lower", forecast.lower),
+        ("upper", forecast.upper),
+    ):
+        col = pad.copy()
+        col[n_hist:] = series.values
+        fig.add(label, col)
+    return fig
+
+
+def workload_chart(name: str, metrics: dict[str, TimeSeries]) -> FigureData:
+    """The data behind a Figure 2/3-style workload-description panel."""
+    if not metrics:
+        raise DataError("no metric series supplied")
+    first = next(iter(metrics.values()))
+    fig = FigureData(name=name)
+    fig.add("timestamp", first.timestamps)
+    for label, series in metrics.items():
+        if len(series) != len(first):
+            raise DataError("all metric series must share one grid")
+        fig.add(label, series.values)
+    return fig

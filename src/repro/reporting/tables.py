@@ -1,0 +1,84 @@
+"""Fixed-width report tables in the style of the paper's Table 1/Table 2.
+
+The benchmark harness prints its results through these helpers so every
+bench emits the same row layout as the corresponding paper table, making
+paper-vs-measured comparison a side-by-side read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import DataError
+
+__all__ = ["Table", "format_number"]
+
+
+def format_number(value: float, decimals: int = 2) -> str:
+    """Human-friendly numeric formatting for table cells."""
+    if value != value:  # NaN
+        return "-"
+    if value == float("inf"):
+        return "inf"
+    if abs(value) >= 100_000:
+        return f"{value:,.0f}"
+    return f"{value:.{decimals}f}"
+
+
+@dataclass
+class Table:
+    """A minimal fixed-width text table.
+
+    >>> t = Table(["model", "rmse"])
+    >>> t.add_row(["ARIMA (1,1,1)", 8.93])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    headers: list[str]
+    title: str = ""
+    _rows: list[list[str]] = None
+
+    def __post_init__(self) -> None:
+        if not self.headers:
+            raise DataError("a table needs at least one column")
+        self._rows = []
+
+    def add_row(self, cells: list) -> None:
+        if len(cells) != len(self.headers):
+            raise DataError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self._rows.append(
+            [c if isinstance(c, str) else format_number(float(c)) for c in cells]
+        )
+
+    def add_separator(self) -> None:
+        self._rows.append(None)
+
+    @property
+    def n_rows(self) -> int:
+        return sum(1 for r in self._rows if r is not None)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            if row is None:
+                continue
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(sep))
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self._rows:
+            if row is None:
+                lines.append(sep)
+            else:
+                lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print(self.render())

@@ -1,0 +1,380 @@
+"""Self-selection and self-configuration of forecast models (Figure 4).
+
+This module is the paper's headline contribution: the supervised-learning
+pipeline that removes the need for a human time-series expert. Its flow
+mirrors Figure 4 exactly:
+
+1. **Gather & repair** — missing samples are linearly interpolated.
+2. **Split** — train/test per the Table 1 rule for the series' frequency.
+3. **Branch** — the user (or ``technique="auto"``) chooses HES or SARIMAX.
+4. **Characterise** (SARIMAX branch) — ACF/PACF, stationarity (ADF),
+   seasonality, multiple seasonality and shocks are analysed.
+5. **Grid** — candidate models are enumerated (correlogram-pruned by
+   default; exhaustive on request) and each is fitted on the training set
+   and scored by test RMSE.
+6. **Augment** — the best SARIMAX gains exogenous shock regressors and
+   Fourier terms (the paper's "+ Exogenous (4) + Fourier Terms (2)").
+7. **Select & refit** — the overall RMSE-best model is refitted on the
+   full window and returned, ready to be stored for a week by the
+   staleness monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.fourier import SeasonalityReport, detect_seasonalities
+from ..core.preprocessing import interpolate_missing
+from ..core.timeseries import TimeSeries
+from ..exceptions import DataError, SelectionError
+from ..models.base import FittedModel, Forecast
+from ..models.ets import HoltWinters
+from ..models.sarimax import Sarimax
+from ..shocks.detector import ShockCalendar, build_shock_calendar
+from .correlogram import pruned_sarimax_grid
+from .grid import (
+    CandidateSpec,
+    GridResult,
+    augmentation_specs,
+    evaluate_grid,
+    sarimax_grid,
+)
+
+__all__ = ["AutoConfig", "SelectionOutcome", "auto_select", "auto_forecast"]
+
+
+@dataclass(frozen=True)
+class AutoConfig:
+    """Knobs for the Figure 4 pipeline.
+
+    Attributes
+    ----------
+    technique:
+        ``"sarimax"``, ``"hes"`` or ``"auto"`` (fit both branches, keep the
+        test-RMSE winner — the paper's production UI lets the user choose;
+        auto mode makes the choice data-driven).
+    period:
+        Primary seasonal period; ``None`` derives it from the frequency.
+    exhaustive:
+        Evaluate the full 660-model SARIMAX grid instead of the
+        correlogram-pruned one. Slow; used by the Table 2 benches.
+    max_lag:
+        Grid lag budget (the paper measures 30 lags).
+    n_jobs:
+        Parallel workers for grid evaluation (0 = one per CPU).
+    detect_shock_calendar:
+        Analyse shocks and offer exogenous candidates.
+    """
+
+    technique: str = "auto"
+    period: int | None = None
+    exhaustive: bool = False
+    max_lag: int = 30
+    n_jobs: int = 1
+    detect_shock_calendar: bool = True
+    refit_on_full: bool = True
+    grid_maxiter: int = 30
+    final_maxiter: int = 200
+
+    def __post_init__(self) -> None:
+        if self.technique not in ("auto", "sarimax", "hes"):
+            raise SelectionError(
+                f"technique must be auto/sarimax/hes, got {self.technique!r}"
+            )
+
+
+@dataclass
+class SelectionOutcome:
+    """Everything the pipeline learned while choosing a model."""
+
+    model: FittedModel
+    technique: str
+    test_rmse: float
+    best_spec: CandidateSpec | None
+    seasonality: SeasonalityReport | None
+    shock_calendar: ShockCalendar | None
+    leaderboard: list[GridResult] = field(default_factory=list)
+    hes_rmse: float | None = None
+    n_evaluated: int = 0
+
+    def describe(self) -> str:
+        bits = [f"{self.model.label()} (test RMSE {self.test_rmse:.3f}"]
+        bits.append(f"{self.n_evaluated} candidates)")
+        return " ".join(bits)
+
+
+def _candidate_periods(series: TimeSeries, config: AutoConfig) -> list[int]:
+    freq = series.frequency
+    conventional = [freq.default_period]
+    if freq.secondary_period:
+        conventional.append(freq.secondary_period)
+    if config.period:
+        conventional.insert(0, config.period)
+    # De-duplicate, preserve order.
+    seen: list[int] = []
+    for p in conventional:
+        if p not in seen:
+            seen.append(p)
+    return seen
+
+
+def _fit_hes(
+    train: TimeSeries, test: TimeSeries, period: int | None
+) -> tuple[FittedModel, float]:
+    """The HES branch: Holt–Winters, additive vs multiplicative by RMSE.
+
+    When no seasonal period is usable (e.g. 92 weekly observations cannot
+    support a 52-week cycle) the branch degrades to Holt's linear trend
+    and simple exponential smoothing.
+    """
+    from ..core.metrics import rmse
+    from ..models.ets import Holt, SimpleExpSmoothing
+
+    if period is not None and len(train) >= 2 * period + 1:
+        candidates: list = [HoltWinters(period, seasonal="add")]
+        if np.all(train.values > 0):
+            candidates.append(HoltWinters(period, seasonal="mul"))
+    else:
+        candidates = [Holt(), Holt(damped=True), SimpleExpSmoothing()]
+    best_model, best_rmse = None, float("inf")
+    for spec in candidates:
+        try:
+            fitted = spec.fit(train)
+            score = rmse(test, fitted.forecast(len(test)).mean)
+        except Exception:
+            continue
+        if score < best_rmse:
+            best_model, best_rmse = fitted, score
+    if best_model is None:
+        raise SelectionError("no exponential-smoothing variant could be fitted")
+    return best_model, best_rmse
+
+
+def _refit_hes(hes_model: FittedModel, series: TimeSeries) -> FittedModel:
+    """Refit the winning smoothing variant on the full series."""
+    from ..models.ets import Holt, SimpleExpSmoothing
+
+    spec = hes_model.spec
+    if spec.seasonal:
+        rebuilt = HoltWinters(
+            spec.period, seasonal=spec.seasonal, trend=spec.trend, damped=spec.damped
+        )
+    elif spec.trend:
+        rebuilt = Holt(damped=spec.damped)
+    else:
+        rebuilt = SimpleExpSmoothing()
+    return rebuilt.fit(series)
+
+
+def auto_select(
+    series: TimeSeries,
+    config: AutoConfig | None = None,
+    train: TimeSeries | None = None,
+    test: TimeSeries | None = None,
+) -> SelectionOutcome:
+    """Run the Figure 4 pipeline on a metric series.
+
+    Parameters
+    ----------
+    series:
+        The full monitored series (may contain missing samples).
+    train / test:
+        Optional explicit split; by default the Table 1 rule for the
+        series frequency decides (e.g. hourly: last 1008 points, 984/24).
+    """
+    config = config or AutoConfig()
+    series = interpolate_missing(series)
+    if train is None or test is None:
+        try:
+            train, test = series.train_test_split()
+        except DataError:
+            # Shorter than the Table 1 budget: hold out one prediction
+            # horizon (or 10 %, whichever is larger) instead of refusing.
+            horizon = series.frequency.split_rule.horizon
+            test_size = max(horizon, len(series) // 10)
+            if len(series) <= test_size + 20:
+                raise
+            train, test = series.split(len(series) - test_size)
+
+    # Periods the data can actually support: a seasonal model needs at
+    # least two full cycles of training data (Table 1's 92 weekly points
+    # rule out a 52-week cycle, for example).
+    periods = [
+        p for p in _candidate_periods(series, config) if len(train) >= 2 * p + 5
+    ]
+    primary = periods[0] if periods else None
+    seasonality = detect_seasonalities(train, candidates=periods)
+
+    # --- HES branch -------------------------------------------------------
+    hes_model = hes_rmse = None
+    if config.technique in ("hes", "auto"):
+        try:
+            hes_model, hes_rmse = _fit_hes(train, test, primary)
+        except SelectionError:
+            if config.technique == "hes":
+                raise
+            hes_model = hes_rmse = None  # auto mode falls through to SARIMAX
+        if config.technique == "hes":
+            final = hes_model
+            if config.refit_on_full:
+                final = _refit_hes(hes_model, series)
+            return SelectionOutcome(
+                model=final,
+                technique="hes",
+                test_rmse=hes_rmse,
+                best_spec=None,
+                seasonality=seasonality,
+                shock_calendar=None,
+                hes_rmse=hes_rmse,
+                n_evaluated=2,
+            )
+
+    # --- SARIMAX branch ----------------------------------------------------
+    shock_calendar = None
+    shock_matrix = shock_future = None
+    if config.detect_shock_calendar:
+        shock_periods = tuple(periods) or (series.frequency.default_period,)
+        shock_calendar = build_shock_calendar(
+            train, period=primary, candidate_periods=shock_periods
+        )
+        if shock_calendar.n_columns:
+            shock_matrix = shock_calendar.train_matrix()
+            shock_future = shock_calendar.future_matrix(len(test))
+
+    if primary is None:
+        # No usable seasonal period: the family degrades to the plain
+        # ARIMA grid, correlogram-pruned unless exhaustive was requested.
+        from .correlogram import suggest_orders
+        from .grid import arima_grid
+
+        specs = arima_grid(max_lag=config.max_lag)
+        if not config.exhaustive:
+            suggestion = suggest_orders(train, 1, nlags=config.max_lag)
+            pruned = [
+                s
+                for s in specs
+                if s.order[0] in suggestion.p_candidates
+                and s.order[1] == min(suggestion.d, 1)
+            ]
+            specs = pruned or specs
+        # Differenced candidates get drift twins so a growing workload
+        # (challenge C2) can be extrapolated, not just levelled off.
+        specs = specs + [
+            CandidateSpec(order=s.order, trend="c")
+            for s in specs
+            if s.order[1] >= 1
+        ]
+    elif config.exhaustive:
+        specs = sarimax_grid(primary, max_lag=config.max_lag)
+    else:
+        specs = pruned_sarimax_grid(train, primary, nlags=config.max_lag)
+    results = evaluate_grid(
+        specs,
+        train,
+        test,
+        shock_matrix=shock_matrix,
+        shock_future=shock_future,
+        maxiter=config.grid_maxiter,
+        n_jobs=config.n_jobs,
+    )
+    viable = [r for r in results if not r.failed]
+    if not viable:
+        raise SelectionError("every SARIMAX candidate failed to fit")
+    best = viable[0]
+
+    # Augment the winner with exogenous shocks and Fourier terms.
+    secondary = seasonality.periods[1] if len(seasonality.periods) > 1 else None
+    n_shocks = shock_calendar.n_columns if shock_calendar else 0
+    if (n_shocks or secondary) and best.spec.seasonal is not None:
+        aug = augmentation_specs(best.spec, n_shocks, secondary)
+        aug = [s for s in aug if s.exog_columns <= n_shocks]
+        if aug:
+            aug_results = evaluate_grid(
+                aug,
+                train,
+                test,
+                shock_matrix=shock_matrix,
+                shock_future=shock_future,
+                maxiter=config.grid_maxiter,
+                n_jobs=1,
+            )
+            results = sorted(
+                results + aug_results, key=lambda r: (r.failed, r.rmse)
+            )
+            viable = [r for r in results if not r.failed]
+            best = viable[0]
+
+    # Choose between branches in auto mode.
+    if hes_model is not None and hes_rmse is not None and hes_rmse < best.rmse:
+        final = hes_model
+        if config.refit_on_full:
+            final = HoltWinters(primary, seasonal=hes_model.spec.seasonal or "add").fit(series)
+        return SelectionOutcome(
+            model=final,
+            technique="hes",
+            test_rmse=hes_rmse,
+            best_spec=None,
+            seasonality=seasonality,
+            shock_calendar=shock_calendar,
+            leaderboard=results[:20],
+            hes_rmse=hes_rmse,
+            n_evaluated=len(results) + 2,
+        )
+
+    # Refit the winner at full optimisation budget.
+    refit_series = series if config.refit_on_full else train
+    model = best.spec.build(maxiter=config.final_maxiter)
+    exog = None
+    if best.spec.exog_columns and shock_calendar is not None:
+        # The recurring shocks found on the train window also describe the
+        # refit window — only their phase origin moves.
+        offset = int(round((train.start - refit_series.start) / series.frequency.seconds))
+        shock_calendar = shock_calendar.realigned(offset, len(refit_series))
+        exog = shock_calendar.train_matrix()[:, : best.spec.exog_columns]
+    if isinstance(model, Sarimax):
+        fitted = model.fit(refit_series, exog=exog)
+    else:
+        fitted = model.fit(refit_series)
+
+    return SelectionOutcome(
+        model=fitted,
+        technique="sarimax",
+        test_rmse=best.rmse,
+        best_spec=best.spec,
+        seasonality=seasonality,
+        shock_calendar=shock_calendar,
+        leaderboard=results[:20],
+        hes_rmse=hes_rmse,
+        n_evaluated=len(results) + (2 if hes_model is not None else 0),
+    )
+
+
+def auto_forecast(
+    series: TimeSeries,
+    horizon: int | None = None,
+    config: AutoConfig | None = None,
+    alpha: float = 0.05,
+) -> tuple[Forecast, SelectionOutcome]:
+    """One-call pipeline: select a model and forecast with it.
+
+    ``horizon`` defaults to the Table 1 prediction length for the series'
+    frequency (24 hours / 7 days / 4 weeks).
+    """
+    config = config or AutoConfig()
+    outcome = auto_select(series, config=config)
+    if horizon is None:
+        horizon = series.frequency.split_rule.horizon
+    model = outcome.model
+    kwargs = {}
+    if (
+        outcome.best_spec is not None
+        and outcome.best_spec.exog_columns
+        and outcome.shock_calendar is not None
+    ):
+        kwargs["exog_future"] = outcome.shock_calendar.future_matrix(horizon)[
+            :, : outcome.best_spec.exog_columns
+        ]
+    forecast = model.forecast(horizon, alpha=alpha, **kwargs)
+    return forecast, outcome

@@ -1,0 +1,164 @@
+"""Rolling-origin backtesting: continuous model-performance assessment.
+
+The paper's learning engine "continually assess[es] the models performance
+through Machine Learning to account for new behaviours the data (system)
+may adopt". A single train/test split (Figure 4's selection step) answers
+"which model is best *right now*"; rolling-origin evaluation answers the
+operational questions behind the staleness rules — how fast does accuracy
+decay with forecast age, and is model A's win over model B stable across
+windows or a one-split fluke?
+
+:func:`rolling_backtest` slides an origin through the series: at each
+origin the model is fitted on everything before it and scored on the next
+``horizon`` points. Results aggregate per-origin and per-lead-time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.metrics import rmse
+from ..core.timeseries import TimeSeries
+from ..exceptions import CapacityPlanningError, DataError
+from ..models.base import ForecastModel
+
+__all__ = ["BacktestResult", "rolling_backtest", "compare_backtests"]
+
+
+@dataclass(frozen=True)
+class BacktestResult:
+    """Outcome of a rolling-origin backtest.
+
+    Attributes
+    ----------
+    origins:
+        The split points used (indices into the series).
+    per_origin_rmse:
+        RMSE of the ``horizon``-step forecast made at each origin
+        (NaN where the fit failed).
+    per_lead_rmse:
+        RMSE pooled across origins for each lead time 1..horizon — the
+        accuracy-vs-forecast-age curve the staleness rules care about.
+    n_failures:
+        Origins whose fit or forecast raised.
+    """
+
+    model_label: str
+    origins: tuple[int, ...]
+    per_origin_rmse: np.ndarray
+    per_lead_rmse: np.ndarray
+    n_failures: int
+
+    @property
+    def mean_rmse(self) -> float:
+        finite = self.per_origin_rmse[np.isfinite(self.per_origin_rmse)]
+        return float(finite.mean()) if finite.size else float("nan")
+
+    @property
+    def horizon(self) -> int:
+        return int(self.per_lead_rmse.size)
+
+    def describe(self) -> str:
+        return (
+            f"{self.model_label}: mean RMSE {self.mean_rmse:.4g} over "
+            f"{len(self.origins)} origins (h={self.horizon}, "
+            f"{self.n_failures} failures)"
+        )
+
+
+def rolling_backtest(
+    model_factory,
+    series: TimeSeries,
+    horizon: int,
+    n_origins: int = 5,
+    min_train: int | None = None,
+    step: int | None = None,
+) -> BacktestResult:
+    """Evaluate a model spec over sliding forecast origins.
+
+    Parameters
+    ----------
+    model_factory:
+        A zero-argument callable returning a fresh unfitted
+        :class:`~repro.models.base.ForecastModel` (a class works:
+        ``lambda: Arima((1,1,1))``). A fresh instance per origin keeps
+        the windows independent.
+    series:
+        The full history to slide through (no missing values).
+    horizon:
+        Forecast length scored at each origin.
+    n_origins:
+        Number of forecast origins; they end at the latest possible
+        origin and are spaced ``step`` apart (default: ``horizon``, i.e.
+        non-overlapping test windows).
+    min_train:
+        Smallest allowed training window; origins before it are dropped.
+    """
+    if horizon < 1:
+        raise DataError("horizon must be >= 1")
+    if n_origins < 1:
+        raise DataError("n_origins must be >= 1")
+    if series.has_missing():
+        raise DataError("interpolate missing values before backtesting")
+    step = step or horizon
+    if step < 1:
+        raise DataError("step must be >= 1")
+
+    probe = model_factory()
+    if not isinstance(probe, ForecastModel):
+        raise DataError("model_factory must produce ForecastModel instances")
+    min_train = max(min_train or 0, probe.min_observations)
+
+    last_origin = len(series) - horizon
+    origins = [last_origin - k * step for k in range(n_origins)]
+    origins = sorted(o for o in origins if o >= min_train)
+    if not origins:
+        raise DataError(
+            f"series too short: need at least {min_train + horizon} points "
+            f"for one origin, have {len(series)}"
+        )
+
+    per_origin = np.full(len(origins), np.nan)
+    errors_by_lead: list[list[float]] = [[] for __ in range(horizon)]
+    n_failures = 0
+    label = ""
+    for i, origin in enumerate(origins):
+        train = series[:origin]
+        actual = series[origin : origin + horizon]
+        try:
+            fitted = model_factory().fit(train)
+            forecast = fitted.forecast(horizon)
+        except (CapacityPlanningError, np.linalg.LinAlgError, ValueError):
+            n_failures += 1
+            continue
+        label = fitted.label()
+        per_origin[i] = rmse(actual, forecast.mean)
+        residual = actual.values - forecast.mean.values
+        for lead in range(horizon):
+            errors_by_lead[lead].append(float(residual[lead]))
+
+    per_lead = np.array(
+        [
+            np.sqrt(np.mean(np.square(errs))) if errs else np.nan
+            for errs in errors_by_lead
+        ]
+    )
+    return BacktestResult(
+        model_label=label or type(probe).__name__,
+        origins=tuple(origins),
+        per_origin_rmse=per_origin,
+        per_lead_rmse=per_lead,
+        n_failures=n_failures,
+    )
+
+
+def compare_backtests(results: list[BacktestResult]) -> list[BacktestResult]:
+    """Rank backtest results by mean RMSE (NaN means sort last)."""
+    if not results:
+        raise DataError("nothing to compare")
+    return sorted(
+        results,
+        key=lambda r: (np.isnan(r.mean_rmse), r.mean_rmse),
+    )

@@ -1,0 +1,123 @@
+"""Correlogram-guided grid pruning (the paper's Section 6.3 "tuning").
+
+Exhaustively evaluating 660 SARIMAX candidates per instance is feasible for
+two nodes but, as the paper notes, "if the clustered database resided on
+four nodes then the number of models … would be nearly 24000 and this is
+unmanageable". Their remedy: "look at the correlogram … and look at where
+the data points intersect with the shaded areas, as this gives an
+indication of a model that is likely to be suitable, thereby reducing the
+thousands of potential models considerably."
+
+:func:`suggest_orders` implements that rule. Significant PACF lags propose
+AR orders ``p`` (PACF cuts off after lag p for an AR(p) process);
+significant ACF lags propose MA orders ``q``; the differencing orders come
+from the ADF/seasonal-strength heuristics. :func:`pruned_sarimax_grid`
+intersects the full grid with those suggestions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.stationarity import difference, ndiffs, nsdiffs
+from ..core.stats import correlogram
+from ..core.timeseries import TimeSeries
+from ..exceptions import DataError
+from .grid import CandidateSpec, sarimax_grid
+
+__all__ = ["OrderSuggestion", "suggest_orders", "pruned_sarimax_grid"]
+
+
+@dataclass(frozen=True)
+class OrderSuggestion:
+    """Candidate orders read off the correlogram of the stationary series."""
+
+    p_candidates: tuple[int, ...]
+    q_candidates: tuple[int, ...]
+    d: int
+    seasonal_d: int
+    seasonal_significant: bool
+
+    def describe(self) -> str:
+        return (
+            f"p∈{list(self.p_candidates)} q∈{list(self.q_candidates)} "
+            f"d={self.d} D={self.seasonal_d} seasonal_acf={self.seasonal_significant}"
+        )
+
+
+def suggest_orders(
+    series: TimeSeries,
+    period: int,
+    nlags: int = 30,
+    max_candidates: int = 6,
+) -> OrderSuggestion:
+    """Read candidate (p, q, d, D) values off the series' correlogram.
+
+    The series is differenced to stationarity first (ACF/PACF of a
+    non-stationary series just shows a slow decay and suggests nothing).
+    The lags whose PACF (resp. ACF) pokes outside the ±1.96/√n band become
+    the ``p`` (resp. ``q``) candidates, capped at ``max_candidates`` and
+    always including lag 1 so the grid never empties.
+    """
+    if nlags < 2:
+        raise DataError("nlags must be >= 2")
+    d = ndiffs(series)
+    seasonal_d = nsdiffs(series, period) if period >= 2 else 0
+    x = series.values
+    if d or seasonal_d:
+        x = difference(x, d=d, seasonal_d=seasonal_d, period=period)
+    gram = correlogram(x, nlags=min(nlags, x.size - 1))
+
+    def shortlist(lags: list[int]) -> tuple[int, ...]:
+        # Prefer small orders: a significant PACF at lag 2 is far more
+        # often an AR(2) signature than a significant lag 29 is an AR(29).
+        chosen = sorted(set(lags) | {1})[:max_candidates]
+        return tuple(chosen)
+
+    p_cands = shortlist(gram.significant_pacf_lags())
+    q_cands = shortlist(gram.significant_acf_lags())
+    seasonal_sig = (
+        period <= gram.nlags and abs(gram.acf_values[period]) > gram.confidence
+    )
+    return OrderSuggestion(
+        p_candidates=p_cands,
+        q_candidates=q_cands,
+        d=d,
+        seasonal_d=seasonal_d,
+        seasonal_significant=bool(seasonal_sig),
+    )
+
+
+def pruned_sarimax_grid(
+    series: TimeSeries,
+    period: int,
+    nlags: int = 30,
+    max_candidates: int = 6,
+) -> list[CandidateSpec]:
+    """The 660-model grid filtered down by the correlogram suggestions.
+
+    Keeps only candidates whose ``p`` is a suggested AR order, whose ``q``
+    is within the suggested MA orders (or ≤ 2, the grid's own cap), and
+    whose differencing orders match the ADF/seasonal-strength verdicts.
+    """
+    suggestion = suggest_orders(series, period, nlags=nlags, max_candidates=max_candidates)
+    full = sarimax_grid(period, max_lag=nlags)
+    p_ok = set(suggestion.p_candidates)
+    q_ok = set(suggestion.q_candidates) | {0, 1}
+    # A seasonal difference often removes the trend too: when D = 1 is
+    # suggested, keep d = 0 candidates alongside the ADF-suggested d so the
+    # grid is not forced into over-differencing.
+    d_ok = {min(suggestion.d, 1)}
+    if suggestion.seasonal_d >= 1:
+        d_ok.add(0)
+    pruned = [
+        spec
+        for spec in full
+        if spec.order[0] in p_ok
+        and spec.order[1] in d_ok
+        and spec.order[2] in q_ok
+        and spec.seasonal[1] == suggestion.seasonal_d
+    ]
+    if not pruned:  # the heuristics can be overzealous on odd data
+        pruned = [s for s in full if s.order[0] in p_ok] or full
+    return pruned

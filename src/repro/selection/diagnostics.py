@@ -1,0 +1,154 @@
+"""Residual diagnostics: is the selected model actually adequate?
+
+The Box–Jenkins methodology the paper builds on (Section 4.1) closes the
+loop with residual checking: a well-specified model leaves residuals that
+look like white noise. The selection pipeline ranks models by held-out
+RMSE; this module provides the complementary *adequacy* report used by
+operators and the ablation benches:
+
+* **Ljung–Box** portmanteau on the residual ACF (left-over
+  autocorrelation means the orders are too small);
+* **seasonal-lag check** — residual ACF at the seasonal period
+  specifically (left-over seasonality means the seasonal component or
+  Fourier terms are missing);
+* **Jarque–Bera** normality check (heavy-tailed residuals mean shocks
+  the model didn't absorb — often a missing exogenous variable);
+* **bias check** — mean residual significantly away from zero.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+from ..core.stats import acf, ljung_box
+from ..exceptions import DataError
+from ..models.base import FittedModel
+
+__all__ = ["ResidualDiagnostics", "diagnose_residuals", "jarque_bera"]
+
+
+def jarque_bera(values: np.ndarray) -> tuple[float, float]:
+    """Jarque–Bera normality statistic and p-value.
+
+    ``JB = n/6 (S² + K²/4)`` with sample skewness ``S`` and excess
+    kurtosis ``K``; asymptotically χ²(2) under normality.
+    """
+    x = np.asarray(values, dtype=float)
+    x = x[np.isfinite(x)]
+    n = x.size
+    if n < 8:
+        raise DataError("Jarque-Bera needs at least 8 residuals")
+    centred = x - x.mean()
+    m2 = float(np.mean(centred**2))
+    if m2 <= 1e-300:
+        return 0.0, 1.0
+    skew = float(np.mean(centred**3)) / m2**1.5
+    kurt = float(np.mean(centred**4)) / m2**2 - 3.0
+    jb = n / 6.0 * (skew**2 + kurt**2 / 4.0)
+    p = float(_scipy_stats.chi2.sf(jb, 2))
+    return float(jb), p
+
+
+@dataclass(frozen=True)
+class ResidualDiagnostics:
+    """Adequacy report for a fitted model's residuals."""
+
+    n_residuals: int
+    ljung_box_stat: float
+    ljung_box_p: float
+    seasonal_acf: float | None
+    seasonal_acf_significant: bool
+    jarque_bera_stat: float
+    jarque_bera_p: float
+    mean_bias: float
+    bias_significant: bool
+
+    @property
+    def white_noise(self) -> bool:
+        """No significant left-over autocorrelation at the 5 % level."""
+        return self.ljung_box_p > 0.05
+
+    @property
+    def adequate(self) -> bool:
+        """Overall verdict: uncorrelated, unbiased, no seasonal leakage.
+
+        Normality is reported but not part of adequacy — workload
+        residuals are routinely heavy-tailed without hurting point
+        forecasts.
+        """
+        return (
+            self.white_noise
+            and not self.seasonal_acf_significant
+            and not self.bias_significant
+        )
+
+    def describe(self) -> str:
+        verdict = "adequate" if self.adequate else "inadequate"
+        bits = [
+            f"{verdict}: LB p={self.ljung_box_p:.3f}",
+            f"bias={self.mean_bias:+.3g}{'*' if self.bias_significant else ''}",
+            f"JB p={self.jarque_bera_p:.3f}",
+        ]
+        if self.seasonal_acf is not None:
+            flag = "*" if self.seasonal_acf_significant else ""
+            bits.append(f"seasonal ACF={self.seasonal_acf:+.2f}{flag}")
+        return ", ".join(bits)
+
+
+def diagnose_residuals(
+    fitted: FittedModel,
+    period: int | None = None,
+    lags: int = 10,
+) -> ResidualDiagnostics:
+    """Run the full adequacy battery on a fitted model's residuals.
+
+    Parameters
+    ----------
+    period:
+        Seasonal period to check for left-over seasonality; ``None``
+        derives it from the training series' frequency.
+    lags:
+        Pooled lags for the Ljung–Box test.
+    """
+    residuals = np.asarray(fitted.residuals, dtype=float)
+    residuals = residuals[np.isfinite(residuals)]
+    if residuals.size < 12:
+        raise DataError("need at least 12 residuals to diagnose")
+    # Drop the warm-up region: early CSS/smoothing residuals reflect
+    # initialisation, not fit quality.
+    skip = min(residuals.size // 5, max(period or 0, 8))
+    used = residuals[skip:]
+
+    lb = ljung_box(used, lags=lags, n_fitted_params=min(fitted.n_params, lags - 1))
+
+    if period is None:
+        period = fitted.train.frequency.default_period
+    seasonal_acf_value = None
+    seasonal_sig = False
+    if period and period >= 2 and used.size > 2 * period:
+        rho = acf(used, nlags=period)
+        seasonal_acf_value = float(rho[period])
+        band = 1.96 / math.sqrt(used.size)
+        seasonal_sig = abs(seasonal_acf_value) > band
+
+    jb_stat, jb_p = jarque_bera(used)
+
+    std_err = float(used.std(ddof=1)) / math.sqrt(used.size)
+    mean_bias = float(used.mean())
+    bias_sig = abs(mean_bias) > 1.96 * std_err if std_err > 0 else False
+
+    return ResidualDiagnostics(
+        n_residuals=int(used.size),
+        ljung_box_stat=lb.statistic,
+        ljung_box_p=lb.p_value,
+        seasonal_acf=seasonal_acf_value,
+        seasonal_acf_significant=seasonal_sig,
+        jarque_bera_stat=jb_stat,
+        jarque_bera_p=jb_p,
+        mean_bias=mean_bias,
+        bias_significant=bias_sig,
+    )

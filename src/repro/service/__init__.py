@@ -1,0 +1,28 @@
+"""Service layer: the capacity-planning facade and advisory functions."""
+
+from .estate import (
+    EstateEntry,
+    EstatePlanner,
+    EstateReport,
+    WorkloadKey,
+    WorkloadStatus,
+)
+from .planner import CapacityPlanner, PlannerEntry
+from .sizing import CapacityRecommendation, overprovision_ratio, recommend_capacity
+from .thresholds import BreachPrediction, BreachSeverity, predict_breach
+
+__all__ = [
+    "CapacityPlanner",
+    "PlannerEntry",
+    "EstatePlanner",
+    "EstateReport",
+    "EstateEntry",
+    "WorkloadKey",
+    "WorkloadStatus",
+    "BreachPrediction",
+    "BreachSeverity",
+    "predict_breach",
+    "CapacityRecommendation",
+    "recommend_capacity",
+    "overprovision_ratio",
+]

@@ -1,0 +1,109 @@
+"""Capacity and migration sizing from forecasts.
+
+The paper's third production use case: "*Migration*: If I need to migrate
+to a new platform, such as a Cloud architecture, what resource capacity do
+I need in the next 6 months to a year?" — and more generally "provisioning
+the correct shape (in terms of CPU, Memory and Storage) of cloud resource
+is paramount" while "minimizing over provisioning".
+
+:func:`recommend_capacity` converts a forecast into a provisioning
+recommendation: a requirement percentile of the predicted distribution
+plus configurable safety headroom, quantised to procurement units (you buy
+whole OCPUs, not 0.37 of one).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DataError
+from ..models.base import Forecast
+
+__all__ = ["CapacityRecommendation", "recommend_capacity", "overprovision_ratio"]
+
+
+@dataclass(frozen=True)
+class CapacityRecommendation:
+    """A provisioning recommendation for one metric.
+
+    Attributes
+    ----------
+    required:
+        The raw requirement: the chosen percentile of the forecast's upper
+        band, before headroom.
+    recommended:
+        Requirement with safety headroom, rounded up to the unit size.
+    headroom_fraction:
+        The safety margin applied.
+    unit:
+        Procurement quantum used for rounding.
+    peak_forecast:
+        Maximum point forecast over the horizon (for reporting).
+    """
+
+    required: float
+    recommended: float
+    headroom_fraction: float
+    unit: float
+    peak_forecast: float
+
+    def describe(self) -> str:
+        return (
+            f"require {self.required:.1f}, recommend {self.recommended:g} "
+            f"(+{self.headroom_fraction:.0%} headroom, units of {self.unit:g})"
+        )
+
+
+def recommend_capacity(
+    forecast: Forecast,
+    percentile: float = 95.0,
+    headroom: float = 0.10,
+    unit: float = 1.0,
+) -> CapacityRecommendation:
+    """Turn a forecast into a capacity recommendation.
+
+    Parameters
+    ----------
+    percentile:
+        Which percentile of the forecast *upper band* defines the
+        requirement; 95 sizes for nearly-worst predicted hours while
+        ignoring the single most extreme error-bar excursion.
+    headroom:
+        Fractional safety margin on top of the requirement.
+    unit:
+        Procurement quantum (1 OCPU, 16 GB memory stick, …).
+    """
+    if not 0.0 < percentile <= 100.0:
+        raise DataError("percentile must be in (0, 100]")
+    if headroom < 0.0:
+        raise DataError("headroom must be non-negative")
+    if unit <= 0.0:
+        raise DataError("unit must be positive")
+    upper = forecast.upper.values
+    required = float(np.percentile(upper, percentile))
+    with_headroom = required * (1.0 + headroom)
+    # The tiny epsilon keeps 110.000…01-style float error from
+    # bumping the recommendation a whole unit.
+    recommended = math.ceil(with_headroom / unit - 1e-9) * unit
+    return CapacityRecommendation(
+        required=required,
+        recommended=float(recommended),
+        headroom_fraction=headroom,
+        unit=unit,
+        peak_forecast=float(forecast.mean.values.max()),
+    )
+
+
+def overprovision_ratio(provisioned: float, actual_peak: float) -> float:
+    """How over-provisioned a resource ended up: provisioned / actual peak.
+
+    The introduction's motivation — "for every environment provisioned, a
+    proportion of that provisioned resource will probably never be used" —
+    quantified. A ratio of 1.0 is perfect; 2.0 means paying for double.
+    """
+    if provisioned <= 0 or actual_peak <= 0:
+        raise DataError("provisioned and actual_peak must be positive")
+    return provisioned / actual_peak

@@ -1,0 +1,113 @@
+"""Proactive threshold-breach prediction.
+
+The paper's conclusion positions the forecast as an upgrade over "the
+'old' threshold-based monitoring approach, that often led to a reactive
+way of working": "utilising these techniques to predict when a threshold
+is likely to be breached is an advisable way to implement this approach
+for proactive monitoring". This module answers the question the pipeline
+exists for — *when will I run out of resource?* — by intersecting a
+forecast (with its error bars) with a capacity threshold.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DataError
+from ..models.base import Forecast
+
+__all__ = ["BreachSeverity", "BreachPrediction", "predict_breach"]
+
+
+class BreachSeverity(enum.Enum):
+    """How certain the predicted breach is, given the error bars."""
+
+    NONE = "no breach predicted"
+    POSSIBLE = "upper error bar crosses the threshold"
+    LIKELY = "point forecast crosses the threshold"
+    CERTAIN = "lower error bar crosses the threshold"
+
+
+@dataclass(frozen=True)
+class BreachPrediction:
+    """Outcome of a threshold check against a forecast.
+
+    Attributes
+    ----------
+    severity:
+        Confidence grade of the breach.
+    first_breach_step:
+        1-based forecast step at which the (grade-defining) crossing
+        happens, or ``None`` when severity is NONE.
+    first_breach_timestamp:
+        Timestamp of that step.
+    threshold:
+        The capacity limit checked against.
+    headroom:
+        Threshold minus the forecast peak — negative when the point
+        forecast breaches.
+    """
+
+    severity: BreachSeverity
+    first_breach_step: int | None
+    first_breach_timestamp: float | None
+    threshold: float
+    headroom: float
+
+    def describe(self) -> str:
+        if self.severity is BreachSeverity.NONE:
+            return (
+                f"no breach of {self.threshold:g} within the horizon "
+                f"(headroom {self.headroom:.1f})"
+            )
+        return (
+            f"{self.severity.value} at step {self.first_breach_step} "
+            f"(threshold {self.threshold:g}, headroom {self.headroom:.1f})"
+        )
+
+
+def predict_breach(forecast: Forecast, threshold: float) -> BreachPrediction:
+    """Grade a forecast against a capacity threshold.
+
+    Severity escalates with certainty: if even the *lower* error bar
+    crosses the threshold the breach is CERTAIN; if only the point
+    forecast crosses it is LIKELY; if just the upper bar grazes it the
+    breach is POSSIBLE. The reported step is the first crossing of the
+    strongest breached band.
+    """
+    if not np.isfinite(threshold):
+        raise DataError("threshold must be finite")
+    mean = forecast.mean.values
+    lower = forecast.lower.values
+    upper = forecast.upper.values
+    timestamps = forecast.mean.timestamps
+
+    def first_crossing(values: np.ndarray) -> int | None:
+        hits = np.flatnonzero(values >= threshold)
+        return int(hits[0]) if hits.size else None
+
+    headroom = float(threshold - mean.max())
+    for values, severity in (
+        (lower, BreachSeverity.CERTAIN),
+        (mean, BreachSeverity.LIKELY),
+        (upper, BreachSeverity.POSSIBLE),
+    ):
+        idx = first_crossing(values)
+        if idx is not None:
+            return BreachPrediction(
+                severity=severity,
+                first_breach_step=idx + 1,
+                first_breach_timestamp=float(timestamps[idx]),
+                threshold=threshold,
+                headroom=headroom,
+            )
+    return BreachPrediction(
+        severity=BreachSeverity.NONE,
+        first_breach_step=None,
+        first_breach_timestamp=None,
+        threshold=threshold,
+        headroom=headroom,
+    )

@@ -1,0 +1,35 @@
+"""Shock detection and exogenous-variable construction (paper Section 4.2)."""
+
+from .faults import (
+    FaultAnalysis,
+    FaultEpisode,
+    FaultPolicy,
+    FaultVerdict,
+    detect_faults,
+    discard_faults,
+)
+from .detector import (
+    DEFAULT_MIN_OCCURRENCES,
+    RecurringShock,
+    ShockCalendar,
+    ShockEvent,
+    build_shock_calendar,
+    detect_shocks,
+    group_recurring,
+)
+
+__all__ = [
+    "ShockEvent",
+    "RecurringShock",
+    "ShockCalendar",
+    "detect_shocks",
+    "group_recurring",
+    "build_shock_calendar",
+    "DEFAULT_MIN_OCCURRENCES",
+    "FaultEpisode",
+    "FaultPolicy",
+    "FaultVerdict",
+    "FaultAnalysis",
+    "detect_faults",
+    "discard_faults",
+]

@@ -1,0 +1,214 @@
+"""Fault handling: discard crashes so forecasts reflect the stable system.
+
+From the paper's conclusion: "if a system crashes we discard it, however
+if the system continually crashes the learning engine will see it as a
+behaviour … manual override is needed to accommodate systems that are
+*in-fault* as we suggest that forecasting will not be a true reflection of
+the system when stable."
+
+This module implements that policy:
+
+* :func:`detect_faults` finds *collapse* episodes — runs of samples far
+  below the local baseline (crashes, fail-overs) that do **not** recur
+  often enough to be behaviour (> ``min_occurrences`` per the shocks
+  module would promote them);
+* :func:`discard_faults` masks those samples and repairs them by linear
+  interpolation, producing the "stable system" series the models should
+  learn from;
+* :class:`FaultPolicy` bundles the knobs, including the manual
+  ``in_fault`` override: an operator who knows the system is mid-incident
+  can disable discarding (so nothing is hidden) or disable forecasting
+  altogether.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.preprocessing import interpolate_missing
+from ..core.timeseries import TimeSeries
+from ..exceptions import DataError
+from .detector import ShockEvent, detect_shocks, group_recurring
+
+__all__ = ["FaultEpisode", "FaultPolicy", "FaultVerdict", "detect_faults", "discard_faults"]
+
+
+@dataclass(frozen=True)
+class FaultEpisode:
+    """A contiguous run of crash/collapse samples."""
+
+    start_index: int
+    length: int
+    mean_magnitude: float  # negative: how far below baseline
+
+    @property
+    def end_index(self) -> int:
+        return self.start_index + self.length
+
+
+class FaultVerdict(enum.Enum):
+    """What the fault analysis concluded about the system."""
+
+    STABLE = "stable"
+    OCCASIONAL_FAULTS = "occasional faults discarded"
+    IN_FAULT = "system in fault; forecasting inadvisable"
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Operator policy for fault handling.
+
+    Attributes
+    ----------
+    z_threshold:
+        Collapse detection sensitivity (robust z-score units below the
+        baseline).
+    in_fault_episode_limit:
+        More episodes than this in one window ⇒ the system is *in fault*
+        and the verdict recommends not forecasting at all.
+    manual_override:
+        ``None`` for automatic handling; ``"keep"`` forces crashes to stay
+        in the data (operator wants the model to see them); ``"discard"``
+        forces discarding even for an in-fault system.
+    """
+
+    z_threshold: float = 3.5
+    in_fault_episode_limit: int = 3
+    manual_override: str | None = None
+    min_drop_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.manual_override not in (None, "keep", "discard"):
+            raise DataError("manual_override must be None, 'keep' or 'discard'")
+        if self.in_fault_episode_limit < 1:
+            raise DataError("in_fault_episode_limit must be >= 1")
+        if not 0.0 <= self.min_drop_fraction < 1.0:
+            raise DataError("min_drop_fraction must be in [0, 1)")
+
+
+def _collapse_events(
+    series: TimeSeries, period: int | None, z_threshold: float
+) -> list[ShockEvent]:
+    """Negative-only shock events (collapses below baseline)."""
+    events = detect_shocks(series, period=period, z_threshold=z_threshold)
+    return [e for e in events if e.magnitude < 0]
+
+
+def detect_faults(
+    series: TimeSeries,
+    period: int | None = 24,
+    policy: FaultPolicy | None = None,
+    candidate_periods: tuple[int, ...] = (24, 168),
+) -> list[FaultEpisode]:
+    """Find non-recurring collapse episodes (crashes/fail-overs).
+
+    Collapses that recur on a schedule (e.g. a nightly maintenance stop)
+    are behaviour, not faults — they are excluded here exactly as the
+    shocks module would promote them to exogenous variables.
+    """
+    policy = policy or FaultPolicy()
+    events = _collapse_events(series, period, policy.z_threshold)
+    if not events:
+        return []
+    # Remove events explained by a recurring schedule.
+    recurring = group_recurring(
+        events,
+        n_samples=len(series),
+        candidate_periods=candidate_periods,
+        tolerance=1,
+    )
+    scheduled: set[int] = set()
+    for shock in recurring:
+        for e in events:
+            offset = (e.index - shock.phase) % shock.period
+            if min(offset, shock.period - offset) <= 1:
+                scheduled.add(e.index)
+    residual = sorted(e.index for e in events if e.index not in scheduled)
+    magnitudes = {e.index: e.magnitude for e in events}
+    z_scores = {e.index: e.z_score for e in events}
+
+    # A crash must lose a meaningful fraction of the signal range; a lone
+    # 3.9-sigma noise excursion below the baseline is not a fault.
+    finite = series.values[np.isfinite(series.values)]
+    p5, p95 = np.percentile(finite, [5.0, 95.0])
+    min_drop = policy.min_drop_fraction * max(float(p95 - p5), 1e-12)
+
+    episodes: list[FaultEpisode] = []
+    i = 0
+    while i < len(residual):
+        start = residual[i]
+        j = i
+        while j + 1 < len(residual) and residual[j + 1] == residual[j] + 1:
+            j += 1
+        indices = residual[i : j + 1]
+        mean_mag = float(np.mean([magnitudes[k] for k in indices]))
+        mean_z = float(np.mean([z_scores[k] for k in indices]))
+        # Both criteria: large relative to the signal's range AND an
+        # extreme outlier in noise units — a flat noisy series can meet
+        # the first by accident but never the second.
+        if abs(mean_mag) >= min_drop and abs(mean_z) >= 2.0 * policy.z_threshold:
+            episodes.append(
+                FaultEpisode(
+                    start_index=int(start),
+                    length=len(indices),
+                    mean_magnitude=mean_mag,
+                )
+            )
+        i = j + 1
+    return episodes
+
+
+@dataclass(frozen=True)
+class FaultAnalysis:
+    """Result of :func:`discard_faults`."""
+
+    series: TimeSeries
+    episodes: tuple[FaultEpisode, ...]
+    verdict: FaultVerdict
+    discarded_samples: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.verdict.value}: {len(self.episodes)} episode(s), "
+            f"{self.discarded_samples} sample(s) discarded"
+        )
+
+
+def discard_faults(
+    series: TimeSeries,
+    period: int | None = 24,
+    policy: FaultPolicy | None = None,
+) -> FaultAnalysis:
+    """Apply the paper's crash-discarding rule to a metric series.
+
+    Returns the repaired series (crash samples interpolated away), the
+    episodes found, and a verdict. Under ``manual_override="keep"`` the
+    series is returned untouched; an in-fault system (more episodes than
+    the policy limit) is also returned untouched unless the operator
+    forces ``"discard"`` — forecasting it would not reflect the stable
+    system either way, and the verdict says so.
+    """
+    policy = policy or FaultPolicy()
+    episodes = tuple(detect_faults(series, period=period, policy=policy))
+    if not episodes:
+        return FaultAnalysis(series, episodes, FaultVerdict.STABLE, 0)
+
+    in_fault = len(episodes) > policy.in_fault_episode_limit
+    verdict = FaultVerdict.IN_FAULT if in_fault else FaultVerdict.OCCASIONAL_FAULTS
+
+    keep = policy.manual_override == "keep" or (
+        in_fault and policy.manual_override != "discard"
+    )
+    if keep:
+        return FaultAnalysis(series, episodes, verdict, 0)
+
+    values = series.values.copy()
+    discarded = 0
+    for episode in episodes:
+        values[episode.start_index : episode.end_index] = np.nan
+        discarded += episode.length
+    repaired = interpolate_missing(series.with_values(values))
+    return FaultAnalysis(repaired, episodes, verdict, discarded)

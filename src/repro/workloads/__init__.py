@@ -1,0 +1,100 @@
+"""Workload simulator substrate.
+
+Replaces the paper's Oracle-Exadata-plus-Swingbench rig with a
+deterministic discrete-time simulation producing metric traces with the
+same structures: seasonality (C1), trend (C2), multiple seasonality (C3)
+and shocks (C4). See DESIGN.md for the substitution rationale.
+"""
+
+from .cluster import (
+    BackupPolicy,
+    ClusterRun,
+    ClusteredDatabase,
+    ConnectionBalancer,
+    FailoverEvent,
+)
+from .components import (
+    BusinessHours,
+    Component,
+    Composite,
+    Constant,
+    DailyCycle,
+    GaussianNoise,
+    LinearTrend,
+    OneOffShock,
+    ProportionalNoise,
+    RecurringShockComponent,
+    Surge,
+    WeeklyCycle,
+)
+from .database import (
+    OLAP_PROFILE,
+    OLTP_PROFILE,
+    CostProfile,
+    DatabaseInstance,
+    MetricBundle,
+)
+from .olap import OlapExperiment, generate_olap_run, olap_cluster
+from .oltp import OltpExperiment, generate_oltp_run, oltp_cluster
+from .scenarios import (
+    batch_etl,
+    make_series,
+    san_storage,
+    unstable_system,
+    weblogic_heap,
+    web_transactions,
+    weekly_business_app,
+)
+from .sessions import LoginSurge, UserPopulation
+from .transactions import CHECKOUT, ClickStep, TransactionProfile, TransactionSimulator
+
+__all__ = [
+    # components
+    "Component",
+    "Composite",
+    "Constant",
+    "LinearTrend",
+    "DailyCycle",
+    "WeeklyCycle",
+    "BusinessHours",
+    "Surge",
+    "RecurringShockComponent",
+    "OneOffShock",
+    "GaussianNoise",
+    "ProportionalNoise",
+    # sessions
+    "UserPopulation",
+    "LoginSurge",
+    # database
+    "CostProfile",
+    "OLAP_PROFILE",
+    "OLTP_PROFILE",
+    "DatabaseInstance",
+    "MetricBundle",
+    # cluster
+    "ClusteredDatabase",
+    "ClusterRun",
+    "ConnectionBalancer",
+    "BackupPolicy",
+    "FailoverEvent",
+    # experiments
+    "OlapExperiment",
+    "olap_cluster",
+    "generate_olap_run",
+    "OltpExperiment",
+    "oltp_cluster",
+    "generate_oltp_run",
+    # scenarios
+    "web_transactions",
+    "batch_etl",
+    "weekly_business_app",
+    "san_storage",
+    "weblogic_heap",
+    "unstable_system",
+    "make_series",
+    # transactions
+    "ClickStep",
+    "TransactionProfile",
+    "TransactionSimulator",
+    "CHECKOUT",
+]

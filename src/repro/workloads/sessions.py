@@ -1,0 +1,100 @@
+"""User-session population dynamics driving the simulated database.
+
+Both experiments in the paper are driven by user populations: Experiment
+One has "a modest number of 40 OLAP users connecting across the cluster";
+Experiment Two grows "the user base by 50 users per day" and adds login
+surges ("1000 users at 07:00 for 4 hours and again at 9am for another 1000
+users for a period of 1 hour"). :class:`UserPopulation` turns those
+parameters into an active-session count per timestamp, which the database
+model converts into resource demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DataError
+from .components import SECONDS_PER_DAY, hours_of_day
+
+__all__ = ["LoginSurge", "UserPopulation"]
+
+
+@dataclass(frozen=True)
+class LoginSurge:
+    """A recurring daily burst of extra connected users."""
+
+    users: int
+    start_hour: float
+    duration_hours: float
+
+    def __post_init__(self) -> None:
+        if self.users < 0:
+            raise DataError("surge user count must be non-negative")
+        if self.duration_hours <= 0:
+            raise DataError("surge duration must be positive")
+
+    def active(self, timestamps: np.ndarray) -> np.ndarray:
+        hours = hours_of_day(timestamps)
+        end = self.start_hour + self.duration_hours
+        inside = (hours >= self.start_hour) & (hours < end)
+        if end > 24.0:
+            inside |= hours < (end - 24.0)
+        return self.users * inside.astype(float)
+
+
+@dataclass(frozen=True)
+class UserPopulation:
+    """Connected-user counts over time.
+
+    Parameters
+    ----------
+    base_users:
+        Users connected at the start of the run.
+    growth_per_day:
+        Net new users added per day (Experiment Two: 50).
+    surges:
+        Recurring daily login surges.
+    diurnal_fraction:
+        Depth of the day/night connection cycle in [0, 1): at the quietest
+        hour only ``1 - diurnal_fraction`` of the population is connected.
+    peak_hour:
+        Hour of day at which the diurnal cycle peaks.
+    connection_noise_cv:
+        Coefficient of variation of multiplicative connection noise (users
+        connect and disconnect stochastically).
+    """
+
+    base_users: float
+    growth_per_day: float = 0.0
+    surges: tuple[LoginSurge, ...] = ()
+    diurnal_fraction: float = 0.35
+    peak_hour: float = 14.0
+    connection_noise_cv: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.base_users < 0:
+            raise DataError("base_users must be non-negative")
+        if not 0.0 <= self.diurnal_fraction < 1.0:
+            raise DataError("diurnal_fraction must be in [0, 1)")
+
+    def active_users(
+        self, timestamps: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Active session counts (float; the DB model handles fractions)."""
+        timestamps = np.asarray(timestamps, dtype=float)
+        t0 = timestamps[0] if timestamps.size else 0.0
+        days = (timestamps - t0) / SECONDS_PER_DAY
+        population = self.base_users + self.growth_per_day * days
+        hours = hours_of_day(timestamps)
+        phase = 2.0 * np.pi * (hours - self.peak_hour) / 24.0
+        diurnal = 1.0 - self.diurnal_fraction * (1.0 - np.cos(phase)) / 2.0
+        active = population * diurnal
+        for surge in self.surges:
+            active = active + surge.active(timestamps)
+        if self.connection_noise_cv > 0:
+            active = active * (
+                1.0 + rng.normal(0.0, self.connection_noise_cv, timestamps.size)
+            )
+        return np.maximum(active, 0.0)

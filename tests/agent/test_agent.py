@@ -1,0 +1,78 @@
+"""Tests for the monitoring agent and its fault model."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+from repro.exceptions import DataError
+from repro.agent import FaultModel, MonitoringAgent
+from repro.workloads import OlapExperiment
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return OlapExperiment(days=3.0).build().run(days=3.0, seed=1)
+
+
+class TestFaultModel:
+    def test_validation(self):
+        with pytest.raises(DataError):
+            FaultModel(miss_probability=1.0)
+        with pytest.raises(DataError):
+            FaultModel(outage_probability_per_day=2.0)
+        with pytest.raises(DataError):
+            FaultModel(outage_duration_polls=0)
+
+    def test_miss_rate_approximate(self):
+        model = FaultModel(miss_probability=0.1, outage_probability_per_day=0.0)
+        mask = model.dropped_mask(10_000, 96, np.random.default_rng(0))
+        assert 0.08 < mask.mean() < 0.12
+
+    def test_outages_create_runs(self):
+        model = FaultModel(
+            miss_probability=0.0,
+            outage_probability_per_day=1.0,
+            outage_duration_polls=8,
+        )
+        mask = model.dropped_mask(96 * 5, 96, np.random.default_rng(1))
+        # Every day has one 8-poll outage.
+        assert mask.sum() >= 5 * 8 - 8  # last outage may clip the boundary
+
+    def test_perfect_when_zero(self):
+        model = FaultModel(miss_probability=0.0, outage_probability_per_day=0.0)
+        mask = model.dropped_mask(1000, 96, np.random.default_rng(2))
+        assert mask.sum() == 0
+
+
+class TestMonitoringAgent:
+    def test_perfect_agent_polls_everything(self, small_run):
+        agent = MonitoringAgent(fault_model=None)
+        samples = agent.poll_run(small_run)
+        expected = len(small_run.instances) * 3 * small_run.n_samples
+        assert len(samples) == expected
+
+    def test_faulty_agent_drops_some(self, small_run):
+        agent = MonitoringAgent(fault_model=FaultModel(miss_probability=0.05))
+        samples = agent.poll_run(small_run)
+        perfect = len(small_run.instances) * 3 * small_run.n_samples
+        assert len(samples) < perfect
+
+    def test_samples_carry_identity(self, small_run):
+        agent = MonitoringAgent(fault_model=None)
+        samples = agent.poll_run(small_run)
+        instances = {s.instance for s in samples}
+        metrics = {s.metric for s in samples}
+        assert instances == {"cdbm011", "cdbm012"}
+        assert metrics == {"cpu", "memory", "logical_iops"}
+
+    def test_deterministic_fault_injection(self, small_run):
+        a = MonitoringAgent(fault_model=FaultModel(), seed=5).poll_run(small_run)
+        b = MonitoringAgent(fault_model=FaultModel(), seed=5).poll_run(small_run)
+        assert len(a) == len(b)
+
+    def test_poll_series(self):
+        ts = TimeSeries(np.arange(100.0), Frequency.MINUTE_15)
+        samples = MonitoringAgent(fault_model=None).poll_series("i", "cpu", ts)
+        assert len(samples) == 100
+        assert samples[0].value == 0.0
+        assert samples[1].timestamp - samples[0].timestamp == 900.0

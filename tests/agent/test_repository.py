@@ -1,0 +1,113 @@
+"""Tests for the SQLite metrics repository."""
+
+import numpy as np
+import pytest
+
+from repro.agent import AgentSample, MetricsRepository
+from repro.core import Frequency
+from repro.exceptions import RepositoryError
+
+
+def _samples(instance="db1", metric="cpu", n=8, step=900.0, start=0.0, value=1.0):
+    return [
+        AgentSample(instance=instance, metric=metric, timestamp=start + i * step, value=value + i)
+        for i in range(n)
+    ]
+
+
+class TestIngest:
+    def test_roundtrip(self):
+        with MetricsRepository() as repo:
+            repo.ingest(_samples())
+            series = repo.load_series("db1", "cpu", frequency=Frequency.MINUTE_15)
+            assert len(series) == 8
+            assert series.values[0] == 1.0
+
+    def test_duplicate_poll_overwrites(self):
+        with MetricsRepository() as repo:
+            repo.ingest(_samples(n=2))
+            repo.ingest([AgentSample("db1", "cpu", 0.0, 99.0)])
+            series = repo.load_series("db1", "cpu", frequency=Frequency.MINUTE_15)
+            assert series.values[0] == 99.0
+
+    def test_counts_and_catalog(self):
+        with MetricsRepository() as repo:
+            repo.ingest(_samples())
+            repo.ingest(_samples(metric="memory"))
+            repo.ingest(_samples(instance="db2"))
+            assert repo.instances() == ["db1", "db2"]
+            assert repo.metrics("db1") == ["cpu", "memory"]
+            assert repo.sample_count("db1", "cpu") == 8
+
+    def test_missing_series_raises(self):
+        with MetricsRepository() as repo:
+            with pytest.raises(RepositoryError):
+                repo.load_series("nope", "cpu")
+
+
+class TestAggregation:
+    def test_hourly_aggregation(self):
+        with MetricsRepository() as repo:
+            repo.ingest(_samples(n=8, value=0.0))  # values 0..7 at 15-min
+            hourly = repo.load_series("db1", "cpu", frequency=Frequency.HOURLY)
+            assert len(hourly) == 2
+            assert hourly.values[0] == pytest.approx(np.mean([0, 1, 2, 3]))
+
+    def test_gaps_become_nan_at_raw_grid(self):
+        samples = _samples(n=8)
+        del samples[3]
+        with MetricsRepository() as repo:
+            repo.ingest(samples)
+            raw = repo.load_series("db1", "cpu", frequency=Frequency.MINUTE_15)
+            assert np.isnan(raw.values[3])
+            # The hourly bucket still has 3 of 4 polls → finite value.
+            hourly = repo.load_series("db1", "cpu", frequency=Frequency.HOURLY)
+            assert np.isfinite(hourly.values[0])
+
+
+class TestLifecycle:
+    def test_closed_repo_rejects_operations(self):
+        repo = MetricsRepository()
+        repo.close()
+        with pytest.raises(RepositoryError):
+            repo.ingest(_samples())
+        repo.close()  # idempotent
+
+    def test_file_persistence(self, tmp_path):
+        path = str(tmp_path / "metrics.db")
+        with MetricsRepository(path) as repo:
+            repo.ingest(_samples())
+        with MetricsRepository(path) as repo:
+            assert repo.sample_count("db1", "cpu") == 8
+
+
+class TestModelStore:
+    def test_store_and_load(self):
+        with MetricsRepository() as repo:
+            repo.store_model(
+                "db1", "cpu", fitted_at=1000.0, label="SARIMAX (1,1,1)(1,1,1,24)",
+                spec={"order": [1, 1, 1]}, rmse=8.42,
+            )
+            record = repo.load_model("db1", "cpu")
+            assert record.label == "SARIMAX (1,1,1)(1,1,1,24)"
+            assert record.spec == {"order": [1, 1, 1]}
+            assert record.rmse == 8.42
+
+    def test_missing_model_returns_none(self):
+        with MetricsRepository() as repo:
+            assert repo.load_model("db1", "cpu") is None
+
+    def test_replace_on_retrain(self):
+        with MetricsRepository() as repo:
+            repo.store_model("db1", "cpu", 1000.0, "A", {}, 5.0)
+            repo.store_model("db1", "cpu", 2000.0, "B", {}, 4.0)
+            assert repo.load_model("db1", "cpu").label == "B"
+
+    def test_weekly_purge(self):
+        with MetricsRepository() as repo:
+            repo.store_model("db1", "cpu", 1000.0, "old", {}, 5.0)
+            repo.store_model("db1", "memory", 9000.0, "new", {}, 5.0)
+            purged = repo.purge_models_older_than(5000.0)
+            assert purged == 1
+            assert repo.load_model("db1", "cpu") is None
+            assert repo.load_model("db1", "memory") is not None

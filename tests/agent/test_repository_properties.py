@@ -1,0 +1,72 @@
+"""Property-based tests for the metrics repository round trip."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agent import AgentSample, MetricsRepository
+from repro.core import Frequency
+
+
+class TestRoundTripProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=500),  # slot index
+                st.floats(min_value=-1e6, max_value=1e6),
+            ),
+            min_size=1,
+            max_size=60,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_values_survive_storage(self, slot_values):
+        samples = [
+            AgentSample("db", "m", timestamp=slot * 900.0, value=value)
+            for slot, value in slot_values
+        ]
+        with MetricsRepository() as repo:
+            repo.ingest(samples)
+            series = repo.load_series(
+                "db", "m", frequency=Frequency.MINUTE_15, raw_frequency=Frequency.MINUTE_15
+            )
+        stored = {}
+        for i, v in enumerate(series.values):
+            if np.isfinite(v):
+                stored[int(round(series.timestamps[i] / 900.0))] = v
+        expected = {slot: value for slot, value in slot_values}
+        min_slot = min(expected)
+        for slot, value in expected.items():
+            assert stored[slot - min_slot + int(round(series.start / 900.0))] == pytest.approx(
+                value, rel=1e-9, abs=1e-9
+            )
+
+    @given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_hourly_aggregation_matches_manual_mean(self, n_hours, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(100, 10, n_hours * 4)
+        samples = [
+            AgentSample("db", "m", timestamp=i * 900.0, value=float(v))
+            for i, v in enumerate(values)
+        ]
+        with MetricsRepository() as repo:
+            repo.ingest(samples)
+            hourly = repo.load_series("db", "m", frequency=Frequency.HOURLY)
+        manual = values.reshape(n_hours, 4).mean(axis=1)
+        assert np.allclose(hourly.values, manual)
+
+    @given(st.sampled_from([Frequency.MINUTE_15, Frequency.HOURLY, Frequency.DAILY]))
+    @settings(max_examples=10, deadline=None)
+    def test_raw_frequency_inferred(self, freq):
+        samples = [
+            AgentSample("db", "m", timestamp=i * float(freq.seconds), value=float(i))
+            for i in range(30)
+        ]
+        with MetricsRepository() as repo:
+            repo.ingest(samples)
+            series = repo.load_series("db", "m", frequency=freq)
+        assert len(series) == 30
+        assert np.allclose(series.values, np.arange(30.0))

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def daily_series(rng) -> TimeSeries:
+    """Hourly series with a clean daily cycle and mild noise."""
+    t = np.arange(600)
+    values = 50.0 + 10.0 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1.0, t.size)
+    return TimeSeries(values, Frequency.HOURLY, name="cpu")
+
+
+@pytest.fixture
+def trending_series(rng) -> TimeSeries:
+    """Hourly series with trend + daily cycle (Experiment Two shape)."""
+    t = np.arange(800)
+    values = (
+        100.0
+        + 0.1 * t
+        + 12.0 * np.sin(2 * np.pi * t / 24)
+        + rng.normal(0, 2.0, t.size)
+    )
+    return TimeSeries(values, Frequency.HOURLY, name="iops")
+
+
+@pytest.fixture
+def multiseasonal_series(rng) -> TimeSeries:
+    """Hourly series with daily + weekly cycles (challenge C3)."""
+    t = np.arange(1100)
+    values = (
+        80.0
+        + 10.0 * np.sin(2 * np.pi * t / 24)
+        + 5.0 * np.sin(2 * np.pi * t / 168)
+        + rng.normal(0, 1.0, t.size)
+    )
+    return TimeSeries(values, Frequency.HOURLY, name="memory")
+
+
+@pytest.fixture
+def shocked_series(rng) -> TimeSeries:
+    """Hourly series with a nightly backup spike (challenge C4)."""
+    t = np.arange(720)
+    values = 60.0 + 8.0 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1.0, t.size)
+    values[(t % 24) == 0] += 30.0
+    return TimeSeries(values, Frequency.HOURLY, name="iops")
+
+
+@pytest.fixture
+def white_noise(rng) -> TimeSeries:
+    return TimeSeries(rng.normal(0, 1, 400), Frequency.HOURLY, name="noise")

@@ -1,0 +1,101 @@
+"""Tests for the Box–Cox transform and Guerrero lambda selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import boxcox, guerrero_lambda, inv_boxcox
+from repro.exceptions import DataError
+
+
+class TestTransform:
+    def test_lambda_zero_is_log(self):
+        y = np.array([1.0, np.e, np.e**2])
+        assert np.allclose(boxcox(y, 0.0), [0.0, 1.0, 2.0])
+
+    def test_lambda_one_is_shift(self):
+        y = np.array([1.0, 2.0, 5.0])
+        assert np.allclose(boxcox(y, 1.0), y - 1.0)
+
+    def test_lambda_half(self):
+        y = np.array([4.0, 9.0])
+        assert np.allclose(boxcox(y, 0.5), [(2 - 1) / 0.5, (3 - 1) / 0.5])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DataError):
+            boxcox(np.array([1.0, 0.0]), 0.5)
+        with pytest.raises(DataError):
+            boxcox(np.array([-1.0]), 0.5)
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError):
+            boxcox(np.array([1.0, np.nan]), 0.5)
+
+
+class TestInverse:
+    @pytest.mark.parametrize("lam", [-1.0, -0.5, 0.0, 0.33, 1.0, 2.0])
+    def test_roundtrip(self, lam):
+        y = np.linspace(0.5, 100.0, 50)
+        assert np.allclose(inv_boxcox(boxcox(y, lam), lam), y, rtol=1e-8)
+
+    def test_out_of_domain_clipped(self):
+        # For lambda=2, z < -0.5 has no real preimage; must not crash.
+        out = inv_boxcox(np.array([-10.0]), 2.0)
+        assert np.isfinite(out).all()
+        assert out[0] >= 0.0
+
+
+class TestGuerrero:
+    def test_log_data_prefers_lambda_near_zero(self):
+        rng = np.random.default_rng(0)
+        t = np.arange(600)
+        # Amplitude proportional to level → log stabilises the variance.
+        level = np.exp(0.004 * t)
+        y = level * (10.0 + np.sin(2 * np.pi * t / 24)) + rng.normal(0, 0.01, 600)
+        lam = guerrero_lambda(y, period=24)
+        assert lam < 0.5
+
+    def test_stable_data_prefers_lambda_near_one(self):
+        rng = np.random.default_rng(1)
+        t = np.arange(600)
+        y = 100.0 + 10 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1, 600)
+        lam = guerrero_lambda(y, period=24)
+        assert lam > 0.5
+
+    def test_respects_bounds(self):
+        rng = np.random.default_rng(2)
+        y = rng.uniform(1, 10, 200)
+        lam = guerrero_lambda(y, period=4, bounds=(0.0, 1.0))
+        assert 0.0 <= lam <= 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(DataError):
+            guerrero_lambda(np.array([1.0, -2.0] * 20), period=4)
+
+    def test_rejects_too_short(self):
+        with pytest.raises(DataError):
+            guerrero_lambda(np.array([1.0, 2.0, 3.0]), period=4)
+
+    def test_constant_within_groups_returns_one(self):
+        y = np.tile([5.0], 100)
+        assert guerrero_lambda(y, period=10) == 1.0
+
+
+class TestBoxcoxProperties:
+    @given(
+        st.floats(min_value=-1.0, max_value=2.0),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_any_lambda(self, lam, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.uniform(0.1, 1000.0, 50)
+        assert np.allclose(inv_boxcox(boxcox(y, lam), lam), y, rtol=1e-6)
+
+    @given(st.floats(min_value=-1.0, max_value=2.0))
+    @settings(max_examples=25, deadline=None)
+    def test_monotone(self, lam):
+        y = np.linspace(0.1, 50.0, 100)
+        z = boxcox(y, lam)
+        assert np.all(np.diff(z) > 0)

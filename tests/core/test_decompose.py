@@ -1,0 +1,140 @@
+"""Tests for classical seasonal decomposition and strength measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TimeSeries, decompose, seasonal_strength, trend_strength
+from repro.exceptions import DataError
+
+
+def seasonal_signal(n=480, period=24, amp=10.0, trend=0.0, noise=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return (
+        50.0
+        + trend * t
+        + amp * np.sin(2 * np.pi * t / period)
+        + rng.normal(0, noise, n)
+    )
+
+
+class TestDecompose:
+    def test_additive_recovers_profile(self):
+        x = seasonal_signal()
+        dec = decompose(x, 24)
+        profile = dec.seasonal_profile
+        expected = 10.0 * np.sin(2 * np.pi * np.arange(24) / 24)
+        assert np.allclose(profile, expected, atol=0.6)
+
+    def test_seasonal_sums_to_zero_additive(self):
+        dec = decompose(seasonal_signal(), 24)
+        assert dec.seasonal_profile.sum() == pytest.approx(0.0, abs=1e-9)
+
+    def test_multiplicative_profile_averages_one(self):
+        x = seasonal_signal(amp=5.0) + 100.0
+        dec = decompose(x, 24, model="multiplicative")
+        assert dec.seasonal_profile.mean() == pytest.approx(1.0, abs=1e-9)
+
+    def test_trend_tracks_linear_growth(self):
+        x = seasonal_signal(trend=0.2, noise=0.1)
+        dec = decompose(x, 24)
+        inner = dec.trend[50:-50]
+        slopes = np.diff(inner)
+        assert np.nanmean(slopes) == pytest.approx(0.2, abs=0.02)
+
+    def test_trend_nan_at_edges(self):
+        dec = decompose(seasonal_signal(), 24)
+        assert np.isnan(dec.trend[0]) and np.isnan(dec.trend[-1])
+        assert np.isfinite(dec.trend[24:-24]).all()
+
+    def test_residual_reconstruction_additive(self):
+        x = seasonal_signal()
+        dec = decompose(x, 24)
+        mask = np.isfinite(dec.trend)
+        recon = dec.trend[mask] + dec.seasonal[mask] + dec.residual[mask]
+        assert np.allclose(recon, x[mask])
+
+    def test_residual_reconstruction_multiplicative(self):
+        x = seasonal_signal(amp=5.0) + 100
+        dec = decompose(x, 24, model="multiplicative")
+        mask = np.isfinite(dec.trend)
+        recon = dec.trend[mask] * dec.seasonal[mask] * dec.residual[mask]
+        assert np.allclose(recon, x[mask])
+
+    def test_odd_period(self):
+        x = seasonal_signal(period=7, n=100)
+        dec = decompose(x, 7)
+        assert dec.period == 7
+        assert np.isfinite(dec.trend[10:-10]).all()
+
+    def test_rejects_short_series(self):
+        with pytest.raises(DataError):
+            decompose(np.arange(30.0), 24)
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(DataError):
+            decompose(np.arange(100.0), 1)
+
+    def test_multiplicative_rejects_nonpositive(self):
+        x = seasonal_signal() - 100.0
+        with pytest.raises(DataError):
+            decompose(x, 24, model="multiplicative")
+
+    def test_unknown_model(self):
+        with pytest.raises(DataError):
+            decompose(seasonal_signal(), 24, model="magic")
+
+
+class TestStrengths:
+    def test_seasonal_strength_high_for_seasonal(self):
+        assert seasonal_strength(seasonal_signal(noise=0.5), 24) > 0.9
+
+    def test_seasonal_strength_low_for_noise(self, white_noise):
+        assert seasonal_strength(white_noise, 24) < 0.3
+
+    def test_seasonal_strength_zero_for_constant(self):
+        assert seasonal_strength(np.ones(100), 24) == 0.0
+
+    def test_seasonal_strength_zero_when_too_short(self):
+        assert seasonal_strength(np.arange(10.0), 24) == 0.0
+
+    def test_trend_strength_high_for_trending(self):
+        x = seasonal_signal(trend=0.3)
+        assert trend_strength(x, 24) > 0.9
+
+    def test_trend_strength_low_for_noise(self, white_noise):
+        assert trend_strength(white_noise, 24) < 0.5
+
+    def test_trend_strength_without_period(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(200.0) * 0.5 + rng.normal(0, 1, 200)
+        assert trend_strength(x) > 0.9
+
+    def test_strengths_in_unit_interval(self):
+        x = seasonal_signal(trend=0.1, noise=3.0)
+        assert 0.0 <= seasonal_strength(x, 24) <= 1.0
+        assert 0.0 <= trend_strength(x, 24) <= 1.0
+
+
+class TestDecomposeProperties:
+    @given(
+        st.integers(min_value=0, max_value=300),
+        st.integers(min_value=2, max_value=20),
+        st.floats(min_value=0.5, max_value=50.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_reconstruction_always_holds(self, seed, period, amp):
+        x = seasonal_signal(n=6 * period + 11, period=period, amp=amp, seed=seed)
+        dec = decompose(x, period)
+        mask = np.isfinite(dec.trend)
+        recon = dec.trend[mask] + dec.seasonal[mask] + dec.residual[mask]
+        assert np.allclose(recon, x[mask])
+
+    @given(st.floats(min_value=1.0, max_value=100.0))
+    @settings(max_examples=20, deadline=None)
+    def test_strength_increases_with_amplitude_dominance(self, amp):
+        weak = seasonal_signal(amp=0.1, noise=1.0)
+        strong = seasonal_signal(amp=amp * 10, noise=1.0)
+        assert seasonal_strength(strong, 24) >= seasonal_strength(weak, 24)

@@ -1,0 +1,133 @@
+"""Tests for Fourier regressors, the periodogram and seasonality detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TimeSeries, detect_seasonalities, fourier_terms, periodogram
+from repro.exceptions import DataError
+
+
+class TestFourierTerms:
+    def test_shape(self):
+        X = fourier_terms(100, [24, 168], [3, 2])
+        assert X.shape == (100, 2 * (3 + 2))
+
+    def test_columns_bounded(self):
+        X = fourier_terms(500, [24], [3])
+        assert np.all(np.abs(X) <= 1.0 + 1e-12)
+
+    def test_periodicity(self):
+        X = fourier_terms(96, [24], [2])
+        assert np.allclose(X[:24], X[24:48])
+
+    def test_start_continues_phase(self):
+        full = fourier_terms(200, [24], [2])
+        tail = fourier_terms(50, [24], [2], start=150)
+        assert np.allclose(full[150:], tail)
+
+    def test_orthogonality_over_full_periods(self):
+        X = fourier_terms(240, [24], [3])
+        gram = X.T @ X
+        off_diag = gram - np.diag(np.diag(gram))
+        assert np.all(np.abs(off_diag) < 1e-8)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            fourier_terms(10, [24], [3, 2])
+        with pytest.raises(DataError):
+            fourier_terms(0, [24], [1])
+        with pytest.raises(DataError):
+            fourier_terms(10, [1], [1])
+        with pytest.raises(DataError):
+            fourier_terms(10, [24], [0])
+        with pytest.raises(DataError):
+            fourier_terms(10, [4], [3])  # 2K > P
+
+
+class TestPeriodogram:
+    def test_finds_dominant_period(self):
+        t = np.arange(480)
+        y = np.sin(2 * np.pi * t / 24)
+        periods, power = periodogram(y)
+        assert periods[0] == pytest.approx(24.0, rel=0.05)
+
+    def test_detrending_removes_trend_peak(self):
+        t = np.arange(480.0)
+        y = 0.5 * t + np.sin(2 * np.pi * t / 24)
+        periods, __ = periodogram(y, detrend=True)
+        assert periods[0] == pytest.approx(24.0, rel=0.05)
+
+    def test_power_sorted_descending(self):
+        rng = np.random.default_rng(0)
+        __, power = periodogram(rng.normal(size=128))
+        assert np.all(np.diff(power) <= 1e-12)
+
+    def test_too_short(self):
+        with pytest.raises(DataError):
+            periodogram(np.arange(5.0))
+
+
+class TestDetectSeasonalities:
+    def test_single_daily(self, daily_series):
+        report = detect_seasonalities(daily_series, candidates=[24, 168])
+        assert report.periods == [24]
+        assert not report.multiple
+        assert report.primary == 24
+
+    def test_daily_plus_weekly(self, multiseasonal_series):
+        report = detect_seasonalities(multiseasonal_series, candidates=[24, 168])
+        assert report.periods == [24, 168]
+        assert report.multiple
+
+    def test_white_noise_none(self, white_noise):
+        report = detect_seasonalities(white_noise, candidates=[24])
+        assert report.periods == []
+        assert report.primary is None
+
+    def test_discovers_unlisted_period(self):
+        rng = np.random.default_rng(5)
+        t = np.arange(600)
+        y = 10 * np.sin(2 * np.pi * t / 37) + rng.normal(0, 0.5, 600)
+        report = detect_seasonalities(TimeSeries(y))
+        # Periodogram resolution near 37 is ~1 sample at this length.
+        assert any(abs(p - 37) <= 1 for p in report.periods)
+
+    def test_spike_train_attributed_to_daily(self):
+        # 6-hourly backups are 24-periodic; the detector must not invent
+        # spurious short periods for them once 24 is confirmed.
+        rng = np.random.default_rng(6)
+        t = np.arange(720)
+        y = 100 + 10 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1, 720)
+        y[(t % 6) == 0] += 50
+        report = detect_seasonalities(TimeSeries(y), candidates=[24, 168])
+        assert 24 in report.periods
+        assert 168 not in report.periods
+
+    def test_strengths_aligned_with_periods(self, multiseasonal_series):
+        report = detect_seasonalities(multiseasonal_series, candidates=[24, 168])
+        assert len(report.strengths) == len(report.periods)
+        assert all(0.0 <= s <= 1.0 for s in report.strengths)
+
+    def test_max_periods_respected(self, multiseasonal_series):
+        report = detect_seasonalities(
+            multiseasonal_series, candidates=[24, 168], max_periods=1
+        )
+        assert len(report.periods) == 1
+
+
+class TestFourierProperties:
+    @given(
+        st.integers(min_value=2, max_value=50),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_design_matrix_shape_invariant(self, period, order):
+        if 2 * order > period:
+            order = max(1, period // 2)
+        X = fourier_terms(3 * period, [period], [order])
+        assert X.shape == (3 * period, 2 * order)
+        # One full period later the regressors repeat.
+        Y = fourier_terms(3 * period, [period], [order], start=period)
+        assert np.allclose(X[period : 2 * period], Y[: period])

@@ -1,0 +1,61 @@
+"""Tests for Frequency definitions and the Table 1 split rules."""
+
+import pytest
+
+from repro.core import SPLIT_RULES, Frequency, SplitRule
+
+
+class TestFrequency:
+    def test_seconds(self):
+        assert Frequency.MINUTE_15.seconds == 900
+        assert Frequency.HOURLY.seconds == 3600
+        assert Frequency.DAILY.seconds == 86400
+        assert Frequency.WEEKLY.seconds == 7 * 86400
+
+    def test_samples_per_day(self):
+        assert Frequency.MINUTE_15.samples_per_day == 96
+        assert Frequency.HOURLY.samples_per_day == 24
+
+    def test_default_periods(self):
+        assert Frequency.HOURLY.default_period == 24
+        assert Frequency.DAILY.default_period == 7
+        assert Frequency.MONTHLY.default_period == 12
+
+    def test_secondary_periods(self):
+        assert Frequency.HOURLY.secondary_period == 168
+        assert Frequency.DAILY.secondary_period is None
+
+    def test_labels(self):
+        assert Frequency.HOURLY.label() == "Hourly"
+
+
+class TestTable1Rules:
+    """The exact observation budgets of the paper's Table 1."""
+
+    @pytest.mark.parametrize(
+        "freq,obs,train,test,horizon",
+        [
+            (Frequency.HOURLY, 1008, 984, 24, 24),
+            (Frequency.DAILY, 90, 83, 7, 7),
+            (Frequency.WEEKLY, 92, 88, 4, 4),
+        ],
+    )
+    def test_paper_values(self, freq, obs, train, test, horizon):
+        rule = freq.split_rule
+        assert rule.observations == obs
+        assert rule.train_size == train
+        assert rule.test_size == test
+        assert rule.horizon == horizon
+
+    def test_undefined_granularity_raises(self):
+        with pytest.raises(KeyError):
+            Frequency.MINUTE_15.split_rule
+
+    def test_rule_consistency_validated(self):
+        with pytest.raises(ValueError):
+            SplitRule(observations=10, train_size=8, test_size=3, horizon=3)
+        with pytest.raises(ValueError):
+            SplitRule(observations=10, train_size=8, test_size=2, horizon=0)
+
+    def test_registry_complete(self):
+        assert set(SPLIT_RULES) == {Frequency.HOURLY, Frequency.DAILY, Frequency.WEEKLY}

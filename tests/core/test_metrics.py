@@ -1,0 +1,181 @@
+"""Tests for forecast accuracy metrics and information criteria."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    TimeSeries,
+    accuracy_report,
+    aic,
+    aicc,
+    bic,
+    mae,
+    mapa,
+    mape,
+    mase,
+    rmse,
+    smape,
+)
+from repro.exceptions import DataError
+
+
+class TestRmse:
+    def test_perfect(self):
+        assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        # errors 3, 4 → sqrt((9+16)/2)
+        assert rmse([0.0, 0.0], [3.0, 4.0]) == pytest.approx(math.sqrt(12.5))
+
+    def test_accepts_timeseries(self):
+        a = TimeSeries([1.0, 2.0])
+        b = TimeSeries([2.0, 3.0])
+        assert rmse(a, b) == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(DataError):
+            rmse([1.0], [1.0, 2.0])
+
+    def test_nan_pairs_skipped(self):
+        assert rmse([1.0, np.nan, 3.0], [1.0, 5.0, 3.0]) == 0.0
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(DataError):
+            rmse([np.nan], [1.0])
+
+
+class TestMape:
+    def test_known_value(self):
+        assert mape([100.0, 200.0], [110.0, 180.0]) == pytest.approx(10.0)
+
+    def test_zero_actuals_excluded(self):
+        assert mape([0.0, 100.0], [5.0, 110.0]) == pytest.approx(10.0)
+
+    def test_all_zero_actuals(self):
+        assert math.isinf(mape([0.0, 0.0], [1.0, 1.0]))
+
+
+class TestMapa:
+    def test_complement_of_mape(self):
+        actual = [100.0, 200.0, 300.0]
+        predicted = [90.0, 210.0, 290.0]
+        assert mapa(actual, predicted) == pytest.approx(100.0 - mape(actual, predicted))
+
+    def test_floored_at_zero(self):
+        # MAPE way above 100 %.
+        assert mapa([1.0], [100.0]) == 0.0
+
+    def test_inf_mape_gives_zero(self):
+        assert mapa([0.0], [1.0]) == 0.0
+
+
+class TestSmape:
+    def test_symmetric(self):
+        assert smape([100.0], [110.0]) == pytest.approx(smape([110.0], [100.0]))
+
+    def test_bounded(self):
+        assert smape([1.0], [-1.0]) <= 200.0
+
+    def test_both_zero(self):
+        assert smape([0.0], [0.0]) == 0.0
+
+
+class TestMase:
+    def test_equals_one_for_naive(self):
+        train = np.arange(50.0)
+        actual = np.array([50.0, 51.0])
+        # naive forecast = last value of actual shifted: error 1 per step
+        predicted = actual - 1.0
+        scale_errors = np.abs(np.diff(train)).mean()  # = 1
+        assert mase(actual, predicted, train) == pytest.approx(1.0 / scale_errors)
+
+    def test_seasonal_scaling(self):
+        train = np.tile([0.0, 10.0], 30)
+        assert mase([5.0], [5.0], train, season=2) == 0.0
+
+    def test_short_training_rejected(self):
+        with pytest.raises(DataError):
+            mase([1.0], [1.0], [1.0], season=2)
+
+    def test_constant_training_inf(self):
+        assert math.isinf(mase([1.0], [2.0], np.ones(10)))
+
+
+class TestInformationCriteria:
+    def test_aic_penalises_parameters(self):
+        assert aic(100.0, 50, 5) > aic(100.0, 50, 2)
+
+    def test_bic_penalises_harder_for_large_n(self):
+        n = 1000
+        assert bic(100.0, n, 5) - bic(100.0, n, 2) > aic(100.0, n, 5) - aic(100.0, n, 2)
+
+    def test_aicc_exceeds_aic(self):
+        assert aicc(100.0, 30, 5) > aic(100.0, 30, 5)
+
+    def test_aicc_inf_when_saturated(self):
+        assert math.isinf(aicc(100.0, 6, 5))
+
+    def test_zero_sse_is_finite(self):
+        assert np.isfinite(aic(0.0, 10, 1))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DataError):
+            aic(1.0, 0, 1)
+        with pytest.raises(DataError):
+            aic(-1.0, 10, 1)
+
+
+class TestAccuracyReport:
+    def test_bundles_all_metrics(self):
+        report = accuracy_report([100.0, 200.0], [90.0, 210.0])
+        assert report.rmse == pytest.approx(rmse([100.0, 200.0], [90.0, 210.0]))
+        assert report.mapa == pytest.approx(100.0 - report.mape)
+        d = report.as_dict()
+        assert set(d) == {"rmse", "mae", "mape", "mapa", "smape"}
+
+
+class TestMetricProperties:
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=50),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rmse_nonnegative_and_zero_iff_equal(self, values):
+        arr = np.asarray(values)
+        assert rmse(arr, arr) == 0.0
+        shifted = arr + 1.0
+        assert rmse(arr, shifted) == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=1e4), min_size=2, max_size=50),
+        st.floats(min_value=0.5, max_value=2.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rmse_dominates_mae(self, values, factor):
+        actual = np.asarray(values)
+        predicted = actual * factor
+        assert rmse(actual, predicted) >= mae(actual, predicted) - 1e-9
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e4), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_mapa_complements_mape_when_under_100(self, values):
+        actual = np.asarray(values)
+        predicted = actual * 1.05
+        m = mape(actual, predicted)
+        assert m < 100.0
+        assert mapa(actual, predicted) == pytest.approx(100.0 - m)
+
+    @given(
+        st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=1, max_size=40),
+        st.floats(min_value=-100, max_value=100),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_rmse_translation_invariant(self, values, shift):
+        actual = np.asarray(values)
+        predicted = actual + 1.0
+        assert rmse(actual + shift, predicted + shift) == pytest.approx(
+            rmse(actual, predicted), abs=1e-6
+        )

@@ -1,0 +1,142 @@
+"""Tests for gap repair, winsorisation and standardisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Frequency,
+    TimeSeries,
+    find_gaps,
+    interpolate_missing,
+    standardize,
+    winsorize,
+)
+from repro.exceptions import DataError
+
+
+class TestFindGaps:
+    def test_no_gaps(self):
+        assert find_gaps(TimeSeries([1.0, 2.0, 3.0])) == []
+
+    def test_single_gap(self):
+        gaps = find_gaps(TimeSeries([1.0, np.nan, np.nan, 4.0]))
+        assert len(gaps) == 1
+        assert gaps[0].start_index == 1
+        assert gaps[0].length == 2
+        assert gaps[0].end_index == 3
+
+    def test_multiple_gaps(self):
+        gaps = find_gaps(TimeSeries([np.nan, 1.0, np.nan, 2.0, np.nan]))
+        assert [(g.start_index, g.length) for g in gaps] == [(0, 1), (2, 1), (4, 1)]
+
+
+class TestInterpolate:
+    def test_linear_fill(self):
+        ts = TimeSeries([0.0, np.nan, np.nan, 3.0])
+        filled = interpolate_missing(ts)
+        assert np.allclose(filled.values, [0.0, 1.0, 2.0, 3.0])
+
+    def test_leading_gap_extends_nearest(self):
+        filled = interpolate_missing(TimeSeries([np.nan, np.nan, 5.0, 6.0]))
+        assert list(filled.values[:2]) == [5.0, 5.0]
+
+    def test_trailing_gap_extends_nearest(self):
+        filled = interpolate_missing(TimeSeries([1.0, 2.0, np.nan]))
+        assert filled.values[-1] == 2.0
+
+    def test_no_missing_returns_same(self):
+        ts = TimeSeries([1.0, 2.0])
+        assert interpolate_missing(ts) is ts
+
+    def test_known_values_untouched(self):
+        ts = TimeSeries([1.0, np.nan, 7.0])
+        filled = interpolate_missing(ts)
+        assert filled.values[0] == 1.0 and filled.values[2] == 7.0
+
+    def test_all_missing_rejected(self):
+        with pytest.raises(DataError):
+            interpolate_missing(TimeSeries([np.nan, np.nan]))
+
+    def test_max_gap_guard(self):
+        ts = TimeSeries([1.0] + [np.nan] * 5 + [2.0])
+        with pytest.raises(DataError):
+            interpolate_missing(ts, max_gap=3)
+        assert interpolate_missing(ts, max_gap=5).is_finite()
+
+    def test_metadata_preserved(self):
+        ts = TimeSeries([1.0, np.nan, 2.0], Frequency.DAILY, start=99.0, name="m")
+        filled = interpolate_missing(ts)
+        assert filled.frequency is Frequency.DAILY
+        assert filled.start == 99.0
+        assert filled.name == "m"
+
+
+class TestWinsorize:
+    def test_clips_extremes(self):
+        values = np.concatenate([np.ones(98), [1000.0, -1000.0]])
+        out = winsorize(TimeSeries(values), 0.02, 0.98)
+        assert out.values.max() < 1000.0
+        assert out.values.min() > -1000.0
+
+    def test_interior_untouched(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0, 1, 1000)
+        out = winsorize(TimeSeries(values), 0.001, 0.999)
+        inner = np.abs(values) < 1.0
+        assert np.allclose(out.values[inner], values[inner])
+
+    def test_invalid_quantiles(self):
+        with pytest.raises(DataError):
+            winsorize(TimeSeries([1.0, 2.0]), 0.9, 0.1)
+
+
+class TestStandardize:
+    def test_zero_mean_unit_std(self):
+        rng = np.random.default_rng(1)
+        ts = TimeSeries(rng.normal(50, 7, 500))
+        scaled, mean, std = standardize(ts)
+        assert scaled.values.mean() == pytest.approx(0.0, abs=1e-9)
+        assert scaled.values.std() == pytest.approx(1.0, abs=1e-9)
+
+    def test_invertible(self):
+        ts = TimeSeries([3.0, 5.0, 9.0])
+        scaled, mean, std = standardize(ts)
+        assert np.allclose(scaled.values * std + mean, ts.values)
+
+    def test_constant_series_safe(self):
+        scaled, mean, std = standardize(TimeSeries([4.0, 4.0, 4.0]))
+        assert std == 1.0
+        assert np.allclose(scaled.values, 0.0)
+
+
+class TestInterpolateProperties:
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=5, max_value=80),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_idempotent_and_finite(self, seed, n):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(0, 1, n)
+        mask = rng.random(n) < 0.3
+        if mask.all():
+            mask[0] = False
+        values[mask] = np.nan
+        ts = TimeSeries(values)
+        once = interpolate_missing(ts)
+        assert once.is_finite()
+        twice = interpolate_missing(once)
+        assert np.array_equal(once.values, twice.values)
+
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=30, deadline=None)
+    def test_fill_bounded_by_neighbours(self, seed):
+        rng = np.random.default_rng(seed)
+        values = rng.normal(0, 1, 50)
+        values[10:15] = np.nan
+        filled = interpolate_missing(TimeSeries(values)).values
+        lo, hi = min(values[9], values[15]), max(values[9], values[15])
+        assert np.all(filled[10:15] >= lo - 1e-12)
+        assert np.all(filled[10:15] <= hi + 1e-12)

@@ -1,0 +1,197 @@
+"""Tests for ADF/KPSS tests, differencing and order heuristics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    TimeSeries,
+    adf_test,
+    difference,
+    integrate,
+    kpss_test,
+    ndiffs,
+    nsdiffs,
+)
+from repro.exceptions import DataError
+
+
+def random_walk(n: int = 500, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.normal(size=n))
+
+
+def stationary_ar(n: int = 500, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    x = np.zeros(n)
+    for t in range(1, n):
+        x[t] = 0.5 * x[t - 1] + rng.normal()
+    return x
+
+
+class TestAdf:
+    def test_stationary_series_rejected_null(self):
+        result = adf_test(stationary_ar())
+        assert result.stationary
+        assert result.p_value <= 0.05
+
+    def test_random_walk_not_rejected(self):
+        result = adf_test(random_walk())
+        assert not result.stationary
+        assert result.p_value > 0.05
+
+    def test_differenced_walk_stationary(self):
+        walk = random_walk()
+        assert adf_test(np.diff(walk)).stationary
+
+    def test_trend_regression(self):
+        rng = np.random.default_rng(3)
+        t = np.arange(400.0)
+        trend_stationary = 0.5 * t + stationary_ar(400, seed=3)
+        result = adf_test(trend_stationary, regression="ct")
+        assert result.stationary
+
+    def test_critical_values_ordered(self):
+        result = adf_test(stationary_ar())
+        cv = result.critical_values
+        assert cv[0.01] < cv[0.05] < cv[0.10]
+
+    def test_invalid_regression(self):
+        with pytest.raises(DataError):
+            adf_test(stationary_ar(), regression="bogus")
+
+    def test_too_short(self):
+        with pytest.raises(DataError):
+            adf_test(np.arange(5.0))
+
+    def test_accepts_timeseries(self, daily_series):
+        assert adf_test(daily_series).n_lags >= 0
+
+
+class TestKpss:
+    def test_stationary_series_passes(self):
+        result = kpss_test(stationary_ar())
+        assert result.stationary
+
+    def test_random_walk_fails(self):
+        result = kpss_test(random_walk(seed=7))
+        assert not result.stationary
+
+    def test_trend_variant(self):
+        t = np.arange(400.0)
+        trend_stationary = 0.3 * t + stationary_ar(400, seed=5)
+        assert kpss_test(trend_stationary, regression="ct").stationary
+
+    def test_agrees_with_adf_on_clean_cases(self):
+        x = stationary_ar(seed=11)
+        assert adf_test(x).stationary and kpss_test(x).stationary
+        w = random_walk(seed=11)
+        assert (not adf_test(w).stationary) and (not kpss_test(w).stationary)
+
+
+class TestDifference:
+    def test_first_difference(self):
+        x = np.array([1.0, 3.0, 6.0])
+        assert list(difference(x, d=1)) == [2.0, 3.0]
+
+    def test_seasonal_difference(self):
+        x = np.arange(10.0)
+        out = difference(x, d=0, seasonal_d=1, period=3)
+        assert np.allclose(out, 3.0)
+
+    def test_combined_lengths(self):
+        x = np.arange(50.0)
+        out = difference(x, d=1, seasonal_d=1, period=7)
+        assert out.size == 50 - 1 - 7
+
+    def test_removes_linear_trend(self):
+        x = 2.0 * np.arange(30.0) + 5.0
+        assert np.allclose(difference(x, d=1), 2.0)
+
+    def test_too_short_raises(self):
+        with pytest.raises(DataError):
+            difference(np.array([1.0]), d=1)
+        with pytest.raises(DataError):
+            difference(np.arange(3.0), seasonal_d=1, period=5)
+
+    def test_invalid_orders(self):
+        with pytest.raises(DataError):
+            difference(np.arange(10.0), d=-1)
+        with pytest.raises(DataError):
+            difference(np.arange(10.0), seasonal_d=1, period=1)
+
+
+class TestIntegrate:
+    @pytest.mark.parametrize("d,D,period", [(1, 0, 1), (2, 0, 1), (0, 1, 24), (1, 1, 24), (1, 2, 12)])
+    def test_roundtrip(self, d, D, period):
+        rng = np.random.default_rng(4)
+        y = rng.normal(size=300).cumsum() + 50
+        h = 30
+        diffed = difference(y, d=d, seasonal_d=D, period=period)
+        rebuilt = integrate(diffed[-h:], y[:-h], d=d, seasonal_d=D, period=period)
+        assert np.allclose(rebuilt, y[-h:])
+
+    def test_horizon_longer_than_period(self):
+        y = np.arange(100.0) + np.tile([0.0, 5.0, 1.0, 2.0], 25)
+        diffed = difference(y, d=0, seasonal_d=1, period=4)
+        h = 10  # > period, exercises the recursive seasonal rebuild
+        rebuilt = integrate(diffed[-h:], y[:-h], d=0, seasonal_d=1, period=4)
+        assert np.allclose(rebuilt, y[-h:])
+
+
+class TestNdiffs:
+    def test_stationary_needs_none(self):
+        assert ndiffs(stationary_ar()) == 0
+
+    def test_random_walk_needs_one(self):
+        assert ndiffs(random_walk()) == 1
+
+    def test_double_integrated_needs_two(self):
+        walk2 = np.cumsum(random_walk(400, seed=2))
+        assert ndiffs(walk2) == 2
+
+    def test_capped_at_max(self):
+        walk2 = np.cumsum(random_walk(400, seed=2))
+        assert ndiffs(walk2, max_d=1) == 1
+
+    def test_constant_series(self):
+        assert ndiffs(np.ones(100)) == 0
+
+
+class TestNsdiffs:
+    def test_strong_seasonality_needs_one(self, daily_series):
+        assert nsdiffs(daily_series, 24) == 1
+
+    def test_white_noise_needs_none(self, white_noise):
+        assert nsdiffs(white_noise, 24) == 0
+
+    def test_period_one_is_zero(self, daily_series):
+        assert nsdiffs(daily_series, 1) == 0
+
+    def test_short_series_zero(self):
+        assert nsdiffs(np.arange(10.0), 24) == 0
+
+
+class TestStationarityProperties:
+    @given(st.integers(min_value=0, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_difference_then_integrate_identity(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.normal(size=120).cumsum()
+        diffed = difference(y, d=1)
+        rebuilt = integrate(diffed[-10:], y[:-10], d=1)
+        assert np.allclose(rebuilt, y[-10:])
+
+    @given(
+        st.integers(min_value=0, max_value=200),
+        st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_seasonal_roundtrip_any_period(self, seed, period):
+        rng = np.random.default_rng(seed)
+        y = rng.normal(size=8 * period + 17).cumsum()
+        h = period + 3
+        diffed = difference(y, d=0, seasonal_d=1, period=period)
+        rebuilt = integrate(diffed[-h:], y[:-h], d=0, seasonal_d=1, period=period)
+        assert np.allclose(rebuilt, y[-h:])

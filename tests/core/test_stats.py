@@ -1,0 +1,138 @@
+"""Tests for ACF, PACF, Ljung–Box and the correlogram."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TimeSeries, acf, correlogram, ljung_box, pacf
+from repro.exceptions import DataError
+
+
+def ar1(phi: float, n: int = 2000, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    x = np.zeros(n)
+    for t in range(1, n):
+        x[t] = phi * x[t - 1] + rng.normal()
+    return x[200:]
+
+
+class TestAcf:
+    def test_lag_zero_is_one(self):
+        assert acf(ar1(0.5), nlags=5)[0] == pytest.approx(1.0)
+
+    def test_ar1_geometric_decay(self):
+        rho = acf(ar1(0.7), nlags=3)
+        assert rho[1] == pytest.approx(0.7, abs=0.08)
+        assert rho[2] == pytest.approx(0.49, abs=0.1)
+
+    def test_white_noise_small(self, white_noise):
+        rho = acf(white_noise, nlags=10)
+        assert np.all(np.abs(rho[1:]) < 0.15)
+
+    def test_seasonal_peak(self, daily_series):
+        rho = acf(daily_series, nlags=30)
+        assert rho[24] > 0.7
+
+    def test_constant_series(self):
+        rho = acf(np.ones(50), nlags=5)
+        assert rho[0] == 1.0
+        assert np.all(rho[1:] == 0.0)
+
+    def test_nlags_clamped_to_length(self):
+        assert acf(np.arange(10.0), nlags=50).size == 10
+
+    def test_rejects_nan(self):
+        with pytest.raises(DataError):
+            acf(np.array([1.0, np.nan, 2.0]))
+
+    def test_rejects_too_short(self):
+        with pytest.raises(DataError):
+            acf(np.array([1.0]))
+
+    def test_bounds(self):
+        rho = acf(ar1(0.9), nlags=30)
+        assert np.all(np.abs(rho) <= 1.0 + 1e-9)
+
+
+class TestPacf:
+    def test_ar1_cuts_off_after_lag1(self):
+        p = pacf(ar1(0.7), nlags=6)
+        assert p[1] == pytest.approx(0.7, abs=0.08)
+        assert np.all(np.abs(p[2:]) < 0.1)
+
+    def test_ar2_cuts_off_after_lag2(self):
+        rng = np.random.default_rng(1)
+        n = 3000
+        x = np.zeros(n)
+        for t in range(2, n):
+            x[t] = 0.5 * x[t - 1] + 0.3 * x[t - 2] + rng.normal()
+        p = pacf(x[300:], nlags=6)
+        assert abs(p[2]) > 0.2
+        assert np.all(np.abs(p[3:]) < 0.1)
+
+    def test_lag_zero_is_one(self):
+        assert pacf(ar1(0.3), nlags=3)[0] == 1.0
+
+    def test_values_bounded(self):
+        p = pacf(ar1(0.95), nlags=25)
+        assert np.all(np.abs(p) <= 1.0)
+
+    def test_accepts_timeseries(self, daily_series):
+        assert pacf(daily_series, nlags=10).size == 11
+
+
+class TestLjungBox:
+    def test_white_noise_not_rejected(self, white_noise):
+        result = ljung_box(white_noise, lags=10)
+        assert result.is_white_noise()
+
+    def test_autocorrelated_rejected(self):
+        result = ljung_box(ar1(0.8), lags=10)
+        assert not result.is_white_noise()
+        assert result.p_value < 0.01
+
+    def test_df_adjusted_for_fitted_params(self, white_noise):
+        a = ljung_box(white_noise, lags=10, n_fitted_params=0)
+        b = ljung_box(white_noise, lags=10, n_fitted_params=4)
+        assert b.df == a.df - 4
+
+    def test_invalid_lags(self):
+        with pytest.raises(DataError):
+            ljung_box(np.array([1.0, 2.0]), lags=0)
+
+
+class TestCorrelogram:
+    def test_confidence_band_formula(self, white_noise):
+        gram = correlogram(white_noise, nlags=20, alpha=0.05)
+        assert gram.confidence == pytest.approx(1.96 / np.sqrt(len(white_noise)), abs=1e-3)
+
+    def test_white_noise_few_significant(self, white_noise):
+        gram = correlogram(white_noise, nlags=20)
+        # 5 % false positive rate → expect ~1 of 20, allow a little slack.
+        assert len(gram.significant_acf_lags()) <= 3
+
+    def test_seasonal_lag_flagged(self, daily_series):
+        gram = correlogram(daily_series, nlags=30)
+        assert 24 in gram.significant_acf_lags()
+
+    def test_ar1_pacf_lag1_flagged(self):
+        gram = correlogram(ar1(0.6), nlags=20)
+        assert 1 in gram.significant_pacf_lags()
+
+
+class TestStatsProperties:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_acf_of_any_series_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=100) * rng.uniform(0.1, 100)
+        rho = acf(x, nlags=20)
+        assert rho[0] == pytest.approx(1.0)
+        assert np.all(np.abs(rho) <= 1.0 + 1e-9)
+
+    @given(st.floats(min_value=-0.9, max_value=0.9), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_acf_scale_invariant(self, phi, seed):
+        x = ar1(phi, n=800, seed=seed)
+        assert np.allclose(acf(x, 10), acf(x * 7.3, 10), atol=1e-10)

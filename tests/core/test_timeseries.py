@@ -1,0 +1,281 @@
+"""Tests for the TimeSeries value type."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Frequency, TimeSeries
+from repro.exceptions import DataError, FrequencyError
+
+
+class TestConstruction:
+    def test_basic(self):
+        ts = TimeSeries([1.0, 2.0, 3.0], Frequency.HOURLY, start=100.0, name="cpu")
+        assert len(ts) == 3
+        assert ts.name == "cpu"
+        assert ts.start == 100.0
+        assert list(ts) == [1.0, 2.0, 3.0]
+
+    def test_values_are_immutable(self):
+        ts = TimeSeries([1.0, 2.0])
+        with pytest.raises(ValueError):
+            ts.values[0] = 99.0
+
+    def test_input_array_copied(self):
+        src = np.array([1.0, 2.0])
+        ts = TimeSeries(src)
+        src[0] = 99.0
+        assert ts.values[0] == 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            TimeSeries([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(DataError):
+            TimeSeries(np.zeros((3, 2)))
+
+    def test_coerces_ints(self):
+        ts = TimeSeries([1, 2, 3])
+        assert ts.values.dtype == np.float64
+
+
+class TestTimestamps:
+    def test_timestamps_spacing(self):
+        ts = TimeSeries(np.zeros(5), Frequency.HOURLY, start=10.0)
+        assert np.array_equal(ts.timestamps, 10.0 + 3600.0 * np.arange(5))
+
+    def test_end(self):
+        ts = TimeSeries(np.zeros(4), Frequency.DAILY, start=0.0)
+        assert ts.end == 3 * 86400
+
+    def test_timestamps_cached_and_readonly(self):
+        ts = TimeSeries(np.zeros(3))
+        first = ts.timestamps
+        assert ts.timestamps is first
+        with pytest.raises(ValueError):
+            first[0] = 1.0
+
+
+class TestMissing:
+    def test_has_missing(self):
+        assert TimeSeries([1.0, np.nan]).has_missing()
+        assert not TimeSeries([1.0, 2.0]).has_missing()
+
+    def test_missing_indices(self):
+        ts = TimeSeries([np.nan, 1.0, np.nan])
+        assert list(ts.missing_indices()) == [0, 2]
+
+    def test_is_finite_rejects_inf(self):
+        assert not TimeSeries([1.0, np.inf]).is_finite()
+
+
+class TestSlicing:
+    def test_slice_adjusts_start(self):
+        ts = TimeSeries(np.arange(10.0), Frequency.HOURLY, start=0.0)
+        part = ts[3:7]
+        assert part.start == 3 * 3600
+        assert list(part.values) == [3.0, 4.0, 5.0, 6.0]
+
+    def test_slice_step_rejected(self):
+        ts = TimeSeries(np.arange(10.0))
+        with pytest.raises(DataError):
+            ts[::2]
+
+    def test_empty_slice_rejected(self):
+        ts = TimeSeries(np.arange(10.0))
+        with pytest.raises(DataError):
+            ts[5:5]
+
+    def test_scalar_access(self):
+        ts = TimeSeries([1.5, 2.5])
+        assert ts[1] == 2.5
+
+    def test_tail(self):
+        ts = TimeSeries(np.arange(10.0))
+        assert list(ts.tail(3).values) == [7.0, 8.0, 9.0]
+        with pytest.raises(DataError):
+            ts.tail(0)
+        with pytest.raises(DataError):
+            ts.tail(11)
+
+
+class TestSplit:
+    def test_split(self):
+        ts = TimeSeries(np.arange(10.0))
+        a, b = ts.split(7)
+        assert len(a) == 7 and len(b) == 3
+        assert b.start == 7 * 3600
+
+    def test_split_bounds(self):
+        ts = TimeSeries(np.arange(5.0))
+        with pytest.raises(DataError):
+            ts.split(0)
+        with pytest.raises(DataError):
+            ts.split(5)
+
+    def test_table1_split_hourly(self):
+        ts = TimeSeries(np.arange(1008.0), Frequency.HOURLY)
+        train, test = ts.train_test_split()
+        assert len(train) == 984 and len(test) == 24
+
+    def test_table1_uses_most_recent_window(self):
+        ts = TimeSeries(np.arange(1200.0), Frequency.HOURLY)
+        train, test = ts.train_test_split()
+        assert test.values[-1] == 1199.0
+        assert len(train) + len(test) == 1008
+
+    def test_table1_split_daily(self):
+        ts = TimeSeries(np.arange(90.0), Frequency.DAILY)
+        train, test = ts.train_test_split()
+        assert len(train) == 83 and len(test) == 7
+
+    def test_table1_too_short(self):
+        ts = TimeSeries(np.arange(100.0), Frequency.HOURLY)
+        with pytest.raises(DataError):
+            ts.train_test_split()
+
+
+class TestAppend:
+    def test_append_contiguous(self):
+        a = TimeSeries(np.arange(5.0), Frequency.HOURLY, start=0.0)
+        b = TimeSeries(np.arange(3.0), Frequency.HOURLY, start=5 * 3600.0)
+        joined = a.append(b)
+        assert len(joined) == 8
+
+    def test_append_gap_rejected(self):
+        a = TimeSeries(np.arange(5.0), Frequency.HOURLY, start=0.0)
+        b = TimeSeries(np.arange(3.0), Frequency.HOURLY, start=9 * 3600.0)
+        with pytest.raises(DataError):
+            a.append(b)
+
+    def test_append_frequency_mismatch(self):
+        a = TimeSeries(np.arange(5.0), Frequency.HOURLY)
+        b = TimeSeries(np.arange(3.0), Frequency.DAILY, start=5 * 3600.0)
+        with pytest.raises(FrequencyError):
+            a.append(b)
+
+
+class TestAggregate:
+    def test_15min_to_hourly_mean(self):
+        values = np.tile([1.0, 2.0, 3.0, 4.0], 5)
+        ts = TimeSeries(values, Frequency.MINUTE_15)
+        hourly = ts.aggregate(Frequency.HOURLY)
+        assert len(hourly) == 5
+        assert np.allclose(hourly.values, 2.5)
+        assert hourly.frequency is Frequency.HOURLY
+
+    def test_sum_aggregation(self):
+        ts = TimeSeries(np.ones(8), Frequency.MINUTE_15)
+        assert np.allclose(ts.aggregate(Frequency.HOURLY, how="sum").values, 4.0)
+
+    def test_max_aggregation(self):
+        ts = TimeSeries(np.arange(8.0), Frequency.MINUTE_15)
+        assert list(ts.aggregate(Frequency.HOURLY, how="max").values) == [3.0, 7.0]
+
+    def test_partial_trailing_bucket_dropped(self):
+        ts = TimeSeries(np.arange(10.0), Frequency.MINUTE_15)
+        assert len(ts.aggregate(Frequency.HOURLY)) == 2
+
+    def test_nan_bucket_stays_nan(self):
+        values = np.ones(8)
+        values[4:8] = np.nan
+        hourly = TimeSeries(values, Frequency.MINUTE_15).aggregate(Frequency.HOURLY)
+        assert hourly.values[0] == 1.0
+        assert np.isnan(hourly.values[1])
+
+    def test_partial_nan_bucket_uses_available(self):
+        values = np.array([1.0, np.nan, 3.0, np.nan])
+        hourly = TimeSeries(values, Frequency.MINUTE_15).aggregate(Frequency.HOURLY)
+        assert hourly.values[0] == 2.0
+
+    def test_upsample_rejected(self):
+        ts = TimeSeries(np.arange(5.0), Frequency.HOURLY)
+        with pytest.raises(FrequencyError):
+            ts.aggregate(Frequency.MINUTE_15)
+
+    def test_unknown_how_rejected(self):
+        ts = TimeSeries(np.arange(8.0), Frequency.MINUTE_15)
+        with pytest.raises(DataError):
+            ts.aggregate(Frequency.HOURLY, how="median")
+
+
+class TestFromSamples:
+    def test_regular_samples(self):
+        samples = [(0.0, 1.0), (3600.0, 2.0), (7200.0, 3.0)]
+        ts = TimeSeries.from_samples(samples, Frequency.HOURLY)
+        assert list(ts.values) == [1.0, 2.0, 3.0]
+
+    def test_gap_becomes_nan(self):
+        samples = [(0.0, 1.0), (2 * 3600.0, 3.0)]
+        ts = TimeSeries.from_samples(samples, Frequency.HOURLY)
+        assert np.isnan(ts.values[1])
+
+    def test_duplicates_averaged(self):
+        samples = [(0.0, 1.0), (0.0, 3.0), (3600.0, 5.0)]
+        ts = TimeSeries.from_samples(samples, Frequency.HOURLY)
+        assert ts.values[0] == 2.0
+
+    def test_unsorted_input(self):
+        samples = [(3600.0, 2.0), (0.0, 1.0)]
+        ts = TimeSeries.from_samples(samples, Frequency.HOURLY)
+        assert list(ts.values) == [1.0, 2.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            TimeSeries.from_samples([], Frequency.HOURLY)
+
+
+class TestArithmetic:
+    def test_add_scalar(self):
+        ts = TimeSeries([1.0, 2.0]) + 1.0
+        assert list(ts.values) == [2.0, 3.0]
+
+    def test_add_series(self):
+        a = TimeSeries([1.0, 2.0])
+        b = TimeSeries([10.0, 20.0])
+        assert list((a + b).values) == [11.0, 22.0]
+
+    def test_mul_and_sub(self):
+        a = TimeSeries([2.0, 4.0])
+        assert list((a * 2.0).values) == [4.0, 8.0]
+        assert list((a - 1.0).values) == [1.0, 3.0]
+
+    def test_misaligned_rejected(self):
+        a = TimeSeries([1.0, 2.0])
+        b = TimeSeries([1.0, 2.0, 3.0])
+        with pytest.raises(FrequencyError):
+            a + b
+
+
+class TestSummary:
+    def test_summary_ignores_nan(self):
+        ts = TimeSeries([1.0, np.nan, 3.0])
+        s = ts.summary()
+        assert s["mean"] == 2.0
+        assert s["missing"] == 1.0
+
+    def test_summary_all_nan_rejected(self):
+        with pytest.raises(DataError):
+            TimeSeries([np.nan, np.nan]).summary()
+
+
+class TestProperties:
+    @given(st.integers(min_value=2, max_value=200), st.integers(min_value=1, max_value=199))
+    @settings(max_examples=30, deadline=None)
+    def test_split_roundtrip(self, n, k):
+        k = min(k, n - 1)
+        ts = TimeSeries(np.arange(float(n)), Frequency.HOURLY)
+        a, b = ts.split(k)
+        rejoined = a.append(b)
+        assert np.array_equal(rejoined.values, ts.values)
+        assert rejoined.start == ts.start
+
+    @given(st.integers(min_value=4, max_value=120))
+    @settings(max_examples=30, deadline=None)
+    def test_aggregate_mean_preserves_total_mean(self, n_hours):
+        values = np.arange(float(n_hours * 4))
+        ts = TimeSeries(values, Frequency.MINUTE_15)
+        hourly = ts.aggregate(Frequency.HOURLY)
+        assert np.isclose(hourly.values.mean(), values.mean())

@@ -1,0 +1,250 @@
+"""Tests for the ARIMA/SARIMA CSS estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries, rmse
+from repro.exceptions import DataError, ModelError
+from repro.models import Arima, ArimaOrder, SeasonalOrder
+
+
+def simulate_arma(phi=(), theta=(), n=2000, seed=0, mu=0.0):
+    rng = np.random.default_rng(seed)
+    p, q = len(phi), len(theta)
+    burn = 300
+    e = rng.normal(0, 1, n + burn)
+    x = np.zeros(n + burn)
+    for t in range(max(p, q), n + burn):
+        x[t] = (
+            sum(phi[i] * x[t - 1 - i] for i in range(p))
+            + e[t]
+            + sum(theta[j] * e[t - 1 - j] for j in range(q))
+        )
+    return x[burn:] + mu
+
+
+class TestOrders:
+    def test_arima_order_validation(self):
+        with pytest.raises(ModelError):
+            ArimaOrder(-1, 0, 0)
+        with pytest.raises(ModelError):
+            ArimaOrder(1, 3, 0)
+
+    def test_seasonal_order_validation(self):
+        with pytest.raises(ModelError):
+            SeasonalOrder(1, 0, 0, 1)  # seasonal terms need F >= 2
+        with pytest.raises(ModelError):
+            SeasonalOrder(0, 3, 0, 24)
+
+    def test_null_seasonal(self):
+        assert SeasonalOrder(0, 0, 0, 1).is_null
+        assert not SeasonalOrder(1, 0, 0, 24).is_null
+
+    def test_str_formats(self):
+        assert str(ArimaOrder(2, 1, 1)) == "(2,1,1)"
+        assert str(SeasonalOrder(1, 1, 1, 24)) == "(1,1,1,24)"
+
+    def test_model_trend_validation(self):
+        with pytest.raises(ModelError):
+            Arima((1, 0, 0), trend="x")
+
+    def test_fit_rejects_unknown_kwargs(self):
+        with pytest.raises(ModelError):
+            Arima((1, 0, 0)).fit(TimeSeries(np.random.default_rng(0).normal(size=100)), bogus=1)
+
+
+class TestParameterRecovery:
+    def test_ar1(self):
+        fit = Arima((1, 0, 0)).fit(TimeSeries(simulate_arma(phi=(0.7,))))
+        assert fit.coeffs[0] == pytest.approx(0.7, abs=0.06)
+
+    def test_ar2(self):
+        fit = Arima((2, 0, 0)).fit(TimeSeries(simulate_arma(phi=(0.5, 0.3), seed=1)))
+        assert fit.coeffs[0] == pytest.approx(0.5, abs=0.08)
+        assert fit.coeffs[1] == pytest.approx(0.3, abs=0.08)
+
+    def test_ma1(self):
+        fit = Arima((0, 0, 1)).fit(TimeSeries(simulate_arma(theta=(0.6,), seed=2)))
+        assert fit.coeffs[0] == pytest.approx(0.6, abs=0.08)
+
+    def test_arma11(self):
+        fit = Arima((1, 0, 1)).fit(TimeSeries(simulate_arma(phi=(0.6,), theta=(0.3,), seed=3)))
+        assert fit.coeffs[0] == pytest.approx(0.6, abs=0.1)
+        assert fit.coeffs[1] == pytest.approx(0.3, abs=0.12)
+
+    def test_mean_recovered(self):
+        fit = Arima((1, 0, 0)).fit(TimeSeries(simulate_arma(phi=(0.5,), mu=50.0, seed=4)))
+        assert fit.intercept == pytest.approx(50.0, abs=1.0)
+
+    def test_sigma2_recovered(self):
+        fit = Arima((1, 0, 0)).fit(TimeSeries(simulate_arma(phi=(0.5,), seed=5)))
+        assert fit.sigma2 == pytest.approx(1.0, abs=0.12)
+
+    def test_integrated_series(self):
+        walk = np.cumsum(simulate_arma(phi=(0.4,), seed=6)) + 100
+        fit = Arima((1, 1, 0)).fit(TimeSeries(walk))
+        assert fit.coeffs[0] == pytest.approx(0.4, abs=0.08)
+
+
+class TestStationarityEnforcement:
+    def test_estimates_stay_stationary_on_trending_data(self):
+        t = np.arange(500.0)
+        rng = np.random.default_rng(7)
+        y = 5 * t + rng.normal(0, 1, 500)
+        fit = Arima((2, 0, 1), trend="c").fit(TimeSeries(y))
+        from repro.models.polynomials import ar_poly, min_root_modulus
+
+        assert min_root_modulus(ar_poly(fit.coeffs[:2])) > 1.0
+
+
+class TestForecast:
+    def test_ar1_forecast_decays_to_mean(self):
+        fit = Arima((1, 0, 0)).fit(TimeSeries(simulate_arma(phi=(0.8,), mu=10.0, seed=8)))
+        fc = fit.forecast(50)
+        assert fc.mean.values[-1] == pytest.approx(10.0, abs=0.8)
+
+    def test_interval_widens(self):
+        fit = Arima((1, 0, 0)).fit(TimeSeries(simulate_arma(phi=(0.6,), seed=9)))
+        fc = fit.forecast(20)
+        widths = fc.upper.values - fc.lower.values
+        assert np.all(np.diff(widths) >= -1e-9)
+
+    def test_interval_contains_mean(self):
+        fit = Arima((1, 0, 1)).fit(TimeSeries(simulate_arma(phi=(0.5,), theta=(0.2,), seed=10)))
+        fc = fit.forecast(10)
+        assert np.all(fc.lower.values <= fc.mean.values)
+        assert np.all(fc.mean.values <= fc.upper.values)
+
+    def test_alpha_changes_width(self):
+        fit = Arima((1, 0, 0)).fit(TimeSeries(simulate_arma(phi=(0.5,), seed=11)))
+        narrow = fit.forecast(5, alpha=0.2)
+        wide = fit.forecast(5, alpha=0.01)
+        assert np.all(
+            (wide.upper.values - wide.lower.values)
+            > (narrow.upper.values - narrow.lower.values)
+        )
+
+    def test_forecast_clock_continues(self):
+        ts = TimeSeries(simulate_arma(phi=(0.5,), seed=12)[:200], Frequency.HOURLY, start=1000.0)
+        fc = Arima((1, 0, 0)).fit(ts).forecast(5)
+        assert fc.mean.start == ts.end + 3600.0
+
+    def test_random_walk_interval_sqrt_growth(self):
+        rng = np.random.default_rng(13)
+        walk = np.cumsum(rng.normal(0, 1, 1000))
+        fit = Arima((0, 1, 0)).fit(TimeSeries(walk))
+        fc = fit.forecast(16)
+        widths = fc.upper.values - fc.lower.values
+        assert widths[15] / widths[3] == pytest.approx(2.0, rel=0.05)  # sqrt(16/4)
+
+    def test_invalid_horizon(self):
+        fit = Arima((1, 0, 0)).fit(TimeSeries(simulate_arma(phi=(0.5,), seed=14)))
+        with pytest.raises(ModelError):
+            fit.forecast(0)
+
+
+class TestSeasonal:
+    def test_seasonal_pattern_forecast(self, daily_series):
+        train, test = daily_series.split(len(daily_series) - 24)
+        fit = Arima((1, 0, 0), seasonal=(0, 1, 1, 24)).fit(train)
+        fc = fit.forecast(24)
+        assert rmse(test, fc.mean) < 2.5  # noise sigma is 1
+
+    def test_seasonal_beats_nonseasonal(self, daily_series):
+        train, test = daily_series.split(len(daily_series) - 24)
+        plain = Arima((2, 1, 1)).fit(train).forecast(24)
+        seasonal = Arima((2, 1, 1), seasonal=(1, 1, 1, 24)).fit(train).forecast(24)
+        assert rmse(test, seasonal.mean) < rmse(test, plain.mean)
+
+    def test_trend_plus_seasonal(self, trending_series):
+        train, test = trending_series.split(len(trending_series) - 24)
+        fit = Arima((1, 1, 1), seasonal=(0, 1, 1, 24)).fit(train)
+        fc = fit.forecast(24)
+        # The forecast must keep climbing with the trend (0.1/hour).
+        assert fc.mean.values[-1] > train.values[-24:].mean()
+        assert rmse(test, fc.mean) < 6.0
+
+    def test_label(self):
+        fit = Arima((1, 0, 0), seasonal=(1, 1, 1, 24)).fit(
+            TimeSeries(simulate_arma(phi=(0.5,), seed=15)[:400])
+        )
+        assert fit.label() == "SARIMAX (1,0,0)(1,1,1,24)"
+
+    def test_plain_label(self):
+        fit = Arima((1, 0, 0)).fit(TimeSeries(simulate_arma(phi=(0.5,), seed=16)[:300]))
+        assert fit.label() == "ARIMA (1,0,0)"
+
+
+class TestEdgeCases:
+    def test_constant_series(self):
+        fit = Arima((1, 1, 0), trend="n").fit(TimeSeries(np.full(100, 42.0)))
+        fc = fit.forecast(5)
+        assert np.allclose(fc.mean.values, 42.0)
+
+    def test_white_noise_near_zero_coeffs(self, white_noise):
+        fit = Arima((1, 0, 1)).fit(white_noise)
+        fc = fit.forecast(5)
+        assert np.all(np.abs(fc.mean.values - white_noise.values.mean()) < 1.0)
+
+    def test_rejects_missing_values(self):
+        values = simulate_arma(phi=(0.5,), seed=17)[:100]
+        values[5] = np.nan
+        with pytest.raises(DataError):
+            Arima((1, 0, 0)).fit(TimeSeries(values))
+
+    def test_rejects_too_short(self):
+        with pytest.raises(DataError):
+            Arima((2, 0, 2), seasonal=(1, 1, 1, 24)).fit(TimeSeries(np.arange(20.0)))
+
+    def test_aic_bic_finite(self):
+        fit = Arima((1, 0, 1)).fit(TimeSeries(simulate_arma(phi=(0.5,), theta=(0.2,), seed=18)))
+        assert np.isfinite(fit.aic)
+        assert np.isfinite(fit.bic)
+        assert fit.bic > fit.aic  # n large → BIC penalty exceeds AIC's
+
+    def test_zero_order_model(self):
+        fit = Arima((0, 0, 0)).fit(TimeSeries(simulate_arma(seed=19)[:200]))
+        fc = fit.forecast(3)
+        assert np.isfinite(fc.mean.values).all()
+
+
+class TestBootstrapIntervals:
+    def _fit(self, seed=20, skewed=False):
+        rng = np.random.default_rng(seed)
+        n = 800
+        e = rng.exponential(1.0, n) - 1.0 if skewed else rng.normal(0, 1, n)
+        y = np.zeros(n)
+        for t in range(1, n):
+            y[t] = 0.6 * y[t - 1] + e[t]
+        return Arima((1, 0, 0)).fit(TimeSeries(y + 50))
+
+    def test_bootstrap_close_to_analytic_for_gaussian(self):
+        fit = self._fit()
+        analytic = fit.forecast(12, intervals="analytic")
+        boot = fit.forecast(12, intervals="bootstrap")
+        width_a = analytic.upper.values - analytic.lower.values
+        width_b = boot.upper.values - boot.lower.values
+        assert np.allclose(width_b, width_a, rtol=0.25)
+
+    def test_bootstrap_asymmetric_for_skewed_noise(self):
+        fit = self._fit(skewed=True)
+        boot = fit.forecast(6, intervals="bootstrap")
+        up = boot.upper.values - boot.mean.values
+        down = boot.mean.values - boot.lower.values
+        # Exponential shocks: long right tail → wider upper band.
+        assert up.mean() > down.mean() * 1.1
+
+    def test_bands_ordered_and_deterministic(self):
+        fit = self._fit()
+        a = fit.forecast(8, intervals="bootstrap")
+        b = fit.forecast(8, intervals="bootstrap")
+        assert np.array_equal(a.lower.values, b.lower.values)
+        assert np.all(a.lower.values <= a.mean.values)
+        assert np.all(a.mean.values <= a.upper.values)
+
+    def test_validation(self):
+        fit = self._fit()
+        with pytest.raises(ModelError):
+            fit.forecast(5, intervals="magic")
+        with pytest.raises(ModelError):
+            fit.forecast(5, intervals="bootstrap", n_paths=10)

@@ -1,0 +1,99 @@
+"""Tests for the Forecast result type and shared model plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+from repro.exceptions import DataError, ModelError
+from repro.models import Naive
+from repro.models.base import Forecast, check_series
+
+
+def _series(values, **kw):
+    return TimeSeries(values, Frequency.HOURLY, **kw)
+
+
+class TestForecast:
+    def _make(self, mean, lower, upper, alpha=0.05):
+        return Forecast(
+            mean=_series(mean),
+            lower=_series(lower),
+            upper=_series(upper),
+            alpha=alpha,
+            model_label="test",
+        )
+
+    def test_horizon(self):
+        fc = self._make([1.0, 2.0], [0.0, 1.0], [2.0, 3.0])
+        assert fc.horizon == 2
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            self._make([1.0, 2.0], [0.0], [2.0, 3.0])
+
+    def test_alpha_validated(self):
+        with pytest.raises(ModelError):
+            self._make([1.0], [0.0], [2.0], alpha=1.5)
+
+    def test_clipped(self):
+        fc = self._make([-1.0, 2.0], [-3.0, 1.0], [0.5, 3.0])
+        clipped = fc.clipped(0.0)
+        assert clipped.mean.values.min() >= 0.0
+        assert clipped.lower.values.min() >= 0.0
+        assert clipped.mean.values[1] == 2.0  # untouched above the floor
+
+
+class TestCheckSeries:
+    def test_passes_clean(self):
+        values = check_series(_series(np.arange(20.0)), min_obs=10)
+        assert values.size == 20
+
+    def test_rejects_non_timeseries(self):
+        with pytest.raises(DataError):
+            check_series(np.arange(20.0), min_obs=5)
+
+    def test_rejects_missing(self):
+        with pytest.raises(DataError):
+            check_series(_series([1.0, np.nan, 3.0] * 5), min_obs=5)
+
+    def test_rejects_short(self):
+        with pytest.raises(DataError):
+            check_series(_series(np.arange(5.0)), min_obs=10)
+
+
+class TestFittedModelHelpers:
+    def test_future_series_clock(self):
+        ts = _series(np.arange(10.0), start=7200.0)
+        fit = Naive().fit(ts)
+        fc = fit.forecast(3)
+        assert fc.mean.start == ts.end + 3600.0
+        assert fc.mean.frequency is Frequency.HOURLY
+
+    def test_aic_bic_available(self):
+        rng = np.random.default_rng(0)
+        fit = Naive().fit(_series(rng.normal(size=100)))
+        assert np.isfinite(fit.aic)
+        assert np.isfinite(fit.bic)
+
+
+class TestSummary:
+    def test_summary_contents(self):
+        rng = np.random.default_rng(3)
+        fit = Naive().fit(_series(50 + rng.normal(0, 1, 300)))
+        text = fit.summary()
+        assert "Model:        Naive" in text
+        assert "Observations: 300" in text
+        assert "AIC:" in text and "BIC:" in text
+        assert "Ljung-Box:" in text
+        assert "Residuals:" in text
+
+    def test_summary_on_arima(self):
+        from repro.models import Arima
+
+        rng = np.random.default_rng(4)
+        t = np.arange(400)
+        y = 50 + 8 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1, 400)
+        fit = Arima((1, 0, 1), seasonal=(0, 1, 1, 24)).fit(_series(y))
+        text = fit.summary()
+        assert "SARIMAX (1,0,1)(0,1,1,24)" in text
+        assert "white noise" in text

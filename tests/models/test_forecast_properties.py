@@ -1,0 +1,124 @@
+"""Property-based tests on forecast invariants across the model zoo.
+
+Whatever the model, a :class:`repro.models.base.Forecast` must satisfy a
+handful of invariants: band ordering (lower ≤ mean ≤ upper), clock
+continuity, finite values on finite data, horizon fidelity, and
+determinism (same data + spec ⇒ same forecast). These are the contracts
+the selection pipeline and the service layer rely on, so they are checked
+here for every model family over randomly generated workloads.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Frequency, TimeSeries
+from repro.models import (
+    Arima,
+    Drift,
+    Holt,
+    HoltWinters,
+    MovingAverage,
+    Naive,
+    Sarimax,
+    SeasonalNaive,
+    SimpleExpSmoothing,
+)
+
+MODEL_FACTORIES = [
+    ("naive", Naive),
+    ("seasonal_naive", lambda: SeasonalNaive(24)),
+    ("drift", Drift),
+    ("moving_average", lambda: MovingAverage(12)),
+    ("ses", SimpleExpSmoothing),
+    ("holt", Holt),
+    ("holt_winters", lambda: HoltWinters(24)),
+    ("arima", lambda: Arima((1, 0, 1), maxiter=40)),
+    ("sarima", lambda: Arima((1, 0, 1), seasonal=(0, 1, 1, 24), maxiter=40)),
+    ("sarimax_fourier", lambda: Sarimax((1, 0, 0), fourier_periods=[24], fourier_orders=[2], maxiter=40)),
+]
+
+
+def workload(seed: int, n: int = 260, amp: float = 10.0, trend: float = 0.02):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    values = (
+        60.0
+        + trend * t
+        + amp * np.sin(2 * np.pi * t / 24)
+        + rng.normal(0, 1.0, n)
+    )
+    return TimeSeries(values, Frequency.HOURLY, start=1234.0 * 3600, name="m")
+
+
+@pytest.mark.parametrize("name,factory", MODEL_FACTORIES)
+class TestForecastContract:
+    def test_band_ordering(self, name, factory):
+        fc = factory().fit(workload(1)).forecast(24)
+        assert np.all(fc.lower.values <= fc.mean.values + 1e-9)
+        assert np.all(fc.mean.values <= fc.upper.values + 1e-9)
+
+    def test_horizon_and_clock(self, name, factory):
+        ts = workload(2)
+        fc = factory().fit(ts).forecast(17)
+        assert fc.horizon == 17
+        assert fc.mean.start == pytest.approx(ts.end + ts.frequency.seconds)
+        assert fc.mean.frequency is ts.frequency
+
+    def test_finite_on_finite_data(self, name, factory):
+        fc = factory().fit(workload(3)).forecast(48)
+        for series in (fc.mean, fc.lower, fc.upper):
+            assert np.isfinite(series.values).all()
+
+    def test_deterministic(self, name, factory):
+        a = factory().fit(workload(4)).forecast(12)
+        b = factory().fit(workload(4)).forecast(12)
+        assert np.array_equal(a.mean.values, b.mean.values)
+        assert np.array_equal(a.upper.values, b.upper.values)
+
+    def test_wider_interval_at_lower_alpha(self, name, factory):
+        fitted = factory().fit(workload(5))
+        narrow = fitted.forecast(8, alpha=0.2)
+        wide = fitted.forecast(8, alpha=0.01)
+        nw = narrow.upper.values - narrow.lower.values
+        ww = wide.upper.values - wide.lower.values
+        assert np.all(ww >= nw - 1e-9)
+
+
+class TestForecastScaleEquivariance:
+    @given(
+        st.sampled_from([f for __, f in MODEL_FACTORIES[:7]]),  # linear models
+        st.floats(min_value=0.5, max_value=50.0),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_scaling_data_scales_forecast(self, factory, scale, seed):
+        ts = workload(seed)
+        scaled = ts.with_values(ts.values * scale)
+        fc = factory().fit(ts).forecast(6)
+        fc_scaled = factory().fit(scaled).forecast(6)
+        assert np.allclose(fc_scaled.mean.values, fc.mean.values * scale, rtol=0.05, atol=0.5 * scale)
+
+    @given(
+        st.floats(min_value=-500.0, max_value=500.0),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_shifting_data_shifts_naive_family(self, shift, seed):
+        ts = workload(seed)
+        shifted = ts.with_values(ts.values + shift)
+        for factory in (Naive, Drift, lambda: SeasonalNaive(24)):
+            fc = factory().fit(ts).forecast(6)
+            fc_shifted = factory().fit(shifted).forecast(6)
+            assert np.allclose(fc_shifted.mean.values, fc.mean.values + shift, atol=1e-6)
+
+
+class TestResidualContract:
+    @pytest.mark.parametrize("name,factory", MODEL_FACTORIES)
+    def test_residuals_finite_and_sigma_positive(self, name, factory):
+        fitted = factory().fit(workload(6))
+        assert np.isfinite(fitted.residuals).all()
+        assert fitted.sigma2 >= 0.0
+        assert fitted.n_params >= 1
+        assert isinstance(fitted.label(), str) and fitted.label()

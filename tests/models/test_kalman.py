@@ -1,0 +1,152 @@
+"""Tests for the exact-likelihood Kalman machinery and Arima(method='mle')."""
+
+import numpy as np
+import pytest
+
+from repro.core import TimeSeries
+from repro.exceptions import ModelError
+from repro.models import Arima
+from repro.models.kalman import (
+    arma_state_space,
+    fit_arma_mle,
+    kalman_loglike,
+    stationary_initialisation,
+)
+
+
+def simulate_arma(phi=(), theta=(), n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    p, q = len(phi), len(theta)
+    burn = 200
+    e = rng.normal(0, 1, n + burn)
+    x = np.zeros(n + burn)
+    for t in range(max(p, q), n + burn):
+        x[t] = (
+            sum(phi[i] * x[t - 1 - i] for i in range(p))
+            + e[t]
+            + sum(theta[j] * e[t - 1 - j] for j in range(q))
+        )
+    return x[burn:]
+
+
+class TestStateSpace:
+    def test_dimensions(self):
+        T, R, Z = arma_state_space(np.array([0.5, 0.2]), np.array([0.3]))
+        assert T.shape == (2, 2)
+        assert R.shape == (2,)
+        assert Z.shape == (2,)
+        T, R, Z = arma_state_space(np.array([0.5]), np.array([0.3, 0.1]))
+        assert T.shape == (3, 3)  # m = max(1, 2+1)
+
+    def test_ar1_transition(self):
+        T, R, Z = arma_state_space(np.array([0.7]), np.empty(0))
+        assert T[0, 0] == 0.7
+        assert R[0] == 1.0
+
+    def test_stationary_covariance_ar1(self):
+        # Var of AR(1) with unit innovations: 1 / (1 - phi^2).
+        phi = 0.6
+        T, R, __ = arma_state_space(np.array([phi]), np.empty(0))
+        P0 = stationary_initialisation(T, R)
+        assert P0[0, 0] == pytest.approx(1.0 / (1.0 - phi**2))
+
+    def test_stationary_covariance_ma1(self):
+        # Var of MA(1): 1 + theta^2.
+        theta = 0.4
+        T, R, __ = arma_state_space(np.empty(0), np.array([theta]))
+        P0 = stationary_initialisation(T, R)
+        # y_t = alpha_t[0]; Var(alpha[0]) = 1 + theta^2.
+        assert P0[0, 0] == pytest.approx(1.0 + theta**2)
+
+
+class TestLoglike:
+    def test_white_noise_matches_closed_form(self):
+        rng = np.random.default_rng(1)
+        y = rng.normal(0, 2.0, 300)
+        ll, sigma2 = kalman_loglike(y, np.empty(0), np.empty(0))
+        sigma2_hat = float(y @ y) / y.size
+        expected = -0.5 * y.size * (np.log(2 * np.pi) + 1 + np.log(sigma2_hat))
+        assert sigma2 == pytest.approx(sigma2_hat)
+        assert ll == pytest.approx(expected)
+
+    def test_true_params_beat_wrong_params(self):
+        y = simulate_arma(phi=(0.7,), seed=2)
+        ll_true, __ = kalman_loglike(y, np.array([0.7]), np.empty(0))
+        ll_wrong, __ = kalman_loglike(y, np.array([0.1]), np.empty(0))
+        assert ll_true > ll_wrong
+
+    def test_nonstationary_rejected(self):
+        y = simulate_arma(phi=(0.5,), seed=3)
+        ll, sigma2 = kalman_loglike(y, np.array([1.05]), np.empty(0))
+        assert ll == -np.inf
+
+    def test_noninvertible_rejected(self):
+        y = simulate_arma(theta=(0.5,), seed=4)
+        ll, __ = kalman_loglike(y, np.empty(0), np.array([1.2]))
+        assert ll == -np.inf
+
+    def test_sigma2_recovered(self):
+        y = simulate_arma(phi=(0.5,), n=2000, seed=5)
+        ll, sigma2 = kalman_loglike(y, np.array([0.5]), np.empty(0))
+        assert sigma2 == pytest.approx(1.0, abs=0.1)
+
+
+class TestMle:
+    def test_ar1_recovery(self):
+        y = simulate_arma(phi=(0.6,), n=600, seed=6)
+        result = fit_arma_mle(y, 1, 0)
+        assert result.phi[0] == pytest.approx(0.6, abs=0.08)
+        assert np.isfinite(result.loglike)
+
+    def test_ma1_recovery_short_series(self):
+        # Exact MLE shines on short series with MA structure.
+        y = simulate_arma(theta=(0.5,), n=120, seed=7)
+        result = fit_arma_mle(y, 0, 1)
+        assert result.theta[0] == pytest.approx(0.5, abs=0.2)
+
+    def test_warm_start_used(self):
+        y = simulate_arma(phi=(0.6,), theta=(0.3,), n=500, seed=8)
+        result = fit_arma_mle(
+            y, 1, 1, start_phi=np.array([0.55]), start_theta=np.array([0.25])
+        )
+        assert result.phi[0] == pytest.approx(0.6, abs=0.12)
+        assert result.theta[0] == pytest.approx(0.3, abs=0.15)
+
+    def test_zero_order(self):
+        y = simulate_arma(n=100, seed=9)
+        result = fit_arma_mle(y, 0, 0)
+        assert result.converged
+        assert result.sigma2 == pytest.approx(float(y @ y) / y.size)
+
+    def test_bad_start_shapes_rejected(self):
+        with pytest.raises(ModelError):
+            fit_arma_mle(np.arange(50.0), 2, 0, start_phi=np.array([0.5]))
+
+
+class TestArimaMleIntegration:
+    def test_mle_close_to_css_on_long_series(self):
+        y = simulate_arma(phi=(0.6,), theta=(0.3,), n=1500, seed=10)
+        ts = TimeSeries(y)
+        css = Arima((1, 0, 1), method="css").fit(ts)
+        mle = Arima((1, 0, 1), method="mle").fit(ts)
+        assert np.allclose(css.coeffs, mle.coeffs, atol=0.08)
+
+    def test_mle_forecast_works(self):
+        y = simulate_arma(phi=(0.7,), n=300, seed=11)
+        fit = Arima((1, 0, 0), method="mle").fit(TimeSeries(y + 20))
+        fc = fit.forecast(10)
+        assert np.isfinite(fc.mean.values).all()
+        assert fc.mean.values[-1] == pytest.approx(20.0, abs=1.5)
+
+    def test_mle_with_differencing(self):
+        y = np.cumsum(simulate_arma(phi=(0.4,), n=500, seed=12))
+        fit = Arima((1, 1, 0), method="mle").fit(TimeSeries(y))
+        assert fit.coeffs[0] == pytest.approx(0.4, abs=0.1)
+
+    def test_seasonal_mle_rejected(self):
+        with pytest.raises(ModelError):
+            Arima((1, 0, 0), seasonal=(1, 0, 0, 24), method="mle")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ModelError):
+            Arima((1, 0, 0), method="exactly")

@@ -1,0 +1,104 @@
+"""Tests for the naive baseline models."""
+
+import numpy as np
+import pytest
+
+from repro.core import TimeSeries
+from repro.exceptions import DataError, ModelError
+from repro.models import Drift, MovingAverage, Naive, SeasonalNaive
+
+
+class TestNaive:
+    def test_repeats_last_value(self):
+        fc = Naive().fit(TimeSeries([1.0, 2.0, 7.0])).forecast(4)
+        assert np.allclose(fc.mean.values, 7.0)
+
+    def test_interval_sqrt_growth(self):
+        rng = np.random.default_rng(0)
+        fc = Naive().fit(TimeSeries(np.cumsum(rng.normal(0, 1, 500)))).forecast(9)
+        widths = fc.upper.values - fc.lower.values
+        assert widths[8] / widths[1] == pytest.approx(np.sqrt(9 / 2), rel=0.01)
+
+    def test_horizon_validation(self):
+        fit = Naive().fit(TimeSeries([1.0, 2.0]))
+        with pytest.raises(ModelError):
+            fit.forecast(-1)
+
+
+class TestSeasonalNaive:
+    def test_repeats_last_season(self):
+        values = np.tile([1.0, 2.0, 3.0], 4)
+        fc = SeasonalNaive(3).fit(TimeSeries(values)).forecast(6)
+        assert list(fc.mean.values) == [1.0, 2.0, 3.0, 1.0, 2.0, 3.0]
+
+    def test_accurate_on_seasonal_data(self, daily_series):
+        train, test = daily_series.split(len(daily_series) - 24)
+        fc = SeasonalNaive(24).fit(train).forecast(24)
+        from repro.core import rmse
+
+        assert rmse(test, fc.mean) < 3.0
+
+    def test_interval_steps_by_season(self):
+        rng = np.random.default_rng(1)
+        ts = TimeSeries(rng.normal(0, 1, 100))
+        fc = SeasonalNaive(10).fit(ts).forecast(25)
+        widths = fc.upper.values - fc.lower.values
+        assert np.allclose(widths[:10], widths[0])
+        assert widths[10] > widths[9]
+
+    def test_period_validation(self):
+        with pytest.raises(ModelError):
+            SeasonalNaive(1)
+
+    def test_needs_full_season(self):
+        with pytest.raises(DataError):
+            SeasonalNaive(24).fit(TimeSeries(np.arange(10.0)))
+
+
+class TestDrift:
+    def test_extrapolates_slope(self):
+        ts = TimeSeries(np.arange(0.0, 50.0))  # slope exactly 1
+        fc = Drift().fit(ts).forecast(5)
+        assert np.allclose(fc.mean.values, [50.0, 51.0, 52.0, 53.0, 54.0])
+
+    def test_label(self):
+        assert Drift().fit(TimeSeries(np.arange(10.0))).label() == "Drift"
+
+
+class TestMovingAverage:
+    def test_forecasts_window_mean(self):
+        ts = TimeSeries(np.concatenate([np.zeros(20), np.full(5, 10.0)]))
+        fc = MovingAverage(5).fit(ts).forecast(3)
+        assert np.allclose(fc.mean.values, 10.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ModelError):
+            MovingAverage(0)
+
+    def test_needs_window_plus_one(self):
+        with pytest.raises(DataError):
+            MovingAverage(10).fit(TimeSeries(np.arange(10.0)))
+
+    def test_label_includes_window(self):
+        fit = MovingAverage(7).fit(TimeSeries(np.arange(20.0)))
+        assert fit.label() == "MovingAverage(7)"
+
+
+class TestComparative:
+    def test_seasonal_naive_beats_naive_on_seasonal(self, daily_series):
+        from repro.core import rmse
+
+        train, test = daily_series.split(len(daily_series) - 24)
+        plain = Naive().fit(train).forecast(24)
+        seasonal = SeasonalNaive(24).fit(train).forecast(24)
+        assert rmse(test, seasonal.mean) < rmse(test, plain.mean)
+
+    def test_drift_beats_naive_on_trend(self):
+        from repro.core import rmse
+
+        rng = np.random.default_rng(21)
+        pure_trend = TimeSeries(5.0 + 0.5 * np.arange(300.0) + rng.normal(0, 1, 300))
+        train, test = pure_trend.split(252)
+        plain = Naive().fit(train).forecast(48)
+        drift = Drift().fit(train).forecast(48)
+        assert rmse(test, drift.mean) < rmse(test, plain.mean)

@@ -1,0 +1,161 @@
+"""Tests for lag-polynomial algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ModelError
+from repro.models.polynomials import (
+    ar_poly,
+    difference_poly,
+    is_stable,
+    ma_poly,
+    min_root_modulus,
+    polymul,
+    psi_weights,
+    seasonal_expand,
+)
+
+
+class TestPolyConstruction:
+    def test_ar_poly_sign_convention(self):
+        assert list(ar_poly(np.array([0.5, -0.2]))) == [1.0, -0.5, 0.2]
+
+    def test_ma_poly_sign_convention(self):
+        assert list(ma_poly(np.array([0.4]))) == [1.0, 0.4]
+
+    def test_empty_coeffs(self):
+        assert list(ar_poly(np.array([]))) == [1.0]
+        assert list(ma_poly(np.array([]))) == [1.0]
+
+    def test_seasonal_expand(self):
+        out = seasonal_expand(np.array([1.0, -0.5]), 4)
+        assert list(out) == [1.0, 0.0, 0.0, 0.0, -0.5]
+
+    def test_seasonal_expand_period_one(self):
+        out = seasonal_expand(np.array([1.0, -0.5]), 1)
+        assert list(out) == [1.0, -0.5]
+
+    def test_seasonal_expand_invalid(self):
+        with pytest.raises(ModelError):
+            seasonal_expand(np.array([1.0, 0.5]), 0)
+
+
+class TestDifferencePoly:
+    def test_first_difference(self):
+        assert list(difference_poly(1)) == [1.0, -1.0]
+
+    def test_second_difference(self):
+        assert list(difference_poly(2)) == [1.0, -2.0, 1.0]
+
+    def test_seasonal(self):
+        out = difference_poly(0, 1, 4)
+        assert list(out) == [1.0, 0.0, 0.0, 0.0, -1.0]
+
+    def test_combined_degree(self):
+        out = difference_poly(1, 1, 12)
+        assert out.size == 1 + 1 + 12
+
+    def test_annihilates_polynomial_trend(self):
+        # (1-B)^2 applied to a quadratic sequence gives a constant.
+        t = np.arange(20.0)
+        seq = 3 + 2 * t + 0.5 * t**2
+        poly = difference_poly(2)
+        filtered = np.convolve(seq, poly, mode="valid")
+        assert np.allclose(filtered, filtered[0])
+
+    def test_invalid(self):
+        with pytest.raises(ModelError):
+            difference_poly(-1)
+        with pytest.raises(ModelError):
+            difference_poly(0, 1, 1)
+
+
+class TestStability:
+    def test_stable_ar1(self):
+        assert is_stable(ar_poly(np.array([0.5])))
+
+    def test_unit_root_unstable(self):
+        assert not is_stable(np.array([1.0, -1.0]))
+
+    def test_explosive_unstable(self):
+        assert not is_stable(ar_poly(np.array([1.5])))
+
+    def test_degree_zero_stable(self):
+        assert is_stable(np.array([1.0]))
+        assert min_root_modulus(np.array([1.0])) == np.inf
+
+    def test_min_root_modulus_value(self):
+        # 1 - 0.5B has root B = 2.
+        assert min_root_modulus(ar_poly(np.array([0.5]))) == pytest.approx(2.0)
+
+    def test_trailing_zeros_ignored(self):
+        assert min_root_modulus(np.array([1.0, -0.5, 0.0, 0.0])) == pytest.approx(2.0)
+
+
+class TestPsiWeights:
+    def test_ar1_psi_geometric(self):
+        psi = psi_weights(ar_poly(np.array([0.6])), np.array([1.0]), 6)
+        assert np.allclose(psi, 0.6 ** np.arange(6))
+
+    def test_ma1_psi_truncates(self):
+        psi = psi_weights(np.array([1.0]), ma_poly(np.array([0.4])), 5)
+        assert list(psi) == [1.0, 0.4, 0.0, 0.0, 0.0]
+
+    def test_arma11_psi(self):
+        # psi_1 = phi + theta; psi_j = phi * psi_{j-1}
+        phi, theta = 0.5, 0.3
+        psi = psi_weights(ar_poly(np.array([phi])), ma_poly(np.array([theta])), 5)
+        assert psi[1] == pytest.approx(phi + theta)
+        assert psi[2] == pytest.approx(phi * (phi + theta))
+
+    def test_random_walk_psi_all_ones(self):
+        psi = psi_weights(difference_poly(1), np.array([1.0]), 8)
+        assert np.allclose(psi, 1.0)
+
+    def test_normalisation_enforced(self):
+        with pytest.raises(ModelError):
+            psi_weights(np.array([2.0, 1.0]), np.array([1.0]), 3)
+
+    def test_positive_length(self):
+        with pytest.raises(ModelError):
+            psi_weights(np.array([1.0]), np.array([1.0]), 0)
+
+
+class TestPolyProperties:
+    @given(
+        st.lists(st.floats(min_value=-0.4, max_value=0.4), min_size=0, max_size=4),
+        st.lists(st.floats(min_value=-0.4, max_value=0.4), min_size=0, max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_polymul_degree_adds(self, a, b):
+        pa = ar_poly(np.array(a))
+        pb = ma_poly(np.array(b))
+        prod = polymul(pa, pb)
+        assert prod.size == pa.size + pb.size - 1
+        assert prod[0] == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(min_value=-0.2, max_value=0.2), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_small_coeffs_always_stable(self, coeffs):
+        # Σ|c| < 1 guarantees all roots outside the unit circle.
+        assert is_stable(ar_poly(np.array(coeffs)))
+
+    @given(
+        st.floats(min_value=-0.8, max_value=0.8),
+        st.floats(min_value=-0.8, max_value=0.8),
+        st.integers(min_value=2, max_value=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_psi_weights_recursion_consistency(self, phi, theta, h):
+        ar = ar_poly(np.array([phi]))
+        ma = ma_poly(np.array([theta]))
+        psi = psi_weights(ar, ma, h)
+        # Direct impulse response check: filter a unit impulse.
+        from scipy.signal import lfilter
+
+        impulse = np.zeros(h)
+        impulse[0] = 1.0
+        response = lfilter(ma, ar, impulse)
+        assert np.allclose(psi, response, atol=1e-10)

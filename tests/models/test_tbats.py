@@ -1,0 +1,103 @@
+"""Tests for the TBATS model (kept light: each fit runs a config search)."""
+
+import numpy as np
+import pytest
+
+from repro.core import TimeSeries, rmse
+from repro.exceptions import DataError, ModelError
+from repro.models import Tbats
+
+
+@pytest.fixture(scope="module")
+def fitted_daily():
+    rng = np.random.default_rng(0)
+    t = np.arange(480)
+    y = 100.0 + 0.05 * t + 12.0 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1.5, 480)
+    series = TimeSeries(y[:456])
+    truth = y[456:]
+    model = Tbats(periods=[24], max_harmonics=2, try_boxcox=False, maxiter=60)
+    return model.fit(series), truth
+
+
+class TestFit:
+    def test_forecast_accuracy(self, fitted_daily):
+        fit, truth = fitted_daily
+        fc = fit.forecast(24)
+        assert rmse(truth, fc.mean.values) < 4.0
+
+    def test_label_describes_config(self, fitted_daily):
+        fit, __ = fitted_daily
+        assert fit.label().startswith("TBATS {")
+        assert "k=" in fit.label()
+
+    def test_intervals_ordered(self, fitted_daily):
+        fit, __ = fitted_daily
+        fc = fit.forecast(24)
+        assert np.all(fc.lower.values <= fc.mean.values + 1e-9)
+        assert np.all(fc.mean.values <= fc.upper.values + 1e-9)
+
+    def test_aic_finite(self, fitted_daily):
+        fit, __ = fitted_daily
+        assert np.isfinite(fit.aic_value)
+
+    def test_horizon_validation(self, fitted_daily):
+        fit, __ = fitted_daily
+        with pytest.raises(ModelError):
+            fit.forecast(0)
+
+
+class TestConfigSearch:
+    def test_trend_config_chosen_for_trending_data(self):
+        rng = np.random.default_rng(1)
+        t = np.arange(400)
+        y = 50 + 0.5 * t + 5 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1, 400)
+        fit = Tbats(periods=[24], max_harmonics=1, try_boxcox=False, maxiter=50).fit(
+            TimeSeries(y)
+        )
+        assert fit.config.use_trend
+        fc = fit.forecast(24)
+        assert fc.mean.values[-1] > y[-24:].mean()  # trend extrapolated
+
+    def test_boxcox_branch_runs_on_positive_data(self):
+        rng = np.random.default_rng(2)
+        t = np.arange(300)
+        y = np.exp(0.004 * t) * (50 + 5 * np.sin(2 * np.pi * t / 24)) + rng.normal(
+            0, 0.5, 300
+        )
+        fit = Tbats(
+            periods=[24], max_harmonics=1, try_trend=True, try_arma=False, maxiter=40
+        ).fit(TimeSeries(y))
+        fc = fit.forecast(12)
+        assert np.isfinite(fc.mean.values).all()
+        assert np.all(fc.mean.values > 0)
+
+    def test_nonseasonal_tbats(self):
+        rng = np.random.default_rng(3)
+        y = 20 + np.cumsum(rng.normal(0, 0.2, 200))
+        fit = Tbats(periods=[], try_boxcox=False, maxiter=40).fit(TimeSeries(y))
+        assert np.isfinite(fit.forecast(5).mean.values).all()
+
+    def test_harmonics_bounded_by_period(self):
+        rng = np.random.default_rng(4)
+        t = np.arange(200)
+        y = 10 + np.sin(2 * np.pi * t / 4) + rng.normal(0, 0.1, 200)
+        fit = Tbats(periods=[4], max_harmonics=5, try_boxcox=False, maxiter=40).fit(
+            TimeSeries(y)
+        )
+        assert fit.config.harmonics[0] <= 2  # (4-1)//2 = 1... at most floor
+
+
+class TestValidation:
+    def test_bad_periods(self):
+        with pytest.raises(ModelError):
+            Tbats(periods=[1])
+        with pytest.raises(ModelError):
+            Tbats(periods=[24, 24])
+
+    def test_too_short(self):
+        with pytest.raises(DataError):
+            Tbats(periods=[24]).fit(TimeSeries(np.arange(30.0)))
+
+    def test_rejects_unknown_kwargs(self):
+        with pytest.raises(ModelError):
+            Tbats(periods=[]).fit(TimeSeries(np.arange(50.0)), bogus=True)

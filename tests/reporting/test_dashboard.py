@@ -1,0 +1,82 @@
+"""Tests for the Figure 8-style text dashboard."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+from repro.exceptions import DataError
+from repro.models import Naive, SeasonalNaive
+from repro.reporting import DashboardPanel, render_dashboard, render_panel, sparkline
+
+
+class TestSparkline:
+    def test_width_respected(self):
+        assert len(sparkline(np.arange(500.0), width=40)) == 40
+
+    def test_short_series_not_padded(self):
+        assert len(sparkline(np.arange(5.0), width=40)) == 5
+
+    def test_monotone_series_monotone_bars(self):
+        bars = sparkline(np.arange(8.0), width=8)
+        assert bars == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series(self):
+        bars = sparkline(np.full(10, 3.0), width=10)
+        assert set(bars) == {"▁"}
+
+    def test_nan_renders_as_space(self):
+        values = np.array([1.0, np.nan, 2.0])
+        assert sparkline(values, width=3)[1] == " "
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            sparkline(np.array([]), width=10)
+        with pytest.raises(DataError):
+            sparkline(np.arange(3.0), width=0)
+
+
+@pytest.fixture
+def panel():
+    rng = np.random.default_rng(0)
+    t = np.arange(400)
+    ts = TimeSeries(
+        50 + 10 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1, 400),
+        Frequency.HOURLY,
+        name="cpu",
+    )
+    forecast = SeasonalNaive(24).fit(ts).forecast(24)
+    return DashboardPanel(
+        title="cdbm011 / cpu",
+        history=ts.tail(168),
+        forecast=forecast,
+        shocks=["backup every 24h"],
+        threshold=80.0,
+    )
+
+
+class TestPanel:
+    def test_render_contains_key_elements(self, panel):
+        text = panel.render()
+        assert "cdbm011 / cpu" in text
+        assert "SeasonalNaive(24)" in text
+        assert "history" in text and "forecast" in text
+        assert "threshold 80" in text
+        assert "backup every 24h" in text
+
+    def test_render_panel_wrapper(self, panel):
+        text = render_panel(
+            "t", panel.history, panel.forecast, shocks=["x"], threshold=10.0
+        )
+        assert "t —" in text
+
+    def test_no_threshold_no_advisory_line(self, panel):
+        text = render_panel("t", panel.history, panel.forecast)
+        assert "threshold" not in text
+
+    def test_dashboard_multi_panel(self, panel):
+        text = render_dashboard([panel, panel])
+        assert text.count("cdbm011 / cpu") == 2
+
+    def test_dashboard_empty_rejected(self):
+        with pytest.raises(DataError):
+            render_dashboard([])

@@ -1,0 +1,124 @@
+"""Tests for report tables and figure-data export."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+from repro.exceptions import DataError
+from repro.models import Naive
+from repro.reporting import (
+    FigureData,
+    Table,
+    format_number,
+    prediction_chart,
+    workload_chart,
+)
+
+
+class TestFormatNumber:
+    def test_plain(self):
+        assert format_number(8.4198) == "8.42"
+
+    def test_large_with_separator(self):
+        assert format_number(151278.4) == "151,278"
+
+    def test_nan_and_inf(self):
+        assert format_number(float("nan")) == "-"
+        assert format_number(float("inf")) == "inf"
+
+
+class TestTable:
+    def test_render_contains_rows(self):
+        t = Table(["Model", "RMSE"], title="Results")
+        t.add_row(["ARIMA (13,1,1)", 8.93])
+        t.add_row(["SARIMAX (13,1,2)(1,1,1,24)", 8.4198])
+        text = t.render()
+        assert "Results" in text
+        assert "ARIMA (13,1,1)" in text
+        assert "8.93" in text
+
+    def test_column_count_enforced(self):
+        t = Table(["a", "b"])
+        with pytest.raises(DataError):
+            t.add_row(["only one"])
+
+    def test_separator_rows(self):
+        t = Table(["a"])
+        t.add_row(["x"])
+        t.add_separator()
+        t.add_row(["y"])
+        assert t.n_rows == 2
+        lines = t.render().splitlines()
+        # The header separator line recurs for the explicit separator.
+        assert lines.count(lines[1]) == 2
+
+    def test_needs_columns(self):
+        with pytest.raises(DataError):
+            Table([])
+
+
+class TestFigureData:
+    def test_csv_roundtrip(self):
+        fig = FigureData("panel")
+        fig.add("t", np.array([0.0, 1.0]))
+        fig.add("y", np.array([5.0, np.nan]))
+        csv_text = fig.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "t,y"
+        assert lines[1] == "0,5"
+        assert lines[2] == "1,"  # NaN → empty cell
+
+    def test_alignment_enforced(self):
+        fig = FigureData("panel")
+        fig.add("t", np.arange(5.0))
+        with pytest.raises(DataError):
+            fig.add("y", np.arange(4.0))
+
+    def test_save(self, tmp_path):
+        fig = FigureData("panel")
+        fig.add("t", np.arange(3.0))
+        path = tmp_path / "fig.csv"
+        fig.save(str(path))
+        assert path.read_text().startswith("t")
+
+    def test_summary(self):
+        fig = FigureData("panel")
+        fig.add("y", np.array([1.0, 5.0, np.nan]))
+        assert fig.summary()["y"] == (1.0, 5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            FigureData("panel").to_csv()
+
+
+class TestChartBuilders:
+    def test_prediction_chart_layout(self):
+        history = TimeSeries(np.arange(48.0), Frequency.HOURLY)
+        actual = TimeSeries(np.arange(48.0, 60.0), Frequency.HOURLY, start=48 * 3600.0)
+        forecast = Naive().fit(history).forecast(12)
+        fig = prediction_chart("fig6a", history, actual, forecast)
+        assert set(fig.columns) == {
+            "timestamp", "history", "actual", "prediction", "lower", "upper",
+        }
+        n = 48 + 12
+        assert all(len(v) == n for v in fig.columns.values())
+        # History NaN-padded over the forecast region and vice versa.
+        assert np.isnan(fig.columns["history"][48:]).all()
+        assert np.isnan(fig.columns["prediction"][:48]).all()
+        assert np.isfinite(fig.columns["prediction"][48:]).all()
+
+    def test_workload_chart(self):
+        a = TimeSeries(np.arange(10.0), Frequency.HOURLY)
+        b = TimeSeries(np.arange(10.0) * 2, Frequency.HOURLY)
+        fig = workload_chart("fig2", {"cpu": a, "iops": b})
+        assert set(fig.columns) == {"timestamp", "cpu", "iops"}
+
+    def test_workload_chart_alignment(self):
+        a = TimeSeries(np.arange(10.0), Frequency.HOURLY)
+        b = TimeSeries(np.arange(5.0), Frequency.HOURLY)
+        with pytest.raises(DataError):
+            workload_chart("fig", {"a": a, "b": b})
+
+    def test_workload_chart_empty(self):
+        with pytest.raises(DataError):
+            workload_chart("fig", {})

@@ -1,0 +1,105 @@
+"""Tests for rolling-origin backtesting."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+from repro.exceptions import DataError
+from repro.models import Arima, Naive, SeasonalNaive
+from repro.selection import BacktestResult, compare_backtests, rolling_backtest
+
+
+@pytest.fixture(scope="module")
+def seasonal_ts():
+    rng = np.random.default_rng(0)
+    t = np.arange(900)
+    return TimeSeries(
+        50 + 10 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1, 900),
+        Frequency.HOURLY,
+    )
+
+
+class TestRollingBacktest:
+    def test_origin_layout_nonoverlapping(self, seasonal_ts):
+        result = rolling_backtest(Naive, seasonal_ts, horizon=24, n_origins=3)
+        assert len(result.origins) == 3
+        diffs = np.diff(result.origins)
+        assert np.all(diffs == 24)
+        assert result.origins[-1] == len(seasonal_ts) - 24
+
+    def test_custom_step(self, seasonal_ts):
+        result = rolling_backtest(Naive, seasonal_ts, horizon=24, n_origins=3, step=48)
+        assert np.all(np.diff(result.origins) == 48)
+
+    def test_per_lead_curve_shape(self, seasonal_ts):
+        result = rolling_backtest(
+            lambda: Arima((1, 0, 1), seasonal=(0, 1, 1, 24)),
+            seasonal_ts,
+            horizon=24,
+            n_origins=4,
+        )
+        assert result.per_lead_rmse.size == 24
+        assert np.isfinite(result.per_lead_rmse).all()
+        # Longer leads are not systematically easier than 1-step.
+        assert result.per_lead_rmse[-6:].mean() >= result.per_lead_rmse[:6].mean() * 0.5
+
+    def test_mean_rmse_matches_origins(self, seasonal_ts):
+        result = rolling_backtest(Naive, seasonal_ts, horizon=12, n_origins=4)
+        finite = result.per_origin_rmse[np.isfinite(result.per_origin_rmse)]
+        assert result.mean_rmse == pytest.approx(finite.mean())
+
+    def test_failures_counted_not_raised(self, seasonal_ts):
+        class Exploding(Naive):
+            def fit(self, series, **kwargs):
+                raise ValueError("boom")
+
+        result = rolling_backtest(Exploding, seasonal_ts, horizon=12, n_origins=3)
+        assert result.n_failures == 3
+        assert np.isnan(result.mean_rmse)
+
+    def test_min_train_respected(self, seasonal_ts):
+        result = rolling_backtest(
+            Naive, seasonal_ts, horizon=24, n_origins=50, min_train=800
+        )
+        assert min(result.origins) >= 800
+
+    def test_validation(self, seasonal_ts):
+        with pytest.raises(DataError):
+            rolling_backtest(Naive, seasonal_ts, horizon=0)
+        with pytest.raises(DataError):
+            rolling_backtest(Naive, seasonal_ts, horizon=24, n_origins=0)
+        with pytest.raises(DataError):
+            rolling_backtest(lambda: object(), seasonal_ts, horizon=24)
+        short = TimeSeries(np.arange(10.0))
+        with pytest.raises(DataError):
+            rolling_backtest(Naive, short, horizon=24)
+        gappy = TimeSeries(np.r_[np.arange(50.0), np.nan, np.arange(50.0)])
+        with pytest.raises(DataError):
+            rolling_backtest(Naive, gappy, horizon=5)
+
+
+class TestCompare:
+    def test_seasonal_model_ranked_first(self, seasonal_ts):
+        good = rolling_backtest(
+            lambda: SeasonalNaive(24), seasonal_ts, horizon=24, n_origins=3
+        )
+        bad = rolling_backtest(Naive, seasonal_ts, horizon=24, n_origins=3)
+        ranked = compare_backtests([bad, good])
+        assert ranked[0].model_label == "SeasonalNaive(24)"
+        assert ranked[0].mean_rmse < ranked[1].mean_rmse
+
+    def test_nan_sorted_last(self, seasonal_ts):
+        ok = rolling_backtest(Naive, seasonal_ts, horizon=12, n_origins=2)
+        broken = BacktestResult(
+            model_label="broken",
+            origins=(1,),
+            per_origin_rmse=np.array([np.nan]),
+            per_lead_rmse=np.full(12, np.nan),
+            n_failures=1,
+        )
+        ranked = compare_backtests([broken, ok])
+        assert ranked[-1].model_label == "broken"
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            compare_backtests([])

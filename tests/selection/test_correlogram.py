@@ -1,0 +1,85 @@
+"""Tests for correlogram-guided order suggestion and grid pruning."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+from repro.exceptions import DataError
+from repro.selection import pruned_sarimax_grid, suggest_orders
+
+
+def ar_process(phi, n=1500, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.zeros(n)
+    for t in range(len(phi), n):
+        x[t] = sum(phi[i] * x[t - 1 - i] for i in range(len(phi))) + rng.normal()
+    return TimeSeries(x[200:], Frequency.HOURLY)
+
+
+class TestSuggestOrders:
+    def test_ar2_suggests_low_p(self):
+        suggestion = suggest_orders(ar_process([0.5, 0.3]), period=24)
+        assert 1 in suggestion.p_candidates
+        assert 2 in suggestion.p_candidates
+        assert suggestion.d == 0
+
+    def test_trend_detected(self, trending_series):
+        suggestion = suggest_orders(trending_series, period=24)
+        assert suggestion.d == 1
+
+    def test_seasonality_detected(self, daily_series):
+        suggestion = suggest_orders(daily_series, period=24)
+        assert suggestion.seasonal_d == 1
+        assert suggestion.seasonal_significant or suggestion.seasonal_d == 1
+
+    def test_white_noise_minimal(self, white_noise):
+        suggestion = suggest_orders(white_noise, period=24)
+        assert suggestion.d == 0
+        assert suggestion.seasonal_d == 0
+        assert 1 in suggestion.p_candidates  # lag 1 always offered
+
+    def test_candidate_cap(self, daily_series):
+        suggestion = suggest_orders(daily_series, period=24, max_candidates=3)
+        assert len(suggestion.p_candidates) <= 3
+        assert len(suggestion.q_candidates) <= 3
+
+    def test_describe(self, white_noise):
+        text = suggest_orders(white_noise, period=24).describe()
+        assert "p∈" in text and "d=" in text
+
+    def test_nlags_validated(self, white_noise):
+        with pytest.raises(DataError):
+            suggest_orders(white_noise, period=24, nlags=1)
+
+
+class TestPrunedGrid:
+    def test_substantially_smaller_than_full(self, daily_series):
+        pruned = pruned_sarimax_grid(daily_series, 24)
+        assert 0 < len(pruned) < 660 // 3
+
+    def test_subset_of_full_grid_orders(self, daily_series):
+        pruned = pruned_sarimax_grid(daily_series, 24)
+        for spec in pruned:
+            assert spec.seasonal[3] == 24
+            assert 1 <= spec.order[0] <= 30
+
+    def test_differencing_matches_diagnosis(self, trending_series):
+        pruned = pruned_sarimax_grid(trending_series, 24)
+        # The ADF diagnosis (d=1) is always offered; d=0 may be offered
+        # too when a seasonal difference already handles the trend.
+        assert all(spec.order[1] in (0, 1) for spec in pruned)
+        assert any(spec.order[1] == 1 for spec in pruned)
+
+    def test_never_empty(self, white_noise):
+        assert pruned_sarimax_grid(white_noise, 24)
+
+    def test_pruned_grid_contains_good_model(self, daily_series):
+        # The pruned grid must still contain a candidate that forecasts the
+        # daily cycle well — pruning must not throw the baby out.
+        from repro.core import rmse
+        from repro.selection import evaluate_grid
+
+        train, test = daily_series.split(len(daily_series) - 24)
+        pruned = pruned_sarimax_grid(train, 24)
+        results = evaluate_grid(pruned[:40], train, test)
+        assert results[0].rmse < 2.5

@@ -1,0 +1,89 @@
+"""Tests for residual adequacy diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+from repro.exceptions import DataError
+from repro.models import Arima, Naive, SeasonalNaive
+from repro.selection.diagnostics import diagnose_residuals, jarque_bera
+
+
+def seasonal_ts(n=800, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return TimeSeries(
+        50 + 10 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1, n),
+        Frequency.HOURLY,
+    )
+
+
+class TestJarqueBera:
+    def test_normal_sample_passes(self):
+        rng = np.random.default_rng(1)
+        __, p = jarque_bera(rng.normal(0, 1, 2000))
+        assert p > 0.05
+
+    def test_heavy_tails_fail(self):
+        rng = np.random.default_rng(2)
+        __, p = jarque_bera(rng.standard_t(df=2, size=2000))
+        assert p < 0.01
+
+    def test_skewed_sample_fails(self):
+        rng = np.random.default_rng(3)
+        __, p = jarque_bera(rng.exponential(1.0, 2000))
+        assert p < 0.01
+
+    def test_constant_sample(self):
+        jb, p = jarque_bera(np.full(50, 3.0))
+        assert jb == 0.0 and p == 1.0
+
+    def test_too_short(self):
+        with pytest.raises(DataError):
+            jarque_bera(np.arange(5.0))
+
+
+class TestDiagnoseResiduals:
+    def test_well_specified_model_adequate(self):
+        ts = seasonal_ts()
+        fitted = Arima((1, 0, 1), seasonal=(0, 1, 1, 24)).fit(ts)
+        report = diagnose_residuals(fitted, period=24)
+        assert report.white_noise
+        assert not report.seasonal_acf_significant
+        assert report.adequate
+
+    def test_underspecified_model_flagged(self):
+        # Naive on strongly seasonal data leaves blatant autocorrelation.
+        ts = seasonal_ts()
+        fitted = Naive().fit(ts)
+        report = diagnose_residuals(fitted, period=24)
+        assert not report.white_noise
+        assert not report.adequate
+
+    def test_missing_seasonality_flagged_at_seasonal_lag(self):
+        ts = seasonal_ts()
+        fitted = Arima((1, 1, 1)).fit(ts)  # no seasonal component
+        report = diagnose_residuals(fitted, period=24)
+        assert report.seasonal_acf_significant
+
+    def test_shocky_residuals_fail_normality(self):
+        rng = np.random.default_rng(4)
+        t = np.arange(800)
+        y = 50 + 10 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1, 800)
+        # Irregular (aperiodic) spikes that no seasonal structure absorbs
+        # leave heavy-tailed residuals.
+        spike_at = rng.choice(800, size=25, replace=False)
+        y[spike_at] += 15.0
+        fitted = SeasonalNaive(24).fit(TimeSeries(y))
+        report = diagnose_residuals(fitted, period=24)
+        assert report.jarque_bera_p < 0.05
+
+    def test_describe_readable(self):
+        fitted = Arima((1, 0, 1), seasonal=(0, 1, 1, 24)).fit(seasonal_ts())
+        text = diagnose_residuals(fitted, period=24).describe()
+        assert "LB p=" in text and "JB p=" in text
+
+    def test_too_few_residuals(self):
+        fitted = Naive().fit(TimeSeries(np.arange(8.0)))
+        with pytest.raises(DataError):
+            diagnose_residuals(fitted)

@@ -1,0 +1,183 @@
+"""Tests for grid construction (paper model counts) and grid evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+from repro.exceptions import DataError, SelectionError
+from repro.selection import (
+    CandidateSpec,
+    arima_grid,
+    augmentation_specs,
+    evaluate_grid,
+    sarimax_grid,
+)
+
+
+class TestPaperCounts:
+    """Section 6.3: the exact model-family sizes."""
+
+    def test_arima_180(self):
+        assert len(arima_grid(max_lag=30)) == 180
+
+    def test_sarimax_660(self):
+        assert len(sarimax_grid(24, max_lag=30)) == 660
+
+    def test_sarimax_22_per_lag(self):
+        grid = sarimax_grid(24, max_lag=30)
+        per_lag = {}
+        for spec in grid:
+            per_lag[spec.order[0]] = per_lag.get(spec.order[0], 0) + 1
+        assert set(per_lag.values()) == {22}
+
+    def test_family3_total_666(self):
+        grid = sarimax_grid(24)
+        aug = augmentation_specs(grid[0], n_shock_columns=4, secondary_period=168)
+        assert len(grid) + len(aug) == 666
+
+    def test_two_instances_totals(self):
+        # "ARIMA ... totalling 360 models", "SARIMAX ... totalling 1320",
+        # "+ Exogenous (4) + Fourier (2) ... totalling 1332".
+        assert 2 * len(arima_grid()) == 360
+        assert 2 * len(sarimax_grid(24)) == 1320
+        aug = augmentation_specs(sarimax_grid(24)[0], 4, 168)
+        assert 2 * (len(sarimax_grid(24)) + len(aug)) == 1332
+
+    def test_over_6000_models_across_experiments(self):
+        # Two experiments x two instances x three families.
+        per_instance = (
+            len(arima_grid())
+            + len(sarimax_grid(24))
+            + len(sarimax_grid(24))
+            + len(augmentation_specs(sarimax_grid(24)[0], 4, 168))
+        )
+        assert 2 * 2 * per_instance > 6000
+
+
+class TestGridStructure:
+    def test_arima_orders_within_bounds(self):
+        for spec in arima_grid():
+            p, d, q = spec.order
+            assert 1 <= p <= 30
+            assert d in (0, 1, 2)
+            assert q in (1, 2)
+            assert spec.seasonal is None
+
+    def test_sarimax_excludes_undifferenced_ma_free(self):
+        for spec in sarimax_grid(24):
+            p, d, q = spec.order
+            P, D, Q, F = spec.seasonal
+            assert not (d == 0 and q == 0 and D == 0)
+            assert F == 24
+
+    def test_family_labels(self):
+        assert CandidateSpec(order=(1, 0, 0)).family() == "ARIMA"
+        assert CandidateSpec(order=(1, 0, 0), seasonal=(1, 0, 0, 24)).family() == "SARIMAX"
+        assert (
+            CandidateSpec(order=(1, 0, 0), seasonal=(1, 0, 0, 24), exog_columns=2).family()
+            == "SARIMAX FFT Exogenous"
+        )
+
+    def test_describe(self):
+        spec = CandidateSpec(order=(2, 1, 1), seasonal=(1, 1, 1, 24))
+        assert spec.describe() == "SARIMAX (2,1,1)(1,1,1,24)"
+
+    def test_augmentations_shapes(self):
+        base = sarimax_grid(24)[0]
+        aug = augmentation_specs(base, n_shock_columns=4, secondary_period=168)
+        exog_variants = [s for s in aug if not s.fourier_periods]
+        fourier_variants = [s for s in aug if s.fourier_periods]
+        assert len(exog_variants) == 4
+        assert [s.exog_columns for s in exog_variants] == [1, 2, 3, 4]
+        assert len(fourier_variants) == 2
+        assert [s.fourier_orders[0] for s in fourier_variants] == [1, 2]
+
+    def test_augmentation_requires_sarimax_base(self):
+        with pytest.raises(SelectionError):
+            augmentation_specs(CandidateSpec(order=(1, 0, 0)), 4, 168)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            arima_grid(max_lag=0)
+        with pytest.raises(DataError):
+            sarimax_grid(1)
+
+
+class TestEvaluateGrid:
+    @pytest.fixture(scope="class")
+    def split(self):
+        rng = np.random.default_rng(0)
+        t = np.arange(400)
+        y = 50 + 8 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1, 400)
+        ts = TimeSeries(y, Frequency.HOURLY)
+        return ts.split(376)
+
+    def test_results_sorted_by_rmse(self, split):
+        train, test = split
+        specs = [
+            CandidateSpec(order=(1, 0, 0)),
+            CandidateSpec(order=(1, 0, 1), seasonal=(0, 1, 1, 24)),
+            CandidateSpec(order=(2, 1, 1)),
+        ]
+        results = evaluate_grid(specs, train, test)
+        rmses = [r.rmse for r in results if not r.failed]
+        assert rmses == sorted(rmses)
+
+    def test_seasonal_candidate_wins(self, split):
+        train, test = split
+        specs = [
+            CandidateSpec(order=(1, 1, 1)),
+            CandidateSpec(order=(1, 0, 1), seasonal=(0, 1, 1, 24)),
+        ]
+        results = evaluate_grid(specs, train, test)
+        assert results[0].spec.seasonal is not None
+
+    def test_accuracy_report_attached(self, split):
+        train, test = split
+        results = evaluate_grid([CandidateSpec(order=(1, 0, 0))], train, test)
+        assert results[0].accuracy is not None
+        assert results[0].accuracy.rmse == results[0].rmse
+
+    def test_failed_candidates_recorded_not_raised(self, split):
+        train, test = split
+        # Exogenous candidate without a shock matrix fails gracefully.
+        specs = [
+            CandidateSpec(order=(1, 0, 0)),
+            CandidateSpec(order=(1, 0, 0), seasonal=(0, 0, 1, 24), exog_columns=2),
+        ]
+        results = evaluate_grid(specs, train, test)
+        failed = [r for r in results if r.failed]
+        assert len(failed) == 1
+        assert failed[0].error
+
+    def test_exogenous_candidate_scored(self, split):
+        train, test = split
+        shock = np.zeros((len(train), 1))
+        shock[::24] = 1.0
+        shock_future = np.zeros((len(test), 1))
+        specs = [CandidateSpec(order=(1, 0, 0), seasonal=(0, 1, 1, 24), exog_columns=1)]
+        results = evaluate_grid(
+            specs, train, test, shock_matrix=shock, shock_future=shock_future
+        )
+        assert not results[0].failed
+
+    def test_parallel_matches_serial(self, split):
+        train, test = split
+        specs = [
+            CandidateSpec(order=(1, 0, 0)),
+            CandidateSpec(order=(2, 0, 1)),
+            CandidateSpec(order=(1, 1, 1)),
+            CandidateSpec(order=(0, 1, 1)),
+            CandidateSpec(order=(1, 0, 1)),
+        ]
+        serial = evaluate_grid(specs, train, test, n_jobs=1)
+        parallel = evaluate_grid(specs, train, test, n_jobs=2)
+        assert [r.spec for r in serial] == [r.spec for r in parallel]
+        assert np.allclose(
+            [r.rmse for r in serial], [r.rmse for r in parallel], rtol=1e-10
+        )
+
+    def test_empty_specs_rejected(self, split):
+        train, test = split
+        with pytest.raises(SelectionError):
+            evaluate_grid([], train, test)

@@ -1,0 +1,73 @@
+"""Tests for the Hyndman–Khandakar stepwise order search."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries, rmse
+from repro.exceptions import DataError
+from repro.models import Arima
+from repro.selection import stepwise_search
+
+
+def make_series(seed=0, n=900, trend=0.05, amp=10.0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return TimeSeries(
+        60 + trend * t + amp * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1.5, n),
+        Frequency.HOURLY,
+    )
+
+
+class TestStepwiseSearch:
+    def test_seasonal_component_found(self):
+        result = stepwise_search(make_series(), period=24)
+        assert result.seasonal is not None
+        assert result.seasonal[3] == 24
+        assert np.isfinite(result.aicc)
+
+    def test_far_fewer_fits_than_grid(self):
+        result = stepwise_search(make_series(), period=24)
+        assert result.n_fits < 60  # vs 660 for the paper's grid
+
+    def test_winner_forecasts_well(self):
+        series = make_series(seed=3)
+        train, test = series.split(len(series) - 24)
+        result = stepwise_search(train, period=24)
+        fitted = Arima(result.order, seasonal=result.seasonal).fit(train)
+        assert rmse(test, fitted.forecast(24).mean) < 4.0
+
+    def test_nonseasonal_search(self):
+        rng = np.random.default_rng(4)
+        x = np.zeros(600)
+        for t in range(1, 600):
+            x[t] = 0.7 * x[t - 1] + rng.normal()
+        result = stepwise_search(TimeSeries(x), period=None)
+        assert result.seasonal is None
+        assert result.order[0] >= 1  # some AR structure found
+
+    def test_differencing_diagnosed(self):
+        result = stepwise_search(make_series(trend=0.3), period=24)
+        assert result.order[1] >= 1 or (result.seasonal and result.seasonal[1] >= 1)
+
+    def test_budget_respected(self):
+        result = stepwise_search(make_series(), period=24, max_fits=6)
+        assert result.n_fits <= 6
+
+    def test_trace_recorded(self):
+        result = stepwise_search(make_series(), period=24)
+        assert len(result.trace) == result.n_fits
+        assert all("AICc=" in line for line in result.trace)
+
+    def test_short_series_disables_seasonal(self):
+        result = stepwise_search(make_series(n=40), period=24)
+        assert result.seasonal is None
+
+    def test_missing_values_rejected(self):
+        values = make_series().values.copy()
+        values[5] = np.nan
+        with pytest.raises(DataError):
+            stepwise_search(TimeSeries(values), period=24)
+
+    def test_describe(self):
+        text = stepwise_search(make_series(), period=24).describe()
+        assert "stepwise winner" in text and "fits" in text

@@ -1,0 +1,98 @@
+"""Tests for estate-wide planning."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+from repro.exceptions import DataError
+from repro.selection import AutoConfig
+from repro.service import (
+    BreachSeverity,
+    EstatePlanner,
+    WorkloadKey,
+    WorkloadStatus,
+)
+
+
+def seasonal_series(n=1100, seed=0, level=50.0, trend=0.0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    values = level + trend * t + 10 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1, n)
+    return TimeSeries(values, Frequency.HOURLY)
+
+
+def in_fault_series(n=1100, seed=1):
+    series = seasonal_series(n=n, seed=seed)
+    values = series.values.copy()
+    for s0 in (100, 260, 420, 600, 800):
+        values[s0 : s0 + 2] = 2.0
+    return series.with_values(values)
+
+
+@pytest.fixture(scope="module")
+def report():
+    planner = EstatePlanner(config=AutoConfig(n_jobs=0, detect_shock_calendar=False))
+    planner.register("acme", "db1", "cpu", seasonal_series(seed=2), threshold=1000.0)
+    planner.register("acme", "db1", "memory", seasonal_series(seed=3, trend=0.06), threshold=90.0)
+    planner.register("beta", "legacy", "cpu", in_fault_series(), threshold=80.0)
+    planner.register("beta", "app", "tx", seasonal_series(seed=4))  # no threshold
+    return planner.run()
+
+
+class TestRegistration:
+    def test_keys_sorted_and_unique(self):
+        planner = EstatePlanner()
+        k1 = planner.register("b", "w", "cpu", seasonal_series())
+        k2 = planner.register("a", "w", "cpu", seasonal_series())
+        assert planner.keys() == [k2, k1]
+        planner.register("b", "w", "cpu", seasonal_series())  # replace
+        assert planner.size == 2
+
+    def test_register_cluster_run(self):
+        from repro.workloads import OlapExperiment
+
+        run = OlapExperiment(days=3.0).build().run(days=3.0, seed=1).hourly()
+        planner = EstatePlanner()
+        keys = planner.register_cluster_run("acme", "olap", run, thresholds={"cpu": 80.0})
+        assert len(keys) == 6  # 2 instances x 3 metrics
+        assert all(isinstance(k, WorkloadKey) for k in keys)
+
+    def test_bad_series_rejected(self):
+        with pytest.raises(DataError):
+            EstatePlanner().register("a", "w", "m", np.arange(10.0))
+
+    def test_empty_estate_rejected(self):
+        with pytest.raises(DataError):
+            EstatePlanner().run()
+
+
+class TestReport:
+    def test_statuses(self, report):
+        assert len(report.modelled) == 3
+        assert len(report.in_fault) == 1
+        assert report.failed == []
+
+    def test_in_fault_workload_identified(self, report):
+        assert report.in_fault[0].key.workload == "legacy"
+        assert report.in_fault[0].advisory is None
+
+    def test_advisories_only_with_thresholds(self, report):
+        advised = report.ranked_advisories()
+        assert {str(e.key) for e in advised} == {"acme/db1/cpu", "acme/db1/memory"}
+
+    def test_ranked_by_urgency(self, report):
+        advised = report.ranked_advisories()
+        # memory trends toward 90 (breach expected); cpu threshold 1000 is safe.
+        assert advised[0].key.metric == "memory"
+        assert advised[0].advisory.severity is not BreachSeverity.NONE
+        assert advised[-1].advisory.severity is BreachSeverity.NONE
+
+    def test_modelled_entries_have_models(self, report):
+        for entry in report.modelled:
+            assert entry.model_label
+            assert np.isfinite(entry.test_rmse)
+
+    def test_summary_lines(self, report):
+        lines = report.summary_lines()
+        assert "4 workload metrics" in lines[0]
+        assert any("in fault" in line for line in lines)

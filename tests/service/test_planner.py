@@ -1,0 +1,148 @@
+"""Integration tests for the CapacityPlanner facade."""
+
+import numpy as np
+import pytest
+
+from repro.agent import AgentSample, MetricsRepository
+from repro.core import Frequency, TimeSeries
+from repro.exceptions import DataError
+from repro.selection import AutoConfig
+from repro.service import BreachSeverity, CapacityPlanner
+
+
+def synthetic_metric(n=1100, seed=3, level=50.0, trend=0.03):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    values = (
+        level + trend * t + 9.0 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1.2, n)
+    )
+    return TimeSeries(values, Frequency.HOURLY, name="cpu")
+
+
+@pytest.fixture(scope="module")
+def planner():
+    p = CapacityPlanner(config=AutoConfig(n_jobs=0, detect_shock_calendar=False))
+    p.ingest_series("db1", "cpu", synthetic_metric())
+    return p
+
+
+class TestIngest:
+    def test_series_roundtrip(self, planner):
+        stored = planner.series("db1", "cpu")
+        assert len(stored) == 1100
+        assert stored.frequency is Frequency.HOURLY
+
+    def test_ingest_raw_samples(self):
+        p = CapacityPlanner()
+        samples = [
+            AgentSample("db2", "cpu", i * 900.0, float(i)) for i in range(96)
+        ]
+        assert p.ingest(samples) == 96
+        assert len(p.series("db2", "cpu")) == 24  # hourly aggregation
+
+    def test_ingest_series_rejects_empty(self):
+        p = CapacityPlanner()
+        with pytest.raises(DataError):
+            p.ingest_series("x", "cpu", TimeSeries([np.nan, np.nan]))
+
+
+class TestModelLifecycle:
+    def test_select_model(self, planner):
+        outcome = planner.select_model("db1", "cpu")
+        assert np.isfinite(outcome.test_rmse)
+        # The selection is persisted in the repository.
+        record = planner.repository.load_model("db1", "cpu")
+        assert record is not None
+        assert record.rmse == outcome.test_rmse
+
+    def test_model_cached(self, planner):
+        first = planner.select_model("db1", "cpu")
+        second = planner.select_model("db1", "cpu")
+        assert first is second
+
+    def test_force_retrains(self, planner):
+        first = planner.select_model("db1", "cpu")
+        second = planner.select_model("db1", "cpu", force=True)
+        assert first is not second
+
+    def test_observe_before_select_rejected(self, planner):
+        with pytest.raises(DataError):
+            planner.observe("db1", "memory", [1.0])
+
+    def test_bad_observations_mark_stale(self, planner):
+        planner.select_model("db1", "cpu", force=True)
+        verdict = planner.observe("db1", "cpu", np.full(10, 10_000.0))
+        assert verdict.stale
+
+
+class TestForecastPlane:
+    def test_forecast_default_horizon(self, planner):
+        fc = planner.forecast("db1", "cpu")
+        assert fc.horizon == 24
+        assert np.all(fc.mean.values >= 0.0)  # clipped at the floor
+
+    def test_threshold_advisory(self, planner):
+        safe = planner.threshold_advisory("db1", "cpu", threshold=10_000.0)
+        assert safe.severity is BreachSeverity.NONE
+        doomed = planner.threshold_advisory("db1", "cpu", threshold=1.0)
+        assert doomed.severity is not BreachSeverity.NONE
+
+    def test_capacity_recommendation(self, planner):
+        rec = planner.capacity_recommendation("db1", "cpu", unit=4.0)
+        assert rec.recommended % 4.0 == 0.0
+        assert rec.recommended >= rec.required
+
+
+class TestRestore:
+    def _stocked_repo(self, tmp_path, n=1100):
+        from repro.agent import MetricsRepository
+
+        path = str(tmp_path / "estate.db")
+        repo = MetricsRepository(path)
+        p = CapacityPlanner(
+            repository=repo, config=AutoConfig(n_jobs=0, detect_shock_calendar=False)
+        )
+        p.ingest_series("db1", "cpu", synthetic_metric(n=n))
+        return path, p
+
+    def test_restore_roundtrip(self, tmp_path):
+        from repro.agent import MetricsRepository
+
+        path, p = self._stocked_repo(tmp_path)
+        original = p.select_model("db1", "cpu")
+        p.repository.close()
+
+        fresh = CapacityPlanner(
+            repository=MetricsRepository(path),
+            config=AutoConfig(n_jobs=0, detect_shock_calendar=False),
+        )
+        restored = fresh.restore_model("db1", "cpu")
+        assert restored is not None
+        assert restored.best_spec == original.best_spec
+        assert restored.test_rmse == original.test_rmse
+        assert restored.n_evaluated == 0  # no grid search happened
+        # And forecasting uses the restored model without re-selecting.
+        fc = fresh.forecast("db1", "cpu")
+        assert np.isfinite(fc.mean.values).all()
+
+    def test_restore_nothing_stored(self, tmp_path):
+        from repro.agent import MetricsRepository
+
+        path = str(tmp_path / "empty.db")
+        p = CapacityPlanner(repository=MetricsRepository(path))
+        p.ingest_series("db1", "cpu", synthetic_metric())
+        assert p.restore_model("db1", "cpu") is None
+
+    def test_restore_expired_record_returns_none(self, tmp_path):
+        from repro.agent import MetricsRepository
+
+        path, p = self._stocked_repo(tmp_path)
+        p.select_model("db1", "cpu")
+        # Backdate the stored record beyond the weekly rule.
+        record = p.repository.load_model("db1", "cpu")
+        p.repository.store_model(
+            "db1", "cpu",
+            fitted_at=record.fitted_at - 9 * 24 * 3600,
+            label=record.label, spec=record.spec, rmse=record.rmse,
+        )
+        assert p.restore_model("db1", "cpu") is None

@@ -1,0 +1,67 @@
+"""Tests for capacity/migration sizing."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+from repro.exceptions import DataError
+from repro.models.base import Forecast
+from repro.service import overprovision_ratio, recommend_capacity
+
+
+def _forecast(upper_values):
+    upper = np.asarray(upper_values, dtype=float)
+    mk = lambda v: TimeSeries(v, Frequency.HOURLY)
+    return Forecast(
+        mean=mk(upper - 5.0),
+        lower=mk(upper - 10.0),
+        upper=mk(upper),
+        alpha=0.05,
+        model_label="test",
+    )
+
+
+class TestRecommendCapacity:
+    def test_percentile_of_upper_band(self):
+        fc = _forecast(np.linspace(10, 110, 101))
+        rec = recommend_capacity(fc, percentile=95.0, headroom=0.0, unit=1.0)
+        assert rec.required == pytest.approx(105.0)
+
+    def test_headroom_applied(self):
+        fc = _forecast(np.full(10, 100.0))
+        rec = recommend_capacity(fc, headroom=0.10, unit=1.0)
+        assert rec.recommended == 110.0
+
+    def test_rounds_up_to_unit(self):
+        fc = _forecast(np.full(10, 101.0))
+        rec = recommend_capacity(fc, headroom=0.0, unit=16.0)
+        assert rec.recommended == 112.0  # ceil(101/16)*16
+
+    def test_peak_forecast_reported(self):
+        fc = _forecast(np.array([50.0, 80.0, 60.0]))
+        rec = recommend_capacity(fc)
+        assert rec.peak_forecast == 75.0  # mean band = upper - 5
+
+    def test_validation(self):
+        fc = _forecast(np.full(5, 10.0))
+        with pytest.raises(DataError):
+            recommend_capacity(fc, percentile=0.0)
+        with pytest.raises(DataError):
+            recommend_capacity(fc, headroom=-0.1)
+        with pytest.raises(DataError):
+            recommend_capacity(fc, unit=0.0)
+
+    def test_describe(self):
+        text = recommend_capacity(_forecast(np.full(5, 10.0))).describe()
+        assert "recommend" in text
+
+
+class TestOverprovisionRatio:
+    def test_ratio(self):
+        assert overprovision_ratio(200.0, 100.0) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            overprovision_ratio(0.0, 1.0)
+        with pytest.raises(DataError):
+            overprovision_ratio(1.0, -1.0)

@@ -1,0 +1,62 @@
+"""Tests for threshold-breach prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+from repro.exceptions import DataError
+from repro.models.base import Forecast
+from repro.service import BreachSeverity, predict_breach
+
+
+def _forecast(mean, spread=5.0, start=0.0):
+    mean = np.asarray(mean, dtype=float)
+    mk = lambda v: TimeSeries(v, Frequency.HOURLY, start=start)
+    return Forecast(
+        mean=mk(mean),
+        lower=mk(mean - spread),
+        upper=mk(mean + spread),
+        alpha=0.05,
+        model_label="test",
+    )
+
+
+class TestPredictBreach:
+    def test_no_breach(self):
+        result = predict_breach(_forecast([10, 20, 30]), threshold=80.0)
+        assert result.severity is BreachSeverity.NONE
+        assert result.first_breach_step is None
+        assert result.headroom == pytest.approx(50.0)
+
+    def test_possible_breach_upper_band_only(self):
+        result = predict_breach(_forecast([10, 70, 30], spread=15.0), threshold=80.0)
+        assert result.severity is BreachSeverity.POSSIBLE
+        assert result.first_breach_step == 2
+
+    def test_likely_breach_point_forecast(self):
+        result = predict_breach(_forecast([10, 85, 30], spread=10.0), threshold=80.0)
+        assert result.severity is BreachSeverity.LIKELY
+        assert result.first_breach_step == 2
+        assert result.headroom < 0
+
+    def test_certain_breach_lower_band(self):
+        result = predict_breach(_forecast([10, 95, 30], spread=5.0), threshold=80.0)
+        assert result.severity is BreachSeverity.CERTAIN
+
+    def test_first_crossing_reported(self):
+        result = predict_breach(_forecast([85, 90, 95], spread=1.0), threshold=80.0)
+        assert result.first_breach_step == 1
+
+    def test_timestamp_of_breach(self):
+        result = predict_breach(
+            _forecast([10, 85, 90], spread=1.0, start=7200.0), threshold=80.0
+        )
+        assert result.first_breach_timestamp == 7200.0 + 3600.0
+
+    def test_nonfinite_threshold_rejected(self):
+        with pytest.raises(DataError):
+            predict_breach(_forecast([1.0]), threshold=np.inf)
+
+    def test_describe(self):
+        text = predict_breach(_forecast([10, 95]), threshold=80.0).describe()
+        assert "threshold 80" in text

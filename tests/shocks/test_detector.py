@@ -1,0 +1,173 @@
+"""Tests for shock detection, recurrence grouping and calendars."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+from repro.exceptions import DataError
+from repro.shocks import (
+    RecurringShock,
+    ShockCalendar,
+    ShockEvent,
+    build_shock_calendar,
+    detect_shocks,
+    group_recurring,
+)
+
+
+def series_with_spikes(spike_phases=(0,), spike_mag=50.0, period=24, n=720, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    y = 100.0 + 10.0 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1.5, n)
+    for phase in spike_phases:
+        y[(t % period) == phase] += spike_mag
+    return TimeSeries(y, Frequency.HOURLY)
+
+
+class TestDetectShocks:
+    def test_finds_recurring_spike_samples(self):
+        events = detect_shocks(series_with_spikes(), period=24)
+        spike_indices = {e.index for e in events}
+        assert len(spike_indices & set(range(0, 720, 24))) >= 25
+
+    def test_clean_series_no_events(self):
+        events = detect_shocks(series_with_spikes(spike_mag=0.0), period=24)
+        assert len(events) <= 5  # a handful of noise excursions at most
+
+    def test_negative_shock_detected(self):
+        ts = series_with_spikes(spike_mag=-60.0)
+        events = detect_shocks(ts, period=24)
+        assert any(e.magnitude < -30 for e in events)
+
+    def test_magnitude_estimate(self):
+        events = detect_shocks(series_with_spikes(spike_mag=50.0), period=24)
+        big = [e.magnitude for e in events if e.index % 24 == 0]
+        assert np.median(big) == pytest.approx(50.0, abs=5.0)
+
+    def test_no_period_moving_median_path(self):
+        rng = np.random.default_rng(1)
+        y = 50 + rng.normal(0, 1, 300)
+        y[100] += 40
+        events = detect_shocks(TimeSeries(y))
+        assert any(e.index == 100 for e in events)
+
+    def test_rejects_missing(self):
+        with pytest.raises(DataError):
+            detect_shocks(TimeSeries([1.0, np.nan, 2.0]))
+
+
+class TestGroupRecurring:
+    def _events(self, indices, magnitude=50.0):
+        return [ShockEvent(index=i, magnitude=magnitude, z_score=10.0) for i in indices]
+
+    def test_nightly_grouped(self):
+        events = self._events(range(0, 720, 24))
+        shocks = group_recurring(events, 720, candidate_periods=(24,))
+        assert len(shocks) == 1
+        assert shocks[0].period == 24
+        assert shocks[0].phase == 0
+        assert shocks[0].occurrences == 30
+
+    def test_paper_min_occurrence_rule(self):
+        # "more than 3 times": exactly 3 occurrences stays a fault.
+        events = self._events([0, 24, 48])
+        assert group_recurring(events, 720, candidate_periods=(24,)) == []
+        events4 = self._events([0, 24, 48, 72])
+        # 4 occurrences but only 4 of 30 possible windows → coincidence guard.
+        assert group_recurring(events4, 720, candidate_periods=(24,)) == []
+        # 4 of 4 windows → behaviour.
+        assert len(group_recurring(events4, 96, candidate_periods=(24,))) == 1
+
+    def test_configurable_threshold(self):
+        events = self._events([0, 24, 48])
+        shocks = group_recurring(
+            events, 72, candidate_periods=(24,), min_occurrences=2
+        )
+        assert len(shocks) == 1
+
+    def test_shorter_period_wins(self):
+        events = self._events(range(0, 720, 6))
+        shocks = group_recurring(events, 720, candidate_periods=(6, 24))
+        assert len(shocks) == 1
+        assert shocks[0].period == 6
+
+    def test_jitter_tolerance(self):
+        indices = [i + (1 if k % 2 else 0) for k, i in enumerate(range(0, 720, 24))]
+        events = self._events(indices)
+        shocks = group_recurring(events, 720, candidate_periods=(24,), tolerance=1)
+        assert len(shocks) == 1
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            group_recurring([], 100, candidate_periods=(1,))
+        with pytest.raises(DataError):
+            group_recurring([], 100, min_occurrences=0)
+
+
+class TestShockCalendar:
+    def _calendar(self, shocks, n_train=240):
+        return ShockCalendar(shocks=tuple(shocks), n_train=n_train)
+
+    def test_train_matrix_indicators(self):
+        cal = self._calendar([RecurringShock(24, 3, 10, 50.0)])
+        X = cal.train_matrix()
+        assert X.shape == (240, 1)
+        assert X[3, 0] == 1.0 and X[27, 0] == 1.0
+        assert X.sum() == 10  # 240 / 24
+
+    def test_future_matrix_continues_phase(self):
+        cal = self._calendar([RecurringShock(24, 3, 10, 50.0)], n_train=241)
+        Xf = cal.future_matrix(24)
+        # Next phase-3 slot after index 240 is 243 → row 2 of the future.
+        assert Xf[2, 0] == 1.0
+        assert Xf.sum() == 1
+
+    def test_empty_calendar(self):
+        cal = self._calendar([])
+        assert cal.train_matrix().shape == (240, 0)
+        assert cal.future_matrix(10).shape == (10, 0)
+
+    def test_future_horizon_validated(self):
+        cal = self._calendar([])
+        with pytest.raises(DataError):
+            cal.future_matrix(0)
+
+    def test_realigned_shifts_phase(self):
+        cal = self._calendar([RecurringShock(24, 3, 10, 50.0)])
+        moved = cal.realigned(offset=5, n_train=480)
+        assert moved.shocks[0].phase == 8
+        assert moved.n_train == 480
+
+    def test_realigned_wraps(self):
+        cal = self._calendar([RecurringShock(24, 20, 10, 50.0)])
+        moved = cal.realigned(offset=10, n_train=240)
+        assert moved.shocks[0].phase == 6
+
+
+class TestBuildCalendar:
+    def test_nightly_backup(self):
+        cal = build_shock_calendar(series_with_spikes(), period=24)
+        assert cal.n_columns == 1
+        assert cal.shocks[0].period == 24
+
+    def test_six_hourly_as_four_daily_phases(self):
+        ts = series_with_spikes(spike_phases=(0, 6, 12, 18), spike_mag=60.0)
+        cal = build_shock_calendar(ts, period=24, candidate_periods=(24, 168))
+        assert cal.n_columns == 4  # the paper's "4 exogenous variables"
+
+    def test_one_off_fault_ignored(self):
+        ts = series_with_spikes(spike_mag=0.0)
+        values = ts.values.copy()
+        values[100] += 90
+        cal = build_shock_calendar(ts.with_values(values), period=24)
+        assert cal.n_columns == 0
+
+    def test_three_crashes_stay_faults(self):
+        # The paper: a system that crashes <= 3 times is in-fault, not
+        # exhibiting behaviour.
+        ts = series_with_spikes(spike_mag=0.0, n=720)
+        values = ts.values.copy()
+        for idx in (100, 124, 148):  # even spaced 24 apart: only 3 times
+            values[idx] -= 70
+        cal = build_shock_calendar(ts.with_values(values), period=24)
+        assert cal.n_columns == 0

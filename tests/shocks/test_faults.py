@@ -1,0 +1,141 @@
+"""Tests for crash/fault handling (the paper's conclusion rules)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+from repro.exceptions import DataError
+from repro.shocks import (
+    FaultPolicy,
+    FaultVerdict,
+    detect_faults,
+    discard_faults,
+)
+
+
+def base_series(n=720, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 60.0 + 20.0 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1.5, n)
+
+
+class TestDetectFaults:
+    def test_crash_found(self):
+        y = base_series()
+        y[100:103] = 5.0
+        episodes = detect_faults(TimeSeries(y), period=24)
+        assert len(episodes) == 1
+        assert episodes[0].start_index == 100
+        assert episodes[0].length == 3
+        assert episodes[0].mean_magnitude < -30
+
+    def test_clean_series_no_faults(self):
+        assert detect_faults(TimeSeries(base_series()), period=24) == []
+
+    def test_noise_excursions_not_faults(self):
+        # Pure noise at 3.5-4 sigma must not be classed as a crash.
+        rng = np.random.default_rng(5)
+        y = 60 + rng.normal(0, 2.0, 2000)
+        episodes = detect_faults(TimeSeries(y), period=None)
+        assert episodes == []
+
+    def test_scheduled_stop_is_behaviour_not_fault(self):
+        y = base_series()
+        t = np.arange(y.size)
+        y[(t % 24) == 3] -= 45.0  # nightly maintenance stop, 30 occurrences
+        assert detect_faults(TimeSeries(y), period=24) == []
+
+    def test_positive_spikes_ignored(self):
+        y = base_series()
+        y[200:203] += 80.0  # a backup-like spike is a shock, not a fault
+        assert detect_faults(TimeSeries(y), period=24) == []
+
+
+class TestDiscardFaults:
+    def test_stable_verdict(self):
+        analysis = discard_faults(TimeSeries(base_series()), period=24)
+        assert analysis.verdict is FaultVerdict.STABLE
+        assert analysis.discarded_samples == 0
+
+    def test_occasional_faults_repaired(self):
+        y = base_series()
+        y[100:103] = 5.0
+        y[400:402] = 3.0
+        analysis = discard_faults(TimeSeries(y), period=24)
+        assert analysis.verdict is FaultVerdict.OCCASIONAL_FAULTS
+        assert analysis.discarded_samples == 5
+        # The crash hole is filled with plausible values.
+        assert analysis.series.values[100:103].min() > 20.0
+        assert analysis.series.is_finite()
+
+    def test_in_fault_not_discarded_by_default(self):
+        y = base_series()
+        for s0 in (50, 150, 260, 380, 500):
+            y[s0 : s0 + 2] = 4.0
+        analysis = discard_faults(TimeSeries(y), period=24)
+        assert analysis.verdict is FaultVerdict.IN_FAULT
+        assert analysis.discarded_samples == 0
+        assert np.array_equal(analysis.series.values, y)
+
+    def test_manual_override_discard(self):
+        y = base_series()
+        for s0 in (50, 150, 260, 380, 500):
+            y[s0 : s0 + 2] = 4.0
+        analysis = discard_faults(
+            TimeSeries(y), period=24, policy=FaultPolicy(manual_override="discard")
+        )
+        assert analysis.discarded_samples == 10
+        assert analysis.series.values.min() > 10.0
+
+    def test_manual_override_keep(self):
+        y = base_series()
+        y[100:103] = 5.0
+        analysis = discard_faults(
+            TimeSeries(y), period=24, policy=FaultPolicy(manual_override="keep")
+        )
+        assert analysis.discarded_samples == 0
+        assert analysis.series.values[100] == 5.0
+
+    def test_describe(self):
+        text = discard_faults(TimeSeries(base_series()), period=24).describe()
+        assert "stable" in text
+
+
+class TestFaultPolicy:
+    def test_validation(self):
+        with pytest.raises(DataError):
+            FaultPolicy(manual_override="maybe")
+        with pytest.raises(DataError):
+            FaultPolicy(in_fault_episode_limit=0)
+        with pytest.raises(DataError):
+            FaultPolicy(min_drop_fraction=1.5)
+
+    def test_episode_limit_configurable(self):
+        y = base_series()
+        y[100:102] = 4.0
+        y[300:302] = 4.0
+        strict = discard_faults(
+            TimeSeries(y), period=24, policy=FaultPolicy(in_fault_episode_limit=1)
+        )
+        assert strict.verdict is FaultVerdict.IN_FAULT
+        lax = discard_faults(
+            TimeSeries(y), period=24, policy=FaultPolicy(in_fault_episode_limit=5)
+        )
+        assert lax.verdict is FaultVerdict.OCCASIONAL_FAULTS
+
+
+class TestPipelineInteraction:
+    def test_discarding_improves_forecast(self):
+        """A crash learned as data pollutes the forecast; discarding fixes it."""
+        from repro.core import rmse
+        from repro.models import HoltWinters
+
+        y = base_series(n=744, seed=9)
+        y[500:506] = 2.0  # a six-hour outage
+        series = TimeSeries(y, Frequency.HOURLY)
+        train_raw, test = series.split(720)
+
+        repaired = discard_faults(train_raw, period=24).series
+        raw_fc = HoltWinters(24).fit(train_raw).forecast(24)
+        fixed_fc = HoltWinters(24).fit(repaired).forecast(24)
+        assert rmse(test, fixed_fc.mean) <= rmse(test, raw_fc.mean) * 1.05

@@ -1,0 +1,94 @@
+"""Sanity tests on the package surface: exports, exceptions, version."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    CapacityPlanningError,
+    ConvergenceError,
+    DataError,
+    FrequencyError,
+    ModelError,
+    NotFittedError,
+    RepositoryError,
+    SelectionError,
+)
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.models",
+    "repro.shocks",
+    "repro.selection",
+    "repro.workloads",
+    "repro.agent",
+    "repro.service",
+    "repro.reporting",
+    "repro.cli",
+]
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_all_resolvable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolvable(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert getattr(module, name, None) is not None, f"{module_name}.{name}"
+
+    def test_headline_api_importable_from_top(self):
+        from repro import (  # noqa: F401
+            Arima,
+            AutoConfig,
+            CapacityPlanner,
+            Forecast,
+            Frequency,
+            HoltWinters,
+            Sarimax,
+            Tbats,
+            TimeSeries,
+            auto_forecast,
+            auto_select,
+            build_shock_calendar,
+            predict_breach,
+            recommend_capacity,
+            rmse,
+        )
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            DataError,
+            FrequencyError,
+            ModelError,
+            ConvergenceError,
+            NotFittedError,
+            SelectionError,
+            RepositoryError,
+        ],
+    )
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, CapacityPlanningError)
+
+    def test_frequency_is_data_error(self):
+        assert issubclass(FrequencyError, DataError)
+
+    def test_convergence_is_model_error(self):
+        assert issubclass(ConvergenceError, ModelError)
+
+    def test_catchable_at_api_boundary(self):
+        import numpy as np
+
+        from repro.core import TimeSeries
+
+        with pytest.raises(CapacityPlanningError):
+            TimeSeries(np.array([]))

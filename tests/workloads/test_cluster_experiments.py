@@ -1,0 +1,249 @@
+"""Tests for the cluster simulation and the two paper experiments."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, detect_seasonalities, seasonal_strength, trend_strength
+from repro.exceptions import DataError
+from repro.shocks import build_shock_calendar
+from repro.workloads import (
+    BackupPolicy,
+    ClusteredDatabase,
+    ConnectionBalancer,
+    DatabaseInstance,
+    OLAP_PROFILE,
+    OlapExperiment,
+    OltpExperiment,
+    UserPopulation,
+    generate_olap_run,
+    generate_oltp_run,
+)
+
+
+@pytest.fixture(scope="module")
+def olap_run():
+    return generate_olap_run()
+
+
+@pytest.fixture(scope="module")
+def oltp_run():
+    return generate_oltp_run()
+
+
+class TestBackupPolicy:
+    def test_nightly_schedule(self):
+        policy = BackupPolicy(every_hours=24.0, at_hour=2.0, duration_hours=1.0)
+        t = np.arange(0, 2 * 86400.0, 3600.0)
+        active = policy.active(t)
+        assert active[2] == 1.0 and active[26] == 1.0
+        assert active.sum() == 2.0
+
+    def test_six_hourly(self):
+        policy = BackupPolicy(every_hours=6.0, duration_hours=1.0)
+        t = np.arange(0, 86400.0, 3600.0)
+        assert policy.active(t).sum() == 4.0
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            BackupPolicy(every_hours=0.0)
+
+
+class TestConnectionBalancer:
+    def test_even_split_sums_to_total(self):
+        balancer = ConnectionBalancer(n_nodes=2, imbalance_cv=0.05)
+        sessions = np.full(100, 1000.0)
+        parts = balancer.split(sessions, np.random.default_rng(0))
+        total = parts[0] + parts[1]
+        assert np.allclose(total, 1000.0)
+        assert abs(parts[0].mean() - 500.0) < 25.0
+
+    def test_weighted_split(self):
+        balancer = ConnectionBalancer(n_nodes=2, weights=(3.0, 1.0), imbalance_cv=0.0)
+        parts = balancer.split(np.full(10, 100.0), np.random.default_rng(0))
+        assert np.allclose(parts[0], 75.0)
+        assert np.allclose(parts[1], 25.0)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            ConnectionBalancer(n_nodes=0)
+        with pytest.raises(DataError):
+            ConnectionBalancer(n_nodes=2, weights=(1.0,))
+
+
+class TestClusteredDatabase:
+    def _cluster(self, n_nodes=2, backups=()):
+        nodes = [
+            DatabaseInstance(name=f"node{i}", profile=OLAP_PROFILE)
+            for i in range(n_nodes)
+        ]
+        return ClusteredDatabase(
+            nodes=nodes,
+            population=UserPopulation(base_users=40.0),
+            backups=list(backups),
+        )
+
+    def test_run_produces_all_instances(self):
+        run = self._cluster().run(days=2.0, seed=1)
+        assert set(run.instances) == {"node0", "node1"}
+        assert run.frequency is Frequency.MINUTE_15
+        assert run.n_samples == 2 * 96
+
+    def test_deterministic_given_seed(self):
+        a = self._cluster().run(days=1.0, seed=9)
+        b = self._cluster().run(days=1.0, seed=9)
+        assert np.array_equal(
+            a.instances["node0"].cpu.values, b.instances["node0"].cpu.values
+        )
+
+    def test_different_seeds_differ(self):
+        a = self._cluster().run(days=1.0, seed=1)
+        b = self._cluster().run(days=1.0, seed=2)
+        assert not np.array_equal(
+            a.instances["node0"].cpu.values, b.instances["node0"].cpu.values
+        )
+
+    def test_backup_only_on_pinned_node(self):
+        backup = BackupPolicy(every_hours=24.0, at_hour=0.0, duration_hours=1.0, node_index=0)
+        run = self._cluster(backups=[backup]).run(days=4.0, seed=3)
+        node0 = run.instances["node0"].logical_iops.values
+        node1 = run.instances["node1"].logical_iops.values
+        # Backup samples on node0 should spike way above node1's.
+        assert node0[0] > node1[0] * 1.1
+
+    def test_hourly_aggregation(self):
+        run = self._cluster().run(days=2.0, seed=4)
+        hourly = run.hourly()
+        assert hourly.frequency is Frequency.HOURLY
+        assert hourly.n_samples == 48
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            ClusteredDatabase(nodes=[], population=UserPopulation(base_users=1.0))
+        with pytest.raises(DataError):
+            self._cluster().run(days=0.0)
+        with pytest.raises(DataError):
+            self._cluster().run(days=1.0, step_minutes=30)
+        with pytest.raises(DataError):
+            ClusteredDatabase(
+                nodes=[DatabaseInstance(name="n", profile=OLAP_PROFILE)],
+                population=UserPopulation(base_users=1.0),
+                backups=[BackupPolicy(node_index=5)],
+            )
+
+
+class TestOlapExperiment:
+    """Experiment One must exhibit challenges C1 (seasonality) and C4 (shock)."""
+
+    def test_instances_named_as_paper(self, olap_run):
+        assert set(olap_run.instances) == {"cdbm011", "cdbm012"}
+
+    def test_c1_seasonality(self, olap_run):
+        cpu = olap_run.instances["cdbm011"].cpu
+        assert seasonal_strength(cpu, 24) > 0.8
+
+    def test_c4_backup_shock_on_node1(self, olap_run):
+        iops = olap_run.instances["cdbm011"].logical_iops
+        calendar = build_shock_calendar(iops, period=24)
+        assert calendar.n_columns >= 1
+        assert calendar.shocks[0].period == 24
+
+    def test_node2_has_no_backup_shock(self, olap_run):
+        iops = olap_run.instances["cdbm012"].logical_iops
+        calendar = build_shock_calendar(iops, period=24)
+        assert calendar.n_columns == 0
+
+    def test_iops_magnitude_matches_paper(self, olap_run):
+        # Paper: "2.3 million logical IOPS per hour throughput at the peak".
+        peak = olap_run.instances["cdbm012"].logical_iops.values.max()
+        assert 1e6 < peak < 6e6
+
+    def test_enough_data_for_table1(self, olap_run):
+        assert olap_run.n_samples >= 1008
+
+
+class TestOltpExperiment:
+    """Experiment Two must exhibit C1, C2 (trend), C3 (multi-season), C4."""
+
+    def test_c2_trend(self, oltp_run):
+        cpu = oltp_run.instances["cdbm011"].cpu
+        assert trend_strength(cpu, 24) > 0.8
+        # User growth: second half busier than first half.
+        half = len(cpu) // 2
+        assert cpu.values[half:].mean() > cpu.values[:half].mean() * 1.15
+
+    def test_c1_seasonality(self, oltp_run):
+        cpu = oltp_run.instances["cdbm011"].cpu
+        assert 24 in detect_seasonalities(cpu, candidates=[24, 168]).periods
+
+    def test_c3_surges_visible(self, oltp_run):
+        cpu = oltp_run.instances["cdbm011"].cpu.values
+        hours = np.arange(cpu.size) % 24
+        surge = cpu[(hours >= 7) & (hours < 10)].mean()
+        pre_dawn = cpu[(hours >= 2) & (hours < 5)].mean()
+        assert surge > pre_dawn * 1.2
+
+    def test_c4_four_exogenous_backups(self, oltp_run):
+        iops = oltp_run.instances["cdbm011"].logical_iops
+        calendar = build_shock_calendar(iops, period=24, candidate_periods=(24, 168))
+        assert calendar.n_columns == 4  # 6-hourly → 4 daily phases
+
+    def test_paper_parameters_defaults(self):
+        config = OltpExperiment()
+        assert config.growth_per_day == 50.0
+        assert config.backup_every_hours == 6.0
+        surges = config.build().population.surges
+        assert (surges[0].users, surges[0].start_hour, surges[0].duration_hours) == (1000, 7.0, 4.0)
+        assert (surges[1].users, surges[1].start_hour, surges[1].duration_hours) == (1000, 9.0, 1.0)
+
+
+class TestFailover:
+    def _cluster(self, failovers):
+        from repro.workloads import FailoverEvent, OLTP_PROFILE
+
+        nodes = [
+            DatabaseInstance(name=f"n{i}", profile=OLTP_PROFILE) for i in range(2)
+        ]
+        return ClusteredDatabase(
+            nodes=nodes,
+            population=UserPopulation(base_users=2000.0),
+            failovers=failovers,
+        )
+
+    def test_failed_node_goes_quiet_survivor_doubles(self):
+        from repro.workloads import FailoverEvent
+
+        run = self._cluster(
+            [FailoverEvent(at_hour=48.0, duration_hours=4.0, node_index=0)]
+        ).run(days=5.0, seed=1).hourly()
+        c0 = run.instances["n0"].cpu.values
+        c1 = run.instances["n1"].cpu.values
+        assert c0[49] < 0.2 * c0[25]  # down node near idle
+        assert c1[49] > 1.6 * c1[25]  # survivor absorbs the load
+
+    def test_total_sessions_conserved(self):
+        from repro.workloads import FailoverEvent
+
+        run = self._cluster(
+            [FailoverEvent(at_hour=24.0, duration_hours=2.0, node_index=1)]
+        ).run(days=3.0, seed=2).hourly()
+        iops0 = run.instances["n0"].logical_iops.values
+        iops1 = run.instances["n1"].logical_iops.values
+        total = iops0 + iops1
+        # Total demand during the failover stays near the surrounding level
+        # (the load moved, it did not vanish); generous noise tolerance.
+        around = np.r_[total[20:24], total[27:31]].mean()
+        assert abs(total[25] - around) < 0.25 * around
+
+    def test_validation(self):
+        from repro.workloads import FailoverEvent, OLTP_PROFILE
+
+        with pytest.raises(DataError):
+            FailoverEvent(at_hour=0.0, duration_hours=0.0)
+        with pytest.raises(DataError):
+            ClusteredDatabase(
+                nodes=[DatabaseInstance(name="solo", profile=OLTP_PROFILE)],
+                population=UserPopulation(base_users=10.0),
+                failovers=[FailoverEvent(at_hour=1.0, duration_hours=1.0)],
+            )
+        with pytest.raises(DataError):
+            self._cluster([FailoverEvent(at_hour=1.0, duration_hours=1.0, node_index=9)])

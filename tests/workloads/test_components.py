@@ -1,0 +1,178 @@
+"""Tests for workload signal components."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.workloads import (
+    BusinessHours,
+    Composite,
+    Constant,
+    DailyCycle,
+    GaussianNoise,
+    LinearTrend,
+    OneOffShock,
+    ProportionalNoise,
+    RecurringShockComponent,
+    Surge,
+    WeeklyCycle,
+)
+
+HOUR = 3600.0
+DAY = 86400.0
+
+
+def grid(days=7, step=HOUR):
+    return np.arange(0, days * DAY, step)
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestConstant:
+    def test_flat(self):
+        out = Constant(42.0).values(grid(), rng())
+        assert np.all(out == 42.0)
+
+
+class TestLinearTrend:
+    def test_slope(self):
+        out = LinearTrend(per_day=10.0).values(grid(days=3), rng())
+        assert out[0] == 0.0
+        assert out[24] == pytest.approx(10.0)  # one day in
+        assert out[-1] == pytest.approx(10.0 * (len(out) - 1) / 24)
+
+    def test_relative_to_window_start(self):
+        t = grid(days=2) + 5 * DAY
+        out = LinearTrend(per_day=10.0).values(t, rng())
+        assert out[0] == 0.0
+
+
+class TestDailyCycle:
+    def test_period_24h(self):
+        out = DailyCycle(amplitude=10.0).values(grid(days=4), rng())
+        assert np.allclose(out[:24], out[24:48])
+
+    def test_peak_at_peak_hour(self):
+        out = DailyCycle(amplitude=10.0, peak_hour=14.0).values(grid(days=1), rng())
+        assert np.argmax(out) == 14
+
+    def test_amplitude_normalised(self):
+        out = DailyCycle(amplitude=10.0, sharpness=0.5).values(grid(days=2), rng())
+        assert out.max() <= 10.0 + 1e-9
+
+
+class TestWeeklyCycle:
+    def test_weekend_depressed(self):
+        out = WeeklyCycle(depth=20.0).values(grid(days=7), rng())
+        weekday = out[2 * 24 + 12]  # Wednesday noon
+        weekend = out[5 * 24 + 12]  # Saturday noon
+        assert weekend < weekday - 15.0
+
+    def test_period_one_week(self):
+        out = WeeklyCycle(depth=20.0).values(grid(days=14), rng())
+        assert np.allclose(out[: 7 * 24], out[7 * 24 :], atol=1e-9)
+
+
+class TestBusinessHours:
+    def test_plateau_inside_hours(self):
+        out = BusinessHours(amplitude=30.0, start=9.0, end=17.0).values(grid(days=1), rng())
+        assert out[12] > 25.0
+        assert out[3] < 5.0
+
+    def test_ramps_monotone(self):
+        out = BusinessHours(amplitude=30.0, start=9.0, end=17.0, ramp_hours=1.0).values(
+            grid(days=1, step=900.0), rng()
+        )
+        morning = out[30:40]  # 7:30–10:00 in 15-min steps
+        assert np.all(np.diff(morning) >= -1e-9)
+
+
+class TestSurge:
+    def test_active_window(self):
+        out = Surge(magnitude=100.0, start_hour=7.0, duration_hours=4.0).values(
+            grid(days=1), rng()
+        )
+        assert np.all(out[7:11] == 100.0)
+        assert np.all(out[11:] == 0.0)
+        assert np.all(out[:7] == 0.0)
+
+    def test_wraps_midnight(self):
+        out = Surge(magnitude=10.0, start_hour=23.0, duration_hours=2.0).values(
+            grid(days=1), rng()
+        )
+        assert out[23] == 10.0 and out[0] == 10.0 and out[1] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            Surge(magnitude=1.0, start_hour=0.0, duration_hours=0.0)
+
+
+class TestRecurringShock:
+    def test_six_hourly(self):
+        out = RecurringShockComponent(
+            magnitude=50.0, every_hours=6.0, duration_hours=1.0
+        ).values(grid(days=1), rng())
+        fired = np.flatnonzero(out > 0)
+        assert list(fired) == [0, 6, 12, 18]
+
+    def test_offset(self):
+        out = RecurringShockComponent(
+            magnitude=50.0, every_hours=24.0, at_hour=3.0, duration_hours=1.0
+        ).values(grid(days=2), rng())
+        assert out[3] > 0 and out[27] > 0 and out[0] == 0.0
+
+    def test_decay_over_duration(self):
+        out = RecurringShockComponent(
+            magnitude=60.0, every_hours=24.0, duration_hours=3.0
+        ).values(grid(days=1), rng())
+        assert out[0] > out[1] > out[2] > 0
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            RecurringShockComponent(magnitude=1.0, every_hours=0.0)
+
+
+class TestOneOffShock:
+    def test_fires_once(self):
+        out = OneOffShock(magnitude=-30.0, at_hour=10.0, duration_hours=2.0).values(
+            grid(days=2), rng()
+        )
+        assert out[10] == -30.0 and out[11] == -30.0
+        assert np.count_nonzero(out) == 2
+
+
+class TestNoise:
+    def test_gaussian_stats(self):
+        out = GaussianNoise(sigma=2.0).values(grid(days=30), rng())
+        assert abs(out.mean()) < 0.3
+        assert out.std() == pytest.approx(2.0, rel=0.1)
+
+    def test_deterministic_given_seed(self):
+        a = GaussianNoise(sigma=1.0).values(grid(), np.random.default_rng(5))
+        b = GaussianNoise(sigma=1.0).values(grid(), np.random.default_rng(5))
+        assert np.array_equal(a, b)
+
+
+class TestComposite:
+    def test_sums_components(self):
+        stack = Composite([Constant(10.0), Constant(5.0)])
+        assert np.all(stack.values(grid(), rng()) == 15.0)
+
+    def test_add_operator(self):
+        stack = Constant(10.0) + Constant(1.0)
+        assert isinstance(stack, Composite)
+        assert np.all(stack.values(grid(), rng()) == 11.0)
+
+    def test_nested_flattened(self):
+        inner = Composite([Constant(1.0), Constant(2.0)])
+        outer = Composite([inner, Constant(3.0)])
+        assert len(outer.components) == 3
+
+    def test_proportional_noise_scales_with_level(self):
+        low = Composite([Constant(10.0), ProportionalNoise(cv=0.1)])
+        high = Composite([Constant(1000.0), ProportionalNoise(cv=0.1)])
+        lo = low.values(grid(days=30), np.random.default_rng(1))
+        hi = high.values(grid(days=30), np.random.default_rng(1))
+        assert hi.std() > 50 * lo.std()

@@ -1,0 +1,122 @@
+"""Tests for the extra scenario library."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, detect_seasonalities, seasonal_strength
+from repro.exceptions import DataError
+from repro.workloads import (
+    Composite,
+    Constant,
+    GaussianNoise,
+    batch_etl,
+    make_series,
+    unstable_system,
+    web_transactions,
+    weekly_business_app,
+)
+
+
+class TestMakeSeries:
+    def test_length_and_frequency(self):
+        stack = Composite([Constant(5.0)])
+        ts = make_series(stack, days=3.0, frequency=Frequency.HOURLY, name="x")
+        assert len(ts) == 72
+        assert ts.frequency is Frequency.HOURLY
+        assert ts.name == "x"
+
+    def test_floor_applied(self):
+        stack = Composite([Constant(-10.0)])
+        ts = make_series(stack, days=1.0)
+        assert np.all(ts.values >= 0.0)
+
+    def test_deterministic(self):
+        stack = Composite([Constant(1.0), GaussianNoise(sigma=1.0)])
+        a = make_series(stack, days=2.0, seed=3)
+        b = make_series(stack, days=2.0, seed=3)
+        assert np.array_equal(a.values, b.values)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            make_series(Composite([Constant(1.0)]), days=0.0)
+
+
+class TestScenarios:
+    def test_web_transactions_structure(self):
+        ts = web_transactions()
+        report = detect_seasonalities(ts, candidates=[24, 168])
+        assert 24 in report.periods
+        assert 168 in report.periods  # weekend dip = weekly season
+
+    def test_batch_etl_dominated_by_shocks(self):
+        ts = batch_etl()
+        values = ts.values
+        # The nightly ETL spike towers over the median load.
+        assert values.max() > 2.0 * np.median(values)
+
+    def test_weekly_business_app_office_hours(self):
+        ts = weekly_business_app()
+        hours = np.arange(len(ts)) % 24
+        office = ts.values[(hours >= 10) & (hours < 16)].mean()
+        night = ts.values[(hours >= 0) & (hours < 5)].mean()
+        assert office > night * 1.5
+
+    def test_unstable_system_has_three_crashes(self):
+        ts = unstable_system()
+        # Crashes drop load by ~55 from a 60-ish base: near-zero samples.
+        dips = np.flatnonzero(ts.values < 20.0)
+        assert dips.size >= 3
+        # But they are one-off faults: no recurring shock should be learned.
+        from repro.shocks import build_shock_calendar
+
+        calendar = build_shock_calendar(ts, period=24)
+        recurring_dips = [s for s in calendar.shocks if s.mean_magnitude < -20]
+        assert recurring_dips == []
+
+    def test_all_scenarios_nonnegative_and_finite(self):
+        for ts in (web_transactions(), batch_etl(), weekly_business_app(), unstable_system()):
+            assert ts.is_finite()
+            assert np.all(ts.values >= 0.0)
+
+
+class TestSanStorage:
+    def test_structure(self):
+        from repro.workloads import san_storage
+
+        ts = san_storage()
+        assert ts.name == "san_throughput_mbps"
+        assert seasonal_strength(ts, 24) > 0.3
+        # The nightly backup window dominates throughput.
+        assert ts.values.max() > 1.5 * np.median(ts.values)
+
+    def test_shock_calendar_finds_backup_window(self):
+        from repro.shocks import build_shock_calendar
+        from repro.workloads import san_storage
+
+        calendar = build_shock_calendar(san_storage(), period=24)
+        assert calendar.n_columns >= 1
+
+
+class TestWeblogicHeap:
+    def test_sawtooth_shape(self):
+        from repro.workloads import weblogic_heap
+
+        ts = weblogic_heap()
+        values = ts.values
+        diffs = np.diff(values)
+        # Many small climbs, few large drops — the GC sawtooth.
+        assert (diffs > 0).mean() > 0.6
+        assert diffs.min() < -1500.0
+        assert values.min() >= 0.0
+
+    def test_bounded_by_heap_limits(self):
+        from repro.workloads import weblogic_heap
+
+        ts = weblogic_heap(days=60)
+        assert ts.values.max() < 6500.0
+        assert ts.values.min() > 1000.0
+
+    def test_deterministic(self):
+        from repro.workloads import weblogic_heap
+
+        assert np.array_equal(weblogic_heap(seed=3).values, weblogic_heap(seed=3).values)

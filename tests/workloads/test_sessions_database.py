@@ -1,0 +1,148 @@
+"""Tests for session dynamics and the database-instance model."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency
+from repro.exceptions import DataError
+from repro.workloads import (
+    OLAP_PROFILE,
+    OLTP_PROFILE,
+    CostProfile,
+    DatabaseInstance,
+    LoginSurge,
+    UserPopulation,
+)
+
+DAY = 86400.0
+
+
+def hourly_grid(days=7):
+    return np.arange(0, days * DAY, 3600.0)
+
+
+class TestUserPopulation:
+    def test_growth_per_day(self):
+        pop = UserPopulation(
+            base_users=100.0, growth_per_day=50.0, diurnal_fraction=0.0,
+            connection_noise_cv=0.0,
+        )
+        users = pop.active_users(hourly_grid(days=10), np.random.default_rng(0))
+        assert users[0] == pytest.approx(100.0)
+        assert users[9 * 24] == pytest.approx(100.0 + 9 * 50.0)
+
+    def test_diurnal_trough(self):
+        pop = UserPopulation(
+            base_users=100.0, diurnal_fraction=0.5, peak_hour=14.0,
+            connection_noise_cv=0.0,
+        )
+        users = pop.active_users(hourly_grid(days=1), np.random.default_rng(0))
+        assert users[14] == pytest.approx(100.0)
+        assert users[2] == pytest.approx(50.0, rel=0.05)  # opposite phase
+
+    def test_surges_add_users(self):
+        pop = UserPopulation(
+            base_users=0.0,
+            diurnal_fraction=0.0,
+            connection_noise_cv=0.0,
+            surges=(
+                LoginSurge(users=1000, start_hour=7.0, duration_hours=4.0),
+                LoginSurge(users=1000, start_hour=9.0, duration_hours=1.0),
+            ),
+        )
+        users = pop.active_users(hourly_grid(days=1), np.random.default_rng(0))
+        assert users[8] == 1000.0
+        assert users[9] == 2000.0  # both surges overlap 09:00-10:00
+        assert users[12] == 0.0
+
+    def test_never_negative(self):
+        pop = UserPopulation(base_users=1.0, connection_noise_cv=0.8)
+        users = pop.active_users(hourly_grid(days=30), np.random.default_rng(0))
+        assert np.all(users >= 0.0)
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            UserPopulation(base_users=-1.0)
+        with pytest.raises(DataError):
+            UserPopulation(base_users=1.0, diurnal_fraction=1.0)
+        with pytest.raises(DataError):
+            LoginSurge(users=-5, start_hour=0.0, duration_hours=1.0)
+
+
+class TestCostProfile:
+    def test_paper_profiles_sane(self):
+        assert OLAP_PROFILE.iops_per_session > OLTP_PROFILE.iops_per_session
+        assert OLAP_PROFILE.cpu_per_session > OLTP_PROFILE.cpu_per_session
+        assert OLAP_PROFILE.memory_per_session > OLTP_PROFILE.memory_per_session
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            CostProfile(name="x", cpu_per_session=-1.0, iops_per_session=1.0, memory_per_session=1.0)
+
+
+class TestDatabaseInstance:
+    def _node(self, **kw):
+        return DatabaseInstance(name="cdbm011", profile=OLAP_PROFILE, **kw)
+
+    def test_metrics_scale_with_sessions(self):
+        node = self._node()
+        t = hourly_grid(days=2)
+        low = node.metrics(t, np.full(t.size, 5.0), np.zeros(t.size), np.random.default_rng(0))
+        high = node.metrics(t, np.full(t.size, 20.0), np.zeros(t.size), np.random.default_rng(0))
+        assert high.cpu.values.mean() > 3 * low.cpu.values.mean()
+        assert high.logical_iops.values.mean() > 3 * low.logical_iops.values.mean()
+
+    def test_cpu_saturates_below_capacity(self):
+        node = self._node(cpu_capacity=100.0)
+        t = hourly_grid(days=1)
+        bundle = node.metrics(
+            t, np.full(t.size, 100000.0), np.zeros(t.size), np.random.default_rng(0)
+        )
+        assert np.all(bundle.cpu.values <= 100.0)
+
+    def test_backup_adds_demand(self):
+        node = self._node()
+        t = hourly_grid(days=1)
+        backup = np.zeros(t.size)
+        backup[0] = 1.0
+        quiet = node.metrics(t, np.full(t.size, 10.0), np.zeros(t.size), np.random.default_rng(1))
+        busy = node.metrics(t, np.full(t.size, 10.0), backup, np.random.default_rng(1))
+        assert busy.logical_iops.values[0] > quiet.logical_iops.values[0] + 100_000
+
+    def test_dataset_growth_inflates_costs(self):
+        profile = CostProfile(
+            name="g", cpu_per_session=1.0, iops_per_session=100.0,
+            memory_per_session=1.0, dataset_growth_per_day=0.01,
+            cpu_burst_cv=0.0, iops_burst_cv=0.0, memory_noise_cv=0.0,
+        )
+        node = DatabaseInstance(name="n", profile=profile)
+        t = hourly_grid(days=30)
+        bundle = node.metrics(t, np.full(t.size, 10.0), np.zeros(t.size), np.random.default_rng(0))
+        assert bundle.cpu.values[-1] > bundle.cpu.values[0] * 1.2
+
+    def test_series_metadata(self):
+        node = self._node()
+        t = hourly_grid(days=1) + 500.0
+        bundle = node.metrics(
+            t, np.ones(t.size), np.zeros(t.size), np.random.default_rng(0),
+            frequency=Frequency.HOURLY,
+        )
+        assert bundle.cpu.start == 500.0
+        assert bundle.cpu.name == "cdbm011.cpu"
+        assert set(bundle.as_dict()) == {"cpu", "memory", "logical_iops"}
+
+    def test_alignment_enforced(self):
+        node = self._node()
+        with pytest.raises(DataError):
+            node.metrics(
+                hourly_grid(days=1), np.ones(3), np.zeros(24), np.random.default_rng(0)
+            )
+
+    def test_metrics_nonnegative(self):
+        node = self._node()
+        t = hourly_grid(days=3)
+        bundle = node.metrics(
+            t, np.zeros(t.size), np.zeros(t.size), np.random.default_rng(0)
+        )
+        for series in bundle.as_dict().values():
+            assert np.all(series.values >= 0.0)

@@ -1,0 +1,105 @@
+"""Tests for the transaction-layer (click-group) simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+from repro.exceptions import DataError
+from repro.workloads import CHECKOUT, ClickStep, TransactionProfile, TransactionSimulator
+
+
+def utilisation(values):
+    return TimeSeries(np.asarray(values, dtype=float), Frequency.HOURLY)
+
+
+class TestProfiles:
+    def test_checkout_profile(self):
+        assert CHECKOUT.base_ms == pytest.approx(400.0)
+        assert len(CHECKOUT.steps) == 3
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            ClickStep("x", base_ms=0.0)
+        with pytest.raises(DataError):
+            ClickStep("x", base_ms=10.0, db_weight=-1.0)
+        with pytest.raises(DataError):
+            TransactionProfile("empty", steps=())
+
+
+class TestResponseTimes:
+    def test_idle_equals_base(self):
+        sim = TransactionSimulator(CHECKOUT, jitter_cv=0.0)
+        rt = sim.response_times(utilisation(np.zeros(10)))
+        assert np.allclose(rt.values, CHECKOUT.base_ms)
+
+    def test_congestion_blows_up_nonlinearly(self):
+        sim = TransactionSimulator(CHECKOUT, jitter_cv=0.0)
+        low = sim.response_times(utilisation(np.full(5, 0.2))).values[0]
+        mid = sim.response_times(utilisation(np.full(5, 0.5))).values[0]
+        high = sim.response_times(utilisation(np.full(5, 0.9))).values[0]
+        assert (high - mid) > 3 * (mid - low)  # queueing non-linearity
+
+    def test_degradation_trend(self):
+        sim = TransactionSimulator(CHECKOUT, degradation_per_day=0.02, jitter_cv=0.0)
+        rt = sim.response_times(utilisation(np.full(10 * 24, 0.3)))
+        # Ten days of 2 %/day degradation ≈ +18 % at the end (t = 9 days).
+        assert rt.values[-1] / rt.values[0] == pytest.approx(1.18, abs=0.02)
+
+    def test_db_heavy_step_suffers_most(self):
+        sim = TransactionSimulator(CHECKOUT, jitter_cv=0.0)
+        steps = sim.per_step_times(utilisation(np.full(5, 0.8)))
+        inflation = {
+            name: series.values[0] / next(s.base_ms for s in CHECKOUT.steps if s.name == name)
+            for name, series in steps.items()
+        }
+        assert inflation["payment"] > inflation["browse"]
+
+    def test_deterministic(self):
+        sim = TransactionSimulator(CHECKOUT)
+        u = utilisation(np.full(20, 0.4))
+        a = sim.response_times(u, seed=5)
+        b = sim.response_times(u, seed=5)
+        assert np.array_equal(a.values, b.values)
+
+    def test_utilisation_domain_checked(self):
+        sim = TransactionSimulator(CHECKOUT)
+        with pytest.raises(DataError):
+            sim.response_times(utilisation([1.0]))
+        with pytest.raises(DataError):
+            sim.response_times(utilisation([-0.1]))
+
+    def test_metadata(self):
+        sim = TransactionSimulator(CHECKOUT)
+        rt = sim.response_times(utilisation(np.full(5, 0.1)))
+        assert rt.name == "checkout.response_ms"
+        assert rt.frequency is Frequency.HOURLY
+
+
+class TestForecastability:
+    def test_slowdown_predicted_before_threshold(self):
+        """The paper's use case: transaction slow-down caught proactively."""
+        from repro.selection import AutoConfig, auto_forecast
+        from repro.service import BreachSeverity, predict_breach
+
+        rng = np.random.default_rng(7)
+        t = np.arange(60 * 24)
+        u = np.clip(
+            0.35 + 0.15 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 0.01, t.size),
+            0.0,
+            0.9,
+        )
+        sim = TransactionSimulator(CHECKOUT, degradation_per_day=0.02, jitter_cv=0.03)
+        rt = sim.response_times(utilisation(u))
+
+        observed = rt[: 45 * 24]
+        sla_ms = 1.08 * float(observed.values.max())
+        # Nothing breached yet, but the degradation trend will get there —
+        # and indeed does in the simulated future.
+        assert rt.values[45 * 24 :].max() > sla_ms
+        # HES carries the trend explicitly, the right branch for drifting
+        # response times (Section 4.3's "fixed drift" case).
+        forecast, __ = auto_forecast(
+            observed, horizon=14 * 24, config=AutoConfig(technique="hes")
+        )
+        advisory = predict_breach(forecast, sla_ms)
+        assert advisory.severity is not BreachSeverity.NONE
