@@ -1,0 +1,81 @@
+"""Engine scaling: grid evaluation wall time across worker counts.
+
+Section 6.3's scaling worry is concrete — four nodes would mean "nearly
+24000" models — and the engine's answer is a reusable worker pool shared
+across selections. This bench times the same SARIMAX candidate sweep on
+the serial executor and on process pools of 2 and 4 workers, reusing each
+pool across a warm-up and a measured run (so pool spawn cost, which the
+engine pays once per process, is excluded).
+
+The table reports wall time and speedup per worker count. On a single-CPU
+host pools cannot win — the assertion is therefore *correctness*, not
+speed: every executor must produce the identical leaderboard.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+from repro.engine import PoolExecutor, SerialExecutor
+from repro.reporting import Table
+from repro.selection import evaluate_grid, sarimax_grid
+
+N_WORKERS = (1, 2, 4)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(7)
+    t = np.arange(1100)
+    values = 50 + 0.02 * t + 8 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 1, 1100)
+    series = TimeSeries(values, Frequency.HOURLY, name="cpu")
+    train, test = series.train_test_split()
+    # A 1-in-12 stratified sample of the 660 grid keeps every (d, D) shape
+    # while the bench stays minutes-scale even at one worker.
+    specs = sarimax_grid(24)[::12]
+    return train, test, specs
+
+
+def _timed_run(executor, train, test, specs):
+    t0 = time.perf_counter()
+    results = evaluate_grid(specs, train, test, executor=executor)
+    return results, time.perf_counter() - t0
+
+
+def test_engine_scaling(benchmark, workload):
+    train, test, specs = workload
+    benchmark(lambda: evaluate_grid(specs[:4], train, test))
+
+    runs = {}
+    for n in N_WORKERS:
+        if n == 1:
+            executor = SerialExecutor()
+            runs[n] = _timed_run(executor, train, test, specs)
+        else:
+            with PoolExecutor(max_workers=n) as pool:
+                evaluate_grid(specs[:2], train, test, executor=pool)  # warm the pool
+                runs[n] = _timed_run(pool, train, test, specs)
+                assert pool.pools_created == 1  # warm-up and run shared one pool
+
+    serial_time = runs[1][1]
+    table = Table(
+        ["Workers", "Candidates", "Wall time (s)", "Speedup"],
+        title="Engine scaling: SARIMAX grid evaluation",
+    )
+    for n in N_WORKERS:
+        __, seconds = runs[n]
+        table.add_row([str(n), str(len(specs)), seconds, f"{serial_time / seconds:.2f}x"])
+    print()
+    table.print()
+
+    baseline = runs[1][0]
+    for n in N_WORKERS[1:]:
+        results, __ = runs[n]
+        assert [r.spec for r in results] == [r.spec for r in baseline]
+        assert np.allclose(
+            [r.rmse for r in results if np.isfinite(r.rmse)],
+            [r.rmse for r in baseline if np.isfinite(r.rmse)],
+            rtol=1e-10,
+        )

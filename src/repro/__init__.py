@@ -12,6 +12,9 @@ Capacity Planning using Time Series Analysis and Machine Learning*
 * :mod:`repro.shocks` — shock detection and exogenous-variable calendars.
 * :mod:`repro.selection` — the paper's self-selecting ML pipeline
   (Figure 4): grids, correlogram pruning, auto-selection, staleness.
+* :mod:`repro.engine` — the shared execution engine: serial / pooled
+  executors (one reused worker pool per process), the staged Figure 4
+  pipeline, and run telemetry.
 * :mod:`repro.workloads` — the simulated clustered-database substrate
   (Experiments One & Two plus extra scenarios).
 * :mod:`repro.agent` — polling agent with fault injection and the SQLite

@@ -38,6 +38,7 @@ from .core import (
     seasonal_strength,
     trend_strength,
 )
+from .engine import default_executor
 from .exceptions import CapacityPlanningError
 from .reporting import Table, render_panel
 from .selection import AutoConfig, auto_forecast
@@ -157,7 +158,10 @@ def _cmd_inspect(args, parser) -> int:
 def _cmd_forecast(args, parser) -> int:
     series = _load_series(args, parser)
     config = AutoConfig(technique=args.technique, n_jobs=args.jobs)
-    forecast, outcome = auto_forecast(series, horizon=args.horizon, config=config)
+    executor = default_executor(args.jobs)
+    forecast, outcome = auto_forecast(
+        series, horizon=args.horizon, config=config, executor=executor
+    )
     forecast = forecast.clipped(0.0)
 
     history = interpolate_missing(series)
@@ -172,6 +176,9 @@ def _cmd_forecast(args, parser) -> int:
         )
     )
     print(f"selected: {outcome.describe()}")
+    if outcome.trace is not None:
+        for line in outcome.trace.summary_lines():
+            print(f"  {line}")
     if args.out:
         from .reporting import prediction_chart
 
@@ -195,7 +202,9 @@ def _parse_thresholds(pairs: list[str], parser) -> dict[str, float]:
 
 def _cmd_advise(args, parser) -> int:
     thresholds = _parse_thresholds(args.threshold, parser)
-    planner = EstatePlanner(config=AutoConfig(n_jobs=args.jobs))
+    # The estate fans out across (workload, metric) pairs on one shared
+    # pool; grid evaluation inside each worker stays serial.
+    planner = EstatePlanner(config=AutoConfig(n_jobs=1), executor=default_executor(args.jobs))
     with MetricsRepository(args.db) as repo:
         for instance in repo.instances():
             for metric in repo.metrics(instance):
@@ -207,9 +216,12 @@ def _cmd_advise(args, parser) -> int:
                     series=series,
                     threshold=thresholds.get(metric),
                 )
-    report = planner.run()
+    report = planner.report()
     for line in report.summary_lines():
         print(line)
+    if report.trace is not None:
+        for line in report.trace.summary_lines():
+            print(f"  {line}")
     return 0 if not report.failed else 1
 
 

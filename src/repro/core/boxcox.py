@@ -98,10 +98,10 @@ def guerrero_lambda(
 
     lo, hi = bounds
     grid = np.linspace(lo, hi, grid_size)
-    scores = np.array([coefficient_of_variation(l) for l in grid])
+    scores = np.array([coefficient_of_variation(lam) for lam in grid])
     best = grid[int(np.argmin(scores))]
     # One refinement pass around the coarse winner, clipped to the bounds.
     step = (hi - lo) / (grid_size - 1)
     fine = np.linspace(max(lo, best - step), min(hi, best + step), 21)
-    fine_scores = np.array([coefficient_of_variation(l) for l in fine])
+    fine_scores = np.array([coefficient_of_variation(lam) for lam in fine])
     return float(fine[int(np.argmin(fine_scores))])

@@ -1,0 +1,55 @@
+"""Shared execution engine: executors, the staged pipeline, telemetry.
+
+This layer factors the "how it runs" concerns out of the "what it
+computes" modules. :mod:`repro.selection` and :mod:`repro.service` both
+execute large batches of independent model fits; the engine gives them
+one executor abstraction (serial or a reused process pool), one staged
+pipeline for Figure 4 selection, and one telemetry recorder, so the
+paper's production claims — hundreds of candidates per series, fanned
+out across thousands of workloads — rest on a single tested substrate.
+"""
+
+from .executor import (
+    Executor,
+    PoolExecutor,
+    SerialExecutor,
+    TaskReport,
+    default_executor,
+    shutdown_default_executors,
+)
+from .pipeline import (
+    PIPELINE_STAGES,
+    SelectionContext,
+    run_pipeline,
+    stage_augment,
+    stage_branch_choose,
+    stage_characterise,
+    stage_enumerate,
+    stage_refit,
+    stage_repair,
+    stage_score,
+    stage_split,
+)
+from .telemetry import RunTrace, StageEvent
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "TaskReport",
+    "default_executor",
+    "shutdown_default_executors",
+    "RunTrace",
+    "StageEvent",
+    "SelectionContext",
+    "run_pipeline",
+    "PIPELINE_STAGES",
+    "stage_repair",
+    "stage_split",
+    "stage_characterise",
+    "stage_enumerate",
+    "stage_score",
+    "stage_augment",
+    "stage_branch_choose",
+    "stage_refit",
+]

@@ -1,0 +1,337 @@
+"""Task executors: the engine's parallel substrate.
+
+The paper scales model selection to "1000's of workloads" because "gains
+are also achieved by parallel processing the models" (Section 8). This
+module provides the execution layer that makes those gains reusable
+across the codebase instead of being re-implemented (and a process pool
+re-spawned) at every grid call:
+
+* :class:`SerialExecutor` — runs tasks in-process, in order. The
+  reference implementation: every parallel path must produce identical
+  results to it.
+* :class:`PoolExecutor` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  wrapper whose worker pool is created lazily on first use and **reused**
+  across calls. Spawning workers costs ~100 ms each plus a fresh import
+  of numpy/scipy; amortising that across the hundreds of
+  ``evaluate_grid`` calls an estate report makes is where the wall-clock
+  win lives. Supports configurable chunking and per-task timeout.
+
+Both executors implement one method, :meth:`Executor.run`, which never
+raises for a task failure: every task yields a :class:`TaskReport`
+carrying either the value or the captured error, plus its duration and
+the worker that ran it (food for :mod:`repro.engine.telemetry`).
+
+``default_executor(n_jobs)`` maps the long-standing ``n_jobs`` knob onto
+a process-wide cache of shared executors, so code that still talks in
+``n_jobs`` transparently shares one pool per worker count.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from ..exceptions import DataError
+
+__all__ = [
+    "TaskReport",
+    "Executor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "default_executor",
+    "shutdown_default_executors",
+]
+
+
+@dataclass(frozen=True)
+class TaskReport:
+    """What happened to one submitted task.
+
+    Attributes
+    ----------
+    index:
+        Position of the task in the submitted sequence (results are
+        always returned in submission order).
+    value:
+        The task's return value, or ``None`` when it failed or timed out.
+    error:
+        Captured failure description (empty string on success).
+    seconds:
+        Wall-clock duration of the task body. Zero for timed-out tasks,
+        whose true duration is unknown to the parent.
+    worker:
+        Identifier of the worker that ran the task (``"serial"`` or the
+        worker process PID).
+    timed_out:
+        True when the task exceeded the executor's deadline. The worker
+        process is *not* killed — the result is abandoned, not the
+        computation — so a timed-out task may still occupy its worker
+        until it finishes.
+    """
+
+    index: int
+    value: object
+    error: str = ""
+    seconds: float = 0.0
+    worker: str = "serial"
+    timed_out: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return not self.error and not self.timed_out
+
+
+def _run_captured(fn: Callable, task, index: int) -> TaskReport:
+    """Execute one task, converting any exception into a report.
+
+    Runs inside the worker process for :class:`PoolExecutor` (must stay
+    module-level picklable) and inline for :class:`SerialExecutor`.
+    """
+    worker = str(os.getpid())
+    started = time.perf_counter()
+    try:
+        value = fn(task)
+    except Exception as exc:  # capture, never propagate out of a worker
+        return TaskReport(
+            index=index,
+            value=None,
+            error=f"{type(exc).__name__}: {exc}",
+            seconds=time.perf_counter() - started,
+            worker=worker,
+        )
+    return TaskReport(
+        index=index,
+        value=value,
+        seconds=time.perf_counter() - started,
+        worker=worker,
+    )
+
+
+def _run_chunk(fn: Callable, chunk: list[tuple[int, object]]) -> list[TaskReport]:
+    """Worker-side entry point: run one chunk of (index, task) pairs."""
+    return [_run_captured(fn, task, index) for index, task in chunk]
+
+
+class Executor:
+    """Interface shared by :class:`SerialExecutor` and :class:`PoolExecutor`."""
+
+    def run(self, fn: Callable, tasks: Sequence) -> list[TaskReport]:
+        """Apply ``fn`` to every task; reports in submission order."""
+        raise NotImplementedError
+
+    def map(self, fn: Callable, tasks: Sequence) -> list:
+        """Like :meth:`run` but unwraps values, re-raising the first failure."""
+        out = []
+        for report in self.run(fn, tasks):
+            if not report.ok:
+                raise DataError(f"task {report.index} failed: {report.error or 'timeout'}")
+            out.append(report.value)
+        return out
+
+    def close(self, force: bool = False) -> None:
+        """Release worker resources (no-op for serial execution)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Run every task inline, in submission order.
+
+    The semantics baseline: grid evaluation and estate fan-out on any
+    other executor must produce results identical to this one.
+    """
+
+    def run(self, fn: Callable, tasks: Sequence) -> list[TaskReport]:
+        reports = []
+        for index, task in enumerate(tasks):
+            report = _run_captured(fn, task, index)
+            # In-process execution: label the worker "serial" so telemetry
+            # distinguishes it from pool workers at a glance.
+            reports.append(
+                TaskReport(
+                    index=report.index,
+                    value=report.value,
+                    error=report.error,
+                    seconds=report.seconds,
+                    worker="serial",
+                )
+            )
+        return reports
+
+
+class PoolExecutor(Executor):
+    """Process-pool executor with a lazily created, reused worker pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker process count; ``None`` or ``0`` means one per CPU.
+    chunksize:
+        Tasks per worker dispatch. Larger chunks amortise IPC overhead
+        for cheap tasks; 1 gives the finest timeout granularity. The
+        default adapts: ``max(1, len(tasks) // (4 * max_workers))``
+        capped at 8, mirroring what ``ProcessPoolExecutor.map`` users
+        typically hand-tune to.
+    timeout:
+        Per-task deadline in seconds (``None`` = wait forever). Applied
+        per dispatched chunk as ``timeout * len(chunk)``: a chunk that
+        misses its deadline yields timed-out reports for all its tasks.
+        The worker is left to finish in the background — the pool is not
+        torn down — so prefer ``chunksize=1`` when timeouts matter.
+
+    The underlying :class:`~concurrent.futures.ProcessPoolExecutor` is
+    created on the first :meth:`run` and kept for subsequent calls;
+    ``pools_created`` counts how many times a pool was (re)built, which
+    tests use to assert reuse. A broken pool (a worker died hard) is
+    replaced transparently on the next call.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        chunksize: int | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 0:
+            raise DataError(f"max_workers must be >= 0, got {max_workers}")
+        if chunksize is not None and chunksize < 1:
+            raise DataError(f"chunksize must be >= 1, got {chunksize}")
+        if timeout is not None and timeout <= 0:
+            raise DataError(f"timeout must be positive, got {timeout}")
+        self.max_workers = max_workers or (os.cpu_count() or 1)
+        self.chunksize = chunksize
+        self.timeout = timeout
+        self.pools_created = 0
+        self.tasks_dispatched = 0
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            self.pools_created += 1
+        return self._pool
+
+    def _chunk_size_for(self, n_tasks: int) -> int:
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, min(8, n_tasks // (4 * self.max_workers)))
+
+    def run(self, fn: Callable, tasks: Sequence) -> list[TaskReport]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        size = self._chunk_size_for(len(tasks))
+        indexed = list(enumerate(tasks))
+        chunks = [indexed[i : i + size] for i in range(0, len(indexed), size)]
+        try:
+            pool = self._ensure_pool()
+            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+        except BrokenProcessPool:
+            self._reset_pool()
+            pool = self._ensure_pool()
+            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+        self.tasks_dispatched += len(tasks)
+
+        reports: dict[int, TaskReport] = {}
+        broken = False
+        for chunk, future in zip(chunks, futures):
+            deadline = self.timeout * len(chunk) if self.timeout else None
+            try:
+                for report in future.result(timeout=deadline):
+                    reports[report.index] = report
+            except FuturesTimeoutError:
+                future.cancel()
+                for index, __ in chunk:
+                    reports[index] = TaskReport(
+                        index=index,
+                        value=None,
+                        error=f"timed out after {deadline:g}s",
+                        worker="?",
+                        timed_out=True,
+                    )
+            except BrokenProcessPool as exc:
+                broken = True
+                for index, __ in chunk:
+                    reports.setdefault(
+                        index,
+                        TaskReport(
+                            index=index,
+                            value=None,
+                            error=f"worker died: {exc}",
+                            worker="?",
+                        ),
+                    )
+        if broken:
+            self._reset_pool()
+        return [reports[i] for i in range(len(tasks))]
+
+    # ------------------------------------------------------------------
+    def _reset_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self, force: bool = False) -> None:
+        """Shut the pool down.
+
+        ``force=True`` terminates worker processes outright (used after
+        timeout tests abandon a still-running task); otherwise pending
+        work is cancelled and workers exit once idle.
+        """
+        if self._pool is None:
+            return
+        if force:
+            processes = list(getattr(self._pool, "_processes", {}).values())
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            for proc in processes:
+                proc.terminate()
+        else:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+        self._pool = None
+
+
+# ---------------------------------------------------------------------------
+# Shared executors for the n_jobs convention
+# ---------------------------------------------------------------------------
+_SHARED: dict[int, PoolExecutor] = {}
+_SERIAL = SerialExecutor()
+
+
+def default_executor(n_jobs: int = 1) -> Executor:
+    """The process-wide shared executor for an ``n_jobs`` worker count.
+
+    ``n_jobs <= 1`` returns the shared :class:`SerialExecutor`;
+    ``n_jobs == 0`` means one worker per CPU. Pool executors are cached
+    per effective worker count, so every caller asking for the same
+    parallelism shares one pool — repeated selections never pay a
+    per-call pool spawn.
+    """
+    if n_jobs < 0:
+        raise DataError(f"n_jobs must be >= 0, got {n_jobs}")
+    workers = os.cpu_count() or 1 if n_jobs == 0 else n_jobs
+    if workers <= 1:
+        return _SERIAL
+    if workers not in _SHARED:
+        _SHARED[workers] = PoolExecutor(max_workers=workers)
+    return _SHARED[workers]
+
+
+def shutdown_default_executors() -> None:
+    """Close every cached shared pool (tests and interpreter exit)."""
+    for executor in _SHARED.values():
+        executor.close()
+    _SHARED.clear()
+
+
+atexit.register(shutdown_default_executors)

@@ -45,7 +45,7 @@ class FigureData:
         writer = csv.writer(buf)
         labels = list(self.columns)
         writer.writerow(labels)
-        for row in zip(*(self.columns[l] for l in labels)):
+        for row in zip(*(self.columns[label] for label in labels)):
             writer.writerow([f"{v:.6g}" if v == v else "" for v in row])
         return buf.getvalue()
 

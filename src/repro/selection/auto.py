@@ -17,30 +17,33 @@ mirrors Figure 4 exactly:
 7. **Select & refit** — the overall RMSE-best model is refitted on the
    full window and returned, ready to be stored for a week by the
    staleness monitor.
+
+The implementation lives in :mod:`repro.engine.pipeline` as explicit,
+individually testable stages running on a shared
+:class:`~repro.engine.executor.Executor`; this module keeps the public
+facade (:class:`AutoConfig`, :class:`SelectionOutcome`,
+:func:`auto_select`, :func:`auto_forecast`) plus the HES branch helpers
+the pipeline stages call back into.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..core.fourier import SeasonalityReport, detect_seasonalities
-from ..core.preprocessing import interpolate_missing
+from ..core.fourier import SeasonalityReport
 from ..core.timeseries import TimeSeries
-from ..exceptions import DataError, SelectionError
+from ..exceptions import SelectionError
 from ..models.base import FittedModel, Forecast
 from ..models.ets import HoltWinters
-from ..models.sarimax import Sarimax
-from ..shocks.detector import ShockCalendar, build_shock_calendar
-from .correlogram import pruned_sarimax_grid
-from .grid import (
-    CandidateSpec,
-    GridResult,
-    augmentation_specs,
-    evaluate_grid,
-    sarimax_grid,
-)
+from ..shocks.detector import ShockCalendar
+from .grid import CandidateSpec, GridResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.executor import Executor
+    from ..engine.telemetry import RunTrace
 
 __all__ = ["AutoConfig", "SelectionOutcome", "auto_select", "auto_forecast"]
 
@@ -63,7 +66,8 @@ class AutoConfig:
     max_lag:
         Grid lag budget (the paper measures 30 lags).
     n_jobs:
-        Parallel workers for grid evaluation (0 = one per CPU).
+        Parallel workers for grid evaluation (0 = one per CPU). Ignored
+        when an explicit executor is passed to :func:`auto_select`.
     detect_shock_calendar:
         Analyse shocks and offer exogenous candidates.
     """
@@ -87,7 +91,12 @@ class AutoConfig:
 
 @dataclass
 class SelectionOutcome:
-    """Everything the pipeline learned while choosing a model."""
+    """Everything the pipeline learned while choosing a model.
+
+    ``trace`` carries the engine's run telemetry — stage wall-times,
+    candidate fit/fail/prune counters, worker utilisation and the
+    winner's lineage (see :class:`repro.engine.telemetry.RunTrace`).
+    """
 
     model: FittedModel
     technique: str
@@ -98,6 +107,7 @@ class SelectionOutcome:
     leaderboard: list[GridResult] = field(default_factory=list)
     hes_rmse: float | None = None
     n_evaluated: int = 0
+    trace: RunTrace | None = None
 
     def describe(self) -> str:
         bits = [f"{self.model.label()} (test RMSE {self.test_rmse:.3f}"]
@@ -173,6 +183,7 @@ def auto_select(
     config: AutoConfig | None = None,
     train: TimeSeries | None = None,
     test: TimeSeries | None = None,
+    executor: Executor | None = None,
 ) -> SelectionOutcome:
     """Run the Figure 4 pipeline on a metric series.
 
@@ -183,172 +194,17 @@ def auto_select(
     train / test:
         Optional explicit split; by default the Table 1 rule for the
         series frequency decides (e.g. hourly: last 1008 points, 984/24).
+    executor:
+        Execution backend for candidate fitting. ``None`` uses the
+        process-wide shared executor for ``config.n_jobs`` (one reused
+        pool per worker count; see
+        :func:`repro.engine.executor.default_executor`).
     """
-    config = config or AutoConfig()
-    series = interpolate_missing(series)
-    if train is None or test is None:
-        try:
-            train, test = series.train_test_split()
-        except DataError:
-            # Shorter than the Table 1 budget: hold out one prediction
-            # horizon (or 10 %, whichever is larger) instead of refusing.
-            horizon = series.frequency.split_rule.horizon
-            test_size = max(horizon, len(series) // 10)
-            if len(series) <= test_size + 20:
-                raise
-            train, test = series.split(len(series) - test_size)
+    # Imported lazily: the engine imports this module's config/outcome
+    # types, so a top-level import here would be circular.
+    from ..engine.pipeline import run_pipeline
 
-    # Periods the data can actually support: a seasonal model needs at
-    # least two full cycles of training data (Table 1's 92 weekly points
-    # rule out a 52-week cycle, for example).
-    periods = [
-        p for p in _candidate_periods(series, config) if len(train) >= 2 * p + 5
-    ]
-    primary = periods[0] if periods else None
-    seasonality = detect_seasonalities(train, candidates=periods)
-
-    # --- HES branch -------------------------------------------------------
-    hes_model = hes_rmse = None
-    if config.technique in ("hes", "auto"):
-        try:
-            hes_model, hes_rmse = _fit_hes(train, test, primary)
-        except SelectionError:
-            if config.technique == "hes":
-                raise
-            hes_model = hes_rmse = None  # auto mode falls through to SARIMAX
-        if config.technique == "hes":
-            final = hes_model
-            if config.refit_on_full:
-                final = _refit_hes(hes_model, series)
-            return SelectionOutcome(
-                model=final,
-                technique="hes",
-                test_rmse=hes_rmse,
-                best_spec=None,
-                seasonality=seasonality,
-                shock_calendar=None,
-                hes_rmse=hes_rmse,
-                n_evaluated=2,
-            )
-
-    # --- SARIMAX branch ----------------------------------------------------
-    shock_calendar = None
-    shock_matrix = shock_future = None
-    if config.detect_shock_calendar:
-        shock_periods = tuple(periods) or (series.frequency.default_period,)
-        shock_calendar = build_shock_calendar(
-            train, period=primary, candidate_periods=shock_periods
-        )
-        if shock_calendar.n_columns:
-            shock_matrix = shock_calendar.train_matrix()
-            shock_future = shock_calendar.future_matrix(len(test))
-
-    if primary is None:
-        # No usable seasonal period: the family degrades to the plain
-        # ARIMA grid, correlogram-pruned unless exhaustive was requested.
-        from .correlogram import suggest_orders
-        from .grid import arima_grid
-
-        specs = arima_grid(max_lag=config.max_lag)
-        if not config.exhaustive:
-            suggestion = suggest_orders(train, 1, nlags=config.max_lag)
-            pruned = [
-                s
-                for s in specs
-                if s.order[0] in suggestion.p_candidates
-                and s.order[1] == min(suggestion.d, 1)
-            ]
-            specs = pruned or specs
-        # Differenced candidates get drift twins so a growing workload
-        # (challenge C2) can be extrapolated, not just levelled off.
-        specs = specs + [
-            CandidateSpec(order=s.order, trend="c")
-            for s in specs
-            if s.order[1] >= 1
-        ]
-    elif config.exhaustive:
-        specs = sarimax_grid(primary, max_lag=config.max_lag)
-    else:
-        specs = pruned_sarimax_grid(train, primary, nlags=config.max_lag)
-    results = evaluate_grid(
-        specs,
-        train,
-        test,
-        shock_matrix=shock_matrix,
-        shock_future=shock_future,
-        maxiter=config.grid_maxiter,
-        n_jobs=config.n_jobs,
-    )
-    viable = [r for r in results if not r.failed]
-    if not viable:
-        raise SelectionError("every SARIMAX candidate failed to fit")
-    best = viable[0]
-
-    # Augment the winner with exogenous shocks and Fourier terms.
-    secondary = seasonality.periods[1] if len(seasonality.periods) > 1 else None
-    n_shocks = shock_calendar.n_columns if shock_calendar else 0
-    if (n_shocks or secondary) and best.spec.seasonal is not None:
-        aug = augmentation_specs(best.spec, n_shocks, secondary)
-        aug = [s for s in aug if s.exog_columns <= n_shocks]
-        if aug:
-            aug_results = evaluate_grid(
-                aug,
-                train,
-                test,
-                shock_matrix=shock_matrix,
-                shock_future=shock_future,
-                maxiter=config.grid_maxiter,
-                n_jobs=1,
-            )
-            results = sorted(
-                results + aug_results, key=lambda r: (r.failed, r.rmse)
-            )
-            viable = [r for r in results if not r.failed]
-            best = viable[0]
-
-    # Choose between branches in auto mode.
-    if hes_model is not None and hes_rmse is not None and hes_rmse < best.rmse:
-        final = hes_model
-        if config.refit_on_full:
-            final = HoltWinters(primary, seasonal=hes_model.spec.seasonal or "add").fit(series)
-        return SelectionOutcome(
-            model=final,
-            technique="hes",
-            test_rmse=hes_rmse,
-            best_spec=None,
-            seasonality=seasonality,
-            shock_calendar=shock_calendar,
-            leaderboard=results[:20],
-            hes_rmse=hes_rmse,
-            n_evaluated=len(results) + 2,
-        )
-
-    # Refit the winner at full optimisation budget.
-    refit_series = series if config.refit_on_full else train
-    model = best.spec.build(maxiter=config.final_maxiter)
-    exog = None
-    if best.spec.exog_columns and shock_calendar is not None:
-        # The recurring shocks found on the train window also describe the
-        # refit window — only their phase origin moves.
-        offset = int(round((train.start - refit_series.start) / series.frequency.seconds))
-        shock_calendar = shock_calendar.realigned(offset, len(refit_series))
-        exog = shock_calendar.train_matrix()[:, : best.spec.exog_columns]
-    if isinstance(model, Sarimax):
-        fitted = model.fit(refit_series, exog=exog)
-    else:
-        fitted = model.fit(refit_series)
-
-    return SelectionOutcome(
-        model=fitted,
-        technique="sarimax",
-        test_rmse=best.rmse,
-        best_spec=best.spec,
-        seasonality=seasonality,
-        shock_calendar=shock_calendar,
-        leaderboard=results[:20],
-        hes_rmse=hes_rmse,
-        n_evaluated=len(results) + (2 if hes_model is not None else 0),
-    )
+    return run_pipeline(series, config=config, train=train, test=test, executor=executor)
 
 
 def auto_forecast(
@@ -356,6 +212,7 @@ def auto_forecast(
     horizon: int | None = None,
     config: AutoConfig | None = None,
     alpha: float = 0.05,
+    executor: Executor | None = None,
 ) -> tuple[Forecast, SelectionOutcome]:
     """One-call pipeline: select a model and forecast with it.
 
@@ -363,7 +220,7 @@ def auto_forecast(
     frequency (24 hours / 7 days / 4 weeks).
     """
     config = config or AutoConfig()
-    outcome = auto_select(series, config=config)
+    outcome = auto_select(series, config=config, executor=executor)
     if horizon is None:
         horizon = series.frequency.split_rule.horizon
     model = outcome.model

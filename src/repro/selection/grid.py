@@ -32,11 +32,14 @@ the RMSE of its forecast over the test split, exactly as in Figure 4.
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine.executor import Executor
+    from ..engine.telemetry import RunTrace
 
 from ..core.metrics import accuracy_report, AccuracyReport
 from ..core.timeseries import TimeSeries
@@ -238,6 +241,8 @@ def evaluate_grid(
     shock_future: np.ndarray | None = None,
     maxiter: int = GRID_MAXITER,
     n_jobs: int = 1,
+    executor: Executor | None = None,
+    trace: RunTrace | None = None,
 ) -> list[GridResult]:
     """Fit and score every candidate; results sorted by ascending RMSE.
 
@@ -250,20 +255,40 @@ def evaluate_grid(
     n_jobs:
         Process count for parallel evaluation (the paper: "gains are also
         achieved by parallel processing the models"). 0 means one process
-        per CPU.
+        per CPU. Ignored when ``executor`` is given.
+    executor:
+        Execution backend (see :mod:`repro.engine.executor`). ``None``
+        resolves ``n_jobs`` to the process-wide shared executor, so
+        repeated grid evaluations reuse one worker pool instead of
+        spawning and tearing one down per call.
+    trace:
+        Optional :class:`~repro.engine.telemetry.RunTrace` that absorbs
+        per-task worker utilisation.
     """
     if not specs:
         raise SelectionError("no candidate specs supplied")
     if len(test) < 1:
         raise DataError("test split is empty")
-    if n_jobs == 0:
-        n_jobs = os.cpu_count() or 1
+    if executor is None:
+        # Lazy import: the engine's pipeline module imports this one.
+        from ..engine.executor import default_executor
+
+        executor = default_executor(n_jobs)
     args = [
         (spec, train, test, shock_matrix, shock_future, maxiter) for spec in specs
     ]
-    if n_jobs > 1 and len(specs) > 4:
-        with ProcessPoolExecutor(max_workers=n_jobs) as pool:
-            results = list(pool.map(_score_star, args, chunksize=8))
-    else:
-        results = [_score_star(a) for a in args]
+    reports = executor.run(_score_star, args)
+    if trace is not None:
+        trace.record_task_reports(reports)
+    results = []
+    for spec, report in zip(specs, reports):
+        if report.ok:
+            results.append(report.value)
+        else:
+            # The scorer captures model failures itself; reaching here
+            # means the task died outside the model fit (worker crash or
+            # timeout) — record it as a failed candidate, not an error.
+            results.append(
+                GridResult(spec=spec, rmse=float("inf"), accuracy=None, error=report.error)
+            )
     return sorted(results, key=lambda r: (r.failed, r.rmse))

@@ -7,26 +7,36 @@ databases, application containers, storage layers. The per-series pipeline
 (:mod:`repro.selection.auto`) stays the same; what changes at estate scale
 is orchestration:
 
-* every (workload, metric) pair gets its own model, selected lazily and
-  reused until stale (the paper's weekly rule), with grid evaluation
-  parallelised across the estate;
+* every (workload, metric) pair gets its own model, and selection **fans
+  out across the pairs** on a shared
+  :class:`~repro.engine.executor.Executor` — pass a
+  :class:`~repro.engine.PoolExecutor` (or construct the planner with one)
+  and the estate parallelises across series, one worker per workload,
+  with grid evaluation inside each worker kept serial so the pool is
+  never nested;
 * systems flagged *in-fault* by the crash rules are excluded from
   forecasting and surfaced separately ("manual override is needed to
   accommodate systems that are in-fault");
 * the output is a fleet report: per-workload advisories ranked by urgency
-  so an operator sees the next outage first.
+  so an operator sees the next outage first, plus a
+  :class:`~repro.engine.telemetry.RunTrace` recording per-workload
+  wall-times, aggregate candidate counts and worker utilisation.
 
 :class:`EstatePlanner` implements exactly that on top of any number of
 registered series or :class:`~repro.service.planner.CapacityPlanner`
-repositories.
+repositories. One pathological series cannot take the report down — a
+workload whose selection fails (or whose worker dies) lands in
+``failed`` with the captured error.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..core.timeseries import TimeSeries
+from ..engine.executor import Executor, SerialExecutor
+from ..engine.telemetry import RunTrace
 from ..exceptions import DataError, SelectionError
 from ..selection.auto import AutoConfig, auto_select
 from ..shocks.faults import FaultPolicy, FaultVerdict, discard_faults
@@ -77,6 +87,10 @@ class EstateEntry:
     test_rmse: float = float("nan")
     advisory: BreachPrediction | None = None
     detail: str = ""
+    #: Wall-clock seconds the workload's selection took (0 until processed).
+    seconds: float = 0.0
+    #: Per-selection engine telemetry (None for in-fault/failed workloads).
+    trace: RunTrace | None = None
 
 
 @dataclass
@@ -84,6 +98,9 @@ class EstateReport:
     """Fleet-wide summary, advisories ranked most-urgent first."""
 
     entries: list[EstateEntry]
+    #: Estate-level telemetry: fan-out timing, per-workload wall-times,
+    #: aggregated candidate counters and worker utilisation.
+    trace: RunTrace | None = None
 
     @property
     def modelled(self) -> list[EstateEntry]:
@@ -121,6 +138,65 @@ class EstateReport:
         return lines
 
 
+def _evaluate_entry(
+    entry: EstateEntry,
+    config: AutoConfig,
+    fault_policy: FaultPolicy,
+    horizon: int | None,
+) -> EstateEntry:
+    """Process one workload: repair → fault check → select → advise.
+
+    Module-level and argument-pure so a :class:`PoolExecutor` can ship it
+    to worker processes; mutates and returns ``entry``.
+    """
+    period = entry.series.frequency.default_period
+    # Figure 4 order: repair agent gaps first, then fault analysis.
+    from ..core.preprocessing import interpolate_missing
+
+    try:
+        repaired = interpolate_missing(entry.series)
+    except DataError as exc:
+        entry.status = WorkloadStatus.FAILED
+        entry.detail = str(exc)
+        return entry
+    analysis = discard_faults(repaired, period=period, policy=fault_policy)
+    if analysis.verdict is FaultVerdict.IN_FAULT:
+        entry.status = WorkloadStatus.IN_FAULT
+        entry.detail = analysis.describe()
+        return entry
+    try:
+        outcome = auto_select(analysis.series, config=config)
+    except (SelectionError, DataError) as exc:
+        entry.status = WorkloadStatus.FAILED
+        entry.detail = str(exc)
+        return entry
+    entry.status = WorkloadStatus.MODELLED
+    entry.model_label = outcome.model.label()
+    entry.test_rmse = outcome.test_rmse
+    entry.detail = analysis.describe()
+    entry.trace = outcome.trace
+    if entry.threshold is not None:
+        advisory_horizon = horizon or entry.series.frequency.split_rule.horizon
+        kwargs = {}
+        if (
+            outcome.best_spec is not None
+            and outcome.best_spec.exog_columns
+            and outcome.shock_calendar is not None
+        ):
+            kwargs["exog_future"] = outcome.shock_calendar.future_matrix(advisory_horizon)[
+                :, : outcome.best_spec.exog_columns
+            ]
+        forecast = outcome.model.forecast(advisory_horizon, **kwargs).clipped(0.0)
+        entry.advisory = predict_breach(forecast, entry.threshold)
+    return entry
+
+
+def _evaluate_entry_task(payload) -> EstateEntry:
+    """Executor task wrapper: unpack one ``(entry, config, policy, horizon)``."""
+    entry, config, fault_policy, horizon = payload
+    return _evaluate_entry(entry, config, fault_policy, horizon)
+
+
 class EstatePlanner:
     """Capacity planning across a whole monitored estate.
 
@@ -133,6 +209,11 @@ class EstatePlanner:
     horizon:
         Forecast horizon (samples) used for advisories; defaults to the
         Table 1 horizon of each series' frequency.
+    executor:
+        Default execution backend for :meth:`report`. A
+        :class:`~repro.engine.PoolExecutor` fans selection out across
+        (workload, metric) pairs — the estate-scale parallelism of
+        Section 8; ``None`` processes workloads serially in-process.
     """
 
     def __init__(
@@ -140,10 +221,12 @@ class EstatePlanner:
         config: AutoConfig | None = None,
         fault_policy: FaultPolicy | None = None,
         horizon: int | None = None,
+        executor: Executor | None = None,
     ) -> None:
         self.config = config or AutoConfig()
         self.fault_policy = fault_policy or FaultPolicy()
         self.horizon = horizon
+        self.executor = executor
         self._entries: dict[WorkloadKey, EstateEntry] = {}
 
     # ------------------------------------------------------------------
@@ -193,56 +276,64 @@ class EstatePlanner:
         return sorted(self._entries)
 
     # ------------------------------------------------------------------
-    def _process_one(self, entry: EstateEntry) -> None:
-        period = entry.series.frequency.default_period
-        # Figure 4 order: repair agent gaps first, then fault analysis.
-        from ..core.preprocessing import interpolate_missing
+    def report(self, executor: Executor | None = None) -> EstateReport:
+        """Process every pending workload and build the fleet report.
 
-        try:
-            repaired = interpolate_missing(entry.series)
-        except DataError as exc:
-            entry.status = WorkloadStatus.FAILED
-            entry.detail = str(exc)
-            return
-        analysis = discard_faults(repaired, period=period, policy=self.fault_policy)
-        if analysis.verdict is FaultVerdict.IN_FAULT:
-            entry.status = WorkloadStatus.IN_FAULT
-            entry.detail = analysis.describe()
-            return
-        try:
-            outcome = auto_select(analysis.series, config=self.config)
-        except (SelectionError, DataError) as exc:
-            entry.status = WorkloadStatus.FAILED
-            entry.detail = str(exc)
-            return
-        entry.status = WorkloadStatus.MODELLED
-        entry.model_label = outcome.model.label()
-        entry.test_rmse = outcome.test_rmse
-        entry.detail = analysis.describe()
-        if entry.threshold is not None:
-            horizon = self.horizon or entry.series.frequency.split_rule.horizon
-            kwargs = {}
-            if (
-                outcome.best_spec is not None
-                and outcome.best_spec.exog_columns
-                and outcome.shock_calendar is not None
-            ):
-                kwargs["exog_future"] = outcome.shock_calendar.future_matrix(horizon)[
-                    :, : outcome.best_spec.exog_columns
-                ]
-            forecast = outcome.model.forecast(horizon, **kwargs).clipped(0.0)
-            entry.advisory = predict_breach(forecast, entry.threshold)
-
-    def run(self) -> EstateReport:
-        """Process every registered workload and build the fleet report.
-
-        Workloads are processed independently; one pathological series
-        cannot take the estate report down (it lands in ``failed``).
+        Workloads fan out across ``executor`` (falling back to the
+        planner's default, then to serial in-process execution). On a
+        pool executor each workload's selection runs in its own worker
+        with inner grid parallelism pinned to one process — parallelism
+        across series, not nested pools. Workloads are processed
+        independently; one pathological series cannot take the estate
+        report down (it lands in ``failed``).
         """
         if not self._entries:
             raise DataError("no workloads registered")
-        for key in self.keys():
+        executor = executor if executor is not None else self.executor
+        fanned_out = executor is not None and not isinstance(executor, SerialExecutor)
+        if executor is None:
+            executor = SerialExecutor()
+        config = self.config
+        if fanned_out:
+            # Workers each own one series; the grid inside must not spawn
+            # a nested pool of its own.
+            config = replace(config, n_jobs=1)
+
+        trace = RunTrace()
+        pending = [
+            key
+            for key in self.keys()
+            if self._entries[key].status is WorkloadStatus.PENDING
+        ]
+        payloads = [
+            (self._entries[key], config, self.fault_policy, self.horizon)
+            for key in pending
+        ]
+        with trace.stage(
+            "fan-out", detail=f"{len(payloads)} workloads, {'pool' if fanned_out else 'serial'}"
+        ):
+            reports = executor.run(_evaluate_entry_task, payloads)
+        trace.record_task_reports(reports)
+
+        for key, task in zip(pending, reports):
             entry = self._entries[key]
-            if entry.status is WorkloadStatus.PENDING:
-                self._process_one(entry)
-        return EstateReport(entries=[self._entries[k] for k in self.keys()])
+            if task.ok:
+                processed = task.value  # a pickled copy when pooled
+                processed.seconds = task.seconds
+                self._entries[key] = processed
+                entry = processed
+            else:
+                entry.status = WorkloadStatus.FAILED
+                entry.detail = f"executor: {task.error}"
+            trace.add_stage("workload", task.seconds, detail=str(key))
+            if entry.trace is not None:
+                for counter, value in entry.trace.counters.items():
+                    trace.count(counter, value)
+
+        for entry in self._entries.values():
+            trace.count(f"workloads_{entry.status.name.lower()}")
+        return EstateReport(entries=[self._entries[k] for k in self.keys()], trace=trace)
+
+    def run(self) -> EstateReport:
+        """Backwards-compatible alias for :meth:`report`."""
+        return self.report()

@@ -21,6 +21,8 @@ from ..agent.agent import AgentSample
 from ..agent.repository import MetricsRepository
 from ..core.frequency import Frequency
 from ..core.timeseries import TimeSeries
+from ..engine.executor import Executor
+from ..engine.telemetry import RunTrace
 from ..exceptions import DataError
 from ..models.base import Forecast
 from ..selection.auto import AutoConfig, SelectionOutcome, auto_select
@@ -54,6 +56,11 @@ class CapacityPlanner:
         Selection pipeline configuration applied to every metric.
     frequency:
         Granularity at which series are modelled (hourly, per the paper).
+    executor:
+        Execution backend handed to every selection run; ``None`` uses
+        the shared executor for ``config.n_jobs``. Pass one
+        :class:`~repro.engine.PoolExecutor` to share a single worker
+        pool across every metric this planner selects.
     """
 
     def __init__(
@@ -61,10 +68,12 @@ class CapacityPlanner:
         repository: MetricsRepository | None = None,
         config: AutoConfig | None = None,
         frequency: Frequency = Frequency.HOURLY,
+        executor: Executor | None = None,
     ) -> None:
         self.repository = repository if repository is not None else MetricsRepository()
         self.config = config or AutoConfig()
         self.frequency = frequency
+        self.executor = executor
         self._entries: dict[tuple[str, str], PlannerEntry] = {}
 
     # ------------------------------------------------------------------
@@ -114,7 +123,7 @@ class CapacityPlanner:
         if entry is not None and not force and not entry.verdict().stale:
             return entry.outcome
         series = self.series(instance, metric)
-        outcome = auto_select(series, config=self.config)
+        outcome = auto_select(series, config=self.config, executor=self.executor)
         monitor = ModelMonitor(model=outcome.model, baseline_rmse=outcome.test_rmse)
         self._entries[key] = PlannerEntry(outcome=outcome, monitor=monitor, series=series)
         self.repository.store_model(
@@ -208,6 +217,21 @@ class CapacityPlanner:
             outcome=outcome, monitor=monitor, series=series
         )
         return outcome
+
+    def telemetry(self, instance: str, metric: str) -> RunTrace | None:
+        """Engine telemetry of the cached selection for a metric.
+
+        Returns the :class:`~repro.engine.telemetry.RunTrace` the
+        pipeline recorded while choosing the current model — stage
+        timings, candidate fit/fail/prune counts, worker utilisation,
+        winner lineage — or ``None`` when no model has been selected yet
+        (or the entry was rehydrated via :meth:`restore_model`, which
+        runs no pipeline).
+        """
+        entry = self._entries.get(self._key(instance, metric))
+        if entry is None:
+            return None
+        return entry.outcome.trace
 
     def observe(self, instance: str, metric: str, values) -> StalenessVerdict:
         """Feed newly arrived observations to the staleness monitor."""

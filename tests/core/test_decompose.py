@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import TimeSeries, decompose, seasonal_strength, trend_strength
+from repro.core import decompose, seasonal_strength, trend_strength
 from repro.exceptions import DataError
 
 

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import TimeSeries, acf, correlogram, ljung_box, pacf
+from repro.core import acf, correlogram, ljung_box, pacf
 from repro.exceptions import DataError
 
 

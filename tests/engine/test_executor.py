@@ -1,0 +1,177 @@
+"""Tests for the executor abstraction: serial, pooled, shared."""
+
+import os
+import time
+
+import pytest
+
+from repro.engine import (
+    PoolExecutor,
+    SerialExecutor,
+    default_executor,
+    shutdown_default_executors,
+)
+from repro.exceptions import DataError
+
+
+# Task functions must be module-level so the process pool can pickle them.
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"bad input {x}")
+
+
+def _sleepy(seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+def _hard_exit(x):
+    os._exit(13)  # simulate a worker dying without raising
+
+
+class TestSerialExecutor:
+    def test_values_in_order(self):
+        reports = SerialExecutor().run(_square, [1, 2, 3, 4])
+        assert [r.value for r in reports] == [1, 4, 9, 16]
+        assert [r.index for r in reports] == [0, 1, 2, 3]
+        assert all(r.ok for r in reports)
+        assert all(r.worker == "serial" for r in reports)
+
+    def test_failure_captured_not_raised(self):
+        reports = SerialExecutor().run(_boom, [7])
+        assert not reports[0].ok
+        assert "ValueError" in reports[0].error
+        assert "bad input 7" in reports[0].error
+        assert reports[0].value is None
+
+    def test_failure_isolated_to_its_task(self):
+        def fn(x):
+            if x == 2:
+                raise RuntimeError("nope")
+            return x
+
+        reports = SerialExecutor().run(fn, [1, 2, 3])
+        assert [r.ok for r in reports] == [True, False, True]
+        assert [r.value for r in reports] == [1, None, 3]
+
+    def test_durations_recorded(self):
+        reports = SerialExecutor().run(_sleepy, [0.01])
+        assert reports[0].seconds >= 0.005
+
+    def test_map_unwraps_and_raises(self):
+        assert SerialExecutor().map(_square, [2, 3]) == [4, 9]
+        with pytest.raises(DataError):
+            SerialExecutor().map(_boom, [1])
+
+    def test_empty_tasks(self):
+        assert SerialExecutor().run(_square, []) == []
+
+
+class TestPoolExecutor:
+    def test_matches_serial(self):
+        serial = SerialExecutor().run(_square, list(range(10)))
+        with PoolExecutor(max_workers=2) as pool:
+            pooled = pool.run(_square, list(range(10)))
+        assert [r.value for r in pooled] == [r.value for r in serial]
+        assert [r.index for r in pooled] == [r.index for r in serial]
+
+    def test_pool_reused_across_calls(self):
+        pool = PoolExecutor(max_workers=2)
+        try:
+            assert pool.pools_created == 0  # lazy: nothing until first run
+            pool.run(_square, [1, 2, 3])
+            pool.run(_square, [4, 5, 6])
+            pool.run(_square, [7, 8])
+            assert pool.pools_created == 1
+            assert pool.tasks_dispatched == 8
+        finally:
+            pool.close()
+
+    def test_workers_are_processes(self):
+        with PoolExecutor(max_workers=1) as pool:
+            reports = pool.run(_square, [1])
+        assert reports[0].worker not in ("", "serial")
+        assert reports[0].worker != str(os.getpid())
+
+    def test_failure_captured_in_worker(self):
+        with PoolExecutor(max_workers=1) as pool:
+            reports = pool.run(_boom, [3])
+        assert not reports[0].ok
+        assert "bad input 3" in reports[0].error
+
+    def test_timeout_captured(self):
+        pool = PoolExecutor(max_workers=1, chunksize=1, timeout=0.2)
+        try:
+            reports = pool.run(_sleepy, [1.0])
+            assert reports[0].timed_out
+            assert not reports[0].ok
+            assert "timed out" in reports[0].error
+        finally:
+            pool.close(force=True)  # abandon the still-sleeping worker
+
+    def test_fast_task_beats_timeout(self):
+        pool = PoolExecutor(max_workers=1, chunksize=1, timeout=5.0)
+        try:
+            reports = pool.run(_sleepy, [0.01])
+            assert reports[0].ok and reports[0].value == 0.01
+        finally:
+            pool.close()
+
+    def test_dead_worker_reported_and_pool_replaced(self):
+        pool = PoolExecutor(max_workers=1, chunksize=1)
+        try:
+            reports = pool.run(_hard_exit, [1])
+            assert not reports[0].ok
+            # The broken pool is replaced transparently on the next call.
+            healthy = pool.run(_square, [5])
+            assert healthy[0].value == 25
+            assert pool.pools_created == 2
+        finally:
+            pool.close()
+
+    def test_chunking_configurable(self):
+        with PoolExecutor(max_workers=2, chunksize=3) as pool:
+            reports = pool.run(_square, list(range(7)))
+        assert [r.value for r in reports] == [x * x for x in range(7)]
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            PoolExecutor(max_workers=-1)
+        with pytest.raises(DataError):
+            PoolExecutor(chunksize=0)
+        with pytest.raises(DataError):
+            PoolExecutor(timeout=0.0)
+
+
+class TestDefaultExecutor:
+    def test_serial_for_one_job(self):
+        assert isinstance(default_executor(1), SerialExecutor)
+
+    def test_pool_shared_per_worker_count(self):
+        try:
+            a = default_executor(2)
+            b = default_executor(2)
+            c = default_executor(3)
+            assert a is b
+            assert a is not c
+            assert isinstance(a, PoolExecutor)
+            assert a.max_workers == 2
+        finally:
+            shutdown_default_executors()
+
+    def test_zero_means_cpu_count(self):
+        try:
+            executor = default_executor(0)
+            if (os.cpu_count() or 1) == 1:
+                assert isinstance(executor, SerialExecutor)
+            else:
+                assert executor.max_workers == os.cpu_count()
+        finally:
+            shutdown_default_executors()
+
+    def test_negative_rejected(self):
+        with pytest.raises(DataError):
+            default_executor(-2)

@@ -1,0 +1,101 @@
+"""Tests for the engine's run telemetry recorder."""
+
+from repro.engine import RunTrace, SerialExecutor, StageEvent
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestRecording:
+    def test_stage_context_times_block(self):
+        trace = RunTrace()
+        with trace.stage("score", detail="16 candidates"):
+            pass
+        assert len(trace.events) == 1
+        event = trace.events[0]
+        assert event.name == "score"
+        assert event.detail == "16 candidates"
+        assert event.seconds >= 0.0
+
+    def test_stage_recorded_even_on_exception(self):
+        trace = RunTrace()
+        try:
+            with trace.stage("explode"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert [e.name for e in trace.events] == ["explode"]
+
+    def test_counters_accumulate(self):
+        trace = RunTrace()
+        trace.count("candidates_fitted", 10)
+        trace.count("candidates_fitted", 5)
+        trace.count("candidates_failed")
+        assert trace.counters == {"candidates_fitted": 15, "candidates_failed": 1}
+
+    def test_worker_tasks(self):
+        trace = RunTrace()
+        trace.record_worker("1234", 3)
+        trace.record_worker("1234")
+        trace.record_worker("5678")
+        assert trace.worker_tasks == {"1234": 4, "5678": 1}
+
+    def test_record_task_reports(self):
+        trace = RunTrace()
+        reports = SerialExecutor().run(_double, [1, 2, 3])
+        trace.record_task_reports(reports)
+        assert trace.worker_tasks == {"serial": 3}
+        assert "tasks_timed_out" not in trace.counters
+
+    def test_lineage_notes(self):
+        trace = RunTrace()
+        trace.note("auto: hes beats grid")
+        trace.note("refit HES on full window")
+        assert trace.lineage == ["auto: hes beats grid", "refit HES on full window"]
+
+
+class TestReading:
+    def test_stage_seconds_aggregates_by_name(self):
+        trace = RunTrace()
+        trace.add_stage("score", 1.0)
+        trace.add_stage("augment", 0.5)
+        trace.add_stage("score", 0.25)
+        assert trace.stage_seconds() == {"score": 1.25, "augment": 0.5}
+        assert trace.total_seconds() == 1.75
+
+    def test_merge_folds_everything(self):
+        estate, workload = RunTrace(), RunTrace()
+        workload.add_stage("score", 2.0)
+        workload.count("candidates_fitted", 7)
+        workload.record_worker("99", 7)
+        estate.merge(workload, prefix="w1:")
+        assert estate.stage_seconds() == {"w1:score": 2.0}
+        assert estate.counters == {"candidates_fitted": 7}
+        assert estate.worker_tasks == {"99": 7}
+
+    def test_summary_lines(self):
+        trace = RunTrace()
+        trace.add_stage("repair", 0.01)
+        trace.add_stage("score", 1.5)
+        trace.count("candidates_fitted", 12)
+        trace.count("candidates_failed", 2)
+        trace.record_worker("serial", 14)
+        trace.note("winner SARIMAX (1,0,1)(0,1,1,24)")
+        lines = trace.summary_lines()
+        assert any("repair" in line and "score" in line for line in lines)
+        assert any("candidates_fitted=12" in line for line in lines)
+        assert any("serial:14" in line for line in lines)
+        assert any("lineage" in line for line in lines)
+
+    def test_summary_empty_trace(self):
+        assert RunTrace().summary_lines() == []
+
+    def test_stage_event_immutable(self):
+        event = StageEvent(name="x", seconds=1.0)
+        try:
+            event.seconds = 2.0
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import Frequency, TimeSeries, rmse
+from repro.core import TimeSeries, rmse
 from repro.exceptions import DataError, ModelError
 from repro.models import Arima, Sarimax
 

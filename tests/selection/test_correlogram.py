@@ -76,7 +76,6 @@ class TestPrunedGrid:
     def test_pruned_grid_contains_good_model(self, daily_series):
         # The pruned grid must still contain a candidate that forecasts the
         # daily cycle well — pruning must not throw the baby out.
-        from repro.core import rmse
         from repro.selection import evaluate_grid
 
         train, test = daily_series.split(len(daily_series) - 24)

@@ -7,7 +7,6 @@ Holt instead of SARIMA + Holt-Winters.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import Frequency, TimeSeries
 from repro.selection import AutoConfig, auto_forecast, auto_select

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import Frequency, TimeSeries
 from repro.exceptions import DataError
-from repro.models import Naive, SeasonalNaive
+from repro.models import SeasonalNaive
 from repro.selection import ModelMonitor, StalenessReason
 from repro.selection.staleness import WEEK_SECONDS
 

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import Frequency, TimeSeries
+from repro.engine import Executor, PoolExecutor, SerialExecutor, TaskReport
 from repro.exceptions import DataError
 from repro.selection import AutoConfig
 from repro.service import (
@@ -96,3 +97,83 @@ class TestReport:
         lines = report.summary_lines()
         assert "4 workload metrics" in lines[0]
         assert any("in fault" in line for line in lines)
+
+    def test_estate_trace(self, report):
+        trace = report.trace
+        assert trace is not None
+        assert [e.name for e in trace.events][:1] == ["fan-out"]
+        # One per-workload timing event per processed entry.
+        assert sum(1 for e in trace.events if e.name == "workload") == 4
+        assert trace.counters["workloads_modelled"] == 3
+        assert trace.counters["workloads_in_fault"] == 1
+        # Candidate counters from per-series selections are folded in.
+        assert trace.counters["candidates_fitted"] >= 3
+
+    def test_modelled_entries_carry_telemetry(self, report):
+        for entry in report.modelled:
+            assert entry.trace is not None
+            assert entry.seconds > 0.0
+        for entry in report.in_fault:
+            assert entry.trace is None
+
+
+class _BrokenExecutor(Executor):
+    """An executor whose workers all died without producing values."""
+
+    def run(self, fn, tasks):
+        return [
+            TaskReport(index=i, value=None, error="worker lost", worker="w1")
+            for i, __ in enumerate(tasks)
+        ]
+
+
+def _small_estate(**planner_kwargs):
+    planner = EstatePlanner(
+        config=AutoConfig(technique="hes", n_jobs=1, detect_shock_calendar=False),
+        **planner_kwargs,
+    )
+    planner.register("acme", "db1", "cpu", seasonal_series(n=400, seed=2), threshold=1000.0)
+    planner.register("acme", "db1", "mem", seasonal_series(n=400, seed=3, trend=0.06), threshold=90.0)
+    planner.register("beta", "app", "tx", seasonal_series(n=400, seed=4))
+    return planner
+
+
+class TestFanOut:
+    def test_serial_and_pool_reports_identical(self):
+        serial = _small_estate().report(executor=SerialExecutor())
+        with PoolExecutor(max_workers=2) as pool:
+            pooled = _small_estate().report(executor=pool)
+        assert [e.key for e in serial.entries] == [e.key for e in pooled.entries]
+        for s, p in zip(serial.entries, pooled.entries):
+            assert s.status is p.status
+            assert s.model_label == p.model_label
+            assert s.test_rmse == pytest.approx(p.test_rmse, rel=1e-12)
+            if s.advisory is None:
+                assert p.advisory is None
+            else:
+                assert s.advisory.severity is p.advisory.severity
+                assert s.advisory.first_breach_step == p.advisory.first_breach_step
+
+    def test_pool_workers_credited_in_trace(self):
+        with PoolExecutor(max_workers=2) as pool:
+            report = _small_estate().report(executor=pool)
+        assert sum(report.trace.worker_tasks.values()) == 3
+        assert "serial" not in report.trace.worker_tasks
+
+    def test_constructor_executor_is_default(self):
+        with PoolExecutor(max_workers=2) as pool:
+            report = _small_estate(executor=pool).report()
+        assert len(report.modelled) == 3
+        assert pool.tasks_dispatched == 3
+
+    def test_executor_failure_marks_workload_failed(self):
+        report = _small_estate().report(executor=_BrokenExecutor())
+        assert len(report.failed) == 3
+        for entry in report.failed:
+            assert entry.status is WorkloadStatus.FAILED
+            assert entry.detail == "executor: worker lost"
+        assert report.trace.counters["workloads_failed"] == 3
+
+    def test_run_is_report_alias(self):
+        report = _small_estate().run()
+        assert len(report.modelled) == 3

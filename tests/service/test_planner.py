@@ -74,6 +74,34 @@ class TestModelLifecycle:
         verdict = planner.observe("db1", "cpu", np.full(10, 10_000.0))
         assert verdict.stale
 
+    def test_telemetry_exposed(self, planner):
+        planner.select_model("db1", "cpu")
+        trace = planner.telemetry("db1", "cpu")
+        assert trace is not None
+        assert "score" in trace.stage_seconds()
+        assert trace.counters["candidates_fitted"] >= 1
+
+    def test_telemetry_unknown_key_is_none(self, planner):
+        assert planner.telemetry("nope", "cpu") is None
+
+    def test_selection_runs_on_planner_executor(self):
+        from repro.engine import SerialExecutor
+
+        class CountingExecutor(SerialExecutor):
+            calls = 0
+
+            def run(self, fn, tasks):
+                type(self).calls += 1
+                return super().run(fn, tasks)
+
+        p = CapacityPlanner(
+            config=AutoConfig(detect_shock_calendar=False),
+            executor=CountingExecutor(),
+        )
+        p.ingest_series("db1", "cpu", synthetic_metric())
+        p.select_model("db1", "cpu")
+        assert CountingExecutor.calls >= 1
+
 
 class TestForecastPlane:
     def test_forecast_default_horizon(self, planner):

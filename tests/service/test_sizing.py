@@ -11,7 +11,9 @@ from repro.service import overprovision_ratio, recommend_capacity
 
 def _forecast(upper_values):
     upper = np.asarray(upper_values, dtype=float)
-    mk = lambda v: TimeSeries(v, Frequency.HOURLY)
+    def mk(v):
+        return TimeSeries(v, Frequency.HOURLY)
+
     return Forecast(
         mean=mk(upper - 5.0),
         lower=mk(upper - 10.0),

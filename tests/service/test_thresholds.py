@@ -11,7 +11,9 @@ from repro.service import BreachSeverity, predict_breach
 
 def _forecast(mean, spread=5.0, start=0.0):
     mean = np.asarray(mean, dtype=float)
-    mk = lambda v: TimeSeries(v, Frequency.HOURLY, start=start)
+    def mk(v):
+        return TimeSeries(v, Frequency.HOURLY, start=start)
+
     return Forecast(
         mean=mk(mean),
         lower=mk(mean - spread),

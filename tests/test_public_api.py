@@ -21,6 +21,7 @@ SUBPACKAGES = [
     "repro.models",
     "repro.shocks",
     "repro.selection",
+    "repro.engine",
     "repro.workloads",
     "repro.agent",
     "repro.service",

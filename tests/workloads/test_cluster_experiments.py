@@ -12,7 +12,6 @@ from repro.workloads import (
     ConnectionBalancer,
     DatabaseInstance,
     OLAP_PROFILE,
-    OlapExperiment,
     OltpExperiment,
     UserPopulation,
     generate_olap_run,
