@@ -155,9 +155,36 @@ def _cmd_inspect(args, parser) -> int:
     return 0
 
 
+def _data_plane_lines(trace) -> list[str]:
+    """Render the broadcast/racing/cache counters as human-sized lines."""
+    if trace is None:
+        return []
+    c = trace.counters
+    lines = []
+    if "bytes_tasks" in c or "bytes_broadcast" in c:
+        lines.append(
+            f"data plane: broadcast {c.get('bytes_broadcast', 0) / 1024:.1f} KiB "
+            f"({c.get('payload_broadcasts', 0)} payloads, "
+            f"{c.get('payload_broadcast_hits', 0)} reused), "
+            f"task args {c.get('bytes_tasks', 0) / 1024:.1f} KiB"
+        )
+    if "candidates_pruned_by_racing" in c:
+        lines.append(
+            f"racing: {c.get('candidates_pruned_by_racing', 0)} pruned, "
+            f"{c.get('racing_full_fits', 0)} full-budget fits, "
+            f"{c.get('warm_start_hits', 0)} warm starts"
+        )
+    if "selection_cache_hits" in c or "selection_cache_misses" in c:
+        lines.append(
+            f"selection cache: {c.get('selection_cache_hits', 0)} hits, "
+            f"{c.get('selection_cache_misses', 0)} misses"
+        )
+    return lines
+
+
 def _cmd_forecast(args, parser) -> int:
     series = _load_series(args, parser)
-    config = AutoConfig(technique=args.technique, n_jobs=args.jobs)
+    config = AutoConfig(technique=args.technique, n_jobs=args.jobs, racing=args.racing)
     executor = default_executor(args.jobs)
     forecast, outcome = auto_forecast(
         series, horizon=args.horizon, config=config, executor=executor
@@ -178,6 +205,8 @@ def _cmd_forecast(args, parser) -> int:
     print(f"selected: {outcome.describe()}")
     if outcome.trace is not None:
         for line in outcome.trace.summary_lines():
+            print(f"  {line}")
+        for line in _data_plane_lines(outcome.trace):
             print(f"  {line}")
     if args.out:
         from .reporting import prediction_chart
@@ -204,7 +233,10 @@ def _cmd_advise(args, parser) -> int:
     thresholds = _parse_thresholds(args.threshold, parser)
     # The estate fans out across (workload, metric) pairs on one shared
     # pool; grid evaluation inside each worker stays serial.
-    planner = EstatePlanner(config=AutoConfig(n_jobs=1), executor=default_executor(args.jobs))
+    planner = EstatePlanner(
+        config=AutoConfig(n_jobs=1, racing=args.racing),
+        executor=default_executor(args.jobs),
+    )
     with MetricsRepository(args.db) as repo:
         for instance in repo.instances():
             for metric in repo.metrics(instance):
@@ -221,6 +253,8 @@ def _cmd_advise(args, parser) -> int:
         print(line)
     if report.trace is not None:
         for line in report.trace.summary_lines():
+            print(f"  {line}")
+        for line in _data_plane_lines(report.trace):
             print(f"  {line}")
     return 0 if not report.failed else 1
 
@@ -271,6 +305,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_fc.add_argument("--technique", choices=["auto", "sarimax", "hes"], default="auto")
     p_fc.add_argument("--threshold", type=float, default=None, help="capacity threshold to check")
     p_fc.add_argument("--jobs", type=int, default=0, help="grid workers (0 = all cores)")
+    p_fc.add_argument(
+        "--racing",
+        action="store_true",
+        help="race grid candidates through successive-halving rungs",
+    )
     p_fc.add_argument("--out", help="write forecast chart data to this CSV")
     p_fc.set_defaults(func=_cmd_forecast)
 
@@ -284,6 +323,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="capacity threshold per metric (repeatable)",
     )
     p_adv.add_argument("--jobs", type=int, default=0)
+    p_adv.add_argument(
+        "--racing",
+        action="store_true",
+        help="race grid candidates through successive-halving rungs",
+    )
     p_adv.set_defaults(func=_cmd_advise)
 
     return parser

@@ -11,10 +11,13 @@ out across thousands of workloads — rest on a single tested substrate.
 
 from .executor import (
     Executor,
+    PayloadRef,
     PoolExecutor,
     SerialExecutor,
     TaskReport,
     default_executor,
+    resolve_payload,
+    serialized_size,
     shutdown_default_executors,
 )
 from .pipeline import (
@@ -37,6 +40,9 @@ __all__ = [
     "SerialExecutor",
     "PoolExecutor",
     "TaskReport",
+    "PayloadRef",
+    "resolve_payload",
+    "serialized_size",
     "default_executor",
     "shutdown_default_executors",
     "RunTrace",

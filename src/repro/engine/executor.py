@@ -21,16 +21,33 @@ raises for a task failure: every task yields a :class:`TaskReport`
 carrying either the value or the captured error, plus its duration and
 the worker that ran it (food for :mod:`repro.engine.telemetry`).
 
+Both executors also implement a **broadcast data plane**. A grid sweep
+scores hundreds of ~100-byte candidate specs against one shared
+``(train, test, shock_matrix, shock_future)`` bundle; shipping that
+bundle inside every task tuple pickles the same arrays hundreds of times
+per sweep. :meth:`Executor.broadcast` ships the bundle once per
+(executor, content-fingerprint) and returns a tiny :class:`PayloadRef`;
+tasks carry only the ref, and workers resolve it through a per-process
+registry (:func:`resolve_payload`) that caches the deserialised bundle
+until LRU eviction. Broken-pool recovery is transparent: the broadcast
+spill file outlives the pool, so replacement workers simply re-read it.
+
 ``default_executor(n_jobs)`` maps the long-standing ``n_jobs`` knob onto
 a process-wide cache of shared executors, so code that still talks in
-``n_jobs`` transparently shares one pool per worker count.
+``n_jobs`` transparently shares one pool per worker count (and per
+chunking/timeout configuration).
 """
 
 from __future__ import annotations
 
 import atexit
+import hashlib
 import os
+import pickle
+import tempfile
+import threading
 import time
+from collections import OrderedDict
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -41,9 +58,12 @@ from ..exceptions import DataError
 
 __all__ = [
     "TaskReport",
+    "PayloadRef",
     "Executor",
     "SerialExecutor",
     "PoolExecutor",
+    "resolve_payload",
+    "serialized_size",
     "default_executor",
     "shutdown_default_executors",
 ]
@@ -87,6 +107,90 @@ class TaskReport:
         return not self.error and not self.timed_out
 
 
+# ---------------------------------------------------------------------------
+# Broadcast data plane
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PayloadRef:
+    """Handle to a broadcast payload — what tasks carry instead of data.
+
+    Attributes
+    ----------
+    key:
+        Content fingerprint (SHA-1 of the pickled payload). Identical
+        payloads broadcast twice share one key, one spill file and one
+        per-worker registry slot.
+    path:
+        Spill file holding the pickled payload for cross-process
+        transport; ``None`` for in-process (serial) broadcasts, which
+        live only in the parent's registry.
+    nbytes:
+        Serialized payload size — the bytes the broadcast moved *once*
+        instead of once per task.
+    """
+
+    key: str
+    path: str | None = None
+    nbytes: int = 0
+
+
+#: Per-process payload registry: key → deserialised payload, LRU order.
+#: Lives at module level so pool workers (which import this module) and
+#: the serial executor share one resolution path.
+_PAYLOAD_REGISTRY: OrderedDict[str, object] = OrderedDict()
+
+#: How many distinct payloads a worker keeps before evicting the least
+#: recently used. Eight comfortably covers one estate worker cycling
+#: through a handful of series; raise it for unusual fan-in patterns.
+PAYLOAD_REGISTRY_CAPACITY = 8
+
+_MISSING = object()
+
+
+def _install_payload(key: str, payload: object) -> None:
+    """Cache a payload in this process's registry, evicting LRU overflow."""
+    _PAYLOAD_REGISTRY[key] = payload
+    _PAYLOAD_REGISTRY.move_to_end(key)
+    while len(_PAYLOAD_REGISTRY) > PAYLOAD_REGISTRY_CAPACITY:
+        _PAYLOAD_REGISTRY.popitem(last=False)
+
+
+def resolve_payload(ref: PayloadRef) -> object:
+    """Fetch a broadcast payload in the current process.
+
+    Registry hit: free. Miss: the payload is loaded from the spill file
+    and cached, so each worker deserialises a given payload at most once
+    per (pool, fingerprint) — re-reads only happen after LRU eviction or
+    when a replacement worker joins a recovered pool.
+    """
+    payload = _PAYLOAD_REGISTRY.get(ref.key, _MISSING)
+    if payload is not _MISSING:
+        _PAYLOAD_REGISTRY.move_to_end(ref.key)
+        return payload
+    if ref.path is None:
+        raise DataError(
+            f"payload {ref.key[:12]} is not in this process's registry and "
+            "has no spill file (serial broadcasts cannot cross processes)"
+        )
+    try:
+        with open(ref.path, "rb") as fh:
+            payload = pickle.load(fh)
+    except OSError as exc:
+        raise DataError(f"payload spill file unreadable: {exc}") from exc
+    _install_payload(ref.key, payload)
+    return payload
+
+
+def payload_registry_keys() -> list[str]:
+    """Fingerprints currently cached in this process (MRU last)."""
+    return list(_PAYLOAD_REGISTRY)
+
+
+def serialized_size(obj: object) -> int:
+    """Pickled size of ``obj`` — the bytes one task dispatch would ship."""
+    return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+
 def _run_captured(fn: Callable, task, index: int) -> TaskReport:
     """Execute one task, converting any exception into a report.
 
@@ -125,6 +229,15 @@ class Executor:
         """Apply ``fn`` to every task; reports in submission order."""
         raise NotImplementedError
 
+    def broadcast(self, payload: object) -> PayloadRef:
+        """Ship ``payload`` to every worker once; tasks carry the ref.
+
+        Re-broadcasting identical content is a cache hit and moves no
+        bytes. Task functions recover the payload with
+        :func:`resolve_payload`.
+        """
+        raise NotImplementedError
+
     def map(self, fn: Callable, tasks: Sequence) -> list:
         """Like :meth:`run` but unwraps values, re-raising the first failure."""
         out = []
@@ -148,8 +261,28 @@ class SerialExecutor(Executor):
     """Run every task inline, in submission order.
 
     The semantics baseline: grid evaluation and estate fan-out on any
-    other executor must produce results identical to this one.
+    other executor must produce results identical to this one — including
+    the broadcast plane, which here installs the payload straight into
+    the in-process registry (same fingerprinting, no spill file), so
+    serial-vs-pool parity tests exercise one code path end to end.
     """
+
+    def __init__(self) -> None:
+        self.bytes_broadcast = 0
+        self.broadcasts_created = 0
+        self.broadcast_hits = 0
+
+    def broadcast(self, payload: object) -> PayloadRef:
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        key = hashlib.sha1(blob).hexdigest()
+        if key in _PAYLOAD_REGISTRY:
+            self.broadcast_hits += 1
+            _PAYLOAD_REGISTRY.move_to_end(key)
+        else:
+            _install_payload(key, payload)
+            self.broadcasts_created += 1
+            self.bytes_broadcast += len(blob)
+        return PayloadRef(key=key, path=None, nbytes=len(blob))
 
     def run(self, fn: Callable, tasks: Sequence) -> list[TaskReport]:
         reports = []
@@ -213,7 +346,46 @@ class PoolExecutor(Executor):
         self.timeout = timeout
         self.pools_created = 0
         self.tasks_dispatched = 0
+        self.bytes_broadcast = 0
+        self.broadcasts_created = 0
+        self.broadcast_hits = 0
         self._pool: ProcessPoolExecutor | None = None
+        self._broadcasts: dict[str, PayloadRef] = {}
+        self._close_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def broadcast(self, payload: object) -> PayloadRef:
+        """Spill the payload to a file once per content fingerprint.
+
+        Workers read and cache it lazily on first resolve, so the bytes
+        cross the process boundary once per (pool, fingerprint) rather
+        than once per task. The spill file outlives a broken pool:
+        replacement workers re-read it transparently, no re-broadcast
+        bookkeeping required.
+        """
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        key = hashlib.sha1(blob).hexdigest()
+        ref = self._broadcasts.get(key)
+        if ref is not None:
+            self.broadcast_hits += 1
+            return ref
+        fd, path = tempfile.mkstemp(prefix=f"repro-payload-{key[:12]}-", suffix=".pkl")
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(blob)
+        ref = PayloadRef(key=key, path=path, nbytes=len(blob))
+        self._broadcasts[key] = ref
+        self.broadcasts_created += 1
+        self.bytes_broadcast += len(blob)
+        return ref
+
+    def _drop_broadcasts(self) -> None:
+        for ref in self._broadcasts.values():
+            if ref.path is not None:
+                try:
+                    os.unlink(ref.path)
+                except OSError:
+                    pass
+        self._broadcasts.clear()
 
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -283,55 +455,79 @@ class PoolExecutor(Executor):
             self._pool = None
 
     def close(self, force: bool = False) -> None:
-        """Shut the pool down.
+        """Shut the pool down and release broadcast spill files.
 
         ``force=True`` terminates worker processes outright (used after
         timeout tests abandon a still-running task); otherwise pending
-        work is cancelled and workers exit once idle.
+        work is cancelled and workers exit once idle. Idempotent and
+        thread-safe: a caller's own ``close()`` cannot race the
+        interpreter-exit :func:`shutdown_default_executors` hook.
         """
-        if self._pool is None:
-            return
-        if force:
-            processes = list(getattr(self._pool, "_processes", {}).values())
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            for proc in processes:
-                proc.terminate()
-        else:
-            self._pool.shutdown(wait=True, cancel_futures=True)
-        self._pool = None
+        with self._close_lock:
+            self._drop_broadcasts()
+            if self._pool is None:
+                return
+            if force:
+                processes = list(getattr(self._pool, "_processes", {}).values())
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                for proc in processes:
+                    proc.terminate()
+            else:
+                self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
 
 
 # ---------------------------------------------------------------------------
 # Shared executors for the n_jobs convention
 # ---------------------------------------------------------------------------
-_SHARED: dict[int, PoolExecutor] = {}
+_SHARED: dict[tuple[int, int | None, float | None], PoolExecutor] = {}
+_SHARED_LOCK = threading.Lock()
 _SERIAL = SerialExecutor()
 
 
-def default_executor(n_jobs: int = 1) -> Executor:
+def default_executor(
+    n_jobs: int = 1,
+    chunksize: int | None = None,
+    timeout: float | None = None,
+) -> Executor:
     """The process-wide shared executor for an ``n_jobs`` worker count.
 
     ``n_jobs <= 1`` returns the shared :class:`SerialExecutor`;
     ``n_jobs == 0`` means one worker per CPU. Pool executors are cached
-    per effective worker count, so every caller asking for the same
-    parallelism shares one pool — repeated selections never pay a
-    per-call pool spawn.
+    per effective **configuration** — worker count, chunking and
+    timeout — so every caller asking for the same parallelism shares one
+    pool (repeated selections never pay a per-call pool spawn) while
+    differently-configured callers never silently share a pool whose
+    chunking or deadline semantics they did not ask for.
     """
     if n_jobs < 0:
         raise DataError(f"n_jobs must be >= 0, got {n_jobs}")
     workers = os.cpu_count() or 1 if n_jobs == 0 else n_jobs
     if workers <= 1:
         return _SERIAL
-    if workers not in _SHARED:
-        _SHARED[workers] = PoolExecutor(max_workers=workers)
-    return _SHARED[workers]
+    cache_key = (workers, chunksize, timeout)
+    with _SHARED_LOCK:
+        if cache_key not in _SHARED:
+            _SHARED[cache_key] = PoolExecutor(
+                max_workers=workers, chunksize=chunksize, timeout=timeout
+            )
+        return _SHARED[cache_key]
 
 
 def shutdown_default_executors() -> None:
-    """Close every cached shared pool (tests and interpreter exit)."""
-    for executor in _SHARED.values():
+    """Close every cached shared pool (tests and interpreter exit).
+
+    Idempotent and thread-safe: each pool is popped from the cache under
+    a lock before being closed, and :meth:`PoolExecutor.close` itself is
+    idempotent, so the atexit hook cannot race (or double-close) a pool a
+    benchmark already shut down explicitly.
+    """
+    while True:
+        with _SHARED_LOCK:
+            if not _SHARED:
+                return
+            __, executor = _SHARED.popitem()
         executor.close()
-    _SHARED.clear()
 
 
 atexit.register(shutdown_default_executors)

@@ -215,7 +215,12 @@ def stage_enumerate(ctx: SelectionContext) -> None:
 
 
 def stage_score(ctx: SelectionContext) -> None:
-    """Fit and score every enumerated candidate on the executor."""
+    """Fit and score every enumerated candidate on the executor.
+
+    The shared data bundle travels to the executor as one broadcast
+    payload; with ``config.racing`` the population is raced through
+    successive-halving rungs instead of fitted at full budget.
+    """
     if ctx.grid_skipped:
         return
     ctx.results = evaluate_grid(
@@ -227,6 +232,7 @@ def stage_score(ctx: SelectionContext) -> None:
         maxiter=ctx.config.grid_maxiter,
         executor=ctx.executor,
         trace=ctx.trace,
+        racing=ctx.config.racing_plan(),
     )
     viable = [r for r in ctx.results if not r.failed]
     ctx.trace.count("candidates_fitted", len(viable))
@@ -237,7 +243,12 @@ def stage_score(ctx: SelectionContext) -> None:
 
 
 def stage_augment(ctx: SelectionContext) -> None:
-    """Augment the grid winner with exogenous shocks and Fourier terms."""
+    """Augment the grid winner with exogenous shocks and Fourier terms.
+
+    Specs identical to the already-scored winner (a zero-column exogenous
+    "augmentation" is just the winner again) are skipped rather than
+    refitted — their score is already in ``ctx.results``.
+    """
     if ctx.grid_skipped or ctx.best is None:
         return
     secondary = (
@@ -247,7 +258,7 @@ def stage_augment(ctx: SelectionContext) -> None:
     if not ((n_shocks or secondary) and ctx.best.spec.seasonal is not None):
         return
     aug = augmentation_specs(ctx.best.spec, n_shocks, secondary)
-    aug = [s for s in aug if s.exog_columns <= n_shocks]
+    aug = [s for s in aug if s.exog_columns <= n_shocks and s != ctx.best.spec]
     if not aug:
         return
     aug_results = evaluate_grid(

@@ -44,7 +44,15 @@ class RunTrace:
         ``score`` for the main grid and ``augment`` for the follow-up).
     counters:
         Monotonic counts: ``candidates_fitted``, ``candidates_failed``,
-        ``candidates_pruned``, ``workloads_modelled``, …
+        ``candidates_pruned``, ``workloads_modelled``, … The broadcast
+        data plane adds ``bytes_broadcast`` / ``bytes_tasks`` (payload
+        bytes shipped once per fingerprint vs. serialized task-arg
+        bytes) and ``payload_broadcasts`` / ``payload_broadcast_hits``;
+        candidate racing adds ``racing_rung<N>_population``,
+        ``racing_rung_fits`` / ``racing_full_fits``,
+        ``candidates_pruned_by_racing`` and ``warm_start_hits``; the
+        estate selection cache adds ``selection_cache_hits`` /
+        ``selection_cache_misses``.
     worker_tasks:
         Tasks completed per worker id — the utilisation picture of the
         shared pool (``{"serial": n}`` for in-process runs).

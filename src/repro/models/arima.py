@@ -243,6 +243,11 @@ class FittedArima(FittedModel):
     intercept: float = 0.0
     _family: str = "ARIMA"
 
+    # Set by Arima._fit_adjusted (unannotated on purpose: a class
+    # attribute, not a dataclass field): True when the optimiser started
+    # from caller-supplied parameters instead of Hannan–Rissanen.
+    warm_started = False
+
     def label(self) -> str:
         if self.seasonal.is_null:
             return f"{self._family} {self.order}"
@@ -424,13 +429,45 @@ class Arima(ForecastModel):
         return self.order.d + self.seasonal.D == 0
 
     # ------------------------------------------------------------------
-    def fit(self, series: TimeSeries, **kwargs) -> FittedArima:
+    def fit(self, series: TimeSeries, start_params=None, **kwargs) -> FittedArima:
+        """Estimate on ``series``.
+
+        ``start_params`` optionally warm-starts the optimiser with the
+        packed ``(phi, theta, Phi, Theta)`` coefficients of a previous
+        fit of the *same* order (e.g. a low-budget racing rung). ARMA
+        coefficients are scale-invariant, so parameters fitted on the
+        same data at a smaller ``maxiter`` are a valid starting point.
+        Invalid values (wrong length, non-finite, outside the stability
+        region) are silently rejected in favour of the usual
+        Hannan–Rissanen initialisation; ``fitted.warm_started`` records
+        which path was taken.
+        """
         if kwargs:
             raise ModelError(f"unexpected fit options: {sorted(kwargs)}")
         y = check_series(series, self.min_observations)
-        return self._fit_adjusted(series, y, family="ARIMA" if self.seasonal.is_null else "SARIMAX")
+        return self._fit_adjusted(
+            series,
+            y,
+            family="ARIMA" if self.seasonal.is_null else "SARIMAX",
+            start_params=start_params,
+        )
 
-    def _fit_adjusted(self, series: TimeSeries, z: np.ndarray, family: str) -> FittedArima:
+    def _warm_start_init(self, spec: _Spec, start_params) -> np.ndarray | None:
+        """Validate caller-supplied starting parameters; None when unusable."""
+        if start_params is None:
+            return None
+        candidate = np.asarray(start_params, dtype=float)
+        if candidate.shape != (spec.n_coeffs,):
+            return None
+        if not np.all(np.isfinite(candidate)):
+            return None
+        if _stability_violation(spec, candidate) > 0:
+            return None
+        return candidate
+
+    def _fit_adjusted(
+        self, series: TimeSeries, z: np.ndarray, family: str, start_params=None
+    ) -> FittedArima:
         """Fit the (S)ARIMA process to an (already regression-adjusted) array."""
         w = difference(z, self.order.d, self.seasonal.D, self.seasonal.F)
         intercept = float(np.mean(w)) if self._wants_intercept() else 0.0
@@ -439,12 +476,16 @@ class Arima(ForecastModel):
         scale = float(np.std(w_c))
         trivial = scale < 1e-12
         spec = _Spec(self.order, self.seasonal, intercept != 0.0)
+        warm_started = False
         if spec.n_coeffs == 0 or trivial:
             coeffs = np.zeros(spec.n_coeffs)
             e = w_c.copy()
         else:
             w_s = w_c / scale
-            init = _hannan_rissanen(w_s, spec)
+            init = self._warm_start_init(spec, start_params)
+            warm_started = init is not None
+            if init is None:
+                init = _hannan_rissanen(w_s, spec)
             result = optimize.minimize(
                 _objective,
                 init,
@@ -490,7 +531,7 @@ class Arima(ForecastModel):
         dof = max(1, used.size - n_params)
         sigma2 = float(used @ used) / dof
 
-        return FittedArima(
+        fitted = FittedArima(
             train=series,
             residuals=e,
             sigma2=sigma2,
@@ -501,3 +542,5 @@ class Arima(ForecastModel):
             intercept=intercept,
             _family=family,
         )
+        fitted.warm_started = warm_started
+        return fitted

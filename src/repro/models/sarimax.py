@@ -192,11 +192,19 @@ class Sarimax(ForecastModel):
         return self._arima.min_observations
 
     # ------------------------------------------------------------------
-    def fit(self, series: TimeSeries, exog: np.ndarray | None = None, **kwargs) -> FittedSarimax:
+    def fit(
+        self,
+        series: TimeSeries,
+        exog: np.ndarray | None = None,
+        start_params=None,
+        **kwargs,
+    ) -> FittedSarimax:
         """Estimate on ``series`` with optional shock regressors ``exog``.
 
         ``exog`` rows align one-to-one with the training series; columns are
         typically 0/1 indicators for scheduled events (backups, batch jobs).
+        ``start_params`` warm-starts the inner ARMA optimiser exactly as in
+        :meth:`repro.models.arima.Arima.fit` (β is always re-estimated).
         """
         if kwargs:
             raise ModelError(f"unexpected fit options: {sorted(kwargs)}")
@@ -229,7 +237,9 @@ class Sarimax(ForecastModel):
         inner = None
         for iteration in range(max(1, self.gls_iterations + 1)):
             z = y - X @ beta
-            inner = self._arima._fit_adjusted(series, z, family="SARIMAX")
+            inner = self._arima._fit_adjusted(
+                series, z, family="SARIMAX", start_params=start_params
+            )
             if X.shape[1] == 0 or iteration == self.gls_iterations:
                 break
             beta = self._gls_beta(y, X, inner)
@@ -250,6 +260,7 @@ class Sarimax(ForecastModel):
             _label_override=self.label_override,
         )
         fitted._train_exog = X_exog
+        fitted.warm_started = inner.warm_started
         return fitted
 
     @staticmethod

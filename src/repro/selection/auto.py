@@ -39,7 +39,7 @@ from ..exceptions import SelectionError
 from ..models.base import FittedModel, Forecast
 from ..models.ets import HoltWinters
 from ..shocks.detector import ShockCalendar
-from .grid import CandidateSpec, GridResult
+from .grid import CandidateSpec, GridResult, RacingPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..engine.executor import Executor
@@ -70,6 +70,17 @@ class AutoConfig:
         when an explicit executor is passed to :func:`auto_select`.
     detect_shock_calendar:
         Analyse shocks and offer exogenous candidates.
+    racing:
+        Race grid candidates through successive-halving rungs instead of
+        fitting every one at full ``grid_maxiter`` (see
+        :class:`~repro.selection.grid.RacingPlan`). Ignored when
+        ``exhaustive`` is set — exhaustive mode reproduces the paper's
+        full-budget protocol bit for bit.
+    racing_rungs / racing_eta / racing_maxiter / racing_min_specs:
+        The :class:`~repro.selection.grid.RacingPlan` knobs: number of
+        budget rungs, promotion divisor (top ``1/eta`` survive each
+        rung), the first rung's optimiser budget, and the population size
+        below which racing is skipped.
     """
 
     technique: str = "auto"
@@ -81,12 +92,34 @@ class AutoConfig:
     refit_on_full: bool = True
     grid_maxiter: int = 30
     final_maxiter: int = 200
+    racing: bool = False
+    racing_rungs: int = 2
+    racing_eta: float = 3.0
+    racing_maxiter: int = 6
+    racing_min_specs: int = 32
 
     def __post_init__(self) -> None:
         if self.technique not in ("auto", "sarimax", "hes"):
             raise SelectionError(
                 f"technique must be auto/sarimax/hes, got {self.technique!r}"
             )
+        if self.racing:
+            self.racing_plan()  # validate the knobs eagerly
+
+    def racing_plan(self) -> RacingPlan | None:
+        """The grid-scoring :class:`RacingPlan`, or ``None`` when disabled.
+
+        ``exhaustive`` wins over ``racing``: the escape hatch guarantees
+        today's full-budget behaviour is always one flag away.
+        """
+        if not self.racing or self.exhaustive:
+            return None
+        return RacingPlan(
+            rungs=self.racing_rungs,
+            eta=self.racing_eta,
+            rung_maxiter=self.racing_maxiter,
+            min_specs=self.racing_min_specs,
+        )
 
 
 @dataclass

@@ -43,13 +43,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 from ..core.metrics import accuracy_report, AccuracyReport
 from ..core.timeseries import TimeSeries
-from ..exceptions import CapacityPlanningError, DataError, SelectionError
+from ..exceptions import CapacityPlanningError, DataError, ModelError, SelectionError
 from ..models.arima import Arima
 from ..models.sarimax import Sarimax
 
 __all__ = [
     "CandidateSpec",
     "GridResult",
+    "RacingPlan",
     "arima_grid",
     "sarimax_grid",
     "augmentation_specs",
@@ -113,16 +114,65 @@ class CandidateSpec:
 
 @dataclass(frozen=True)
 class GridResult:
-    """Score card for one evaluated candidate."""
+    """Score card for one evaluated candidate.
+
+    ``budget`` records the optimiser iteration cap the score was produced
+    under (a racing rung may leave pruned candidates with a low-budget
+    score); ``params`` carries the fitted ARMA coefficients so a later
+    rung can warm-start from them; ``warm_started`` reports whether this
+    fit actually started from supplied parameters.
+    """
 
     spec: CandidateSpec
     rmse: float
     accuracy: AccuracyReport | None
     error: str = ""
+    budget: int = 0
+    params: tuple[float, ...] | None = None
+    warm_started: bool = False
 
     @property
     def failed(self) -> bool:
         return bool(self.error) or not np.isfinite(self.rmse)
+
+
+@dataclass(frozen=True)
+class RacingPlan:
+    """A successive-halving schedule for grid scoring.
+
+    Candidates race through ``rungs`` budgets: every rung fits its whole
+    population at that rung's ``maxiter`` and promotes the RMSE-best
+    ``1/eta`` fraction to the next. The first rung uses ``rung_maxiter``
+    (a deliberately tiny optimiser budget — the *ranking* stabilises long
+    before the parameters do), the final rung uses the caller's full
+    ``maxiter`` and warm-starts each survivor from its previous rung's
+    parameters. Populations below ``min_specs`` skip racing entirely:
+    for a handful of candidates the rung overhead outweighs the pruning.
+    """
+
+    rungs: int = 2
+    eta: float = 3.0
+    rung_maxiter: int = 6
+    min_specs: int = 32
+
+    def __post_init__(self) -> None:
+        if self.rungs < 2:
+            raise SelectionError(f"racing needs >= 2 rungs, got {self.rungs}")
+        if self.eta <= 1.0:
+            raise SelectionError(f"racing eta must be > 1, got {self.eta}")
+        if self.rung_maxiter < 1:
+            raise SelectionError(f"rung_maxiter must be >= 1, got {self.rung_maxiter}")
+        if self.min_specs < 2:
+            raise SelectionError(f"min_specs must be >= 2, got {self.min_specs}")
+
+    def budgets(self, full_maxiter: int) -> list[int]:
+        """Geometric budget ramp from ``rung_maxiter`` to ``full_maxiter``."""
+        low = min(self.rung_maxiter, full_maxiter)
+        if self.rungs == 2 or low == full_maxiter:
+            return [low] * (self.rungs - 1) + [full_maxiter]
+        ratio = (full_maxiter / low) ** (1.0 / (self.rungs - 1))
+        ramp = [max(1, int(round(low * ratio**i))) for i in range(self.rungs - 1)]
+        return ramp + [full_maxiter]
 
 
 def arima_grid(max_lag: int = 30) -> list[CandidateSpec]:
@@ -172,6 +222,12 @@ def augmentation_specs(
     season's first harmonics, which keeps the candidate count faithful).
     All six also carry the full shock matrix when one exists, matching the
     paper's cumulative "added to the model with the best RMSE" procedure.
+
+    The list is de-duplicated: with fewer than four shock columns the
+    exogenous variants clamp to the same ``exog_columns`` value and would
+    otherwise burn full redundant fits on identical specs (with zero
+    columns, all four collapse into an exact clone of the already-scored
+    winner — the caller additionally drops winner-identical specs).
     """
     if best.seasonal is None:
         raise SelectionError("augmentations must build on a SARIMAX candidate")
@@ -195,7 +251,11 @@ def augmentation_specs(
                 fourier_orders=(harmonics,),
             )
         )
-    return specs
+    deduped: list[CandidateSpec] = []
+    for spec in specs:
+        if spec not in deduped:
+            deduped.append(spec)
+    return deduped
 
 
 # ---------------------------------------------------------------------------
@@ -208,6 +268,7 @@ def _score_one(
     shock_matrix: np.ndarray | None,
     shock_future: np.ndarray | None,
     maxiter: int,
+    start_params: tuple[float, ...] | None = None,
 ) -> GridResult:
     try:
         model = spec.build(maxiter=maxiter)
@@ -217,20 +278,94 @@ def _score_one(
                 raise SelectionError("candidate needs shock columns but none supplied")
             exog = shock_matrix[:, : spec.exog_columns]
             exog_future = shock_future[:, : spec.exog_columns]
+        fitted = _fit_candidate(model, train, exog, start_params)
         if isinstance(model, Sarimax):
-            fitted = model.fit(train, exog=exog)
             forecast = fitted.forecast(len(test), exog_future=exog_future)
         else:
-            fitted = model.fit(train)
             forecast = fitted.forecast(len(test))
         report = accuracy_report(test, forecast.mean)
-        return GridResult(spec=spec, rmse=report.rmse, accuracy=report)
+        params = getattr(fitted, "coeffs", None)
+        return GridResult(
+            spec=spec,
+            rmse=report.rmse,
+            accuracy=report,
+            budget=maxiter,
+            params=tuple(float(c) for c in params) if params is not None else None,
+            warm_started=bool(getattr(fitted, "warm_started", False)),
+        )
     except (CapacityPlanningError, np.linalg.LinAlgError, ValueError) as exc:
-        return GridResult(spec=spec, rmse=float("inf"), accuracy=None, error=str(exc))
+        return GridResult(
+            spec=spec, rmse=float("inf"), accuracy=None, error=str(exc), budget=maxiter
+        )
+
+
+def _fit_candidate(model, train, exog, start_params):
+    """Fit with a warm start when supported, falling back when rejected.
+
+    Both bundled model families accept ``start_params``; the fallback
+    keeps racing usable with custom/legacy models whose ``fit`` does not.
+    """
+    kwargs = {"exog": exog} if isinstance(model, Sarimax) else {}
+    if start_params is not None:
+        try:
+            return model.fit(train, start_params=start_params, **kwargs)
+        except (TypeError, ModelError):
+            pass  # model rejects warm starts: refit cold
+    return model.fit(train, **kwargs)
 
 
 def _score_star(args) -> GridResult:
     return _score_one(*args)
+
+
+def _score_broadcast(args) -> GridResult:
+    """Worker entry point: ~100-byte task against a broadcast payload."""
+    # Lazy import keeps this module importable without the engine package
+    # (the engine's pipeline module imports this one).
+    from ..engine.executor import resolve_payload
+
+    spec, maxiter, start_params, ref = args
+    train, test, shock_matrix, shock_future = resolve_payload(ref)
+    return _score_one(spec, train, test, shock_matrix, shock_future, maxiter, start_params)
+
+
+def _run_round(
+    executor: Executor,
+    specs: list[CandidateSpec],
+    ref,
+    maxiter: int,
+    start_params: list[tuple[float, ...] | None],
+    trace: RunTrace | None,
+) -> list[GridResult]:
+    """Score one population at one budget; results in spec order."""
+    from ..engine.executor import serialized_size
+
+    args = [
+        (spec, maxiter, params, ref) for spec, params in zip(specs, start_params)
+    ]
+    if trace is not None:
+        trace.count("bytes_tasks", sum(serialized_size(a) for a in args))
+    reports = executor.run(_score_broadcast, args)
+    if trace is not None:
+        trace.record_task_reports(reports)
+    results = []
+    for spec, report in zip(specs, reports):
+        if report.ok:
+            results.append(report.value)
+        else:
+            # The scorer captures model failures itself; reaching here
+            # means the task died outside the model fit (worker crash or
+            # timeout) — record it as a failed candidate, not an error.
+            results.append(
+                GridResult(
+                    spec=spec,
+                    rmse=float("inf"),
+                    accuracy=None,
+                    error=report.error,
+                    budget=maxiter,
+                )
+            )
+    return results
 
 
 def evaluate_grid(
@@ -243,8 +378,14 @@ def evaluate_grid(
     n_jobs: int = 1,
     executor: Executor | None = None,
     trace: RunTrace | None = None,
+    racing: RacingPlan | None = None,
 ) -> list[GridResult]:
     """Fit and score every candidate; results sorted by ascending RMSE.
+
+    The shared ``(train, test, shock_matrix, shock_future)`` bundle is
+    broadcast to the executor once per content fingerprint; each task
+    then carries only its ~100-byte :class:`CandidateSpec` plus a payload
+    key, so per-task serialization is O(spec), not O(series length).
 
     Parameters
     ----------
@@ -263,7 +404,18 @@ def evaluate_grid(
         spawning and tearing one down per call.
     trace:
         Optional :class:`~repro.engine.telemetry.RunTrace` that absorbs
-        per-task worker utilisation.
+        per-task worker utilisation plus the data-plane and racing
+        counters (``bytes_broadcast``, ``bytes_tasks``, rung populations,
+        ``candidates_pruned_by_racing``, ``warm_start_hits``).
+    racing:
+        Optional :class:`RacingPlan`. ``None`` (the default) scores every
+        candidate at the full ``maxiter`` — bit-for-bit the exhaustive
+        protocol. With a plan (and a population of at least
+        ``racing.min_specs``), candidates race through successive-halving
+        rungs: everyone fits at a tiny budget first, only the RMSE-best
+        fraction is refit at full budget (warm-started from rung
+        parameters), and pruned candidates keep their rung score in the
+        returned leaderboard.
     """
     if not specs:
         raise SelectionError("no candidate specs supplied")
@@ -274,21 +426,61 @@ def evaluate_grid(
         from ..engine.executor import default_executor
 
         executor = default_executor(n_jobs)
-    args = [
-        (spec, train, test, shock_matrix, shock_future, maxiter) for spec in specs
-    ]
-    reports = executor.run(_score_star, args)
+
+    created_before = getattr(executor, "broadcasts_created", 0)
+    ref = executor.broadcast((train, test, shock_matrix, shock_future))
     if trace is not None:
-        trace.record_task_reports(reports)
-    results = []
-    for spec, report in zip(specs, reports):
-        if report.ok:
-            results.append(report.value)
+        trace.count("payload_broadcasts", 1)
+        if getattr(executor, "broadcasts_created", 0) > created_before:
+            trace.count("bytes_broadcast", ref.nbytes)
         else:
-            # The scorer captures model failures itself; reaching here
-            # means the task died outside the model fit (worker crash or
-            # timeout) — record it as a failed candidate, not an error.
-            results.append(
-                GridResult(spec=spec, rmse=float("inf"), accuracy=None, error=report.error)
+            trace.count("payload_broadcast_hits", 1)
+
+    if racing is None or len(specs) < racing.min_specs:
+        results = _run_round(executor, specs, ref, maxiter, [None] * len(specs), trace)
+        return sorted(results, key=lambda r: (r.failed, r.rmse))
+
+    # Successive halving: race the population through the budget ramp.
+    budgets = racing.budgets(maxiter)
+    alive = list(range(len(specs)))
+    scored: dict[int, GridResult] = {}
+    carried: dict[int, tuple[float, ...]] = {}
+    for rung, budget in enumerate(budgets):
+        final_rung = rung == len(budgets) - 1
+        population = [specs[i] for i in alive]
+        starts = [carried.get(i) for i in alive]
+        round_results = _run_round(executor, population, ref, budget, starts, trace)
+        for i, result in zip(alive, round_results):
+            scored[i] = result
+            if result.params is not None:
+                carried[i] = result.params
+        if trace is not None:
+            trace.count(f"racing_rung{rung + 1}_population", len(alive))
+            if final_rung:
+                trace.count("racing_full_fits", len(alive))
+                trace.count("warm_start_hits", sum(r.warm_started for r in round_results))
+            else:
+                trace.count("racing_rung_fits", len(alive))
+        if final_rung:
+            break
+        viable = sorted(
+            (i for i in alive if not scored[i].failed),
+            key=lambda i: scored[i].rmse,
+        )
+        if not viable:
+            # The cheap budget converged nowhere — racing cannot rank, so
+            # fall back to the exhaustive protocol for correctness.
+            if trace is not None:
+                trace.count("racing_fallback_exhaustive", 1)
+            results = _run_round(
+                executor, specs, ref, maxiter, [None] * len(specs), trace
             )
+            return sorted(results, key=lambda r: (r.failed, r.rmse))
+        n_promote = max(1, int(np.ceil(len(alive) / racing.eta)))
+        promoted = viable[:n_promote]
+        if trace is not None:
+            trace.count("candidates_pruned_by_racing", len(alive) - len(promoted))
+        alive = promoted
+
+    results = [scored[i] for i in range(len(specs))]
     return sorted(results, key=lambda r: (r.failed, r.rmse))

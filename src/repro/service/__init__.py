@@ -8,12 +8,14 @@ from .estate import (
     WorkloadStatus,
 )
 from .planner import CapacityPlanner, PlannerEntry
+from .selection_cache import SelectionCache
 from .sizing import CapacityRecommendation, overprovision_ratio, recommend_capacity
 from .thresholds import BreachPrediction, BreachSeverity, predict_breach
 
 __all__ = [
     "CapacityPlanner",
     "PlannerEntry",
+    "SelectionCache",
     "EstatePlanner",
     "EstateReport",
     "EstateEntry",

@@ -32,14 +32,16 @@ workload whose selection fails (or whose worker dies) lands in
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from ..core.timeseries import TimeSeries
 from ..engine.executor import Executor, SerialExecutor
 from ..engine.telemetry import RunTrace
 from ..exceptions import DataError, SelectionError
-from ..selection.auto import AutoConfig, auto_select
+from ..selection.auto import AutoConfig, SelectionOutcome, auto_select
+from ..selection.staleness import StalenessVerdict
 from ..shocks.faults import FaultPolicy, FaultVerdict, discard_faults
+from .selection_cache import SelectionCache
 from .thresholds import BreachPrediction, BreachSeverity, predict_breach
 
 __all__ = ["WorkloadKey", "WorkloadStatus", "EstateEntry", "EstateReport", "EstatePlanner"]
@@ -89,8 +91,12 @@ class EstateEntry:
     detail: str = ""
     #: Wall-clock seconds the workload's selection took (0 until processed).
     seconds: float = 0.0
-    #: Per-selection engine telemetry (None for in-fault/failed workloads).
+    #: Per-selection engine telemetry (None for in-fault/failed workloads
+    #: and for selection-cache hits, which run no fresh selection).
     trace: RunTrace | None = None
+    #: The full selection outcome (model, leaderboard, shock calendar);
+    #: feeds the estate selection cache. None until modelled.
+    outcome: SelectionOutcome | None = field(default=None, repr=False)
 
 
 @dataclass
@@ -175,20 +181,27 @@ def _evaluate_entry(
     entry.test_rmse = outcome.test_rmse
     entry.detail = analysis.describe()
     entry.trace = outcome.trace
-    if entry.threshold is not None:
-        advisory_horizon = horizon or entry.series.frequency.split_rule.horizon
-        kwargs = {}
-        if (
-            outcome.best_spec is not None
-            and outcome.best_spec.exog_columns
-            and outcome.shock_calendar is not None
-        ):
-            kwargs["exog_future"] = outcome.shock_calendar.future_matrix(advisory_horizon)[
-                :, : outcome.best_spec.exog_columns
-            ]
-        forecast = outcome.model.forecast(advisory_horizon, **kwargs).clipped(0.0)
-        entry.advisory = predict_breach(forecast, entry.threshold)
+    entry.outcome = outcome
+    _advise(entry, outcome, horizon)
     return entry
+
+
+def _advise(entry: EstateEntry, outcome: SelectionOutcome, horizon: int | None) -> None:
+    """Attach a breach advisory to a modelled entry (threshold permitting)."""
+    if entry.threshold is None:
+        return
+    advisory_horizon = horizon or entry.series.frequency.split_rule.horizon
+    kwargs = {}
+    if (
+        outcome.best_spec is not None
+        and outcome.best_spec.exog_columns
+        and outcome.shock_calendar is not None
+    ):
+        kwargs["exog_future"] = outcome.shock_calendar.future_matrix(advisory_horizon)[
+            :, : outcome.best_spec.exog_columns
+        ]
+    forecast = outcome.model.forecast(advisory_horizon, **kwargs).clipped(0.0)
+    entry.advisory = predict_breach(forecast, entry.threshold)
 
 
 def _evaluate_entry_task(payload) -> EstateEntry:
@@ -214,6 +227,14 @@ class EstatePlanner:
         :class:`~repro.engine.PoolExecutor` fans selection out across
         (workload, metric) pairs — the estate-scale parallelism of
         Section 8; ``None`` processes workloads serially in-process.
+    cache:
+        The estate's :class:`~repro.service.selection_cache.SelectionCache`
+        implementing the paper's reuse-for-one-week rule: re-registering
+        an unchanged (workload, metric) series re-uses the stored
+        selection outcome (zero grid fits) until its staleness monitor
+        declares it expired, degraded or outgrown. ``None`` builds a
+        fresh cache; pass a shared instance to pool reuse across
+        planners.
     """
 
     def __init__(
@@ -222,11 +243,13 @@ class EstatePlanner:
         fault_policy: FaultPolicy | None = None,
         horizon: int | None = None,
         executor: Executor | None = None,
+        cache: SelectionCache | None = None,
     ) -> None:
         self.config = config or AutoConfig()
         self.fault_policy = fault_policy or FaultPolicy()
         self.horizon = horizon
         self.executor = executor
+        self.cache = cache if cache is not None else SelectionCache()
         self._entries: dict[WorkloadKey, EstateEntry] = {}
 
     # ------------------------------------------------------------------
@@ -286,6 +309,12 @@ class EstatePlanner:
         across series, not nested pools. Workloads are processed
         independently; one pathological series cannot take the estate
         report down (it lands in ``failed``).
+
+        Pending workloads first consult the selection cache: an entry
+        whose series and config fingerprints match a stored, still-fresh
+        outcome is modelled from the cache (zero grid fits, counted as
+        ``selection_cache_hits``); everything else runs a fresh selection
+        and is stored for next time.
         """
         if not self._entries:
             raise DataError("no workloads registered")
@@ -300,11 +329,18 @@ class EstatePlanner:
             config = replace(config, n_jobs=1)
 
         trace = RunTrace()
-        pending = [
-            key
-            for key in self.keys()
-            if self._entries[key].status is WorkloadStatus.PENDING
-        ]
+        pending = []
+        for key in self.keys():
+            entry = self._entries[key]
+            if entry.status is not WorkloadStatus.PENDING:
+                continue
+            cached = self.cache.get(key, entry.series, config)
+            if cached is not None:
+                self._model_from_cache(entry, cached)
+                trace.count("selection_cache_hits")
+                continue
+            trace.count("selection_cache_misses")
+            pending.append(key)
         payloads = [
             (self._entries[key], config, self.fault_policy, self.horizon)
             for key in pending
@@ -322,6 +358,8 @@ class EstatePlanner:
                 processed.seconds = task.seconds
                 self._entries[key] = processed
                 entry = processed
+                if entry.status is WorkloadStatus.MODELLED and entry.outcome is not None:
+                    self.cache.put(key, entry.series, config, entry.outcome)
             else:
                 entry.status = WorkloadStatus.FAILED
                 entry.detail = f"executor: {task.error}"
@@ -333,6 +371,43 @@ class EstatePlanner:
         for entry in self._entries.values():
             trace.count(f"workloads_{entry.status.name.lower()}")
         return EstateReport(entries=[self._entries[k] for k in self.keys()], trace=trace)
+
+    def _model_from_cache(self, entry: EstateEntry, outcome: SelectionOutcome) -> None:
+        """Model an entry from a cached outcome — zero grid fits.
+
+        The advisory is recomputed against the entry's *current*
+        threshold (re-registration may have changed it); ``trace`` stays
+        ``None`` so the estate trace never double-counts the original
+        selection's candidate counters.
+        """
+        entry.status = WorkloadStatus.MODELLED
+        entry.model_label = outcome.model.label()
+        entry.test_rmse = outcome.test_rmse
+        entry.detail = "selection cache hit"
+        entry.outcome = outcome
+        entry.trace = None
+        entry.seconds = 0.0
+        _advise(entry, outcome, self.horizon)
+
+    def observe(self, key: WorkloadKey, values) -> StalenessVerdict | None:
+        """Feed fresh monitored observations to ``key``'s stored model.
+
+        Implements the paper's model-lifecycle rule at estate scope: the
+        observations update the cached outcome's staleness monitor, and a
+        stale verdict (older than a week, RMSE degraded beyond the
+        monitor's factor, or significant data growth) evicts the cache
+        record and resets the workload to ``PENDING`` so the next
+        :meth:`report` re-selects from scratch. Returns the verdict, or
+        ``None`` when nothing is cached for ``key``.
+        """
+        if key not in self._entries:
+            raise DataError(f"unknown workload {key}")
+        verdict = self.cache.observe(key, values)
+        if verdict is not None and verdict.stale:
+            entry = self._entries[key]
+            entry.status = WorkloadStatus.PENDING
+            entry.detail = f"re-selection required: {verdict.describe()}"
+        return verdict
 
     def run(self) -> EstateReport:
         """Backwards-compatible alias for :meth:`report`."""

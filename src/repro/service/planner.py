@@ -224,9 +224,12 @@ class CapacityPlanner:
         Returns the :class:`~repro.engine.telemetry.RunTrace` the
         pipeline recorded while choosing the current model — stage
         timings, candidate fit/fail/prune counts, worker utilisation,
-        winner lineage — or ``None`` when no model has been selected yet
-        (or the entry was rehydrated via :meth:`restore_model`, which
-        runs no pipeline).
+        winner lineage, plus the data-plane and racing counters
+        (``bytes_broadcast`` vs ``bytes_tasks``, rung populations,
+        ``candidates_pruned_by_racing``, ``warm_start_hits``; see
+        :class:`~repro.engine.telemetry.RunTrace`) — or ``None`` when no
+        model has been selected yet (or the entry was rehydrated via
+        :meth:`restore_model`, which runs no pipeline).
         """
         entry = self._entries.get(self._key(instance, metric))
         if entry is None:

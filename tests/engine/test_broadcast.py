@@ -1,0 +1,176 @@
+"""Tests for the broadcast data plane: refs, registry, parity, task size."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    PayloadRef,
+    PoolExecutor,
+    SerialExecutor,
+    default_executor,
+    resolve_payload,
+    serialized_size,
+    shutdown_default_executors,
+)
+from repro.engine import executor as executor_mod
+from repro.exceptions import DataError
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Isolate each test from payloads other tests left in this process."""
+    executor_mod._PAYLOAD_REGISTRY.clear()
+    yield
+    executor_mod._PAYLOAD_REGISTRY.clear()
+
+
+# Module-level so the process pool can pickle them.
+def _payload_sum(ref):
+    payload = resolve_payload(ref)
+    return float(np.sum(payload["data"]))
+
+
+def _spec_against_payload(args):
+    scale, ref = args
+    payload = resolve_payload(ref)
+    return scale * float(np.sum(payload["data"]))
+
+
+def _hard_exit(ref):
+    os._exit(13)
+
+
+class TestSerialBroadcast:
+    def test_content_fingerprint_dedupes(self):
+        ex = SerialExecutor()
+        payload = {"data": np.arange(100.0)}
+        ref1 = ex.broadcast(payload)
+        ref2 = ex.broadcast({"data": np.arange(100.0)})  # equal content
+        assert ref1.key == ref2.key
+        assert ex.broadcasts_created == 1
+        assert ex.broadcast_hits == 1
+        assert ref1.path is None  # in-process: no spill file
+        assert ref1.nbytes > 0
+
+    def test_resolves_in_process(self):
+        ex = SerialExecutor()
+        ref = ex.broadcast({"data": np.arange(10.0)})
+        reports = ex.run(_payload_sum, [ref])
+        assert reports[0].ok
+        assert reports[0].value == 45.0
+
+    def test_unbroadcast_ref_rejected(self):
+        with pytest.raises(DataError):
+            resolve_payload(PayloadRef(key="deadbeef", path=None))
+
+    def test_registry_evicts_lru(self):
+        ex = SerialExecutor()
+        capacity = executor_mod.PAYLOAD_REGISTRY_CAPACITY
+        refs = [ex.broadcast({"data": np.full(4, float(i))}) for i in range(capacity + 3)]
+        keys = executor_mod.payload_registry_keys()
+        assert len(keys) == capacity
+        # The oldest three were evicted, the newest survive in MRU order.
+        assert refs[0].key not in keys
+        assert refs[-1].key == keys[-1]
+        with pytest.raises(DataError):
+            resolve_payload(refs[0])  # evicted and no spill file to re-read
+
+
+class TestPoolBroadcast:
+    def test_spill_file_written_once_and_dropped_on_close(self):
+        pool = PoolExecutor(max_workers=1)
+        try:
+            payload = {"data": np.arange(50.0)}
+            ref1 = pool.broadcast(payload)
+            ref2 = pool.broadcast(payload)
+            assert ref1 is ref2  # dedupe returns the stored ref
+            assert pool.broadcasts_created == 1
+            assert pool.broadcast_hits == 1
+            assert os.path.exists(ref1.path)
+            with open(ref1.path, "rb") as fh:
+                assert float(np.sum(pickle.load(fh)["data"])) == 1225.0
+        finally:
+            pool.close()
+        assert not os.path.exists(ref1.path)
+
+    def test_workers_resolve_payload(self):
+        with PoolExecutor(max_workers=2) as pool:
+            ref = pool.broadcast({"data": np.arange(10.0)})
+            reports = pool.run(_payload_sum, [ref, ref, ref])
+        assert [r.value for r in reports] == [45.0, 45.0, 45.0]
+
+    def test_serial_pool_parity(self):
+        payload = {"data": np.arange(20.0)}
+        tasks_of = lambda ref: [(s, ref) for s in (1.0, 2.0, 0.5)]  # noqa: E731
+        serial = SerialExecutor()
+        serial_values = [
+            r.value for r in serial.run(_spec_against_payload, tasks_of(serial.broadcast(payload)))
+        ]
+        with PoolExecutor(max_workers=2) as pool:
+            pool_values = [
+                r.value for r in pool.run(_spec_against_payload, tasks_of(pool.broadcast(payload)))
+            ]
+        assert pool_values == serial_values
+
+    def test_broken_pool_recovery_reuses_spill_file(self):
+        pool = PoolExecutor(max_workers=1, chunksize=1)
+        try:
+            ref = pool.broadcast({"data": np.arange(10.0)})
+            dead = pool.run(_hard_exit, [ref])
+            assert not dead[0].ok
+            # Replacement workers re-read the spill file transparently.
+            healthy = pool.run(_payload_sum, [ref])
+            assert healthy[0].ok
+            assert healthy[0].value == 45.0
+            assert pool.pools_created == 2
+            assert pool.broadcasts_created == 1  # no re-broadcast needed
+        finally:
+            pool.close()
+
+
+class TestTaskPayloadSize:
+    def test_task_args_are_o_spec_not_o_series(self):
+        """The tentpole claim: per-task bytes no longer scale with the data."""
+        from repro.core.timeseries import TimeSeries
+        from repro.selection.grid import CandidateSpec
+
+        spec = CandidateSpec(order=(3, 1, 2), seasonal=(1, 1, 1, 24))
+        for n in (500, 5000):
+            series = TimeSeries(np.random.default_rng(0).normal(50, 5, n))
+            ex = SerialExecutor()
+            ref = ex.broadcast((series, series, None, None))
+            old_style = serialized_size((spec, series, series, None, None, 30))
+            new_style = serialized_size((spec, 30, None, ref))
+            assert new_style < 1024  # O(spec): a few hundred bytes
+            assert new_style * 10 < old_style  # old style ships the series
+        # And the new-style size is flat across series lengths by design:
+        # it contains only the spec, the budget and a fixed-width ref.
+
+
+class TestDefaultExecutorLifecycle:
+    def test_cache_keyed_by_configuration(self):
+        try:
+            plain = default_executor(2)
+            chunked = default_executor(2, chunksize=1)
+            timed = default_executor(2, timeout=30.0)
+            assert plain is not chunked
+            assert plain is not timed
+            assert chunked is not timed
+            assert plain is default_executor(2)
+            assert chunked is default_executor(2, chunksize=1)
+        finally:
+            shutdown_default_executors()
+
+    def test_shutdown_idempotent(self):
+        default_executor(2)
+        shutdown_default_executors()
+        shutdown_default_executors()  # second call: no pools, no error
+
+    def test_close_idempotent(self):
+        pool = PoolExecutor(max_workers=1)
+        pool.run(_payload_sum, [])
+        pool.close()
+        pool.close()  # no error, no double-free of spill files

@@ -200,6 +200,17 @@ class TestStageAugment:
             rmses = [r.rmse for r in ctx.results if not r.failed]
             assert rmses == sorted(rmses)
 
+    def test_winner_identical_specs_never_refitted(self):
+        # Without shock columns, the exogenous augmentations collapse to
+        # an exact clone of the winner; the stage must not refit it.
+        ctx = make_ctx(config=AutoConfig(technique="sarimax", detect_shock_calendar=False))
+        run_stages(ctx, stage_repair, stage_split, stage_characterise)
+        ctx.specs = [CandidateSpec(order=(1, 0, 1), seasonal=(0, 1, 1, 24))]
+        stage_score(ctx)
+        winner = ctx.best.spec
+        stage_augment(ctx)
+        assert sum(1 for r in ctx.results if r.spec == winner) == 1
+
 
 class TestStageBranchChoose:
     def _ctx_with_scores(self, hes_rmse, grid_rmse, technique="auto"):

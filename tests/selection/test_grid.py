@@ -92,6 +92,24 @@ class TestGridStructure:
         assert len(fourier_variants) == 2
         assert [s.fourier_orders[0] for s in fourier_variants] == [1, 2]
 
+    def test_augmentations_deduplicated_when_columns_clamp(self):
+        # With 2 shock columns the four exogenous variants clamp to
+        # columns 1,2,2,2 — the duplicates must not be scored twice.
+        base = sarimax_grid(24)[0]
+        aug = augmentation_specs(base, n_shock_columns=2, secondary_period=168)
+        assert len(aug) == len(set(aug))
+        exog_variants = [s for s in aug if not s.fourier_periods]
+        assert [s.exog_columns for s in exog_variants] == [1, 2]
+
+    def test_augmentations_zero_shock_columns_collapse(self):
+        # No shock columns: all four exogenous variants are the winner
+        # itself; one copy survives plus the two Fourier variants.
+        base = sarimax_grid(24)[0]
+        aug = augmentation_specs(base, n_shock_columns=0, secondary_period=168)
+        assert len(aug) == 3
+        assert aug[0] == base
+        assert all(s.fourier_periods for s in aug[1:])
+
     def test_augmentation_requires_sarimax_base(self):
         with pytest.raises(SelectionError):
             augmentation_specs(CandidateSpec(order=(1, 0, 0)), 4, 168)

@@ -1,0 +1,192 @@
+"""Tests for successive-halving candidate racing and warm-started refits."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+from repro.engine import RunTrace, SerialExecutor
+from repro.exceptions import ModelError, SelectionError
+from repro.models.arima import Arima
+from repro.models.base import ForecastModel
+from repro.models.sarimax import Sarimax
+from repro.selection import AutoConfig
+from repro.selection.grid import (
+    GRID_MAXITER,
+    RacingPlan,
+    evaluate_grid,
+    sarimax_grid,
+)
+from repro.selection.grid import _fit_candidate
+
+
+def _series(n=420, seed=7, trend=0.02, noise=1.5):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    y = 50.0 + trend * t + 8.0 * np.sin(2 * np.pi * t / 24) + rng.normal(0, noise, n)
+    return TimeSeries(y, Frequency.HOURLY)
+
+
+@pytest.fixture(scope="module")
+def olap_like_split():
+    """Trending daily-cycle series, like the paper's OLAP CPU metric."""
+    ts = _series(seed=7, trend=0.02)
+    return ts.split(len(ts) - 24)
+
+
+@pytest.fixture(scope="module")
+def oltp_like_split():
+    """Bursty stationary series, like the paper's OLTP IOPS metric."""
+    rng = np.random.default_rng(11)
+    t = np.arange(420)
+    y = 2000.0 + 400.0 * np.sin(2 * np.pi * t / 24) + rng.normal(0, 120.0, 420)
+    y[(t % 24) == 3] += 900.0  # nightly backup burst
+    return TimeSeries(y, Frequency.HOURLY).split(420 - 24)
+
+
+@pytest.fixture(scope="module")
+def grid_specs():
+    return sarimax_grid(24, max_lag=6)[::3]  # 44 specs: above min_specs
+
+
+class TestRacingPlan:
+    def test_validation(self):
+        with pytest.raises(SelectionError):
+            RacingPlan(rungs=1)
+        with pytest.raises(SelectionError):
+            RacingPlan(eta=1.0)
+        with pytest.raises(SelectionError):
+            RacingPlan(rung_maxiter=0)
+        with pytest.raises(SelectionError):
+            RacingPlan(min_specs=1)
+
+    def test_budget_ramp(self):
+        assert RacingPlan(rungs=2, rung_maxiter=6).budgets(30) == [6, 30]
+        three = RacingPlan(rungs=3, rung_maxiter=4).budgets(36)
+        assert three[0] == 4
+        assert three[-1] == 36
+        assert three == sorted(three)
+        # A full budget at or below the rung budget degenerates cleanly.
+        assert RacingPlan(rungs=2, rung_maxiter=10).budgets(5) == [5, 5]
+
+    def test_config_plan_roundtrip(self):
+        config = AutoConfig(racing=True, racing_eta=4.0, racing_maxiter=5)
+        plan = config.racing_plan()
+        assert plan == RacingPlan(eta=4.0, rung_maxiter=5)
+        assert AutoConfig(racing=False).racing_plan() is None
+        # The escape hatch: exhaustive mode always wins over racing.
+        assert AutoConfig(racing=True, exhaustive=True).racing_plan() is None
+
+    def test_bad_config_knobs_rejected_eagerly(self):
+        with pytest.raises(SelectionError):
+            AutoConfig(racing=True, racing_rungs=1)
+
+
+class TestRacingVsExhaustive:
+    @pytest.mark.parametrize("split", ["olap_like_split", "oltp_like_split"])
+    def test_winner_close_with_far_fewer_full_fits(self, split, grid_specs, request):
+        train, test = request.getfixturevalue(split)
+        ex = SerialExecutor()
+        exhaustive = evaluate_grid(grid_specs, train, test, executor=ex)
+
+        trace = RunTrace()
+        raced = evaluate_grid(
+            grid_specs, train, test, executor=ex, trace=trace, racing=RacingPlan()
+        )
+        best_exhaustive = exhaustive[0].rmse
+        best_raced = raced[0].rmse
+        assert best_raced <= best_exhaustive * 1.01  # within 1 % of exhaustive
+        # At least 2x fewer full-budget fits than the exhaustive protocol.
+        assert trace.counters["racing_full_fits"] * 2 <= len(grid_specs)
+        assert trace.counters["candidates_pruned_by_racing"] > 0
+
+    def test_all_candidates_still_reported(self, olap_like_split, grid_specs):
+        train, test = olap_like_split
+        raced = evaluate_grid(
+            grid_specs, train, test, executor=SerialExecutor(), racing=RacingPlan()
+        )
+        assert len(raced) == len(grid_specs)
+        budgets = {r.budget for r in raced}
+        assert GRID_MAXITER in budgets  # survivors at full budget
+        assert RacingPlan().rung_maxiter in budgets  # pruned keep rung scores
+
+    def test_small_population_skips_racing(self, olap_like_split, grid_specs):
+        train, test = olap_like_split
+        few = grid_specs[:4]
+        trace = RunTrace()
+        results = evaluate_grid(
+            few, train, test, executor=SerialExecutor(), trace=trace, racing=RacingPlan()
+        )
+        assert all(r.budget == GRID_MAXITER for r in results)
+        assert "racing_rung1_population" not in trace.counters
+
+    def test_exhaustive_identical_winner_regression(self, olap_like_split, grid_specs):
+        """racing=None must reproduce the pre-racing protocol bit for bit."""
+        train, test = olap_like_split
+        ex = SerialExecutor()
+        a = evaluate_grid(grid_specs, train, test, executor=ex)
+        b = evaluate_grid(grid_specs, train, test, executor=ex, racing=None)
+        assert [(r.spec, r.rmse) for r in a] == [(r.spec, r.rmse) for r in b]
+        assert all(r.budget == GRID_MAXITER for r in a)
+
+    def test_final_rung_warm_starts(self, olap_like_split, grid_specs):
+        train, test = olap_like_split
+        trace = RunTrace()
+        raced = evaluate_grid(
+            grid_specs,
+            train,
+            test,
+            executor=SerialExecutor(),
+            trace=trace,
+            racing=RacingPlan(),
+        )
+        assert trace.counters["warm_start_hits"] > 0
+        full_budget = [r for r in raced if r.budget == GRID_MAXITER and not r.failed]
+        assert any(r.warm_started for r in full_budget)
+
+
+class _NoWarmStartModel(ForecastModel):
+    """A model whose fit() predates the start_params protocol."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = []
+
+    def fit(self, series):  # no start_params parameter at all
+        self.calls.append("cold")
+        return self.inner.fit(series)
+
+
+class TestWarmStart:
+    def test_arima_accepts_start_params(self, olap_like_split):
+        train, _ = olap_like_split
+        cold = Arima((2, 1, 1), maxiter=30).fit(train)
+        warm = Arima((2, 1, 1), maxiter=30).fit(train, start_params=tuple(cold.coeffs))
+        assert warm.warm_started
+        assert not cold.warm_started
+        assert np.isfinite(warm.forecast(5).mean.values).all()
+
+    def test_sarimax_accepts_start_params(self, olap_like_split):
+        train, _ = olap_like_split
+        model = Sarimax((1, 0, 1), seasonal=(1, 1, 1, 24), maxiter=20)
+        cold = model.fit(train)
+        warm = model.fit(train, start_params=tuple(cold.coeffs))
+        assert warm.warm_started
+
+    def test_bad_start_params_silently_ignored(self, olap_like_split):
+        train, _ = olap_like_split
+        spec_len = len(Arima((2, 1, 1), maxiter=20).fit(train).coeffs)
+        for bad in [(0.1,) * (spec_len + 2), (float("nan"),) * spec_len, (5.0,) * spec_len]:
+            fitted = Arima((2, 1, 1), maxiter=20).fit(train, start_params=bad)
+            assert not fitted.warm_started  # wrong shape / non-finite / unstable
+
+    def test_fit_candidate_falls_back_when_model_rejects(self, olap_like_split):
+        train, _ = olap_like_split
+        model = _NoWarmStartModel(Arima((1, 1, 1), maxiter=20))
+        fitted = _fit_candidate(model, train, None, (0.1, 0.1))
+        assert model.calls == ["cold"]
+        assert np.isfinite(fitted.forecast(3).mean.values).all()
+
+    def test_unexpected_fit_kwargs_still_rejected(self, olap_like_split):
+        train, _ = olap_like_split
+        with pytest.raises(ModelError):
+            Arima((1, 1, 1)).fit(train, bogus=1)
