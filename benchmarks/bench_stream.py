@@ -1,0 +1,215 @@
+"""Streaming layer throughput and latency.
+
+The streaming loop's operational promise is that live serving is cheap:
+ingest is bookkeeping, window finalisation is a dictionary sweep, and
+the scheduler only pays for model fits when the staleness rules demand
+one. This bench pins numbers on each stage:
+
+* ingest-bus throughput — raw polls/s through ``push_many`` including
+  dedup, watermark and backpressure bookkeeping, on a mangled
+  (jittered + duplicated) delivery order;
+* window finalisation rate — hourly windows closed per second as the
+  watermark advances over a multi-key stream;
+* end-to-end scheduler latency — a replayed multi-day two-instance
+  cluster through :class:`~repro.stream.StreamRuntime` with real (HES)
+  selections, reporting per-tick latency and confirming the selection
+  cache kept refits to the staleness events, not every tick.
+
+Results are printed as a paper-style table and written machine-readable
+to ``benchmarks/output/BENCH_stream.json`` for CI trend tracking. Set
+``REPRO_REDUCED_GRID=1`` (the CI smoke mode) for a seconds-scale run.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.agent import AgentSample, MonitoringAgent
+from repro.reporting import Table
+from repro.selection import AutoConfig
+from repro.service import EstatePlanner, SelectionCache
+from repro.stream import IngestBus, StreamConfig, StreamRuntime, WindowAggregator
+from repro.workloads import OltpExperiment, generate_oltp_run
+
+from .conftest import output_path
+
+REDUCED = os.environ.get("REPRO_REDUCED_GRID", "") not in ("", "0")
+
+BENCH_JSON = "BENCH_stream.json"
+
+N_INGEST = 50_000 if REDUCED else 400_000
+N_KEYS = 8
+STREAM_DAYS = 5.0 if REDUCED else 16.0
+MIN_OBSERVATIONS = 72 if REDUCED else 336
+
+
+def _write_bench_json(section: str, payload: dict) -> None:
+    path = output_path(BENCH_JSON)
+    data = {}
+    if os.path.exists(path):
+        with open(path) as fh:
+            data = json.load(fh)
+    data[section] = payload
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _poll_stream(n_samples: int, n_keys: int) -> list[AgentSample]:
+    """A mangled multi-key 15-minute poll stream (seeded, reusable)."""
+    per_key = n_samples // n_keys
+    samples = [
+        AgentSample(
+            instance=f"db{k:02d}",
+            metric="cpu",
+            timestamp=i * 900.0,
+            value=50.0 + (i % 96) * 0.1,
+        )
+        for k in range(n_keys)
+        for i in range(per_key)
+    ]
+    mangler = StreamRuntime(config=StreamConfig(jitter_seconds=1200.0, seed=11))
+    return mangler.delivery_order(samples)
+
+
+@pytest.fixture(scope="module")
+def mangled_stream():
+    return _poll_stream(N_INGEST, N_KEYS)
+
+
+def test_ingest_throughput(mangled_stream):
+    bus = IngestBus(allowed_lateness=1800.0)
+    t0 = time.perf_counter()
+    accepted = bus.push_many(mangled_stream)
+    elapsed = time.perf_counter() - t0
+    rate = len(mangled_stream) / elapsed
+
+    table = Table(
+        ["Delivered", "Accepted", "Duplicates", "Seconds", "Samples/s"],
+        title="Ingest bus throughput",
+    )
+    table.add_row(
+        [
+            str(len(mangled_stream)),
+            str(accepted),
+            str(bus.counters.get("samples_duplicate", 0)),
+            f"{elapsed:.3f}",
+            f"{rate:,.0f}",
+        ]
+    )
+    print()
+    table.print()
+    _write_bench_json(
+        "ingest",
+        {
+            "delivered": len(mangled_stream),
+            "accepted": accepted,
+            "samples_per_second": rate,
+            "reduced": REDUCED,
+        },
+    )
+    assert accepted > 0
+    # Bookkeeping, not modelling: even reduced CI boxes should clear this.
+    assert rate > 10_000
+
+
+def test_window_finalisation_rate(mangled_stream):
+    bus = IngestBus(allowed_lateness=1800.0)
+    agg = WindowAggregator(bus)
+    batch = 4096
+    t0 = time.perf_counter()
+    for lo in range(0, len(mangled_stream), batch):
+        bus.push_many(mangled_stream[lo : lo + batch])
+        agg.advance()
+    agg.flush()
+    elapsed = time.perf_counter() - t0
+    closed = agg.counters["windows_closed"]
+    rate = closed / elapsed
+
+    table = Table(
+        ["Keys", "Windows closed", "Seconds", "Windows/s"],
+        title="Window finalisation",
+    )
+    table.add_row([str(N_KEYS), str(closed), f"{elapsed:.3f}", f"{rate:,.0f}"])
+    print()
+    table.print()
+    _write_bench_json(
+        "windows",
+        {
+            "keys": N_KEYS,
+            "windows_closed": closed,
+            "windows_per_second": rate,
+            "reduced": REDUCED,
+        },
+    )
+    assert closed == agg.counters["windows_closed"]
+    assert rate > 100
+
+
+def test_scheduler_end_to_end_latency():
+    run = generate_oltp_run(OltpExperiment(days=STREAM_DAYS, seed=3), hourly=False)
+    agent = MonitoringAgent(seed=3)
+    samples = [s for s in agent.poll_run(run) if s.metric == "cpu"]
+
+    planner = EstatePlanner(
+        config=AutoConfig(technique="hes", n_jobs=1), cache=SelectionCache()
+    )
+    runtime = StreamRuntime(
+        planner,
+        config=StreamConfig(
+            thresholds={"cpu": 95.0},
+            min_observations=MIN_OBSERVATIONS,
+            seed=3,
+        ),
+    )
+    t0 = time.perf_counter()
+    runtime.run(samples)
+    runtime.finish()
+    elapsed = time.perf_counter() - t0
+
+    counters = runtime.telemetry().counters
+    windows = counters["windows_closed"]
+    ticks = counters["stream_ticks"]
+    per_window_ms = 1e3 * elapsed / windows
+    per_tick_ms = 1e3 * elapsed / ticks
+
+    table = Table(
+        [
+            "Polls", "Windows", "Ticks", "Selections", "Cache hits",
+            "Seconds", "ms/window", "ms/tick",
+        ],
+        title="Streaming loop end to end",
+    )
+    table.add_row(
+        [
+            str(len(samples)),
+            str(windows),
+            str(ticks),
+            str(counters.get("stream_selection_runs", 0)),
+            str(counters.get("selection_cache_hits", 0)),
+            f"{elapsed:.2f}",
+            f"{per_window_ms:.2f}",
+            f"{per_tick_ms:.2f}",
+        ]
+    )
+    print()
+    table.print()
+    _write_bench_json(
+        "scheduler",
+        {
+            "polls": len(samples),
+            "windows_closed": windows,
+            "ticks": ticks,
+            "selection_runs": counters.get("stream_selection_runs", 0),
+            "cache_hits": counters.get("selection_cache_hits", 0),
+            "seconds": elapsed,
+            "ms_per_window": per_window_ms,
+            "ms_per_tick": per_tick_ms,
+            "reduced": REDUCED,
+        },
+    )
+    # Fits happen on staleness events only — far fewer than ticks.
+    assert counters["stream_initial_selections"] >= 1
+    assert counters.get("stream_selection_runs", 0) < ticks

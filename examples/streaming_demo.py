@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Live capacity serving: a two-instance stream with an injected shock.
+
+The batch examples answer "what will next week look like" once; this one
+keeps the answer live. Two database instances push 15-minute CPU polls
+through the streaming loop (``repro.stream``): polls arrive jittered and
+occasionally duplicated, hourly windows close as watermarks advance,
+models are selected once enough history accumulates and re-selected only
+when the staleness rules fire. Halfway through, one instance picks up a
+steady load ramp — the forecast crosses the SLA threshold while the
+*observed* load is still compliant, so the alert fires before the breach.
+
+Everything is deterministic: delivery mangling is seeded and time is a
+manual clock, so four simulated days replay in a couple of seconds.
+
+Run:  python examples/streaming_demo.py
+"""
+
+import numpy as np
+
+from repro.agent import AgentSample
+from repro.selection import AutoConfig
+from repro.service import EstatePlanner, SelectionCache
+from repro.stream import ConsoleSink, StreamConfig, StreamRuntime
+
+THRESHOLD = 85.0  # SLA ceiling for CPU%
+STEP = 900.0  # 15-minute polls
+DAYS = 6
+SHOCK_AT_HOUR = 96  # the ramp starts on day five
+
+
+def cluster_polls() -> list[AgentSample]:
+    """Two instances: one healthy, one developing a capacity problem."""
+    rng = np.random.default_rng(42)
+    n = DAYS * 96
+    t = np.arange(n)
+    daily = 8.0 * np.sin(2 * np.pi * t / 96)
+
+    healthy = 45.0 + daily + rng.normal(0, 1.0, n)
+    # The incident: after the shock hour the load ramps ~0.8 CPU
+    # points/hour — still under the SLA when the stream ends, but not
+    # for long.
+    ramp = np.maximum(0.0, t / 4 - SHOCK_AT_HOUR) * 0.8
+    ramping = 42.0 + daily + ramp + rng.normal(0, 1.0, n)
+
+    samples = []
+    for i in range(n):
+        samples.append(AgentSample("cdbm011", "cpu", i * STEP, float(healthy[i])))
+        samples.append(AgentSample("cdbm012", "cpu", i * STEP, float(ramping[i])))
+    return samples
+
+
+def main() -> None:
+    planner = EstatePlanner(
+        config=AutoConfig(technique="hes", n_jobs=1), cache=SelectionCache()
+    )
+    runtime = StreamRuntime(
+        planner,
+        config=StreamConfig(
+            thresholds={"cpu": THRESHOLD},
+            min_observations=48,  # model after two days of windows
+            jitter_seconds=1200.0,
+            duplicate_rate=0.03,
+            raise_after=2,
+            recover_after=4,
+            seed=42,
+        ),
+        sink=ConsoleSink(),
+    )
+
+    samples = cluster_polls()
+    print(f"streaming {len(samples)} polls from 2 instances "
+          f"({DAYS} days, SLA cpu<{THRESHOLD})\n")
+    runtime.run(samples)
+    runtime.finish()
+
+    print()
+    for event in runtime.scheduler.refit_log:
+        key = event.key
+        print(f"refit  {key.workload}/{key.metric}: {event.reason} "
+              f"(t={event.at / 3600.0:.0f}h)")
+    print()
+    for line in runtime.summary_lines():
+        print(line)
+
+    peak_observed = max(
+        s.value for s in samples if s.instance == "cdbm012"
+    )
+    print(
+        f"\nobserved cdbm012 peak: {peak_observed:.1f} — still under the "
+        f"{THRESHOLD} SLA; the alert above fired on the *forecast*, "
+        "before the breach."
+    )
+    assert peak_observed < THRESHOLD, "demo invariant: no observed breach"
+    assert runtime.events, "demo invariant: the forecast alert fired"
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,9 @@ Capacity Planning using Time Series Analysis and Machine Learning*
   metrics repository.
 * :mod:`repro.service` — the :class:`CapacityPlanner` facade, threshold
   advisories and capacity sizing.
+* :mod:`repro.stream` — live forecast serving: watermark-based hourly
+  aggregation of raw polls, staleness-driven re-selection through the
+  estate cache, and debounced breach alerting (``python -m repro stream``).
 
 Quickstart::
 

@@ -79,6 +79,10 @@ class MetricsRepository:
 
     def __init__(self, path: str = ":memory:") -> None:
         self._conn = sqlite3.connect(path)
+        # WAL lets the streaming writer (agent pushes) and concurrent
+        # readers (scheduler seeding, CLI inspect) coexist on a file
+        # store; in-memory databases silently keep the default journal.
+        self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.executescript(_SCHEMA)
         self._closed = False
 
@@ -150,12 +154,28 @@ class MetricsRepository:
         step = min(diffs)
         return min(Frequency, key=lambda f: abs(f.seconds - step))
 
+    def latest_timestamp(self, instance: str, metric: str) -> float | None:
+        """Newest stored poll timestamp for a key, or ``None`` when empty.
+
+        A restarted streaming runtime uses this as its resume point: seed
+        history up to here, then accept live pushes from here on.
+        """
+        self._check_open()
+        cur = self._conn.execute(
+            "SELECT MAX(timestamp) FROM samples WHERE instance = ? AND metric = ?",
+            (instance, metric),
+        )
+        row = cur.fetchone()
+        return float(row[0]) if row and row[0] is not None else None
+
     def load_series(
         self,
         instance: str,
         metric: str,
         frequency: Frequency = Frequency.HOURLY,
         raw_frequency: Frequency | None = None,
+        start: float | None = None,
+        end: float | None = None,
     ) -> TimeSeries:
         """Reconstruct a regular series from the stored polls.
 
@@ -165,16 +185,30 @@ class MetricsRepository:
         NaNs survive aggregation only when a whole bucket is missing,
         matching "aggregation then takes place over the hour between the
         four captured metrics".
+
+        ``start`` / ``end`` bound the read to ``[start, end]`` (inclusive,
+        seconds). The scan is served by the ``(instance, metric,
+        timestamp)`` primary-key index, so reading one day out of a
+        year-long store does not touch the rest — what the streaming
+        layer's warm-start path relies on. The returned grid is anchored
+        at the earliest poll *inside* the range.
         """
         self._check_open()
-        cur = self._conn.execute(
-            "SELECT timestamp, value FROM samples "
-            "WHERE instance = ? AND metric = ? ORDER BY timestamp",
-            (instance, metric),
-        )
+        if start is not None and end is not None and end < start:
+            raise RepositoryError(f"empty time range: end {end} < start {start}")
+        query = "SELECT timestamp, value FROM samples WHERE instance = ? AND metric = ?"
+        params: list = [instance, metric]
+        if start is not None:
+            query += " AND timestamp >= ?"
+            params.append(float(start))
+        if end is not None:
+            query += " AND timestamp <= ?"
+            params.append(float(end))
+        cur = self._conn.execute(query + " ORDER BY timestamp", params)
         rows = cur.fetchall()
         if not rows:
-            raise RepositoryError(f"no samples stored for {instance}/{metric}")
+            window = "" if start is None and end is None else f" in [{start}, {end}]"
+            raise RepositoryError(f"no samples stored for {instance}/{metric}{window}")
         if raw_frequency is None:
             raw_frequency = self._infer_raw_frequency([ts for ts, __ in rows])
             if raw_frequency.seconds > frequency.seconds:

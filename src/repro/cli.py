@@ -45,6 +45,8 @@ from .selection import AutoConfig, auto_forecast
 from .service import EstatePlanner
 from .shocks import build_shock_calendar, discard_faults
 from .workloads import (
+    OlapExperiment,
+    OltpExperiment,
     batch_etl,
     generate_olap_run,
     generate_oltp_run,
@@ -259,6 +261,54 @@ def _cmd_advise(args, parser) -> int:
     return 0 if not report.failed else 1
 
 
+def _cmd_stream(args, parser) -> int:
+    from .service import SelectionCache
+    from .stream import ConsoleSink, StreamConfig, StreamRuntime
+
+    thresholds = _parse_thresholds(args.threshold, parser)
+    metrics = [m.strip() for m in args.metric] if args.metric else ["cpu"]
+    if args.experiment == "olap":
+        run = generate_olap_run(OlapExperiment(days=args.days, seed=args.seed), hourly=False)
+    else:
+        run = generate_oltp_run(OltpExperiment(days=args.days, seed=args.seed), hourly=False)
+    fault_model = FaultModel() if args.faulty_agent else None
+    agent = MonitoringAgent(fault_model=fault_model, seed=args.seed)
+    samples = [s for s in agent.poll_run(run) if s.metric in metrics]
+    if not samples:
+        parser.error(f"no samples for metrics {metrics}")
+
+    planner = EstatePlanner(
+        config=AutoConfig(technique=args.technique, n_jobs=1, racing=args.racing),
+        cache=SelectionCache(),
+    )
+    runtime = StreamRuntime(
+        planner=planner,
+        config=StreamConfig(
+            thresholds=thresholds,
+            min_observations=args.min_observations,
+            seed=args.seed,
+        ),
+        executor=default_executor(args.jobs),
+        sink=ConsoleSink(),
+    )
+    print(
+        f"streaming {len(samples)} polls from experiment {args.experiment} "
+        f"({len(run.instances)} instances, metrics: {', '.join(metrics)})"
+    )
+    ticks = runtime.run(samples)
+    final = runtime.finish()
+    for event in runtime.scheduler.refit_log:
+        print(f"  model refit: {event.key} ({event.reason}) at t={event.at:.0f}s")
+    for line in runtime.summary_lines():
+        print(line)
+    for line in _data_plane_lines(runtime.telemetry()):
+        print(f"  {line}")
+    advisories = final.advisories or (ticks[-1].advisories if ticks else {})
+    for key in sorted(advisories):
+        print(f"  {key}: {advisories[key].describe()}")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -329,6 +379,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="race grid candidates through successive-halving rungs",
     )
     p_adv.set_defaults(func=_cmd_advise)
+
+    p_str = sub.add_parser(
+        "stream",
+        help="live loop: agent polls → ingest bus → hourly windows → models → alerts",
+    )
+    p_str.add_argument("--experiment", choices=["olap", "oltp"], default="oltp")
+    p_str.add_argument("--days", type=float, default=16.0, help="simulated days to stream")
+    p_str.add_argument(
+        "--metric",
+        action="append",
+        help="metric(s) to stream (repeatable; default cpu)",
+    )
+    p_str.add_argument(
+        "--threshold",
+        action="append",
+        metavar="METRIC=VALUE",
+        help="capacity threshold per metric (repeatable)",
+    )
+    p_str.add_argument(
+        "--min-observations",
+        type=int,
+        default=336,
+        help="hourly windows before the first selection (default: 14 days)",
+    )
+    p_str.add_argument("--technique", choices=["auto", "sarimax", "hes"], default="hes")
+    p_str.add_argument("--jobs", type=int, default=1, help="selection fan-out workers")
+    p_str.add_argument("--seed", type=int, default=0)
+    p_str.add_argument("--racing", action="store_true")
+    p_str.add_argument(
+        "--faulty-agent", action="store_true", help="inject agent polling faults"
+    )
+    p_str.set_defaults(func=_cmd_stream)
 
     return parser
 

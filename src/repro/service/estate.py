@@ -298,6 +298,13 @@ class EstatePlanner:
     def keys(self) -> list[WorkloadKey]:
         return sorted(self._entries)
 
+    def entry(self, key: WorkloadKey) -> EstateEntry:
+        """The live estate entry for ``key`` (streaming layer reads these)."""
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise DataError(f"unknown workload {key}") from None
+
     # ------------------------------------------------------------------
     def report(self, executor: Executor | None = None) -> EstateReport:
         """Process every pending workload and build the fleet report.

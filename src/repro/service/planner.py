@@ -218,23 +218,41 @@ class CapacityPlanner:
         )
         return outcome
 
-    def telemetry(self, instance: str, metric: str) -> RunTrace | None:
-        """Engine telemetry of the cached selection for a metric.
+    def telemetry(
+        self, instance: str | None = None, metric: str | None = None
+    ) -> RunTrace | None:
+        """Engine telemetry of cached selections.
 
-        Returns the :class:`~repro.engine.telemetry.RunTrace` the
-        pipeline recorded while choosing the current model — stage
-        timings, candidate fit/fail/prune counts, worker utilisation,
-        winner lineage, plus the data-plane and racing counters
+        With ``instance`` and ``metric``, returns the
+        :class:`~repro.engine.telemetry.RunTrace` the pipeline recorded
+        while choosing that metric's current model — stage timings,
+        candidate fit/fail/prune counts, worker utilisation, winner
+        lineage, plus the data-plane and racing counters
         (``bytes_broadcast`` vs ``bytes_tasks``, rung populations,
         ``candidates_pruned_by_racing``, ``warm_start_hits``; see
         :class:`~repro.engine.telemetry.RunTrace`) — or ``None`` when no
         model has been selected yet (or the entry was rehydrated via
         :meth:`restore_model`, which runs no pipeline).
+
+        With no arguments, returns one merged trace across every cached
+        selection — the planner-wide view the streaming telemetry
+        surfaces — or ``None`` when nothing has been selected. Asking
+        for an instance without a metric (or vice versa) is an error.
         """
-        entry = self._entries.get(self._key(instance, metric))
-        if entry is None:
+        if (instance is None) != (metric is None):
+            raise DataError("telemetry needs both instance and metric, or neither")
+        if instance is not None:
+            entry = self._entries.get(self._key(instance, metric))
+            if entry is None:
+                return None
+            return entry.outcome.trace
+        traces = [e.outcome.trace for e in self._entries.values() if e.outcome.trace is not None]
+        if not traces:
             return None
-        return entry.outcome.trace
+        merged = RunTrace()
+        for trace in traces:
+            merged.merge(trace)
+        return merged
 
     def observe(self, instance: str, metric: str, values) -> StalenessVerdict:
         """Feed newly arrived observations to the staleness monitor."""

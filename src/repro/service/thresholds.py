@@ -77,6 +77,14 @@ def predict_breach(forecast: Forecast, threshold: float) -> BreachPrediction:
     forecast crosses it is LIKELY; if just the upper bar grazes it the
     breach is POSSIBLE. The reported step is the first crossing of the
     strongest breached band.
+
+    Degenerate forecasts grade safe, not loud: an empty horizon or one
+    with no finite point forecast (a model that only emitted NaN) yields
+    a NONE verdict with ``NaN`` headroom — the streaming advisory loop
+    must keep ticking past a sick model, not crash on it. A zero-width
+    interval (``lower == mean == upper``, e.g. a naive model with zero
+    residual variance) is legitimate: all three bands then cross at the
+    same step and the verdict is simply CERTAIN.
     """
     if not np.isfinite(threshold):
         raise DataError("threshold must be finite")
@@ -89,7 +97,16 @@ def predict_breach(forecast: Forecast, threshold: float) -> BreachPrediction:
         hits = np.flatnonzero(values >= threshold)
         return int(hits[0]) if hits.size else None
 
-    headroom = float(threshold - mean.max())
+    finite_mean = mean[np.isfinite(mean)]
+    if finite_mean.size == 0:
+        return BreachPrediction(
+            severity=BreachSeverity.NONE,
+            first_breach_step=None,
+            first_breach_timestamp=None,
+            threshold=threshold,
+            headroom=float("nan"),
+        )
+    headroom = float(threshold - finite_mean.max())
     for values, severity in (
         (lower, BreachSeverity.CERTAIN),
         (mean, BreachSeverity.LIKELY),

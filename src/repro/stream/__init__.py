@@ -1,0 +1,55 @@
+"""Streaming ingestion and live forecast serving.
+
+The batch pipeline answers "what will this stored series do next?"; this
+package keeps that answer *current* while samples keep arriving:
+
+* :mod:`~repro.stream.clock` — injectable time (tests never sleep);
+* :mod:`~repro.stream.ingest` — the sample bus: dedup, watermarks,
+  bounded buffering with backpressure accounting;
+* :mod:`~repro.stream.aggregate` — incremental hourly windows that
+  finalise as watermarks advance, bit-equal to the batch repository's
+  ``load_series``;
+* :mod:`~repro.stream.scheduler` — staleness-driven model upkeep:
+  observe, expire, re-select through the engine executor and the estate
+  selection cache;
+* :mod:`~repro.stream.alerts` — debounced breach alerting with severity
+  escalation and recovery;
+* :mod:`~repro.stream.runtime` — the wired loop over simulated agent
+  traffic, with merged telemetry for the ``repro stream`` CLI.
+"""
+
+from .aggregate import ClosedWindow, WindowAggregator
+from .alerts import (
+    AlertEvent,
+    AlertKind,
+    AlertManager,
+    AlertSink,
+    ConsoleSink,
+    ListSink,
+)
+from .clock import Clock, ManualClock, SystemClock
+from .ingest import IngestBus, KeyBuffer, StreamKey
+from .runtime import StreamConfig, StreamRuntime
+from .scheduler import ForecastScheduler, RefitEvent, SchedulerTick
+
+__all__ = [
+    "AlertEvent",
+    "AlertKind",
+    "AlertManager",
+    "AlertSink",
+    "Clock",
+    "ClosedWindow",
+    "ConsoleSink",
+    "ForecastScheduler",
+    "IngestBus",
+    "KeyBuffer",
+    "ListSink",
+    "ManualClock",
+    "RefitEvent",
+    "SchedulerTick",
+    "StreamConfig",
+    "StreamKey",
+    "StreamRuntime",
+    "SystemClock",
+    "WindowAggregator",
+]

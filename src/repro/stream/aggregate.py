@@ -1,0 +1,227 @@
+"""Incremental hourly aggregation: windows finalise as watermarks advance.
+
+The batch path stores raw polls and aggregates "into hourly values" on
+read (:meth:`repro.agent.repository.MetricsRepository.load_series`). The
+streaming path cannot wait for a read — it must decide, sample by sample,
+when an hour is *complete* and emit it exactly once. That decision is the
+watermark's: a window ``[start, start + 1h)`` finalises when its key's
+watermark (newest event time minus the allowed lateness) passes the
+window end, so every in-budget late arrival still lands in its hour.
+
+**Equivalence contract** (property-tested in
+``tests/stream/test_stream_properties.py``): feeding the same accepted
+polls through ``IngestBus`` → ``WindowAggregator`` → :meth:`flush` yields
+*bit-identical* hourly series to storing them in a
+:class:`~repro.agent.repository.MetricsRepository` and calling
+``load_series(..., Frequency.HOURLY)``. Concretely that means:
+
+* windows are anchored at the key's earliest sample (the batch grid's
+  ``t0``), not at calendar hours;
+* a window's value is the mean of the distinct grid slots present; a
+  window with *no* samples is emitted as ``NaN`` (the batch path's
+  whole-bucket-missing rule) so the hourly series stays gap-free;
+* a trailing window not fully covered by the raw grid is dropped at
+  flush, matching :meth:`TimeSeries.aggregate`'s partial-bucket policy.
+
+Windows close strictly left to right per key, so the emitted stream *is*
+the hourly series — :meth:`WindowAggregator.series` rebuilds it for the
+scheduler without touching the raw store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.frequency import Frequency
+from ..core.timeseries import TimeSeries
+from ..exceptions import DataError, FrequencyError
+from .ingest import IngestBus, StreamKey
+
+__all__ = ["ClosedWindow", "WindowAggregator"]
+
+
+@dataclass(frozen=True)
+class ClosedWindow:
+    """One finalised aggregation window for one stream key.
+
+    Attributes
+    ----------
+    start:
+        Window start timestamp in seconds (event time).
+    value:
+        Mean of the window's present samples; ``NaN`` when the whole
+        window was missed (the batch path's whole-bucket-missing rule).
+    n_samples / expected:
+        How many distinct polls landed in the window vs. the full grid
+        count (4 for 15-minute polls into hourly windows).
+    """
+
+    instance: str
+    metric: str
+    start: float
+    value: float
+    n_samples: int
+    expected: int
+
+    @property
+    def complete(self) -> bool:
+        return self.n_samples == self.expected
+
+
+@dataclass
+class _KeyWindows:
+    """Finalisation state for one key: frozen anchor plus emitted values."""
+
+    anchor_slot: int | None = None
+    closed: int = 0
+    trimmed: int = 0
+    values: list[float] = field(default_factory=list)
+
+
+class WindowAggregator:
+    """Turns the bus's raw buffers into finalised hourly windows.
+
+    Parameters
+    ----------
+    bus:
+        The :class:`~repro.stream.ingest.IngestBus` owning the raw
+        buffers and watermarks.
+    window_frequency:
+        Aggregation granularity (hourly, the paper's storage policy).
+        Must be a coarser integer multiple of the bus's polling grid.
+    history_limit:
+        Maximum finalised windows retained per key for
+        :meth:`series` reconstruction; ``None`` keeps everything. The
+        oldest windows are trimmed first (counters are unaffected).
+    """
+
+    def __init__(
+        self,
+        bus: IngestBus,
+        window_frequency: Frequency = Frequency.HOURLY,
+        history_limit: int | None = None,
+    ) -> None:
+        ratio_exact = window_frequency.seconds / bus.step
+        ratio = int(round(ratio_exact))
+        if ratio < 1 or abs(ratio_exact - ratio) > 1e-9:
+            raise FrequencyError(
+                f"window frequency {window_frequency.name} must be a coarser integer "
+                f"multiple of the {bus.raw_frequency.name} polling grid"
+            )
+        if history_limit is not None and history_limit < 1:
+            raise DataError("history_limit must be positive (or None)")
+        self.bus = bus
+        self.window_frequency = window_frequency
+        self.ratio = ratio
+        self.history_limit = history_limit
+        self._keys: dict[StreamKey, _KeyWindows] = {}
+        self.counters: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _count(self, key: str, n: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    def _close_up_to(self, key: StreamKey, limit_slot: int) -> list[ClosedWindow]:
+        """Finalise every window of ``key`` whose end slot is ≤ ``limit_slot``."""
+        buffer = self.bus.buffer(*key)
+        state = self._keys.setdefault(key, _KeyWindows())
+        if state.anchor_slot is None:
+            if buffer.min_slot is None:
+                return []
+            state.anchor_slot = buffer.min_slot
+        closed: list[ClosedWindow] = []
+        while True:
+            end_slot = state.anchor_slot + (state.closed + 1) * self.ratio
+            if end_slot > limit_slot:
+                break
+            taken = self.bus.consume(key, end_slot)
+            value = float(np.mean(list(taken.values()))) if taken else float("nan")
+            window = ClosedWindow(
+                instance=key[0],
+                metric=key[1],
+                start=(end_slot - self.ratio) * self.bus.step,
+                value=value,
+                n_samples=len(taken),
+                expected=self.ratio,
+            )
+            state.closed += 1
+            state.values.append(value)
+            if self.history_limit is not None and len(state.values) > self.history_limit:
+                drop = len(state.values) - self.history_limit
+                del state.values[:drop]
+                state.trimmed += drop
+            self._count("windows_closed")
+            self._count("samples_aggregated", len(taken))
+            if not taken:
+                self._count("windows_empty")
+            elif len(taken) < self.ratio:
+                self._count("windows_partial")
+            closed.append(window)
+        return closed
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def advance(self) -> list[ClosedWindow]:
+        """Finalise every window now behind its key's watermark.
+
+        Call after pushing a batch of samples. Windows close strictly
+        left-to-right per key; a closed window's slots leave the bus
+        buffer (releasing backpressure capacity) and its span becomes
+        immutable — later arrivals below it are dropped as late.
+        """
+        closed: list[ClosedWindow] = []
+        for key in self.bus.keys():
+            wm_slot = self.bus.buffer(*key).watermark_slot(self.bus.lateness_slots)
+            if wm_slot is None:
+                continue
+            closed.extend(self._close_up_to(key, wm_slot))
+        return closed
+
+    def flush(self) -> list[ClosedWindow]:
+        """End-of-stream: finalise every window fully covered by the data.
+
+        Ignores watermarks (no more samples are coming) and applies the
+        batch path's trailing rule: a window is emitted only when the raw
+        grid — which ends at the newest sample — covers all of it.
+        Anything buffered beyond the last complete window is discarded
+        and counted (``samples_discarded_at_flush``), exactly as
+        :meth:`TimeSeries.aggregate` drops a partial trailing bucket.
+        """
+        closed: list[ClosedWindow] = []
+        for key in self.bus.keys():
+            buffer = self.bus.buffer(*key)
+            if buffer.max_slot is None:
+                continue
+            closed.extend(self._close_up_to(key, buffer.max_slot + 1))
+            leftover = self.bus.consume(key, buffer.max_slot + 1)
+            if leftover:
+                self._count("samples_discarded_at_flush", len(leftover))
+        return closed
+
+    # ------------------------------------------------------------------
+    # Reading back
+    # ------------------------------------------------------------------
+    def windows_closed(self, instance: str, metric: str) -> int:
+        state = self._keys.get((instance, metric))
+        return state.closed if state is not None else 0
+
+    def series(self, instance: str, metric: str) -> TimeSeries:
+        """The finalised windows of a key as a regular hourly series.
+
+        Equals the batch ``MetricsRepository.load_series`` result for the
+        same accepted polls (modulo any windows trimmed under
+        ``history_limit``).
+        """
+        state = self._keys.get((instance, metric))
+        if state is None or not state.values:
+            raise DataError(f"no finalised windows for {instance}/{metric}")
+        start = (state.anchor_slot + state.trimmed * self.ratio) * self.bus.step
+        return TimeSeries(
+            values=np.asarray(state.values, dtype=float),
+            frequency=self.window_frequency,
+            start=start,
+            name=f"{instance}.{metric}",
+        )

@@ -1,0 +1,248 @@
+"""Debounced breach alerting: advisories in, operator events out.
+
+The paper pitches forecasting as the cure for "the 'old' threshold-based
+monitoring approach, that often led to a reactive way of working" — but a
+live stream that pages an operator every time one advisory tick grazes a
+threshold has merely invented a new way to be noisy. :class:`AlertManager`
+sits between the scheduler's per-tick
+:class:`~repro.service.thresholds.BreachPrediction` stream and the humans:
+
+* an alert **raises** only after ``raise_after`` consecutive breaching
+  ticks (debounce — one flappy forecast does not page);
+* while an alert is active, a *more* certain grade (POSSIBLE → LIKELY →
+  CERTAIN) **escalates immediately** — rising urgency must not be
+  debounced away — while a less certain (but still breaching) grade just
+  updates the state silently;
+* the alert **recovers** only after ``recover_after`` consecutive
+  breach-free ticks, so a forecast oscillating around the threshold
+  cannot flap the pager.
+
+Events flow to a pluggable :class:`AlertSink`; :class:`ListSink` records
+for tests and :class:`ConsoleSink` prints for the CLI demo.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Protocol, TextIO, runtime_checkable
+
+from ..exceptions import DataError
+from ..service.estate import WorkloadKey
+from ..service.thresholds import BreachPrediction, BreachSeverity
+from .clock import Clock
+
+__all__ = [
+    "AlertKind",
+    "AlertEvent",
+    "AlertSink",
+    "ListSink",
+    "ConsoleSink",
+    "AlertManager",
+]
+
+#: Certainty ordering used for escalation decisions.
+_SEVERITY_RANK = {
+    BreachSeverity.NONE: 0,
+    BreachSeverity.POSSIBLE: 1,
+    BreachSeverity.LIKELY: 2,
+    BreachSeverity.CERTAIN: 3,
+}
+
+
+class AlertKind(enum.Enum):
+    """Lifecycle stage an alert event reports."""
+
+    RAISED = "raised"
+    ESCALATED = "escalated"
+    RECOVERED = "recovered"
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """One operator-facing alert transition."""
+
+    kind: AlertKind
+    key: WorkloadKey
+    severity: BreachSeverity
+    previous: BreachSeverity
+    at: float
+    advisory: BreachPrediction
+
+    def describe(self) -> str:
+        if self.kind is AlertKind.RECOVERED:
+            return f"[{self.at:.0f}s] RECOVERED {self.key} (was {self.previous.name})"
+        return (
+            f"[{self.at:.0f}s] {self.kind.value.upper()} {self.key} "
+            f"{self.severity.name}: {self.advisory.describe()}"
+        )
+
+
+@runtime_checkable
+class AlertSink(Protocol):
+    """Anywhere alert events can land (pager, log, test list...)."""
+
+    def emit(self, event: AlertEvent) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class ListSink:
+    """Records events in order; the test suite's sink."""
+
+    def __init__(self) -> None:
+        self.events: list[AlertEvent] = []
+
+    def emit(self, event: AlertEvent) -> None:
+        self.events.append(event)
+
+
+class ConsoleSink:
+    """Prints events as they happen; the CLI demo's sink."""
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        self.stream = stream
+
+    def emit(self, event: AlertEvent) -> None:
+        print(event.describe(), file=self.stream)
+
+
+@dataclass
+class _AlertState:
+    """Debounce bookkeeping for one workload key."""
+
+    active: BreachSeverity | None = None
+    breach_streak: int = 0
+    clear_streak: int = 0
+    #: Most certain grade seen during the current breach streak, so the
+    #: raised alert carries the streak's peak severity, not just the
+    #: latest tick's.
+    peak: BreachSeverity = BreachSeverity.NONE
+    peak_advisory: BreachPrediction | None = field(default=None, repr=False)
+
+
+class AlertManager:
+    """Turns per-tick advisories into debounced alert transitions.
+
+    Parameters
+    ----------
+    sink:
+        Where events go; defaults to a fresh :class:`ListSink` (exposed
+        as ``manager.sink``).
+    raise_after:
+        Consecutive breaching ticks required before an alert raises.
+    recover_after:
+        Consecutive breach-free ticks required before an active alert
+        recovers.
+    clock:
+        Fallback time source when :meth:`observe` is not given ``at``.
+    """
+
+    def __init__(
+        self,
+        sink: AlertSink | None = None,
+        raise_after: int = 2,
+        recover_after: int = 2,
+        clock: Clock | None = None,
+    ) -> None:
+        if raise_after < 1 or recover_after < 1:
+            raise DataError("raise_after and recover_after must be at least 1")
+        self.sink = sink if sink is not None else ListSink()
+        self.raise_after = int(raise_after)
+        self.recover_after = int(recover_after)
+        self.clock = clock
+        self._states: dict[WorkloadKey, _AlertState] = {}
+        self.counters: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _count(self, key: str, n: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    def _emit(self, event: AlertEvent) -> AlertEvent:
+        self.sink.emit(event)
+        self._count(f"alerts_{event.kind.value}")
+        return event
+
+    def active_alerts(self) -> dict[WorkloadKey, BreachSeverity]:
+        """Currently raised alerts by key."""
+        return {
+            key: state.active
+            for key, state in sorted(self._states.items())
+            if state.active is not None
+        }
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        key: WorkloadKey,
+        advisory: BreachPrediction,
+        at: float | None = None,
+    ) -> AlertEvent | None:
+        """Feed one advisory tick; returns the transition it caused, if any."""
+        if at is None:
+            if self.clock is None:
+                raise DataError("observe needs `at` when no clock is configured")
+            at = self.clock.now()
+        state = self._states.setdefault(key, _AlertState())
+        severity = advisory.severity
+        breaching = severity is not BreachSeverity.NONE
+
+        if breaching:
+            state.clear_streak = 0
+            state.breach_streak += 1
+            if _SEVERITY_RANK[severity] >= _SEVERITY_RANK[state.peak]:
+                state.peak = severity
+                state.peak_advisory = advisory
+            if state.active is None:
+                if state.breach_streak >= self.raise_after:
+                    state.active = state.peak
+                    return self._emit(
+                        AlertEvent(
+                            kind=AlertKind.RAISED,
+                            key=key,
+                            severity=state.peak,
+                            previous=BreachSeverity.NONE,
+                            at=float(at),
+                            advisory=state.peak_advisory or advisory,
+                        )
+                    )
+                self._count("alerts_debounced")
+                return None
+            if _SEVERITY_RANK[severity] > _SEVERITY_RANK[state.active]:
+                previous = state.active
+                state.active = severity
+                return self._emit(
+                    AlertEvent(
+                        kind=AlertKind.ESCALATED,
+                        key=key,
+                        severity=severity,
+                        previous=previous,
+                        at=float(at),
+                        advisory=advisory,
+                    )
+                )
+            self._count("alerts_suppressed")
+            return None
+
+        # Breach-free tick.
+        state.breach_streak = 0
+        state.peak = BreachSeverity.NONE
+        state.peak_advisory = None
+        if state.active is None:
+            return None
+        state.clear_streak += 1
+        if state.clear_streak < self.recover_after:
+            self._count("alerts_recovery_pending")
+            return None
+        previous = state.active
+        state.active = None
+        state.clear_streak = 0
+        return self._emit(
+            AlertEvent(
+                kind=AlertKind.RECOVERED,
+                key=key,
+                severity=BreachSeverity.NONE,
+                previous=previous,
+                at=float(at),
+                advisory=advisory,
+            )
+        )

@@ -1,0 +1,74 @@
+"""Injectable clocks: deterministic time for the streaming layer.
+
+The paper's production loop is wall-clock driven — agents poll every 15
+minutes, models expire after a week — but a test suite that *sleeps* its
+way through a simulated week is useless. Every component in
+:mod:`repro.stream` therefore reads time from an injected :class:`Clock`
+instead of calling :func:`time.time` directly:
+
+* :class:`ManualClock` — the deterministic default for simulations and
+  tests: time only moves when the driver calls :meth:`ManualClock.advance`
+  / :meth:`ManualClock.advance_to`, typically in lock-step with the event
+  timestamps being replayed. No component ever sleeps.
+* :class:`SystemClock` — the thin wall-clock adapter for live deployments.
+
+Clocks are intentionally minimal (one ``now()`` method); pacing — how fast
+simulated time is replayed — belongs to the driver, not the clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+from ..exceptions import DataError
+
+__all__ = ["Clock", "ManualClock", "SystemClock"]
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """Anything with a ``now() -> float`` (seconds since the stream epoch)."""
+
+    def now(self) -> float:  # pragma: no cover - protocol signature
+        ...
+
+
+class ManualClock:
+    """A clock that only moves when told to — the test-suite workhorse.
+
+    Parameters
+    ----------
+    start:
+        Initial reading in seconds; simulations usually start at 0.0 to
+        match the workload generators' epoch.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds``; returns the new reading."""
+        if seconds < 0:
+            raise DataError("a clock cannot run backwards")
+        self._now += float(seconds)
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to ``timestamp`` (no-op when already past it).
+
+        Monotonic by construction: replaying events in timestamp order
+        advances the clock to each event without ever rewinding it.
+        """
+        self._now = max(self._now, float(timestamp))
+        return self._now
+
+
+class SystemClock:
+    """Wall-clock adapter for live (non-simulated) streams."""
+
+    def now(self) -> float:
+        return time.time()

@@ -1,0 +1,217 @@
+"""Streaming ingestion: the sample bus with watermarks and backpressure.
+
+Section 5.1's agents push polls into the central repository continuously,
+and "it is possible that the agent may have been at fault" — in a live
+estate samples arrive *late*, *out of order* and occasionally *twice*
+(agents retry after network blips). :class:`IngestBus` is the streaming
+front door that absorbs exactly that traffic:
+
+* every pushed :class:`~repro.agent.agent.AgentSample` is snapped onto the
+  15-minute polling grid and buffered per ``(instance, metric)`` key;
+* duplicates (same key, same grid slot) are dropped — the first value
+  wins — and counted, so a retrying agent cannot double-count load;
+* each key tracks a **watermark**: the largest event timestamp seen minus
+  a configurable ``allowed_lateness``. Downstream hourly windows finalise
+  only once the watermark passes their end, so an out-of-order sample
+  within the lateness budget still lands in its window. Samples older
+  than an already-finalised window are *too late*: dropped and counted
+  (a closed hour is immutable, matching the batch repository's
+  aggregate-once semantics);
+* buffering is **bounded**: the bus holds at most ``capacity`` un-finalised
+  samples across all keys. Pushes beyond that are rejected and counted as
+  backpressure — the caller's signal to drain windows (or slow down)
+  before retrying. Finalising a window frees its slots.
+
+The bus does no aggregation itself — that is
+:class:`~repro.stream.aggregate.WindowAggregator`'s job — it owns the raw
+buffers, the dedup ledger and the watermark bookkeeping that the
+aggregator consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..agent.agent import AgentSample
+from ..core.frequency import Frequency
+from ..exceptions import DataError
+
+__all__ = ["IngestBus", "KeyBuffer", "StreamKey"]
+
+#: A monitored metric's identity on the bus: ``(instance, metric)``.
+StreamKey = tuple[str, str]
+
+
+@dataclass
+class KeyBuffer:
+    """Raw buffered polls and watermark state for one stream key.
+
+    Attributes
+    ----------
+    slots:
+        Buffered, not-yet-finalised values keyed by integer grid slot
+        (``timestamp / step`` rounded). Finalising a window pops its
+        slots.
+    min_slot / max_slot:
+        Extremes of every *accepted* slot so far (min over all history,
+        max drives the watermark). ``None`` until the first accept.
+    frontier_slot:
+        First grid slot not yet covered by a finalised window; ``None``
+        until the aggregator closes the key's first window. Samples
+        below the frontier are too late to land anywhere.
+    """
+
+    slots: dict[int, float] = field(default_factory=dict)
+    min_slot: int | None = None
+    max_slot: int | None = None
+    frontier_slot: int | None = None
+
+    def watermark_slot(self, lateness_slots: int) -> int | None:
+        """Highest slot considered complete, or ``None`` before any data."""
+        if self.max_slot is None:
+            return None
+        return self.max_slot - lateness_slots
+
+
+class IngestBus:
+    """Bounded, deduplicating, watermark-tracking sample intake.
+
+    Parameters
+    ----------
+    raw_frequency:
+        The polling grid samples are snapped to (paper: 15 minutes).
+    allowed_lateness:
+        Seconds of event-time slack behind the newest sample during which
+        late arrivals are still accepted into open windows. ``0`` means
+        windows may close as soon as a newer sample arrives;
+        ``math.inf`` never closes windows until an explicit flush (the
+        batch-equivalent mode used by the order-invariance property
+        tests).
+    capacity:
+        Maximum buffered (un-finalised) samples across all keys; pushes
+        beyond it are rejected and counted as backpressure.
+    """
+
+    def __init__(
+        self,
+        raw_frequency: Frequency = Frequency.MINUTE_15,
+        allowed_lateness: float = 0.0,
+        capacity: int = 1_000_000,
+    ) -> None:
+        if allowed_lateness < 0:
+            raise DataError("allowed_lateness must be non-negative")
+        if capacity < 1:
+            raise DataError("bus capacity must be positive")
+        self.raw_frequency = raw_frequency
+        self.allowed_lateness = float(allowed_lateness)
+        self.capacity = int(capacity)
+        self._buffers: dict[StreamKey, KeyBuffer] = {}
+        self._buffered = 0
+        self.counters: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+    @property
+    def step(self) -> float:
+        """Width of one grid slot in seconds."""
+        return float(self.raw_frequency.seconds)
+
+    @property
+    def lateness_slots(self) -> int:
+        if math.isinf(self.allowed_lateness):
+            return 2**62  # effectively: never advance the watermark
+        return int(math.ceil(self.allowed_lateness / self.step))
+
+    @property
+    def buffered(self) -> int:
+        """Samples currently held (accepted but not yet finalised)."""
+        return self._buffered
+
+    def _count(self, key: str, n: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    def push(self, sample: AgentSample) -> bool:
+        """Offer one sample; returns True when it was accepted and buffered.
+
+        Rejections are counted by cause: non-finite values
+        (``samples_nonfinite``), duplicates (``samples_duplicate``),
+        arrivals below a finalised window (``samples_late_dropped``) and
+        a full buffer (``samples_rejected_backpressure``). Accepted
+        samples that arrived behind the key's newest timestamp bump
+        ``samples_out_of_order`` — accepted, merely reordered.
+        """
+        value = float(sample.value)
+        if not math.isfinite(value):
+            self._count("samples_nonfinite")
+            return False
+        slot = int(round(float(sample.timestamp) / self.step))
+        key: StreamKey = (sample.instance, sample.metric)
+        buffer = self._buffers.get(key)
+        if buffer is None:
+            buffer = self._buffers.setdefault(key, KeyBuffer())
+        if buffer.frontier_slot is not None and slot < buffer.frontier_slot:
+            self._count("samples_late_dropped")
+            return False
+        if slot in buffer.slots:
+            self._count("samples_duplicate")
+            return False
+        if self._buffered >= self.capacity:
+            self._count("samples_rejected_backpressure")
+            return False
+        if buffer.max_slot is not None and slot < buffer.max_slot:
+            self._count("samples_out_of_order")
+        buffer.slots[slot] = value
+        buffer.min_slot = slot if buffer.min_slot is None else min(buffer.min_slot, slot)
+        buffer.max_slot = slot if buffer.max_slot is None else max(buffer.max_slot, slot)
+        self._buffered += 1
+        self._count("samples_accepted")
+        return True
+
+    def push_many(self, samples) -> int:
+        """Push a batch in order; returns how many were accepted."""
+        return sum(1 for sample in samples if self.push(sample))
+
+    # ------------------------------------------------------------------
+    # State the aggregator consumes
+    # ------------------------------------------------------------------
+    def keys(self) -> list[StreamKey]:
+        """Every key that has ever accepted a sample, sorted."""
+        return sorted(self._buffers)
+
+    def buffer(self, instance: str, metric: str) -> KeyBuffer:
+        """The raw buffer for a key (aggregator-facing)."""
+        try:
+            return self._buffers[(instance, metric)]
+        except KeyError:
+            raise DataError(f"no samples seen for {instance}/{metric}") from None
+
+    def watermark(self, instance: str, metric: str) -> float | None:
+        """Event-time watermark for a key in seconds, or ``None`` pre-data.
+
+        Everything at or before the watermark is considered complete:
+        ``max(event timestamps) - allowed_lateness``.
+        """
+        buffer = self._buffers.get((instance, metric))
+        if buffer is None or buffer.max_slot is None:
+            return None
+        if math.isinf(self.allowed_lateness):
+            return -math.inf
+        return buffer.max_slot * self.step - self.allowed_lateness
+
+    def consume(self, key: StreamKey, upto_slot: int) -> dict[int, float]:
+        """Pop and return every buffered slot below ``upto_slot`` for ``key``.
+
+        Called by the aggregator when finalising windows; advances the
+        key's frontier so later arrivals below it are dropped as late,
+        and releases the popped slots' buffer capacity.
+        """
+        buffer = self._buffers[key]
+        taken = {s: v for s, v in buffer.slots.items() if s < upto_slot}
+        for s in taken:
+            del buffer.slots[s]
+        self._buffered -= len(taken)
+        if buffer.frontier_slot is None or upto_slot > buffer.frontier_slot:
+            buffer.frontier_slot = upto_slot
+        return taken

@@ -1,0 +1,276 @@
+"""The live loop: agent polls → bus → windows → scheduler → alerts.
+
+This module glues the streaming pieces into the deployment shape the
+paper's Section 5 architecture implies but never spells out: monitoring
+agents push raw polls continuously, hourly aggregates materialise as
+watermarks advance, stored models are observed/expired/re-selected on the
+fly, and threshold advisories feed a debounced alert channel.
+
+:class:`StreamRuntime` runs that loop over *simulated* traffic — a
+:class:`~repro.workloads.cluster.ClusterRun` polled by a
+:class:`~repro.agent.agent.MonitoringAgent` — with a deterministic
+delivery model layered on top: bounded reordering plus duplicate
+injection, seeded, so every run (and every test) replays identically.
+Time is a :class:`~repro.stream.clock.ManualClock` advanced to each
+batch's newest event timestamp; nothing sleeps, simulated weeks replay in
+seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..agent.agent import AgentSample
+from ..core.frequency import Frequency
+from ..engine.executor import Executor
+from ..engine.telemetry import RunTrace
+from ..exceptions import DataError
+from ..service.estate import EstatePlanner
+from .aggregate import WindowAggregator
+from .alerts import AlertEvent, AlertManager, AlertSink
+from .clock import ManualClock
+from .ingest import IngestBus
+from .scheduler import ForecastScheduler, SchedulerTick
+
+__all__ = ["StreamConfig", "StreamRuntime"]
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Knobs for a streaming run.
+
+    Parameters
+    ----------
+    thresholds:
+        Capacity limits per metric name; metrics without one are
+        modelled but never alerted on.
+    allowed_lateness:
+        Bus lateness budget in seconds (default: two polling intervals).
+    capacity:
+        Bus buffer bound (samples) before backpressure rejections.
+    batch_polls:
+        Samples delivered per tick of the loop — the replay's network
+        packet size.
+    jitter_seconds:
+        Delivery reordering bound: each sample's arrival position is its
+        event time plus ``U(0, jitter_seconds)``, so samples arrive out
+        of order but never further displaced than the jitter budget.
+        Keep below ``allowed_lateness`` or reordered samples will be
+        dropped as late (which is itself a useful failure drill).
+    duplicate_rate:
+        Fraction of samples re-delivered a second time (agent retries).
+    seed:
+        Seed for the delivery model's RNG.
+    raise_after / recover_after:
+        Alert debounce knobs (see :class:`~repro.stream.alerts.AlertManager`).
+    min_observations / horizon / history_cap:
+        Scheduler knobs (see :class:`~repro.stream.scheduler.ForecastScheduler`).
+    """
+
+    thresholds: dict[str, float] = field(default_factory=dict)
+    allowed_lateness: float = 1800.0
+    capacity: int = 1_000_000
+    batch_polls: int = 64
+    jitter_seconds: float = 1200.0
+    duplicate_rate: float = 0.02
+    seed: int = 17
+    raise_after: int = 2
+    recover_after: int = 4
+    min_observations: int | None = None
+    horizon: int | None = None
+    history_cap: int | None = None
+
+
+class StreamRuntime:
+    """Owns one streaming deployment end to end.
+
+    Parameters
+    ----------
+    planner:
+        The estate planner (and thus the selection cache) models live in;
+        a fresh default planner when omitted.
+    config:
+        The :class:`StreamConfig` delivery/alerting knobs.
+    executor:
+        Engine executor re-selections fan out on.
+    sink:
+        Alert sink; default records to a list (``runtime.alerts.sink``).
+    clock:
+        Injected clock; a :class:`ManualClock` at 0 when omitted.
+    """
+
+    def __init__(
+        self,
+        planner: EstatePlanner | None = None,
+        config: StreamConfig | None = None,
+        executor: Executor | None = None,
+        sink: AlertSink | None = None,
+        clock: ManualClock | None = None,
+    ) -> None:
+        self.config = config or StreamConfig()
+        self.clock = clock if clock is not None else ManualClock()
+        self.planner = planner if planner is not None else EstatePlanner()
+        self.bus = IngestBus(
+            raw_frequency=Frequency.MINUTE_15,
+            allowed_lateness=self.config.allowed_lateness,
+            capacity=self.config.capacity,
+        )
+        self.aggregator = WindowAggregator(self.bus, Frequency.HOURLY)
+        self.trace = RunTrace()
+        self.scheduler = ForecastScheduler(
+            self.planner,
+            thresholds=self.config.thresholds,
+            executor=executor,
+            clock=self.clock,
+            horizon=self.config.horizon,
+            min_observations=self.config.min_observations,
+            history_cap=self.config.history_cap,
+            trace=self.trace,
+        )
+        self.alerts = AlertManager(
+            sink=sink,
+            raise_after=self.config.raise_after,
+            recover_after=self.config.recover_after,
+            clock=self.clock,
+        )
+        self.events: list[AlertEvent] = []
+        self.ticks = 0
+
+    # ------------------------------------------------------------------
+    # Delivery model
+    # ------------------------------------------------------------------
+    def delivery_order(self, samples: list[AgentSample]) -> list[AgentSample]:
+        """Deterministically mangle a poll stream the way networks do.
+
+        Each sample arrives at ``event time + U(0, jitter_seconds)`` —
+        bounded reordering — and ``duplicate_rate`` of samples are
+        delivered twice (the second copy a little later), modelling agent
+        retries. Seeded by ``config.seed``: the same samples always
+        arrive in the same mangled order.
+        """
+        if not samples:
+            return []
+        rng = np.random.default_rng(self.config.seed)
+        arrivals: list[tuple[float, int, AgentSample]] = []
+        for i, sample in enumerate(samples):
+            delay = float(rng.uniform(0.0, self.config.jitter_seconds))
+            arrivals.append((float(sample.timestamp) + delay, i, sample))
+            if rng.random() < self.config.duplicate_rate:
+                redelay = float(rng.uniform(0.0, 2.0 * self.config.jitter_seconds))
+                arrivals.append((float(sample.timestamp) + delay + redelay, i, sample))
+        arrivals.sort(key=lambda item: (item[0], item[1]))
+        return [sample for _, _, sample in arrivals]
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def _tick(self, windows) -> SchedulerTick:
+        tick = self.scheduler.on_windows(windows)
+        now = self.clock.now()
+        for key in sorted(tick.advisories):
+            event = self.alerts.observe(key, tick.advisories[key], at=now)
+            if event is not None:
+                self.events.append(event)
+        self.ticks += 1
+        return tick
+
+    def run(self, samples: list[AgentSample]) -> list[SchedulerTick]:
+        """Replay a poll stream through the whole loop, batch by batch.
+
+        Applies the delivery model, pushes ``batch_polls``-sized batches
+        onto the bus, advances the clock to each batch's newest arrival,
+        closes whatever windows the watermarks allow and hands them to
+        the scheduler; advisories feed the alert manager. Returns one
+        :class:`SchedulerTick` per batch.
+        """
+        if not samples:
+            raise DataError("no samples to stream")
+        stream = self.delivery_order(samples)
+        batch = max(1, int(self.config.batch_polls))
+        ticks: list[SchedulerTick] = []
+        for lo in range(0, len(stream), batch):
+            chunk = stream[lo : lo + batch]
+            self.bus.push_many(chunk)
+            self.clock.advance_to(max(s.timestamp for s in chunk))
+            ticks.append(self._tick(self.aggregator.advance()))
+        return ticks
+
+    def finish(self) -> SchedulerTick:
+        """End of stream: flush the trailing windows and tick once more."""
+        return self._tick(self.aggregator.flush())
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+    def seed_from_repository(
+        self,
+        repository,
+        instance: str,
+        metric: str,
+        start: float | None = None,
+        end: float | None = None,
+    ) -> None:
+        """Warm-start a key's history from stored hourly aggregates.
+
+        A restarted stream does not replay weeks of raw polls — it reads
+        the hourly series straight from the
+        :class:`~repro.agent.repository.MetricsRepository` (optionally
+        time-bounded) and resumes from there.
+        """
+        series = repository.load_series(
+            instance, metric, frequency=Frequency.HOURLY, start=start, end=end
+        )
+        self.scheduler.seed_history(instance, metric, series)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def telemetry(self) -> RunTrace:
+        """One merged trace: bus + windows + scheduler + alert counters."""
+        trace = RunTrace()
+        trace.merge(self.trace)
+        for counters in (self.bus.counters, self.aggregator.counters, self.alerts.counters):
+            for name, value in counters.items():
+                trace.count(name, value)
+        trace.count("stream_ticks", self.ticks)
+        return trace
+
+    def summary_lines(self) -> list[str]:
+        """The CLI's live-telemetry block."""
+        bus = self.bus.counters
+        agg = self.aggregator.counters
+        al = self.alerts.counters
+        sched = self.trace.counters
+        lines = [
+            "ingest: {} accepted ({} duplicate, {} late-dropped, {} out-of-order, "
+            "{} backpressure)".format(
+                bus.get("samples_accepted", 0),
+                bus.get("samples_duplicate", 0),
+                bus.get("samples_late_dropped", 0),
+                bus.get("samples_out_of_order", 0),
+                bus.get("samples_rejected_backpressure", 0),
+            ),
+            "windows: {} closed ({} empty, {} partial) from {} samples".format(
+                agg.get("windows_closed", 0),
+                agg.get("windows_empty", 0),
+                agg.get("windows_partial", 0),
+                agg.get("samples_aggregated", 0),
+            ),
+            "models: {} selection runs — {} cache hits, {} misses, {} refits, "
+            "{} initial".format(
+                sched.get("stream_selection_runs", 0),
+                sched.get("selection_cache_hits", 0),
+                sched.get("selection_cache_misses", 0),
+                sched.get("stream_refits_triggered", 0),
+                sched.get("stream_initial_selections", 0),
+            ),
+            "alerts: {} raised, {} escalated, {} recovered ({} active)".format(
+                al.get("alerts_raised", 0),
+                al.get("alerts_escalated", 0),
+                al.get("alerts_recovered", 0),
+                len(self.alerts.active_alerts()),
+            ),
+        ]
+        return lines

@@ -1,0 +1,370 @@
+"""The forecast scheduler: closed windows in, fresh models & advisories out.
+
+This is the paper's Section 7 model lifecycle run as an event loop. Each
+finalised hourly window is one heartbeat:
+
+1. the window's value is appended to the key's hourly history;
+2. once a key has a full Table 1 observation budget it is registered with
+   the :class:`~repro.service.estate.EstatePlanner` and selected;
+3. every subsequent window is fed to
+   :meth:`~repro.service.estate.EstatePlanner.observe` — the stored
+   model's staleness monitor applies the weekly-expiry / RMSE-degradation
+   / data-growth rules, and a stale verdict queues a **re-selection**;
+4. queued re-selections run through the planner's
+   :meth:`~repro.service.estate.EstatePlanner.report`, fanning out on the
+   injected :class:`~repro.engine.executor.Executor` and consulting the
+   estate :class:`~repro.service.selection_cache.SelectionCache` first —
+   an unchanged workload (same series fingerprint, fresh monitor) costs
+   **zero grid fits**;
+5. each tick re-grades every live model's forecast against its threshold
+   *from the current watermark onwards* (the part of the horizon still in
+   the future), producing the advisories the alerting layer debounces.
+
+The scheduler never sleeps and never reads the wall clock directly: time
+is the injected :class:`~repro.stream.clock.Clock`, falling back to the
+event-time high watermark of the windows it has consumed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.frequency import Frequency
+from ..core.timeseries import TimeSeries
+from ..engine.executor import Executor
+from ..engine.telemetry import RunTrace
+from ..exceptions import DataError
+from ..models.base import Forecast
+from ..selection.staleness import StalenessVerdict
+from ..service.estate import EstatePlanner, EstateReport, WorkloadKey, WorkloadStatus
+from ..service.thresholds import BreachPrediction, predict_breach
+from .aggregate import ClosedWindow
+from .clock import Clock
+from .ingest import StreamKey
+
+__all__ = ["RefitEvent", "SchedulerTick", "ForecastScheduler"]
+
+
+@dataclass(frozen=True)
+class RefitEvent:
+    """One staleness-triggered (or initial) selection decision."""
+
+    key: WorkloadKey
+    reason: str
+    at: float
+
+
+@dataclass
+class SchedulerTick:
+    """Everything one batch of closed windows caused.
+
+    Attributes
+    ----------
+    advisories:
+        Current breach grading per workload key (only keys with a
+        threshold and a live model appear).
+    refits:
+        Selections queued this tick — ``reason`` is ``"initial"`` for a
+        first-time registration or the staleness verdict otherwise.
+    report:
+        The estate report of the selection run, when one ran.
+    verdicts:
+        Staleness verdicts returned by the monitors this tick.
+    """
+
+    advisories: dict[WorkloadKey, BreachPrediction] = field(default_factory=dict)
+    refits: list[RefitEvent] = field(default_factory=list)
+    report: EstateReport | None = None
+    verdicts: dict[WorkloadKey, StalenessVerdict] = field(default_factory=dict)
+
+
+@dataclass
+class _KeyHistory:
+    """Hourly history of one key as a growable (start, values) pair."""
+
+    start: float | None = None
+    values: list[float] = field(default_factory=list)
+
+    def append(self, window: ClosedWindow) -> None:
+        if self.start is None:
+            self.start = window.start
+        self.values.append(window.value)
+
+    def trim(self, cap: int, step: float) -> None:
+        if len(self.values) > cap:
+            drop = len(self.values) - cap
+            del self.values[:drop]
+            self.start += drop * step
+
+    def series(self, frequency: Frequency, name: str) -> TimeSeries:
+        return TimeSeries(
+            values=np.asarray(self.values, dtype=float),
+            frequency=frequency,
+            start=float(self.start),
+            name=name,
+        )
+
+
+class ForecastScheduler:
+    """Event loop turning closed windows into model upkeep and advisories.
+
+    Parameters
+    ----------
+    planner:
+        The estate planner that owns selection, the selection cache and
+        the staleness monitors.
+    customer:
+        Estate customer label for every streamed workload key.
+    thresholds:
+        Capacity thresholds per *metric name* (e.g. ``{"cpu": 80.0}``);
+        keys whose metric has no threshold are modelled but not graded.
+    executor:
+        Engine executor the re-selection fan-out runs on; ``None`` uses
+        the planner's default (serial in-process).
+    clock:
+        Injected time source for refit/advisory timestamps; ``None``
+        falls back to the event-time high watermark.
+    horizon:
+        Advisory horizon in windows; ``None`` uses the Table 1 horizon.
+    min_observations:
+        Windows required before a key is first registered and selected;
+        ``None`` uses the Table 1 observation budget for the window
+        frequency (1008 hourly).
+    history_cap:
+        Maximum hourly observations retained per key (oldest trimmed);
+        ``None`` keeps everything. Selection only ever uses the latest
+        Table 1 window, so 2× the observation budget is plenty.
+    window_frequency:
+        Granularity of the incoming windows (hourly).
+    trace:
+        Telemetry sink; a fresh :class:`RunTrace` when not supplied.
+    """
+
+    def __init__(
+        self,
+        planner: EstatePlanner,
+        customer: str = "stream",
+        thresholds: dict[str, float] | None = None,
+        executor: Executor | None = None,
+        clock: Clock | None = None,
+        horizon: int | None = None,
+        min_observations: int | None = None,
+        history_cap: int | None = None,
+        window_frequency: Frequency = Frequency.HOURLY,
+        trace: RunTrace | None = None,
+    ) -> None:
+        if min_observations is None:
+            min_observations = window_frequency.split_rule.observations
+        if min_observations < 2:
+            raise DataError("min_observations must be at least 2")
+        if history_cap is not None and history_cap < min_observations:
+            raise DataError("history_cap cannot be smaller than min_observations")
+        self.planner = planner
+        self.customer = customer
+        self.thresholds = dict(thresholds or {})
+        self.executor = executor
+        self.clock = clock
+        self.horizon = horizon
+        self.min_observations = int(min_observations)
+        self.history_cap = history_cap
+        self.window_frequency = window_frequency
+        self.trace = trace if trace is not None else RunTrace()
+        self._histories: dict[StreamKey, _KeyHistory] = {}
+        self._registered: set[StreamKey] = set()
+        self._event_time = -math.inf
+        self.refit_log: list[RefitEvent] = []
+
+    # ------------------------------------------------------------------
+    def workload_key(self, instance: str, metric: str) -> WorkloadKey:
+        return WorkloadKey(customer=self.customer, workload=instance, metric=metric)
+
+    def _now(self) -> float:
+        if self.clock is not None:
+            return self.clock.now()
+        return self._event_time
+
+    def history(self, instance: str, metric: str) -> TimeSeries:
+        """The hourly history the scheduler holds for a key."""
+        state = self._histories.get((instance, metric))
+        if state is None or not state.values:
+            raise DataError(f"no streamed history for {instance}/{metric}")
+        return state.series(self.window_frequency, f"{instance}.{metric}")
+
+    def seed_history(self, instance: str, metric: str, series: TimeSeries) -> None:
+        """Bootstrap a key's history from stored data (e.g. a repository).
+
+        Lets a restarted stream resume from a
+        :class:`~repro.agent.repository.MetricsRepository` time-range
+        read instead of replaying weeks of raw polls. The seeded series
+        must be at the scheduler's window frequency; subsequent windows
+        must continue it contiguously.
+        """
+        if series.frequency is not self.window_frequency:
+            raise DataError(
+                f"seed history must be {self.window_frequency.name}, got {series.frequency.name}"
+            )
+        key: StreamKey = (instance, metric)
+        if key in self._histories:
+            raise DataError(f"history already present for {instance}/{metric}")
+        self._histories[key] = _KeyHistory(
+            start=float(series.start), values=[float(v) for v in series.values]
+        )
+        self._event_time = max(self._event_time, series.end + series.frequency.seconds)
+
+    # ------------------------------------------------------------------
+    # The event loop body
+    # ------------------------------------------------------------------
+    def on_windows(self, windows: list[ClosedWindow]) -> SchedulerTick:
+        """Consume a batch of finalised windows; the stream's heartbeat."""
+        tick = SchedulerTick()
+        step = float(self.window_frequency.seconds)
+        fresh: dict[StreamKey, list[float]] = {}
+        for window in windows:
+            key: StreamKey = (window.instance, window.metric)
+            state = self._histories.setdefault(key, _KeyHistory())
+            if state.start is not None and state.values:
+                expected = state.start + len(state.values) * step
+                if abs(window.start - expected) > 1e-6 * step:
+                    raise DataError(
+                        f"window for {window.instance}/{window.metric} at {window.start} "
+                        f"breaks hourly continuity (expected {expected})"
+                    )
+            state.append(window)
+            if self.history_cap is not None:
+                state.trim(self.history_cap, step)
+            fresh.setdefault(key, []).append(window.value)
+            self._event_time = max(self._event_time, window.start + step)
+            self.trace.count("stream_windows_observed")
+
+        now = self._now()
+        pending = False
+        for key, values in fresh.items():
+            wkey = self.workload_key(*key)
+            if key in self._registered:
+                verdict = self.planner.observe(wkey, values)
+                if verdict is not None:
+                    tick.verdicts[wkey] = verdict
+                    if verdict.stale:
+                        self._register(key)
+                        pending = True
+                        event = RefitEvent(key=wkey, reason=verdict.reason.value, at=now)
+                        tick.refits.append(event)
+                        self.refit_log.append(event)
+                        self.trace.count("stream_refits_triggered")
+            elif len(self._histories[key].values) >= self.min_observations:
+                self._register(key)
+                pending = True
+                event = RefitEvent(key=wkey, reason="initial", at=now)
+                tick.refits.append(event)
+                self.refit_log.append(event)
+                self.trace.count("stream_initial_selections")
+
+        if pending:
+            tick.report = self._run_selection()
+        tick.advisories = self._grade_all(now)
+        return tick
+
+    def resync(self) -> EstateReport:
+        """Re-register every key with its current history and re-select.
+
+        The restart path: histories re-registered with *unchanged* data
+        hit the estate selection cache (same series and config
+        fingerprints) and cost zero grid fits; anything that drifted is
+        re-selected for real. Returns the estate report.
+        """
+        if not self._histories:
+            raise DataError("nothing streamed yet; no keys to resync")
+        for key, state in self._histories.items():
+            if state.values and len(state.values) >= self.min_observations:
+                self._register(key)
+        return self._run_selection()
+
+    # ------------------------------------------------------------------
+    def _register(self, key: StreamKey) -> None:
+        instance, metric = key
+        self.planner.register(
+            customer=self.customer,
+            workload=instance,
+            metric=metric,
+            series=self.history(instance, metric),
+            threshold=self.thresholds.get(metric),
+        )
+        self._registered.add(key)
+
+    def _run_selection(self) -> EstateReport:
+        report = self.planner.report(executor=self.executor)
+        if report.trace is not None:
+            for counter in (
+                "selection_cache_hits",
+                "selection_cache_misses",
+                "candidates_fitted",
+                "workloads_modelled",
+                "workloads_failed",
+            ):
+                if counter in report.trace.counters:
+                    self.trace.count(counter, report.trace.counters[counter])
+        self.trace.count("stream_selection_runs")
+        return report
+
+    # ------------------------------------------------------------------
+    # Advisory grading
+    # ------------------------------------------------------------------
+    def _grade_all(self, now: float) -> dict[WorkloadKey, BreachPrediction]:
+        advisories: dict[WorkloadKey, BreachPrediction] = {}
+        for key in sorted(self._registered):
+            wkey = self.workload_key(*key)
+            try:
+                entry = self.planner.entry(wkey)
+            except DataError:
+                continue
+            if (
+                entry.status is not WorkloadStatus.MODELLED
+                or entry.outcome is None
+                or entry.threshold is None
+            ):
+                continue
+            advisory = self._grade_entry(entry, now)
+            if advisory is not None:
+                advisories[wkey] = advisory
+                self.trace.count("stream_advisories_graded")
+        return advisories
+
+    def _grade_entry(self, entry, now: float) -> BreachPrediction | None:
+        """Grade a live model's *remaining* forecast against its threshold.
+
+        The stored model forecasts from its training end; as the stream
+        advances, the leading steps of that horizon slip into the past.
+        Grading only the still-future part makes advisories evolve
+        between refits — a predicted breach draws nearer step by step,
+        which is what the alerting layer's escalation keys off.
+        """
+        outcome = entry.outcome
+        base_horizon = self.horizon or self.window_frequency.split_rule.horizon
+        train = outcome.model.train
+        step = float(train.frequency.seconds)
+        elapsed = 0
+        if math.isfinite(now) and now > train.end:
+            elapsed = int(math.floor((now - train.end) / step))
+        horizon = base_horizon + elapsed
+        kwargs = {}
+        if (
+            outcome.best_spec is not None
+            and outcome.best_spec.exog_columns
+            and outcome.shock_calendar is not None
+        ):
+            kwargs["exog_future"] = outcome.shock_calendar.future_matrix(horizon)[
+                :, : outcome.best_spec.exog_columns
+            ]
+        forecast = outcome.model.forecast(horizon, **kwargs).clipped(0.0)
+        if elapsed > 0:
+            forecast = Forecast(
+                mean=forecast.mean[elapsed:],
+                lower=forecast.lower[elapsed:],
+                upper=forecast.upper[elapsed:],
+                alpha=forecast.alpha,
+                model_label=forecast.model_label,
+            )
+        return predict_breach(forecast, entry.threshold)

@@ -65,6 +65,79 @@ class TestAggregation:
             assert np.isfinite(hourly.values[0])
 
 
+class TestRangeReads:
+    def test_bounds_are_inclusive(self):
+        with MetricsRepository() as repo:
+            repo.ingest(_samples(n=12, value=0.0))  # values 0..11 at 0, 900, ...
+            series = repo.load_series(
+                "db1", "cpu", frequency=Frequency.MINUTE_15, start=1800.0, end=4500.0
+            )
+            assert series.start == 1800.0
+            assert np.allclose(series.values, [2, 3, 4, 5])
+
+    def test_series_anchors_at_earliest_in_range_poll(self):
+        with MetricsRepository() as repo:
+            repo.ingest(_samples(n=12))
+            series = repo.load_series(
+                "db1", "cpu", frequency=Frequency.MINUTE_15, start=850.0
+            )
+            assert series.start == 900.0  # the first poll at or after the bound
+
+    def test_open_ended_bounds(self):
+        with MetricsRepository() as repo:
+            repo.ingest(_samples(n=8, value=0.0))
+            head = repo.load_series("db1", "cpu", frequency=Frequency.MINUTE_15, end=2700.0)
+            tail = repo.load_series("db1", "cpu", frequency=Frequency.MINUTE_15, start=3600.0)
+            assert len(head) + len(tail) == 8  # inclusive, non-overlapping halves
+
+    def test_hourly_aggregation_respects_range(self):
+        with MetricsRepository() as repo:
+            repo.ingest(_samples(n=16, value=0.0))  # four hours of polls
+            hourly = repo.load_series(
+                "db1", "cpu", frequency=Frequency.HOURLY, start=3600.0
+            )
+            assert hourly.start == 3600.0
+            assert len(hourly) == 3
+            assert hourly.values[0] == pytest.approx(np.mean([4, 5, 6, 7]))
+
+    def test_inverted_range_rejected(self):
+        with MetricsRepository() as repo:
+            repo.ingest(_samples())
+            with pytest.raises(RepositoryError):
+                repo.load_series("db1", "cpu", start=5000.0, end=100.0)
+
+    def test_empty_range_reports_the_window(self):
+        with MetricsRepository() as repo:
+            repo.ingest(_samples(n=4))
+            with pytest.raises(RepositoryError, match=r"in \[1000000.0, 2000000.0\]"):
+                repo.load_series("db1", "cpu", start=1e6, end=2e6)
+
+    def test_latest_timestamp(self):
+        with MetricsRepository() as repo:
+            assert repo.latest_timestamp("db1", "cpu") is None
+            repo.ingest(_samples(n=5))
+            assert repo.latest_timestamp("db1", "cpu") == 4 * 900.0
+            assert repo.latest_timestamp("db1", "memory") is None
+
+
+class TestDurability:
+    def test_file_database_runs_in_wal_mode(self, tmp_path):
+        with MetricsRepository(str(tmp_path / "metrics.db")) as repo:
+            mode = repo._conn.execute("PRAGMA journal_mode").fetchone()[0]
+            assert mode == "wal"
+
+    def test_range_scan_uses_primary_key_index(self):
+        with MetricsRepository() as repo:
+            repo.ingest(_samples())
+            plan = repo._conn.execute(
+                "EXPLAIN QUERY PLAN SELECT timestamp, value FROM samples "
+                "WHERE instance = ? AND metric = ? AND timestamp >= ?",
+                ("db1", "cpu", 0.0),
+            ).fetchall()
+            detail = " ".join(row[-1] for row in plan)
+            assert "USING INDEX" in detail.upper() or "PRIMARY KEY" in detail.upper()
+
+
 class TestLifecycle:
     def test_closed_repo_rejects_operations(self):
         repo = MetricsRepository()

@@ -58,6 +58,13 @@ class TestRegistration:
         assert len(keys) == 6  # 2 instances x 3 metrics
         assert all(isinstance(k, WorkloadKey) for k in keys)
 
+    def test_entry_lookup(self):
+        planner = EstatePlanner()
+        key = planner.register("a", "w", "cpu", seasonal_series())
+        assert planner.entry(key).key == key
+        with pytest.raises(DataError):
+            planner.entry(WorkloadKey("a", "w", "memory"))
+
     def test_bad_series_rejected(self):
         with pytest.raises(DataError):
             EstatePlanner().register("a", "w", "m", np.arange(10.0))

@@ -84,6 +84,22 @@ class TestModelLifecycle:
     def test_telemetry_unknown_key_is_none(self, planner):
         assert planner.telemetry("nope", "cpu") is None
 
+    def test_telemetry_merges_across_workloads(self, planner):
+        planner.select_model("db1", "cpu")
+        merged = planner.telemetry()
+        per_key = planner.telemetry("db1", "cpu")
+        assert merged is not None
+        assert merged.counters["candidates_fitted"] >= per_key.counters["candidates_fitted"]
+
+    def test_telemetry_rejects_half_a_key(self, planner):
+        with pytest.raises(DataError):
+            planner.telemetry(instance="db1")
+        with pytest.raises(DataError):
+            planner.telemetry(metric="cpu")
+
+    def test_merged_telemetry_empty_planner_is_none(self):
+        assert CapacityPlanner().telemetry() is None
+
     def test_selection_runs_on_planner_executor(self):
         from repro.engine import SerialExecutor
 

@@ -62,3 +62,30 @@ class TestPredictBreach:
     def test_describe(self):
         text = predict_breach(_forecast([10, 95]), threshold=80.0).describe()
         assert "threshold 80" in text
+
+
+class TestDegenerateForecasts:
+    """A live stream can hand the grader forecasts no batch run would
+    produce; they must yield a no-breach verdict, never raise."""
+
+    def test_all_nan_mean_is_no_breach(self):
+        result = predict_breach(_forecast([np.nan, np.nan, np.nan]), threshold=80.0)
+        assert result.severity is BreachSeverity.NONE
+        assert result.first_breach_step is None
+        assert np.isnan(result.headroom)
+
+    def test_partial_nan_grades_on_finite_steps(self):
+        result = predict_breach(_forecast([np.nan, 95.0, np.nan], spread=1.0), threshold=80.0)
+        assert result.severity is BreachSeverity.CERTAIN
+        assert result.first_breach_step == 2
+        assert result.headroom == pytest.approx(-15.0)
+
+    def test_nan_headroom_ignores_nan_steps(self):
+        result = predict_breach(_forecast([np.nan, 30.0]), threshold=80.0)
+        assert result.headroom == pytest.approx(50.0)
+
+    def test_zero_width_interval_still_grades(self):
+        result = predict_breach(_forecast([90.0, 90.0], spread=0.0), threshold=80.0)
+        assert result.severity is BreachSeverity.CERTAIN
+        result = predict_breach(_forecast([10.0, 10.0], spread=0.0), threshold=80.0)
+        assert result.severity is BreachSeverity.NONE

@@ -1,0 +1,142 @@
+"""Tests for debounced breach alerting."""
+
+import pytest
+
+from repro.exceptions import DataError
+from repro.service import BreachSeverity, WorkloadKey
+from repro.service.thresholds import BreachPrediction
+from repro.stream import AlertKind, AlertManager, AlertSink, ConsoleSink, ListSink, ManualClock
+
+KEY = WorkloadKey(customer="acme", workload="db1", metric="cpu")
+
+
+def advisory(severity, step=5):
+    breaching = severity is not BreachSeverity.NONE
+    return BreachPrediction(
+        severity=severity,
+        first_breach_step=step if breaching else None,
+        first_breach_timestamp=step * 3600.0 if breaching else None,
+        threshold=80.0,
+        headroom=-1.0 if breaching else 10.0,
+    )
+
+
+class TestDebounce:
+    def test_single_breach_tick_does_not_raise(self):
+        mgr = AlertManager(raise_after=2)
+        assert mgr.observe(KEY, advisory(BreachSeverity.LIKELY), at=0.0) is None
+        assert mgr.counters["alerts_debounced"] == 1
+        assert mgr.active_alerts() == {}
+
+    def test_consecutive_breaches_raise(self):
+        mgr = AlertManager(raise_after=2)
+        mgr.observe(KEY, advisory(BreachSeverity.LIKELY), at=0.0)
+        event = mgr.observe(KEY, advisory(BreachSeverity.LIKELY), at=60.0)
+        assert event is not None and event.kind is AlertKind.RAISED
+        assert event.severity is BreachSeverity.LIKELY
+        assert event.at == 60.0
+        assert mgr.active_alerts() == {KEY: BreachSeverity.LIKELY}
+
+    def test_breach_streak_broken_by_clear_tick(self):
+        mgr = AlertManager(raise_after=2)
+        mgr.observe(KEY, advisory(BreachSeverity.LIKELY), at=0.0)
+        mgr.observe(KEY, advisory(BreachSeverity.NONE), at=1.0)
+        assert mgr.observe(KEY, advisory(BreachSeverity.LIKELY), at=2.0) is None
+
+    def test_raise_after_one_fires_immediately(self):
+        mgr = AlertManager(raise_after=1)
+        event = mgr.observe(KEY, advisory(BreachSeverity.POSSIBLE), at=0.0)
+        assert event is not None and event.kind is AlertKind.RAISED
+
+    def test_raised_alert_carries_streak_peak_severity(self):
+        mgr = AlertManager(raise_after=3)
+        mgr.observe(KEY, advisory(BreachSeverity.CERTAIN), at=0.0)
+        mgr.observe(KEY, advisory(BreachSeverity.POSSIBLE), at=1.0)
+        event = mgr.observe(KEY, advisory(BreachSeverity.POSSIBLE), at=2.0)
+        assert event.severity is BreachSeverity.CERTAIN
+
+
+class TestEscalation:
+    def _raised(self, mgr):
+        mgr.observe(KEY, advisory(BreachSeverity.POSSIBLE), at=0.0)
+        mgr.observe(KEY, advisory(BreachSeverity.POSSIBLE), at=1.0)
+
+    def test_escalation_is_immediate(self):
+        mgr = AlertManager(raise_after=2)
+        self._raised(mgr)
+        event = mgr.observe(KEY, advisory(BreachSeverity.CERTAIN), at=2.0)
+        assert event.kind is AlertKind.ESCALATED
+        assert event.previous is BreachSeverity.POSSIBLE
+        assert mgr.active_alerts() == {KEY: BreachSeverity.CERTAIN}
+
+    def test_same_severity_suppressed(self):
+        mgr = AlertManager(raise_after=2)
+        self._raised(mgr)
+        assert mgr.observe(KEY, advisory(BreachSeverity.POSSIBLE), at=2.0) is None
+        assert mgr.counters["alerts_suppressed"] == 1
+
+    def test_lower_severity_does_not_deescalate_loudly(self):
+        mgr = AlertManager(raise_after=1)
+        mgr.observe(KEY, advisory(BreachSeverity.CERTAIN), at=0.0)
+        assert mgr.observe(KEY, advisory(BreachSeverity.POSSIBLE), at=1.0) is None
+        assert mgr.active_alerts() == {KEY: BreachSeverity.CERTAIN}
+
+
+class TestRecovery:
+    def test_recovery_is_debounced(self):
+        mgr = AlertManager(raise_after=1, recover_after=2)
+        mgr.observe(KEY, advisory(BreachSeverity.LIKELY), at=0.0)
+        assert mgr.observe(KEY, advisory(BreachSeverity.NONE), at=1.0) is None
+        event = mgr.observe(KEY, advisory(BreachSeverity.NONE), at=2.0)
+        assert event.kind is AlertKind.RECOVERED
+        assert event.previous is BreachSeverity.LIKELY
+        assert mgr.active_alerts() == {}
+
+    def test_flapping_forecast_does_not_recover(self):
+        mgr = AlertManager(raise_after=1, recover_after=2)
+        mgr.observe(KEY, advisory(BreachSeverity.LIKELY), at=0.0)
+        mgr.observe(KEY, advisory(BreachSeverity.NONE), at=1.0)
+        assert mgr.observe(KEY, advisory(BreachSeverity.LIKELY), at=2.0) is None
+        assert mgr.active_alerts() == {KEY: BreachSeverity.LIKELY}
+
+    def test_can_raise_again_after_recovery(self):
+        mgr = AlertManager(raise_after=1, recover_after=1)
+        mgr.observe(KEY, advisory(BreachSeverity.LIKELY), at=0.0)
+        mgr.observe(KEY, advisory(BreachSeverity.NONE), at=1.0)
+        event = mgr.observe(KEY, advisory(BreachSeverity.LIKELY), at=2.0)
+        assert event.kind is AlertKind.RAISED
+
+
+class TestSinksAndClock:
+    def test_list_sink_records_in_order(self):
+        sink = ListSink()
+        mgr = AlertManager(sink=sink, raise_after=1, recover_after=1)
+        mgr.observe(KEY, advisory(BreachSeverity.POSSIBLE), at=0.0)
+        mgr.observe(KEY, advisory(BreachSeverity.CERTAIN), at=1.0)
+        mgr.observe(KEY, advisory(BreachSeverity.NONE), at=2.0)
+        assert [e.kind for e in sink.events] == [
+            AlertKind.RAISED,
+            AlertKind.ESCALATED,
+            AlertKind.RECOVERED,
+        ]
+        assert isinstance(sink, AlertSink)
+
+    def test_console_sink_prints(self, capsys):
+        mgr = AlertManager(sink=ConsoleSink(), raise_after=1)
+        mgr.observe(KEY, advisory(BreachSeverity.LIKELY), at=7.0)
+        out = capsys.readouterr().out
+        assert "RAISED" in out and "acme/db1/cpu" in out
+
+    def test_clock_supplies_timestamps(self):
+        clock = ManualClock(start=42.0)
+        mgr = AlertManager(raise_after=1, clock=clock)
+        event = mgr.observe(KEY, advisory(BreachSeverity.LIKELY))
+        assert event.at == 42.0
+
+    def test_no_clock_no_at_rejected(self):
+        with pytest.raises(DataError):
+            AlertManager(raise_after=1).observe(KEY, advisory(BreachSeverity.LIKELY))
+
+    def test_bad_debounce_knobs(self):
+        with pytest.raises(DataError):
+            AlertManager(raise_after=0)

@@ -1,0 +1,242 @@
+"""Tests for the streaming forecast scheduler.
+
+Real selections are expensive, so these tests monkeypatch the estate's
+``auto_select`` with a cheap flat-forecast model and *count the calls* —
+the acceptance criteria here are about the lifecycle (when selection
+runs, when the cache spares it), not about model quality.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+from repro.exceptions import DataError
+from repro.models.base import FittedModel
+from repro.selection import AutoConfig
+from repro.selection.auto import SelectionOutcome
+from repro.selection.staleness import StalenessReason
+from repro.service import EstatePlanner, WorkloadStatus
+from repro.service.thresholds import BreachSeverity
+from repro.stream import ClosedWindow, ForecastScheduler, ManualClock
+
+HOUR = 3600.0
+
+
+@dataclass
+class _FlatModel(FittedModel):
+    """Forecasts the mean of the last day, with unit error bars."""
+
+    def forecast(self, horizon, alpha=0.05, **kwargs):
+        level = float(np.mean(self.train.values[-24:]))
+        mean = np.full(horizon, level)
+        return self.make_forecast(mean, np.ones(horizon), alpha)
+
+    def label(self):
+        return "flat"
+
+
+def _stub_select(calls):
+    def fake_auto_select(series, config=None, executor=None, **kwargs):
+        calls.append(series.name)
+        model = _FlatModel(
+            train=series, residuals=np.zeros(len(series)), sigma2=1.0, n_params=1
+        )
+        return SelectionOutcome(
+            model=model,
+            technique="hes",
+            test_rmse=1.0,
+            best_spec=None,
+            seasonality=None,
+            shock_calendar=None,
+        )
+
+    return fake_auto_select
+
+
+@pytest.fixture
+def calls(monkeypatch):
+    calls = []
+    monkeypatch.setattr("repro.service.estate.auto_select", _stub_select(calls))
+    return calls
+
+
+def windows(values, start_hour=0, instance="db1", metric="cpu"):
+    return [
+        ClosedWindow(
+            instance=instance,
+            metric=metric,
+            start=(start_hour + i) * HOUR,
+            value=float(v),
+            n_samples=4,
+            expected=4,
+        )
+        for i, v in enumerate(values)
+    ]
+
+
+def scheduler(calls=None, thresholds=None, min_observations=24, **kwargs):
+    planner = EstatePlanner(config=AutoConfig(technique="hes", n_jobs=1))
+    return (
+        ForecastScheduler(
+            planner,
+            thresholds=thresholds or {},
+            min_observations=min_observations,
+            clock=ManualClock(),
+            **kwargs,
+        ),
+        planner,
+    )
+
+
+class TestLifecycle:
+    def test_no_selection_before_min_observations(self, calls):
+        sched, __ = scheduler(calls)
+        tick = sched.on_windows(windows([50.0] * 23))
+        assert tick.refits == [] and calls == []
+
+    def test_initial_selection_at_min_observations(self, calls):
+        sched, planner = scheduler(calls)
+        tick = sched.on_windows(windows([50.0] * 24))
+        assert [e.reason for e in tick.refits] == ["initial"]
+        assert calls == ["db1.cpu"]
+        key = sched.workload_key("db1", "cpu")
+        assert planner.entry(key).status is WorkloadStatus.MODELLED
+        assert tick.report is not None
+
+    def test_keys_selected_independently(self, calls):
+        sched, __ = scheduler(calls)
+        batch = windows([50.0] * 24) + windows([10.0] * 12, metric="memory")
+        tick = sched.on_windows(batch)
+        assert len(tick.refits) == 1  # memory is still short
+        tick = sched.on_windows(windows([10.0] * 12, start_hour=12, metric="memory"))
+        assert [e.key.metric for e in tick.refits] == ["memory"]
+        assert len(calls) == 2
+
+    def test_window_continuity_enforced(self, calls):
+        sched, __ = scheduler(calls)
+        sched.on_windows(windows([50.0] * 4))
+        with pytest.raises(DataError):
+            sched.on_windows(windows([50.0], start_hour=9))  # hours 4..8 missing
+
+    def test_history_readback(self, calls):
+        sched, __ = scheduler(calls)
+        sched.on_windows(windows([1.0, 2.0, 3.0]))
+        series = sched.history("db1", "cpu")
+        assert np.allclose(series.values, [1.0, 2.0, 3.0])
+        assert series.frequency is Frequency.HOURLY
+        with pytest.raises(DataError):
+            sched.history("db1", "nope")
+
+
+class TestStalenessRefit:
+    def test_rmse_degradation_triggers_reselection(self, calls):
+        sched, __ = scheduler(calls)
+        sched.on_windows(windows([50.0] * 24))
+        assert len(calls) == 1
+        # The flat model predicts ~50; feed a shock far beyond 2x baseline.
+        tick = sched.on_windows(windows([500.0] * 3, start_hour=24))
+        assert len(calls) == 2  # re-selected on the refreshed series
+        assert [e.reason for e in tick.refits] == [StalenessReason.DEGRADED.value]
+        assert sched.refit_log[-1].reason == StalenessReason.DEGRADED.value
+        assert sched.trace.counters["stream_refits_triggered"] == 1
+
+    def test_fresh_model_not_refit(self, calls):
+        sched, __ = scheduler(calls)
+        sched.on_windows(windows([50.0] * 24))
+        tick = sched.on_windows(windows([50.0] * 3, start_hour=24))
+        assert len(calls) == 1
+        assert tick.refits == []
+        verdict = next(iter(tick.verdicts.values()))
+        assert not verdict.stale
+
+    def test_data_growth_triggers_reselection(self, calls):
+        sched, __ = scheduler(calls)
+        sched.on_windows(windows([50.0] * 24))
+        # 50% growth over the 24-observation training window.
+        tick = sched.on_windows(windows([50.0] * 12, start_hour=24))
+        assert [e.reason for e in tick.refits] == [StalenessReason.DATA_GROWTH.value]
+        assert len(calls) == 2
+
+
+class TestSelectionCacheReuse:
+    def test_resync_unchanged_workload_costs_zero_fits(self, calls):
+        """The acceptance criterion: unchanged workloads never re-fit."""
+        sched, __ = scheduler(calls)
+        sched.on_windows(windows([50.0] * 24))
+        assert len(calls) == 1
+        report = sched.resync()  # same history, same config: pure cache hit
+        assert len(calls) == 1
+        assert report.trace.counters["selection_cache_hits"] == 1
+        assert report.trace.counters.get("selection_cache_misses", 0) == 0
+
+    def test_resync_after_growth_refits_for_real(self, calls):
+        sched, __ = scheduler(calls)
+        sched.on_windows(windows([50.0] * 24))
+        sched.on_windows(windows([50.0] * 2, start_hour=24))  # grew, still fresh
+        sched.resync()
+        assert len(calls) == 2  # fingerprints differ: a real selection ran
+
+    def test_resync_before_any_data_rejected(self, calls):
+        sched, __ = scheduler(calls)
+        with pytest.raises(DataError):
+            sched.resync()
+
+
+class TestAdvisories:
+    def test_graded_only_with_threshold_and_model(self, calls):
+        sched, __ = scheduler(calls, thresholds={"cpu": 80.0})
+        batch = windows([50.0] * 24) + windows([50.0] * 24, metric="memory")
+        tick = sched.on_windows(batch)
+        graded = {k.metric for k in tick.advisories}
+        assert graded == {"cpu"}  # memory has no threshold
+
+    def test_breach_graded_against_threshold(self, calls):
+        # Flat forecast: mean 50, 95% band ~[48.04, 51.96].
+        sched, __ = scheduler(calls, thresholds={"cpu": 49.0})
+        tick = sched.on_windows(windows([50.0] * 24))
+        advisory = tick.advisories[sched.workload_key("db1", "cpu")]
+        assert advisory.severity is BreachSeverity.LIKELY
+        assert advisory.first_breach_step == 1
+        assert advisory.headroom == pytest.approx(-1.0)
+
+    def test_advisory_slices_to_still_future_steps(self, calls):
+        """As the clock advances past training end, the horizon shrinks
+        to the still-future remainder (recomputed from the cached model,
+        no refit)."""
+        sched, planner = scheduler(calls, thresholds={"cpu": 80.0}, horizon=24)
+        sched.on_windows(windows([50.0] * 24))
+        sched.clock.advance_to(30 * HOUR)
+        tick = sched.on_windows([])
+        advisory = tick.advisories[sched.workload_key("db1", "cpu")]
+        # Training ended at hour 24; at hour 30 six steps have slipped
+        # into the past, but the advisory still looks base-horizon ahead.
+        assert advisory.severity is BreachSeverity.NONE
+        assert len(calls) == 1
+
+    def test_seed_history_bootstraps_without_windows(self, calls):
+        sched, __ = scheduler(calls)
+        series = TimeSeries(np.full(24, 50.0), Frequency.HOURLY, start=0.0, name="db1.cpu")
+        sched.seed_history("db1", "cpu", series)
+        tick = sched.on_windows(windows([50.0], start_hour=24))
+        assert [e.reason for e in tick.refits] == ["initial"]
+
+    def test_seed_history_validation(self, calls):
+        sched, __ = scheduler(calls)
+        with pytest.raises(DataError):
+            sched.seed_history(
+                "db1", "cpu", TimeSeries(np.ones(8), Frequency.MINUTE_15)
+            )
+        sched.on_windows(windows([1.0]))
+        with pytest.raises(DataError):
+            sched.seed_history(
+                "db1", "cpu", TimeSeries(np.ones(8), Frequency.HOURLY)
+            )
+
+    def test_bad_knobs_rejected(self):
+        planner = EstatePlanner()
+        with pytest.raises(DataError):
+            ForecastScheduler(planner, min_observations=1)
+        with pytest.raises(DataError):
+            ForecastScheduler(planner, min_observations=24, history_cap=10)

@@ -137,6 +137,36 @@ class TestAdvise:
             main(["advise", "--db", str(tmp_path / "x.db"), "--threshold", "cpu:90"])
 
 
+class TestStream:
+    def test_stream_replays_and_alerts(self, capsys):
+        code = main(
+            [
+                "stream",
+                "--days", "6",
+                "--min-observations", "96",
+                "--threshold", "cpu=26",
+                "--seed", "0",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # The four telemetry layers are reported...
+        assert "ingest:" in out and "windows:" in out
+        assert "models:" in out and "alerts:" in out
+        # ...the estate got modelled from the stream...
+        assert "initial" in out
+        # ...and the tight threshold fired a debounced alert.
+        assert "RAISED" in out
+
+    def test_stream_unknown_metric_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["stream", "--days", "2", "--metric", "bogus"])
+
+    def test_stream_bad_threshold_syntax(self):
+        with pytest.raises(SystemExit):
+            main(["stream", "--days", "2", "--threshold", "cpu:90"])
+
+
 class TestRoundTripCsv:
     def test_missing_values_roundtrip(self, tmp_path):
         from repro.cli import _load_csv_series, _write_csv_series
