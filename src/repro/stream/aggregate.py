@@ -72,7 +72,11 @@ class ClosedWindow:
 
 @dataclass
 class _KeyWindows:
-    """Finalisation state for one key: frozen anchor plus emitted values."""
+    """Finalisation state for one key: grid anchor plus emitted values.
+
+    ``anchor_slot`` tracks the key's earliest accepted sample (the batch
+    grid's ``t0``) and only freezes once the first window closes.
+    """
 
     anchor_slot: int | None = None
     closed: int = 0
@@ -127,7 +131,14 @@ class WindowAggregator:
         """Finalise every window of ``key`` whose end slot is ≤ ``limit_slot``."""
         buffer = self.bus.buffer(*key)
         state = self._keys.setdefault(key, _KeyWindows())
-        if state.anchor_slot is None:
+        if state.closed == 0:
+            # The grid anchor is the batch path's t0: the key's earliest
+            # *accepted* sample. It must keep tracking min_slot until the
+            # first window actually closes — an out-of-order arrival can
+            # still move the grid start earlier while no hour is final,
+            # and freezing too early would sweep that sample into the
+            # first window (corrupting its mean) and misalign every
+            # window after it relative to the batch grid.
             if buffer.min_slot is None:
                 return []
             state.anchor_slot = buffer.min_slot
@@ -136,7 +147,7 @@ class WindowAggregator:
             end_slot = state.anchor_slot + (state.closed + 1) * self.ratio
             if end_slot > limit_slot:
                 break
-            taken = self.bus.consume(key, end_slot)
+            taken = self.bus.consume(key, end_slot, from_slot=end_slot - self.ratio)
             value = float(np.mean(list(taken.values()))) if taken else float("nan")
             window = ClosedWindow(
                 instance=key[0],

@@ -200,18 +200,30 @@ class IngestBus:
             return -math.inf
         return buffer.max_slot * self.step - self.allowed_lateness
 
-    def consume(self, key: StreamKey, upto_slot: int) -> dict[int, float]:
-        """Pop and return every buffered slot below ``upto_slot`` for ``key``.
+    def consume(
+        self, key: StreamKey, upto_slot: int, from_slot: int | None = None
+    ) -> dict[int, float]:
+        """Pop and return the buffered slots of ``key`` below ``upto_slot``.
 
         Called by the aggregator when finalising windows; advances the
         key's frontier so later arrivals below it are dropped as late,
-        and releases the popped slots' buffer capacity.
+        and releases the popped slots' buffer capacity. When ``from_slot``
+        is given, buffered slots below it are popped too (they can never
+        land anywhere once the frontier moves past them) but excluded
+        from the returned window and counted as ``samples_late_dropped``
+        instead — a closed window must only ever contain its own span.
         """
         buffer = self._buffers[key]
         taken = {s: v for s, v in buffer.slots.items() if s < upto_slot}
         for s in taken:
             del buffer.slots[s]
         self._buffered -= len(taken)
+        if from_slot is not None:
+            stale = [s for s in taken if s < from_slot]
+            for s in stale:
+                del taken[s]
+            if stale:
+                self._count("samples_late_dropped", len(stale))
         if buffer.frontier_slot is None or upto_slot > buffer.frontier_slot:
             buffer.frontier_slot = upto_slot
         return taken

@@ -137,6 +137,10 @@ class StreamRuntime:
         )
         self.events: list[AlertEvent] = []
         self.ticks = 0
+        # One RNG for the runtime's lifetime: chunked run() calls draw
+        # fresh (still seed-deterministic) jitter instead of replaying
+        # the same delivery pattern every chunk.
+        self._rng = np.random.default_rng(self.config.seed)
 
     # ------------------------------------------------------------------
     # Delivery model
@@ -147,12 +151,13 @@ class StreamRuntime:
         Each sample arrives at ``event time + U(0, jitter_seconds)`` —
         bounded reordering — and ``duplicate_rate`` of samples are
         delivered twice (the second copy a little later), modelling agent
-        retries. Seeded by ``config.seed``: the same samples always
-        arrive in the same mangled order.
+        retries. Draws from the runtime's seeded RNG, so a full replay on
+        a fresh runtime is deterministic while successive calls on the
+        same runtime (chunked feeds) see independent delivery noise.
         """
         if not samples:
             return []
-        rng = np.random.default_rng(self.config.seed)
+        rng = self._rng
         arrivals: list[tuple[float, int, AgentSample]] = []
         for i, sample in enumerate(samples):
             delay = float(rng.uniform(0.0, self.config.jitter_seconds))

@@ -38,7 +38,7 @@ from ..engine.executor import Executor
 from ..engine.telemetry import RunTrace
 from ..exceptions import DataError
 from ..models.base import Forecast
-from ..selection.staleness import StalenessVerdict
+from ..selection.staleness import WEEK_SECONDS, StalenessVerdict
 from ..service.estate import EstatePlanner, EstateReport, WorkloadKey, WorkloadStatus
 from ..service.thresholds import BreachPrediction, predict_breach
 from .aggregate import ClosedWindow
@@ -128,7 +128,8 @@ class ForecastScheduler:
         Injected time source for refit/advisory timestamps; ``None``
         falls back to the event-time high watermark.
     horizon:
-        Advisory horizon in windows; ``None`` uses the Table 1 horizon.
+        Advisory horizon in windows; ``None`` uses the Table 1 horizon
+        and ``0`` disables advisory grading entirely.
     min_observations:
         Windows required before a key is first registered and selected;
         ``None`` uses the Table 1 observation budget for the window
@@ -342,12 +343,24 @@ class ForecastScheduler:
         which is what the alerting layer's escalation keys off.
         """
         outcome = entry.outcome
-        base_horizon = self.horizon or self.window_frequency.split_rule.horizon
+        base_horizon = (
+            self.horizon
+            if self.horizon is not None
+            else self.window_frequency.split_rule.horizon
+        )
+        if base_horizon <= 0:
+            return None  # zero lookahead: grading disabled, not defaulted
         train = outcome.model.train
         step = float(train.frequency.seconds)
         elapsed = 0
         if math.isfinite(now) and now > train.end:
             elapsed = int(math.floor((now - train.end) / step))
+            # Weekly expiry guarantees a refit within max_age, so any
+            # further slide cannot happen on a healthy stream; the cap
+            # keeps per-tick forecast length (and the exog future-matrix
+            # allocation) bounded even if grading outlives a model that
+            # somehow never refits.
+            elapsed = min(elapsed, int(math.ceil(WEEK_SECONDS / step)))
         horizon = base_horizon + elapsed
         kwargs = {}
         if (

@@ -76,6 +76,42 @@ class TestClosing:
         assert not closed[0].complete
         assert agg.counters["windows_partial"] >= 1
 
+    def test_anchor_tracks_earlier_arrival_until_first_close(self):
+        """Regression: an out-of-order sample arriving *before* the first
+        advance()'s earliest slot must re-anchor the grid (the batch
+        path's t0), not get swept into a misaligned first window."""
+        bus, agg = make(allowed_lateness=1800.0)
+        bus.push(sample(10, 10.0))
+        assert agg.advance() == []  # nothing closable: anchor must not freeze
+        assert bus.push(sample(6, 1000.0))  # earlier, in-budget, accepted
+        bus.push_many([sample(i, float(i)) for i in range(11, 17)])
+        closed = agg.advance()
+        first, second = closed[0], closed[1]
+        assert first.start == 6 * 900.0  # batch grid anchors at slot 6
+        assert first.n_samples == 1 and first.expected == 4
+        assert first.value == pytest.approx(1000.0)
+        assert second.start == 10 * 900.0
+        assert second.n_samples == 4
+        assert second.value == pytest.approx(np.mean([10, 11, 12, 13]))
+
+    def test_closed_window_never_absorbs_pre_window_slots(self):
+        """A window's mean covers exactly its own span: any buffered slot
+        below the window start is dropped as late, not folded in."""
+        bus, agg = make(allowed_lateness=0.0)
+        bus.push_many([sample(i, 1.0) for i in range(5)])
+        assert len(agg.advance()) == 1  # window [0, 4) closed, frontier at 4
+        # Sneak a pre-frontier slot straight into the buffer, bypassing
+        # push()'s frontier guard, to prove the close path also defends.
+        bus.buffer("db1", "cpu").slots[2] = 999.0
+        bus._buffered += 1
+        bus.push_many([sample(i, 1.0) for i in range(5, 9)])
+        closed = agg.advance()
+        assert len(closed) == 1
+        assert closed[0].n_samples == 4
+        assert closed[0].value == pytest.approx(1.0)
+        assert bus.counters["samples_late_dropped"] == 1
+        assert bus.buffered == 1  # slot 8 waits for the next window
+
 
 class TestFlush:
     def test_flush_closes_fully_covered_trailing_windows(self):

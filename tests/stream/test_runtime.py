@@ -107,6 +107,18 @@ class TestDeliveryModel:
     def test_empty_delivery(self):
         assert runtime().delivery_order([]) == []
 
+    def test_chunked_feeds_draw_fresh_delivery_noise(self):
+        """Successive delivery_order calls on ONE runtime must not replay
+        the identical jitter/duplicate pattern (regression: the RNG was
+        re-seeded per call, correlating noise across chunks)."""
+        samples = polls(6)
+        rt = runtime()
+        first = rt.delivery_order(samples)
+        second = rt.delivery_order(samples)
+        assert first != second
+        # A fresh runtime with the same seed still replays the sequence.
+        assert runtime().delivery_order(samples) == first
+
     def test_run_requires_samples(self):
         with pytest.raises(DataError):
             runtime().run([])

@@ -215,6 +215,33 @@ class TestAdvisories:
         assert advisory.severity is BreachSeverity.NONE
         assert len(calls) == 1
 
+    def test_grading_horizon_is_capped_after_training_end(self, calls):
+        """Per-tick grading cost stays bounded: the still-future slide is
+        capped at the weekly expiry budget, so forecast length cannot
+        grow linearly with stream time for a model that never refits."""
+        sched, planner = scheduler(calls, thresholds={"cpu": 80.0}, horizon=24)
+        sched.on_windows(windows([50.0] * 24))
+        model = planner.entry(sched.workload_key("db1", "cpu")).outcome.model
+        seen = []
+        orig = model.forecast
+        model.forecast = lambda horizon, **kw: [seen.append(horizon), orig(horizon, **kw)][1]
+        train_end = model.train.end
+        week_steps = 7 * 24
+        sched.clock.advance_to(train_end + 52 * 7 * 24 * HOUR)  # a year idle
+        sched.on_windows([])
+        assert seen == [24 + week_steps]
+
+    def test_explicit_zero_horizon_disables_grading(self, calls):
+        """``horizon=0`` must mean zero lookahead, not fall back to the
+        Table 1 default (regression: ``self.horizon or ...`` treated 0 as
+        unset)."""
+        sched, __ = scheduler(calls, thresholds={"cpu": 1.0}, horizon=0)
+        tick = sched.on_windows(windows([50.0] * 24))
+        # Mean 50 dwarfs the threshold; under the default horizon this key
+        # would grade LIKELY, so no advisory proves 0 was honoured.
+        assert tick.advisories == {}
+        assert len(calls) == 1  # the model itself was still selected
+
     def test_seed_history_bootstraps_without_windows(self, calls):
         sched, __ = scheduler(calls)
         series = TimeSeries(np.full(24, 50.0), Frequency.HOURLY, start=0.0, name="db1.cpu")

@@ -128,3 +128,28 @@ class TestOrderInvariance:
         agg.flush()
         assert bus.counters.get("samples_late_dropped", 0) == 0
         assert_series_equal(agg.series("db", "m"), batch_hourly(samples))
+
+    @given(
+        st.integers(min_value=3, max_value=10),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_reversed_first_hour_rebases_anchor(self, n_hours, seed):
+        """Per-sample pushes with the whole first hour arriving newest-first
+        must still anchor the grid at the earliest sample (regression: the
+        anchor used to freeze on the first advance() call)."""
+        rng = np.random.default_rng(seed)
+        values = rng.normal(50.0, 10.0, n_hours * 4)
+        samples = [
+            AgentSample("db", "m", timestamp=i * STEP, value=float(v))
+            for i, v in enumerate(values)
+        ]
+        arrivals = list(reversed(samples[:4])) + samples[4:]
+        bus = IngestBus(allowed_lateness=4 * STEP)
+        agg = WindowAggregator(bus)
+        for sample in arrivals:
+            bus.push(sample)
+            agg.advance()
+        agg.flush()
+        assert bus.counters.get("samples_late_dropped", 0) == 0
+        assert_series_equal(agg.series("db", "m"), batch_hourly(samples))
