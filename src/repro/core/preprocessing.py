@@ -42,20 +42,21 @@ class Gap:
 
 
 def find_gaps(series: TimeSeries) -> list[Gap]:
-    """Locate maximal runs of missing (NaN) samples."""
+    """Locate maximal runs of missing (NaN) samples.
+
+    One vector pass: padding the missing-mask with False on both sides
+    makes every run (including one touching either end of the series)
+    produce exactly one rising and one falling edge in the difference of
+    the mask, so run starts and ends fall out of two ``flatnonzero`` calls.
+    """
     missing = np.isnan(series.values)
-    gaps: list[Gap] = []
-    idx = 0
-    n = len(series)
-    while idx < n:
-        if missing[idx]:
-            start = idx
-            while idx < n and missing[idx]:
-                idx += 1
-            gaps.append(Gap(start_index=start, length=idx - start))
-        else:
-            idx += 1
-    return gaps
+    edges = np.diff(missing.astype(np.int8), prepend=0, append=0)
+    starts = np.flatnonzero(edges == 1)
+    ends = np.flatnonzero(edges == -1)
+    return [
+        Gap(start_index=int(start), length=int(end - start))
+        for start, end in zip(starts, ends)
+    ]
 
 
 def interpolate_missing(series: TimeSeries, max_gap: int | None = None) -> TimeSeries:

@@ -282,13 +282,24 @@ def integrate(
     for layer in range(d):
         base = history_stack[-2 - layer]
         out = np.cumsum(out) + base[-1]
-    # Undo seasonal differences.
+    # Undo seasonal differences. The recurrence
+    #     rebuilt[h] = out[h] + (rebuilt[h-period] | base tail)
+    # only chains values that share a seasonal phase, so it vectorizes
+    # per phase: each chain is a cumulative sum seeded by the matching
+    # base value (same additions in the same order as the scalar loop).
     for layer in range(seasonal_d):
         base = history_stack[seasonal_d - 1 - layer]
+        n = out.size
+        if n <= period:
+            # Horizon within one season (the common forecasting case):
+            # every value chains straight off the base tail.
+            out = out + base[base.size - period : base.size - period + n]
+            continue
         rebuilt = np.empty_like(out)
-        for h in range(out.size):
-            prev = rebuilt[h - period] if h >= period else base[base.size - period + h]
-            rebuilt[h] = out[h] + prev
+        for phase in range(period):
+            seed = base[base.size - period + phase]
+            chain = out[phase::period]
+            rebuilt[phase::period] = np.cumsum(np.concatenate(([seed], chain)))[1:]
         out = rebuilt
     return out
 

@@ -9,6 +9,7 @@ paper's production claims — hundreds of candidates per series, fanned
 out across thousands of workloads — rest on a single tested substrate.
 """
 
+from . import kernels
 from .executor import (
     Executor,
     PayloadRef,
@@ -36,6 +37,7 @@ from .pipeline import (
 from .telemetry import RunTrace, StageEvent
 
 __all__ = [
+    "kernels",
     "Executor",
     "SerialExecutor",
     "PoolExecutor",

@@ -217,9 +217,45 @@ def _run_captured(fn: Callable, task, index: int) -> TaskReport:
     )
 
 
-def _run_chunk(fn: Callable, chunk: list[tuple[int, object]]) -> list[TaskReport]:
-    """Worker-side entry point: run one chunk of (index, task) pairs."""
-    return [_run_captured(fn, task, index) for index, task in chunk]
+#: Last kernel-counter snapshot this worker reported back to the parent.
+#: ``None`` means "never reported": the first chunk then ships the whole
+#: process history, which is what charges pool-init warm-compilation to
+#: the run that created the pool instead of losing it.
+_KERNEL_REPORTED: dict[str, float] | None = None
+
+
+def _pool_worker_init() -> None:
+    """Pool-worker initializer: JIT-compile every kernel before the first task."""
+    from . import kernels as engine_kernels
+
+    engine_kernels.warm_worker_init()
+
+
+def _drain_worker_kernel_delta() -> dict[str, float]:
+    """Kernel-counter movement in this worker since its last report."""
+    global _KERNEL_REPORTED
+    from . import kernels as engine_kernels
+
+    now = engine_kernels.snapshot()
+    if _KERNEL_REPORTED is None:
+        moved = {key: value for key, value in now.items() if value}
+    else:
+        moved = engine_kernels.delta(_KERNEL_REPORTED, now)
+    _KERNEL_REPORTED = now
+    return moved
+
+
+def _run_chunk(
+    fn: Callable, chunk: list[tuple[int, object]]
+) -> tuple[list[TaskReport], dict[str, float]]:
+    """Worker-side entry point: run one chunk of (index, task) pairs.
+
+    Returns the task reports plus this worker's kernel-counter delta, so
+    compiled-kernel telemetry rides the existing result channel instead
+    of needing a second IPC round.
+    """
+    reports = [_run_captured(fn, task, index) for index, task in chunk]
+    return reports, _drain_worker_kernel_delta()
 
 
 class Executor:
@@ -246,6 +282,15 @@ class Executor:
                 raise DataError(f"task {report.index} failed: {report.error or 'timeout'}")
             out.append(report.value)
         return out
+
+    def drain_kernel_counters(self) -> dict[str, float]:
+        """Take (and clear) kernel-counter deltas reported by workers.
+
+        Serial execution runs kernels in the parent process, where the
+        pipeline's own snapshot already counts them — so the base
+        implementation has nothing to report and returns ``{}``.
+        """
+        return {}
 
     def close(self, force: bool = False) -> None:
         """Release worker resources (no-op for serial execution)."""
@@ -285,6 +330,11 @@ class SerialExecutor(Executor):
         return PayloadRef(key=key, path=None, nbytes=len(blob))
 
     def run(self, fn: Callable, tasks: Sequence) -> list[TaskReport]:
+        # Match pool semantics: kernels are warm before the first task runs
+        # (for numpy backends this is a microsecond no-op after the first call).
+        from . import kernels as engine_kernels
+
+        engine_kernels.warm_worker_init()
         reports = []
         for index, task in enumerate(tasks):
             report = _run_captured(fn, task, index)
@@ -352,6 +402,9 @@ class PoolExecutor(Executor):
         self._pool: ProcessPoolExecutor | None = None
         self._broadcasts: dict[str, PayloadRef] = {}
         self._close_lock = threading.Lock()
+        #: Kernel-counter deltas reported by workers, accumulated until a
+        #: trace-owning caller drains them (see engine.kernels policy).
+        self.kernel_counters: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def broadcast(self, payload: object) -> PayloadRef:
@@ -390,7 +443,9 @@ class PoolExecutor(Executor):
     # ------------------------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers, initializer=_pool_worker_init
+            )
             self.pools_created += 1
         return self._pool
 
@@ -420,8 +475,11 @@ class PoolExecutor(Executor):
         for chunk, future in zip(chunks, futures):
             deadline = self.timeout * len(chunk) if self.timeout else None
             try:
-                for report in future.result(timeout=deadline):
+                chunk_reports, kernel_delta = future.result(timeout=deadline)
+                for report in chunk_reports:
                     reports[report.index] = report
+                for key, value in kernel_delta.items():
+                    self.kernel_counters[key] = self.kernel_counters.get(key, 0.0) + value
             except FuturesTimeoutError:
                 future.cancel()
                 for index, __ in chunk:
@@ -447,6 +505,12 @@ class PoolExecutor(Executor):
         if broken:
             self._reset_pool()
         return [reports[i] for i in range(len(tasks))]
+
+    def drain_kernel_counters(self) -> dict[str, float]:
+        """Take (and clear) the kernel-counter deltas workers reported."""
+        out = self.kernel_counters
+        self.kernel_counters = {}
+        return out
 
     # ------------------------------------------------------------------
     def _reset_pool(self) -> None:

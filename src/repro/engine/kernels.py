@@ -1,0 +1,76 @@
+"""Engine-side kernel registry: warm-up wiring and counter transport.
+
+:mod:`repro.models.kernels` owns the compiled recursions and their
+per-process call/time counters; this module is the thin seam that the
+execution engine uses to talk to them without the models layer ever
+importing the engine:
+
+* :func:`warm_worker_init` is the picklable ``ProcessPoolExecutor``
+  initializer — each pool worker JIT-compiles (or cache-loads) every
+  kernel once at spawn, so compilation never lands inside a timed task.
+* :func:`snapshot` / :func:`delta` / :func:`absorb_delta` move the
+  monotonic kernel counters across process boundaries and fold them into
+  :class:`~repro.engine.telemetry.RunTrace` counters, where they surface
+  through ``CapacityPlanner.telemetry()`` and the CLI.
+
+Counting policy (who absorbs what, so nothing is counted twice):
+
+* ``run_pipeline`` snapshots the *parent* process around the whole
+  selection and absorbs that delta — this captures all in-process kernel
+  work, including everything a :class:`SerialExecutor` runs.
+* Pool workers report their delta piggybacked on each completed chunk;
+  :class:`PoolExecutor` accumulates those, and the grid scorer drains
+  them into the active trace (they are invisible to the parent snapshot).
+"""
+
+from __future__ import annotations
+
+from ..models import kernels as _kernels
+
+__all__ = [
+    "active_backend",
+    "available_backends",
+    "warm_worker_init",
+    "snapshot",
+    "delta",
+    "absorb_delta",
+]
+
+
+def active_backend() -> str:
+    """Backend every kernel in this process dispatches to."""
+    return _kernels.active_backend()
+
+
+def available_backends() -> tuple[str, ...]:
+    return _kernels.available_backends()
+
+
+def warm_worker_init() -> None:
+    """Pool-worker initializer: compile every kernel before the first task."""
+    _kernels.ensure_warm()
+
+
+def snapshot() -> dict[str, float]:
+    """Monotonic kernel counters of *this* process (see ``stats_snapshot``)."""
+    return _kernels.stats_snapshot()
+
+
+def delta(before: dict[str, float], after: dict[str, float]) -> dict[str, float]:
+    """Counter movement between two snapshots (keys with no movement drop out)."""
+    out: dict[str, float] = {}
+    for key, value in after.items():
+        moved = value - before.get(key, 0.0)
+        if moved:
+            out[key] = moved
+    return out
+
+
+def absorb_delta(trace, moved: dict[str, float]) -> None:
+    """Fold a counter delta into a :class:`RunTrace` (rounded to ints)."""
+    if trace is None:
+        return
+    for key, value in moved.items():
+        n = int(round(value))
+        if n:
+            trace.count(key, n)

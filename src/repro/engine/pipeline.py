@@ -396,6 +396,8 @@ def run_pipeline(
     ``executor`` defaults to the shared executor for ``config.n_jobs``
     (one process pool per worker count, reused across calls).
     """
+    from . import kernels as engine_kernels
+
     config = config or AutoConfig()
     if executor is None:
         executor = default_executor(config.n_jobs)
@@ -407,7 +409,15 @@ def run_pipeline(
         train=train,
         test=test,
     )
+    # Compiled-kernel telemetry: everything this process runs is the delta
+    # around the stage loop; pool workers report their own deltas through
+    # the executor (absorbed at each grid round).
+    kernel_before = engine_kernels.snapshot()
     for name, fn in PIPELINE_STAGES:
         with ctx.trace.stage(name):
             fn(ctx)
+    engine_kernels.absorb_delta(
+        ctx.trace, engine_kernels.delta(kernel_before, engine_kernels.snapshot())
+    )
+    ctx.trace.set_info("kernel_backend", engine_kernels.active_backend())
     return ctx.outcome

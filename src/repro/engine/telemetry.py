@@ -59,12 +59,17 @@ class RunTrace:
     lineage:
         Human-readable decision trail for the winning model, oldest
         entry first.
+    info:
+        Small string facts about the run environment — e.g.
+        ``kernel_backend`` (``"numpy"`` or ``"numba"``), recorded by the
+        pipeline alongside the ``kernel_<name>_calls`` / ``_us`` counters.
     """
 
     events: list[StageEvent] = field(default_factory=list)
     counters: dict[str, int] = field(default_factory=dict)
     worker_tasks: dict[str, int] = field(default_factory=dict)
     lineage: list[str] = field(default_factory=list)
+    info: dict[str, str] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Recording
@@ -101,6 +106,10 @@ class RunTrace:
         """Append one lineage entry (decision trail of the winner)."""
         self.lineage.append(message)
 
+    def set_info(self, key: str, value: str) -> None:
+        """Record one environment fact (e.g. the active kernel backend)."""
+        self.info[key] = str(value)
+
     def merge(self, other: "RunTrace", prefix: str = "") -> None:
         """Fold another trace into this one (estate ← per-workload)."""
         for event in other.events:
@@ -110,6 +119,8 @@ class RunTrace:
             self.count(key, value)
         for worker, value in other.worker_tasks.items():
             self.record_worker(worker, value)
+        for key, value in other.info.items():
+            self.info.setdefault(key, value)
 
     # ------------------------------------------------------------------
     # Reading
@@ -131,9 +142,13 @@ class RunTrace:
         if stages:
             timing = " | ".join(f"{name} {secs:.2f}s" for name, secs in stages.items())
             lines.append(f"stages: {timing} (total {self.total_seconds():.2f}s)")
-        if self.counters:
-            counts = " ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
+        plain = {k: v for k, v in self.counters.items() if not k.startswith("kernel_")}
+        if plain:
+            counts = " ".join(f"{k}={v}" for k, v in sorted(plain.items()))
             lines.append(f"counts: {counts}")
+        kernel_line = self._kernel_line()
+        if kernel_line:
+            lines.append(kernel_line)
         if self.worker_tasks:
             busiest = sorted(self.worker_tasks.items(), key=lambda kv: -kv[1])
             util = " ".join(f"{worker}:{n}" for worker, n in busiest)
@@ -141,3 +156,23 @@ class RunTrace:
         if self.lineage:
             lines.append("lineage: " + " -> ".join(self.lineage))
         return lines
+
+    def _kernel_line(self) -> str:
+        """One line of compiled-kernel activity, or "" when none was traced."""
+        calls = {
+            key[len("kernel_") : -len("_calls")]: value
+            for key, value in self.counters.items()
+            if key.startswith("kernel_") and key.endswith("_calls")
+            and key != "kernel_calls_before_warm" and value
+        }
+        if not calls:
+            return ""
+        backend = self.info.get("kernel_backend", "?")
+        total_us = sum(
+            value
+            for key, value in self.counters.items()
+            if key.startswith("kernel_") and key.endswith("_us")
+        )
+        busiest = sorted(calls.items(), key=lambda kv: -kv[1])
+        detail = " ".join(f"{name}:{n}" for name, n in busiest)
+        return f"kernels[{backend}]: {detail} ({total_us / 1e6:.2f}s)"

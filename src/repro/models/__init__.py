@@ -6,6 +6,7 @@ protocol (``fit`` → fitted object → ``forecast``) and return
 error bars.
 """
 
+from . import kernels
 from .arima import Arima, ArimaOrder, FittedArima, SeasonalOrder
 from .base import FittedModel, Forecast, ForecastModel
 from .ets import FittedExpSmoothing, Holt, HoltWinters, SimpleExpSmoothing
@@ -14,6 +15,7 @@ from .sarimax import FittedSarimax, Sarimax
 from .tbats import FittedTbats, Tbats, TbatsConfig
 
 __all__ = [
+    "kernels",
     "Forecast",
     "ForecastModel",
     "FittedModel",

@@ -33,6 +33,7 @@ from scipy import optimize, signal
 from ..core.stationarity import difference
 from ..core.timeseries import TimeSeries
 from ..exceptions import ConvergenceError, ModelError
+from . import kernels
 from .base import FittedModel, Forecast, ForecastModel, check_series
 from .polynomials import (
     ar_poly,
@@ -276,19 +277,9 @@ class FittedArima(FittedModel):
         q_full = ma_full.size - 1
         recent_e = e[-q_full:] if q_full else np.empty(0)
 
-        mean = np.empty(horizon)
-        buf = np.concatenate([history, mean])  # history then forecasts
-        for h in range(horizon):
-            acc = c_star
-            for k in range(1, L + 1):
-                acc -= full_ar[k] * buf[L + h - k]
-            for j in range(h + 1, q_full + 1):
-                # shock at time n + h + 1 - j, which is in-sample when j > h
-                idx = recent_e.size + h - j
-                if 0 <= idx < recent_e.size:
-                    acc += ma_full[j] * recent_e[idx]
-            buf[L + h] = acc
-            mean[h] = acc
+        # Iterate the expanded difference equation in the kernel (in-sample
+        # shocks contribute while j > h, i.e. while they are still visible).
+        mean = kernels.arma_forecast(full_ar, ma_full, history, recent_e, c_star, horizon)
 
         psi = psi_weights(full_ar, ma_full, horizon)
         std = np.sqrt(np.maximum(self.sigma2 * np.cumsum(psi**2), 0.0))
@@ -354,11 +345,9 @@ class FittedArima(FittedModel):
 
         rng = np.random.default_rng(20200614)  # fixed: reproducible bands
         shocks = rng.choice(pool, size=(n_paths, horizon), replace=True)
-        # Cumulative shock effect: for each path, deviation_h = Σ_j ψ_j e_{h-j}.
-        deviations = np.empty((n_paths, horizon))
-        for h in range(horizon):
-            weights = psi[: h + 1][::-1]
-            deviations[:, h] = shocks[:, : h + 1] @ weights
+        # Cumulative shock effect: deviation_h = Σ_j ψ_j e_{h-j}, computed
+        # for every path at once as one causal-convolution matrix product.
+        deviations = kernels.bootstrap_deviations(psi, shocks)
         lower = mean + np.quantile(deviations, alpha / 2.0, axis=0)
         upper = mean + np.quantile(deviations, 1.0 - alpha / 2.0, axis=0)
         return lower, upper

@@ -25,6 +25,7 @@ from scipy import optimize
 
 from ..core.timeseries import TimeSeries
 from ..exceptions import ConvergenceError, ModelError
+from . import kernels
 from .base import FittedModel, Forecast, ForecastModel, check_series
 
 __all__ = [
@@ -36,6 +37,9 @@ __all__ = [
 
 _BOUND = (1e-4, 0.9999)
 _PHI_BOUND = (0.8, 0.998)
+
+#: Seasonal component encoding used by the compiled recursion kernel.
+_SEASONAL_MODE = {None: 0, "add": 1, "mul": 2}
 
 
 @dataclass(frozen=True)
@@ -72,39 +76,23 @@ def _run_recursion(
     """One pass of the smoothing recursion; returns (errors, final state).
 
     The recursion follows the standard error-correction form; seasonal
-    indices rotate through a length-``period`` buffer.
+    indices rotate through a length-``period`` buffer. The per-timestep
+    loop lives in :func:`repro.models.kernels.ets_recursion` (this is the
+    hot path of the L-BFGS objective, run hundreds of times per fit).
     """
-    n = y.size
-    m = spec.period
-    level = level0
-    trend = trend0
-    seas = seasonal0.copy()
-    errors = np.empty(n)
-    for t in range(n):
-        damped_trend = phi * trend if spec.trend else 0.0
-        s_idx = t % m if spec.seasonal else 0
-        if spec.seasonal == "add":
-            fitted = level + damped_trend + seas[s_idx]
-        elif spec.seasonal == "mul":
-            fitted = (level + damped_trend) * seas[s_idx]
-        else:
-            fitted = level + damped_trend
-        err = y[t] - fitted
-        errors[t] = err
-        prev_level = level
-        if spec.seasonal == "add":
-            level = alpha * (y[t] - seas[s_idx]) + (1 - alpha) * (prev_level + damped_trend)
-            seas[s_idx] = gamma * (y[t] - prev_level - damped_trend) + (1 - gamma) * seas[s_idx]
-        elif spec.seasonal == "mul":
-            denom = seas[s_idx] if abs(seas[s_idx]) > 1e-12 else 1e-12
-            level = alpha * (y[t] / denom) + (1 - alpha) * (prev_level + damped_trend)
-            base = prev_level + damped_trend
-            seas[s_idx] = gamma * (y[t] / (base if abs(base) > 1e-12 else 1e-12)) + (1 - gamma) * seas[s_idx]
-        else:
-            level = alpha * y[t] + (1 - alpha) * (prev_level + damped_trend)
-        if spec.trend:
-            trend = beta * (level - prev_level) + (1 - beta) * damped_trend
-    return errors, level, trend, seas
+    return kernels.ets_recursion(
+        y,
+        spec.trend,
+        _SEASONAL_MODE[spec.seasonal],
+        spec.period,
+        alpha,
+        beta,
+        gamma,
+        phi,
+        level0,
+        trend0,
+        seasonal0,
+    )
 
 
 def _initial_state(y: np.ndarray, spec: _EtsSpec) -> tuple[float, float, np.ndarray]:
@@ -147,27 +135,31 @@ class FittedExpSmoothing(FittedModel):
     def label(self) -> str:
         return self.family
 
+    def _damp_sums(self, horizon: int) -> np.ndarray:
+        """Geometric trend multipliers ``sum(phi**i, i=1..h)`` for h=1..horizon.
+
+        One cumulative sum instead of the former O(horizon²) nested
+        accumulation; the cumsum adds terms in the same order the nested
+        sums did, so results agree to the last ulp.
+        """
+        if not self.spec.damped:
+            return np.arange(1, horizon + 1, dtype=float)
+        return np.cumsum(self.phi ** np.arange(1, horizon + 1, dtype=float))
+
     def _point_forecast(self, horizon: int) -> np.ndarray:
         m = self.spec.period
-        out = np.empty(horizon)
-        for h in range(1, horizon + 1):
-            if self.spec.trend:
-                if self.spec.damped:
-                    damp_sum = sum(self.phi**j for j in range(1, h + 1))
-                else:
-                    damp_sum = float(h)
-                base = self.level + damp_sum * self.trend
+        if self.spec.trend:
+            out = self.level + self._damp_sums(horizon) * self.trend
+        else:
+            out = np.full(horizon, self.level)
+        if self.spec.seasonal:
+            # Seasonal buffer index continuing the training rotation.
+            s_idx = (len(self.train) + np.arange(horizon)) % m
+            if self.spec.seasonal == "add":
+                out = out + self.seasonal_state[s_idx]
             else:
-                base = self.level
-            if self.spec.seasonal:
-                # Seasonal buffer index continuing the training rotation.
-                s_idx = (len(self.train) + h - 1) % m
-                if self.spec.seasonal == "add":
-                    base = base + self.seasonal_state[s_idx]
-                else:
-                    base = base * self.seasonal_state[s_idx]
-            out[h - 1] = base
-        return out
+                out = out * self.seasonal_state[s_idx]
+        return np.asarray(out, dtype=float)
 
     def _forecast_std(self, horizon: int) -> np.ndarray:
         """Forecast standard deviations.
@@ -179,44 +171,42 @@ class FittedExpSmoothing(FittedModel):
         sigma = np.sqrt(self.sigma2)
         m = self.spec.period
         if self.spec.seasonal != "mul":
-            c = np.zeros(horizon)  # c_j for j = 1..horizon-1 offset
-            var = np.empty(horizon)
-            acc = 0.0
-            for h in range(1, horizon + 1):
-                var[h - 1] = self.sigma2 * (1.0 + acc)
-                # c_h term added for the *next* step.
-                j = h
-                cj = self.alpha
-                if self.spec.trend:
-                    if self.spec.damped:
-                        cj += self.alpha * self.beta * sum(self.phi**i for i in range(1, j + 1))
-                    else:
-                        cj += self.alpha * self.beta * j
-                if self.spec.seasonal == "add" and m > 1 and j % m == 0:
-                    cj += self.gamma * (1 - self.alpha)
-                acc += cj * cj
-            return np.sqrt(var)
-        # Multiplicative: simulate.
+            # c_j coefficients for j = 1..horizon, built in one vector pass
+            # (the damped-trend multipliers come from the cumulative
+            # geometric sum, not the former per-h nested accumulation).
+            c = np.full(horizon, self.alpha)
+            if self.spec.trend:
+                c = c + self.alpha * self.beta * self._damp_sums(horizon)
+            if self.spec.seasonal == "add" and m > 1:
+                c = np.where(
+                    np.arange(1, horizon + 1) % m == 0,
+                    c + self.gamma * (1 - self.alpha),
+                    c,
+                )
+            # var_h = sigma2 * (1 + sum_{j<h} c_j^2): the accumulator lags
+            # one step, hence the leading zero.
+            acc = np.concatenate(([0.0], np.cumsum(c[:-1] ** 2)))
+            return np.sqrt(self.sigma2 * (1.0 + acc))
+        # Multiplicative: simulate through the recursion kernel, all paths
+        # at once. The shocks are pre-drawn as one (paths, horizon) matrix,
+        # which walks the generator in exactly the order the former nested
+        # loop did — simulated paths are bit-identical.
         rng = np.random.default_rng(1234)
         n_paths = 500
-        sims = np.empty((n_paths, horizon))
-        for i in range(n_paths):
-            level, trend, seas = self.level, self.trend, self.seasonal_state.copy()
-            for h in range(horizon):
-                damped_trend = self.phi * trend if self.spec.trend else 0.0
-                s_idx = (len(self.train) + h) % m
-                point = (level + damped_trend) * seas[s_idx]
-                value = point + rng.normal(0.0, sigma)
-                prev_level = level
-                denom = seas[s_idx] if abs(seas[s_idx]) > 1e-12 else 1e-12
-                level = self.alpha * (value / denom) + (1 - self.alpha) * (prev_level + damped_trend)
-                base = prev_level + damped_trend
-                seas[s_idx] = self.gamma * (value / (base if abs(base) > 1e-12 else 1e-12)) + (
-                    1 - self.gamma
-                ) * seas[s_idx]
-                if self.spec.trend:
-                    trend = self.beta * (level - prev_level) + (1 - self.beta) * damped_trend
-                sims[i, h] = value
+        shocks = rng.normal(0.0, sigma, size=(n_paths, horizon))
+        sims = kernels.ets_mul_paths(
+            self.level,
+            self.trend,
+            self.seasonal_state,
+            self.alpha,
+            self.beta,
+            self.gamma,
+            self.phi,
+            self.spec.trend,
+            m,
+            len(self.train),
+            shocks,
+        )
         return sims.std(axis=0)
 
     def forecast(self, horizon: int, alpha: float = 0.05) -> Forecast:

@@ -31,6 +31,7 @@ import numpy as np
 from scipy import linalg, optimize
 
 from ..exceptions import ConvergenceError, ModelError
+from . import kernels
 from .polynomials import ar_poly, ma_poly
 
 __all__ = [
@@ -111,30 +112,15 @@ def kalman_loglike(
     if theta.size and min_root_modulus(ma_poly(theta)) <= 1.0:
         return -np.inf, np.nan
 
-    T, R, Z = arma_state_space(phi, theta)
-    m = T.shape[0]
-    a = np.zeros(m)
+    T, R, __ = arma_state_space(phi, theta)
     P = stationary_initialisation(T, R)
     RRt = np.outer(R, R)
 
-    sum_sq = 0.0
-    sum_logF = 0.0
-    for t in range(n):
-        # Innovation (Z picks the first state component).
-        F = P[0, 0]
-        if not np.isfinite(F) or F <= 1e-300:
-            return -np.inf, np.nan
-        v = y[t] - a[0]
-        sum_sq += v * v / F
-        sum_logF += np.log(F)
-        # Update.
-        K = P[:, 0] / F
-        a = a + K * v
-        P = P - np.outer(K, P[0, :])
-        # Predict.
-        a = T @ a
-        P = T @ P @ T.T + RRt
-        P = 0.5 * (P + P.T)
+    # The per-timestep filter loop (innovation → update → predict) lives in
+    # the compiled kernel; Z picks the first state component.
+    sum_sq, sum_logF, ok = kernels.kalman_filter(y, T, RRt, P)
+    if not ok:
+        return -np.inf, np.nan
 
     sigma2 = sum_sq / n
     if sigma2 <= 0 or not np.isfinite(sigma2):

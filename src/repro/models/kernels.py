@@ -1,0 +1,936 @@
+"""Compiled numeric kernels: the per-timestep recursions, at hardware speed.
+
+Every model family in this package bottoms out in a sequential recursion
+that L-BFGS evaluates hundreds of times per fit: the exponential-smoothing
+error-correction pass (HES), the TBATS trigonometric filter, the exact-MLE
+Kalman filter, and the forecast/bootstrap simulation paths. This module
+extracts each of those loops into a pure function over plain ndarrays and
+scalars with two interchangeable backends:
+
+* ``numpy`` — the reference implementation. Recurrences that allow it are
+  vectorized (bootstrap simulation is broadcast across all paths at once;
+  the bootstrap band is one Toeplitz mat-mul); the inherently sequential
+  filters run as tight scalar loops with all per-step dispatch (string
+  compares, tiny-ndarray temporaries, ``np.roll``) hoisted out, which is
+  already several times faster than the loops they replace.
+* ``numba`` — optional ``@njit(cache=True)`` variants of the same
+  functions. numba is **never** a hard dependency: it is the ``perf``
+  extra in ``pyproject.toml``, and when it is absent (or fails to import)
+  the numpy backend is used silently.
+
+Backend selection happens once at import from ``REPRO_KERNEL_BACKEND``
+(``auto`` | ``numpy`` | ``numba``; default ``auto`` = numba when
+available) and can be switched at runtime with :func:`set_backend`.
+
+Both backends implement identical arithmetic in identical order, so
+results agree to the last ulp on finite inputs; the parity suite in
+``tests/models/test_kernels.py`` enforces ≤1e-9 relative agreement
+against inlined reference loops, identical grid winners, and identical
+guard behaviour on non-finite input.
+
+Every dispatch is counted and timed (:func:`stats_snapshot`), and
+:func:`warm_compile` runs each active kernel once on tiny inputs so JIT
+compilation cost is paid at pool-worker init, never inside a timed task
+(:mod:`repro.engine.kernels` wires this into the executor layer).
+
+Guard semantics: the scalar reference loops run on Python floats, where
+overflow raises instead of yielding ``inf``. Each kernel catches that and
+returns ``inf``-filled outputs, which is exactly what the numpy loops
+they replaced produced — objective functions see a non-finite SSE either
+way and apply their usual penalty.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+
+import numpy as np
+
+__all__ = [
+    "KERNEL_NAMES",
+    "NUMBA_AVAILABLE",
+    "active_backend",
+    "available_backends",
+    "set_backend",
+    "warm_compile",
+    "ensure_warm",
+    "is_warmed",
+    "stats_snapshot",
+    "ets_recursion",
+    "ets_mul_paths",
+    "tbats_filter",
+    "tbats_paths",
+    "kalman_filter",
+    "arma_forecast",
+    "bootstrap_deviations",
+]
+
+BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+KERNEL_NAMES = (
+    "ets_recursion",
+    "ets_mul_paths",
+    "tbats_filter",
+    "tbats_paths",
+    "kalman_filter",
+    "arma_forecast",
+    "bootstrap_deviations",
+)
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+
+    NUMBA_AVAILABLE = True
+except Exception:  # ImportError, or a broken numba install
+    NUMBA_AVAILABLE = False
+
+
+# ---------------------------------------------------------------------------
+# NumPy backend
+# ---------------------------------------------------------------------------
+def _ets_recursion_numpy(
+    y, use_trend, seasonal_mode, period, alpha, beta, gamma, phi, level0, trend0, seasonal0
+):
+    """Error-correction smoothing pass; seasonal_mode 0=none, 1=add, 2=mul."""
+    yl = y.tolist()
+    n = len(yl)
+    sl = seasonal0.tolist()
+    level = level0
+    trend = trend0
+    errors = [0.0] * n
+    one_a = 1.0 - alpha
+    one_b = 1.0 - beta
+    one_g = 1.0 - gamma
+    try:
+        if seasonal_mode == 0:
+            for t in range(n):
+                dt = phi * trend if use_trend else 0.0
+                yt = yl[t]
+                errors[t] = yt - (level + dt)
+                prev = level
+                level = alpha * yt + one_a * (prev + dt)
+                if use_trend:
+                    trend = beta * (level - prev) + one_b * dt
+        elif seasonal_mode == 1:
+            for t in range(n):
+                dt = phi * trend if use_trend else 0.0
+                s_idx = t % period
+                s = sl[s_idx]
+                yt = yl[t]
+                errors[t] = yt - (level + dt + s)
+                prev = level
+                level = alpha * (yt - s) + one_a * (prev + dt)
+                sl[s_idx] = gamma * (yt - prev - dt) + one_g * s
+                if use_trend:
+                    trend = beta * (level - prev) + one_b * dt
+        else:
+            for t in range(n):
+                dt = phi * trend if use_trend else 0.0
+                s_idx = t % period
+                s = sl[s_idx]
+                yt = yl[t]
+                errors[t] = yt - (level + dt) * s
+                prev = level
+                denom = s if abs(s) > 1e-12 else 1e-12
+                level = alpha * (yt / denom) + one_a * (prev + dt)
+                base = prev + dt
+                sl[s_idx] = gamma * (yt / (base if abs(base) > 1e-12 else 1e-12)) + one_g * s
+                if use_trend:
+                    trend = beta * (level - prev) + one_b * dt
+    except OverflowError:
+        # Python floats raise where ndarray arithmetic saturates to inf;
+        # surface the same non-finite result the old numpy loop produced.
+        return np.full(n, np.inf), math.inf, math.inf, np.full(len(sl), np.inf)
+    return np.asarray(errors), level, trend, np.asarray(sl)
+
+
+def _ets_mul_paths_numpy(
+    level0, trend0, seasonal0, alpha, beta, gamma, phi, use_trend, period, start_index, shocks
+):
+    """Multiplicative-seasonal simulation, broadcast across all paths."""
+    n_paths, horizon = shocks.shape
+    level = np.full(n_paths, level0)
+    trend = np.full(n_paths, trend0)
+    seas = np.tile(seasonal0, (n_paths, 1))
+    sims = np.empty((n_paths, horizon))
+    one_a = 1.0 - alpha
+    one_g = 1.0 - gamma
+    one_b = 1.0 - beta
+    for h in range(horizon):
+        dt = phi * trend if use_trend else 0.0
+        s_idx = (start_index + h) % period
+        s = seas[:, s_idx].copy()
+        value = (level + dt) * s + shocks[:, h]
+        prev = level
+        denom = np.where(np.abs(s) > 1e-12, s, 1e-12)
+        level = alpha * (value / denom) + one_a * (prev + dt)
+        base = prev + dt
+        base = np.where(np.abs(base) > 1e-12, base, 1e-12)
+        seas[:, s_idx] = gamma * (value / base) + one_g * s
+        if use_trend:
+            trend = beta * (level - prev) + one_b * dt
+        sims[:, h] = value
+    return sims
+
+
+def _tbats_filter_numpy(
+    y, alpha, beta, phi, use_trend, rot, gamma_vec, ar, ma, level0, trend0, z0, d0, e0
+):
+    """One TBATS filtering pass; harmonic states as complex scalars."""
+    yl = y.tolist()
+    n = len(yl)
+    k = z0.size
+    p = ar.size
+    q = ma.size
+    rl = rot.tolist()
+    gl = gamma_vec.tolist()
+    zl = z0.tolist()
+    arl = ar.tolist()
+    mal = ma.tolist()
+    dl = d0.tolist()
+    el = e0.tolist()
+    level = level0
+    trend = trend0
+    innov = [0.0] * n
+    try:
+        for t in range(n):
+            seasonal = 0.0
+            for i in range(k):
+                seasonal += zl[i].real
+            d_pred = 0.0
+            for i in range(p):
+                d_pred += arl[i] * dl[i]
+            for i in range(q):
+                d_pred += mal[i] * el[i]
+            yt = yl[t]
+            e = yt - (level + phi * trend + seasonal + d_pred)
+            d = d_pred + e
+            innov[t] = e
+            prev = level
+            level = prev + phi * trend + alpha * d
+            if use_trend:
+                trend = phi * trend + beta * d
+            for i in range(k):
+                zl[i] = rl[i] * zl[i] + gl[i] * d
+            if p:
+                dl.insert(0, d)
+                dl.pop()
+            if q:
+                el.insert(0, e)
+                el.pop()
+    except OverflowError:
+        return (
+            np.full(n, np.inf),
+            math.inf,
+            math.inf,
+            np.full(k, np.inf, dtype=complex),
+            np.full(p, np.inf),
+            np.full(q, np.inf),
+        )
+    return (
+        np.asarray(innov),
+        level,
+        trend,
+        np.asarray(zl, dtype=complex),
+        np.asarray(dl),
+        np.asarray(el),
+    )
+
+
+def _tbats_paths_numpy(
+    alpha, beta, phi, use_trend, rot, gamma_vec, ar, ma, level0, trend0, z0, d0, e0, shocks
+):
+    """TBATS forward simulation, broadcast across all paths."""
+    n_paths, horizon = shocks.shape
+    k = z0.size
+    p = ar.size
+    q = ma.size
+    level = np.full(n_paths, level0)
+    trend = np.full(n_paths, trend0)
+    z = np.tile(z0, (n_paths, 1))
+    d_hist = np.tile(d0, (n_paths, 1))
+    e_hist = np.tile(e0, (n_paths, 1))
+    out = np.empty((n_paths, horizon))
+    for h in range(horizon):
+        seasonal = z.real.sum(axis=1) if k else 0.0
+        d_pred = d_hist @ ar if p else np.zeros(n_paths)
+        if q:
+            d_pred = d_pred + e_hist @ ma
+        e = shocks[:, h]
+        d = d_pred + e
+        out[:, h] = level + phi * trend + seasonal + d
+        prev = level
+        level = prev + phi * trend + alpha * d
+        if use_trend:
+            trend = phi * trend + beta * d
+        if k:
+            z = rot * z + d[:, None] * gamma_vec
+        if p:
+            d_hist = np.roll(d_hist, 1, axis=1)
+            d_hist[:, 0] = d
+        if q:
+            e_hist = np.roll(e_hist, 1, axis=1)
+            e_hist[:, 0] = e
+    return out
+
+
+def _kalman_filter_numpy(y, T, RRt, P0):
+    """Concentrated Kalman pass; returns (sum v²/F, sum log F, ok)."""
+    m = T.shape[0]
+    yl = y.tolist()
+    sum_sq = 0.0
+    sum_logF = 0.0
+    try:
+        if m == 1:
+            t00 = float(T[0, 0])
+            rr = float(RRt[0, 0])
+            P = float(P0[0, 0])
+            a = 0.0
+            for yt in yl:
+                F = P
+                if not (1e-300 < F < math.inf):
+                    return math.inf, math.inf, False
+                v = yt - a
+                sum_sq += v * v / F
+                sum_logF += math.log(F)
+                K = P / F
+                a = t00 * (a + K * v)
+                P = t00 * (P - K * P) * t00 + rr
+        elif m == 2:
+            t00, t01 = float(T[0, 0]), float(T[0, 1])
+            t10, t11 = float(T[1, 0]), float(T[1, 1])
+            r00, r01 = float(RRt[0, 0]), float(RRt[0, 1])
+            r10, r11 = float(RRt[1, 0]), float(RRt[1, 1])
+            p00, p01 = float(P0[0, 0]), float(P0[0, 1])
+            p10, p11 = float(P0[1, 0]), float(P0[1, 1])
+            a0 = a1 = 0.0
+            for yt in yl:
+                F = p00
+                if not (1e-300 < F < math.inf):
+                    return math.inf, math.inf, False
+                v = yt - a0
+                sum_sq += v * v / F
+                sum_logF += math.log(F)
+                k0 = p00 / F
+                k1 = p10 / F
+                a0 += k0 * v
+                a1 += k1 * v
+                # P -= K (first row of P); computed from the pre-update row.
+                r0, r1 = p00, p01
+                p00 -= k0 * r0
+                p01 -= k0 * r1
+                p10 -= k1 * r0
+                p11 -= k1 * r1
+                a0, a1 = t00 * a0 + t01 * a1, t10 * a0 + t11 * a1
+                tp00 = t00 * p00 + t01 * p10
+                tp01 = t00 * p01 + t01 * p11
+                tp10 = t10 * p00 + t11 * p10
+                tp11 = t10 * p01 + t11 * p11
+                q00 = tp00 * t00 + tp01 * t01 + r00
+                q01 = tp00 * t10 + tp01 * t11 + r01
+                q10 = tp10 * t00 + tp11 * t01 + r10
+                q11 = tp10 * t10 + tp11 * t11 + r11
+                p00 = q00
+                p01 = 0.5 * (q01 + q10)
+                p10 = p01
+                p11 = q11
+        else:
+            a = np.zeros(m)
+            P = P0.copy()
+            for yt in yl:
+                F = P[0, 0]
+                if not (1e-300 < F < math.inf):
+                    return math.inf, math.inf, False
+                v = yt - a[0]
+                sum_sq += v * v / F
+                sum_logF += math.log(F)
+                K = P[:, 0] / F
+                a = a + K * v
+                P = P - np.outer(K, P[0, :])
+                a = T @ a
+                P = T @ P @ T.T + RRt
+                P = 0.5 * (P + P.T)
+    except OverflowError:
+        return math.inf, math.inf, False
+    return sum_sq, sum_logF, True
+
+
+def _arma_forecast_numpy(full_ar, ma_full, history, recent_e, c_star, horizon):
+    """Iterated ARMA point forecast on the undifferenced scale."""
+    L = full_ar.size - 1
+    q_full = ma_full.size - 1
+    n_e = recent_e.size
+    buf = np.empty(L + horizon)
+    if L:
+        buf[:L] = history
+    rev_ar = full_ar[:0:-1].copy()  # [ar_L, ..., ar_1]
+    mal = ma_full.tolist()
+    rel = recent_e.tolist()
+    mean = np.empty(horizon)
+    for h in range(horizon):
+        acc = c_star
+        if L:
+            acc -= float(rev_ar @ buf[h : h + L])
+        for j in range(h + 1, q_full + 1):
+            idx = n_e + h - j
+            if 0 <= idx < n_e:
+                acc += mal[j] * rel[idx]
+        buf[L + h] = acc
+        mean[h] = acc
+    return mean
+
+
+def _bootstrap_deviations_numpy(psi, shocks):
+    """ψ-weight convolution of bootstrap shocks as one Toeplitz mat-mul."""
+    horizon = psi.size
+    weights = np.zeros((horizon, horizon))
+    for i in range(horizon):
+        weights[i, i:] = psi[: horizon - i]
+    return shocks @ weights
+
+
+_NUMPY_IMPLS = {
+    "ets_recursion": _ets_recursion_numpy,
+    "ets_mul_paths": _ets_mul_paths_numpy,
+    "tbats_filter": _tbats_filter_numpy,
+    "tbats_paths": _tbats_paths_numpy,
+    "kalman_filter": _kalman_filter_numpy,
+    "arma_forecast": _arma_forecast_numpy,
+    "bootstrap_deviations": _bootstrap_deviations_numpy,
+}
+
+
+# ---------------------------------------------------------------------------
+# numba backend (optional)
+# ---------------------------------------------------------------------------
+_NUMBA_IMPLS: dict = {}
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+
+    @_njit(cache=True)
+    def _ets_recursion_nb(
+        y, use_trend, seasonal_mode, period, alpha, beta, gamma, phi, level0, trend0, seasonal0
+    ):
+        n = y.size
+        seas = seasonal0.copy()
+        errors = np.empty(n)
+        level = level0
+        trend = trend0
+        for t in range(n):
+            dt = phi * trend if use_trend else 0.0
+            yt = y[t]
+            if seasonal_mode == 1:
+                s_idx = t % period
+                s = seas[s_idx]
+                errors[t] = yt - (level + dt + s)
+                prev = level
+                level = alpha * (yt - s) + (1.0 - alpha) * (prev + dt)
+                seas[s_idx] = gamma * (yt - prev - dt) + (1.0 - gamma) * s
+            elif seasonal_mode == 2:
+                s_idx = t % period
+                s = seas[s_idx]
+                errors[t] = yt - (level + dt) * s
+                prev = level
+                denom = s if abs(s) > 1e-12 else 1e-12
+                level = alpha * (yt / denom) + (1.0 - alpha) * (prev + dt)
+                base = prev + dt
+                if abs(base) <= 1e-12:
+                    base = 1e-12
+                seas[s_idx] = gamma * (yt / base) + (1.0 - gamma) * s
+            else:
+                errors[t] = yt - (level + dt)
+                prev = level
+                level = alpha * yt + (1.0 - alpha) * (prev + dt)
+            if use_trend:
+                trend = beta * (level - prev) + (1.0 - beta) * dt
+        return errors, level, trend, seas
+
+    @_njit(cache=True)
+    def _ets_mul_paths_nb(
+        level0, trend0, seasonal0, alpha, beta, gamma, phi, use_trend, period, start_index, shocks
+    ):
+        n_paths, horizon = shocks.shape
+        sims = np.empty((n_paths, horizon))
+        for i in range(n_paths):
+            level = level0
+            trend = trend0
+            seas = seasonal0.copy()
+            for h in range(horizon):
+                dt = phi * trend if use_trend else 0.0
+                s_idx = (start_index + h) % period
+                s = seas[s_idx]
+                value = (level + dt) * s + shocks[i, h]
+                prev = level
+                denom = s if abs(s) > 1e-12 else 1e-12
+                level = alpha * (value / denom) + (1.0 - alpha) * (prev + dt)
+                base = prev + dt
+                if abs(base) <= 1e-12:
+                    base = 1e-12
+                seas[s_idx] = gamma * (value / base) + (1.0 - gamma) * s
+                if use_trend:
+                    trend = beta * (level - prev) + (1.0 - beta) * dt
+                sims[i, h] = value
+        return sims
+
+    @_njit(cache=True)
+    def _tbats_filter_nb(
+        y, alpha, beta, phi, use_trend, rot, gamma_vec, ar, ma, level0, trend0, z0, d0, e0
+    ):
+        n = y.size
+        k = z0.size
+        p = ar.size
+        q = ma.size
+        z = z0.copy()
+        d_hist = d0.copy()
+        e_hist = e0.copy()
+        level = level0
+        trend = trend0
+        innov = np.empty(n)
+        for t in range(n):
+            seasonal = 0.0
+            for i in range(k):
+                seasonal += z[i].real
+            d_pred = 0.0
+            for i in range(p):
+                d_pred += ar[i] * d_hist[i]
+            for i in range(q):
+                d_pred += ma[i] * e_hist[i]
+            e = y[t] - (level + phi * trend + seasonal + d_pred)
+            d = d_pred + e
+            innov[t] = e
+            prev = level
+            level = prev + phi * trend + alpha * d
+            if use_trend:
+                trend = phi * trend + beta * d
+            for i in range(k):
+                z[i] = rot[i] * z[i] + gamma_vec[i] * d
+            for i in range(p - 1, 0, -1):
+                d_hist[i] = d_hist[i - 1]
+            if p:
+                d_hist[0] = d
+            for i in range(q - 1, 0, -1):
+                e_hist[i] = e_hist[i - 1]
+            if q:
+                e_hist[0] = e
+        return innov, level, trend, z, d_hist, e_hist
+
+    @_njit(cache=True)
+    def _tbats_paths_nb(
+        alpha, beta, phi, use_trend, rot, gamma_vec, ar, ma, level0, trend0, z0, d0, e0, shocks
+    ):
+        n_paths, horizon = shocks.shape
+        k = z0.size
+        p = ar.size
+        q = ma.size
+        out = np.empty((n_paths, horizon))
+        for i in range(n_paths):
+            level = level0
+            trend = trend0
+            z = z0.copy()
+            d_hist = d0.copy()
+            e_hist = e0.copy()
+            for h in range(horizon):
+                seasonal = 0.0
+                for j in range(k):
+                    seasonal += z[j].real
+                d_pred = 0.0
+                for j in range(p):
+                    d_pred += ar[j] * d_hist[j]
+                for j in range(q):
+                    d_pred += ma[j] * e_hist[j]
+                e = shocks[i, h]
+                d = d_pred + e
+                out[i, h] = level + phi * trend + seasonal + d
+                prev = level
+                level = prev + phi * trend + alpha * d
+                if use_trend:
+                    trend = phi * trend + beta * d
+                for j in range(k):
+                    z[j] = rot[j] * z[j] + gamma_vec[j] * d
+                for j in range(p - 1, 0, -1):
+                    d_hist[j] = d_hist[j - 1]
+                if p:
+                    d_hist[0] = d
+                for j in range(q - 1, 0, -1):
+                    e_hist[j] = e_hist[j - 1]
+                if q:
+                    e_hist[0] = e
+        return out
+
+    @_njit(cache=True)
+    def _kalman_filter_nb(y, T, RRt, P0):
+        n = y.size
+        m = T.shape[0]
+        a = np.zeros(m)
+        P = P0.copy()
+        K = np.empty(m)
+        row = np.empty(m)
+        na = np.empty(m)
+        TP = np.empty((m, m))
+        sum_sq = 0.0
+        sum_logF = 0.0
+        for t in range(n):
+            F = P[0, 0]
+            if not (1e-300 < F < np.inf):
+                return np.inf, np.inf, False
+            v = y[t] - a[0]
+            sum_sq += v * v / F
+            sum_logF += math.log(F)
+            for i in range(m):
+                K[i] = P[i, 0] / F
+                row[i] = P[0, i]
+            for i in range(m):
+                a[i] += K[i] * v
+                for j in range(m):
+                    P[i, j] -= K[i] * row[j]
+            for i in range(m):
+                acc = 0.0
+                for j in range(m):
+                    acc += T[i, j] * a[j]
+                na[i] = acc
+            for i in range(m):
+                a[i] = na[i]
+            for i in range(m):
+                for j in range(m):
+                    acc = 0.0
+                    for r in range(m):
+                        acc += T[i, r] * P[r, j]
+                    TP[i, j] = acc
+            for i in range(m):
+                for j in range(m):
+                    acc = 0.0
+                    for r in range(m):
+                        acc += TP[i, r] * T[j, r]
+                    P[i, j] = acc + RRt[i, j]
+            for i in range(m):
+                for j in range(i, m):
+                    s = 0.5 * (P[i, j] + P[j, i])
+                    P[i, j] = s
+                    P[j, i] = s
+        return sum_sq, sum_logF, True
+
+    @_njit(cache=True)
+    def _arma_forecast_nb(full_ar, ma_full, history, recent_e, c_star, horizon):
+        L = full_ar.size - 1
+        q_full = ma_full.size - 1
+        n_e = recent_e.size
+        buf = np.empty(L + horizon)
+        for i in range(L):
+            buf[i] = history[i]
+        mean = np.empty(horizon)
+        for h in range(horizon):
+            acc = c_star
+            for k in range(1, L + 1):
+                acc -= full_ar[k] * buf[L + h - k]
+            for j in range(h + 1, q_full + 1):
+                idx = n_e + h - j
+                if 0 <= idx < n_e:
+                    acc += ma_full[j] * recent_e[idx]
+            buf[L + h] = acc
+            mean[h] = acc
+        return mean
+
+    @_njit(cache=True)
+    def _bootstrap_deviations_nb(psi, shocks):
+        n_paths, horizon = shocks.shape
+        out = np.empty((n_paths, horizon))
+        for i in range(n_paths):
+            for h in range(horizon):
+                acc = 0.0
+                for j in range(h + 1):
+                    acc += psi[h - j] * shocks[i, j]
+                out[i, h] = acc
+        return out
+
+    _NUMBA_IMPLS = {
+        "ets_recursion": _ets_recursion_nb,
+        "ets_mul_paths": _ets_mul_paths_nb,
+        "tbats_filter": _tbats_filter_nb,
+        "tbats_paths": _tbats_paths_nb,
+        "kalman_filter": _kalman_filter_nb,
+        "arma_forecast": _arma_forecast_nb,
+        "bootstrap_deviations": _bootstrap_deviations_nb,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Backend selection and instrumentation
+# ---------------------------------------------------------------------------
+def available_backends() -> tuple[str, ...]:
+    return ("numpy", "numba") if NUMBA_AVAILABLE else ("numpy",)
+
+
+def _resolve(requested: str) -> str:
+    """Map a requested backend name onto an available one, gracefully."""
+    name = (requested or "auto").strip().lower()
+    if name == "numba" and not NUMBA_AVAILABLE:
+        return "numpy"  # graceful: the perf extra simply is not installed
+    if name in ("numpy", "numba"):
+        return name
+    # "auto" and anything unrecognised: best available.
+    return "numba" if NUMBA_AVAILABLE else "numpy"
+
+
+_ACTIVE_BACKEND = _resolve(os.environ.get(BACKEND_ENV, "auto"))
+_IMPL = dict(_NUMBA_IMPLS if _ACTIVE_BACKEND == "numba" else _NUMPY_IMPLS)
+
+_CALLS = {name: 0 for name in KERNEL_NAMES}
+_SECONDS = {name: 0.0 for name in KERNEL_NAMES}
+_WARM_RUNS = 0
+_CALLS_BEFORE_WARM = 0
+_WARMED = False
+
+
+def active_backend() -> str:
+    """The backend every kernel dispatches to (``"numpy"`` or ``"numba"``)."""
+    return _ACTIVE_BACKEND
+
+
+def set_backend(requested: str) -> str:
+    """Switch backends at runtime; returns the effective backend.
+
+    Requesting ``numba`` without numba installed falls back to ``numpy``
+    (same graceful rule as the import-time env selection). Switching
+    resets the warm flag — a fresh backend has fresh compilation state.
+    """
+    global _ACTIVE_BACKEND, _IMPL, _WARMED
+    effective = _resolve(requested)
+    if effective != _ACTIVE_BACKEND:
+        _ACTIVE_BACKEND = effective
+        _IMPL = dict(_NUMBA_IMPLS if effective == "numba" else _NUMPY_IMPLS)
+        _WARMED = False
+    return effective
+
+
+def is_warmed() -> bool:
+    return _WARMED
+
+
+def warm_compile() -> int:
+    """Run every active kernel once on tiny inputs; returns kernels warmed.
+
+    For the numba backend this triggers (or loads from cache) the JIT
+    compilation of every kernel, so the first real fit never pays it. For
+    the numpy backend the calls cost microseconds and simply validate the
+    dispatch table. Warm-up calls bypass the call/time counters.
+    """
+    global _WARMED, _WARM_RUNS
+    y = np.array([1.0, 2.0, 1.5, 2.5])
+    seasonal = np.array([0.5, -0.5])
+    _IMPL["ets_recursion"](y, True, 1, 2, 0.3, 0.1, 0.1, 0.97, 1.0, 0.0, seasonal)
+    _IMPL["ets_mul_paths"](
+        1.0, 0.0, np.array([1.0, 1.0]), 0.3, 0.1, 0.1, 0.97, True, 2, 0, np.zeros((2, 3))
+    )
+    rot = np.exp(-1j * np.array([0.5]))
+    gamma_vec = np.array([0.001 + 0.001j])
+    arma = np.array([0.1])
+    z0 = np.array([0.1 + 0.1j])
+    hist = np.zeros(1)
+    _IMPL["tbats_filter"](y, 0.1, 0.01, 0.98, True, rot, gamma_vec, arma, arma, 1.0, 0.0, z0, hist, hist)
+    _IMPL["tbats_paths"](
+        0.1, 0.01, 0.98, True, rot, gamma_vec, arma, arma, 1.0, 0.0, z0, hist, hist, np.zeros((2, 3))
+    )
+    T = np.array([[0.5, 1.0], [0.0, 0.0]])
+    R = np.array([1.0, 0.3])
+    RRt = np.outer(R, R)
+    _IMPL["kalman_filter"](y, T, RRt, np.eye(2))
+    _IMPL["arma_forecast"](np.array([1.0, -0.5]), np.array([1.0, 0.3]), np.array([1.0]), np.array([0.1]), 0.0, 3)
+    _IMPL["bootstrap_deviations"](np.array([1.0, 0.5]), np.zeros((2, 2)))
+    _WARMED = True
+    _WARM_RUNS += 1
+    return len(KERNEL_NAMES)
+
+
+def ensure_warm() -> None:
+    """Idempotent :func:`warm_compile` — the executor-layer entry point."""
+    if not _WARMED:
+        warm_compile()
+
+
+def stats_snapshot() -> dict[str, float]:
+    """Monotonic per-process kernel counters.
+
+    Keys: ``kernel_<name>_calls``, ``kernel_<name>_us`` (dispatch time in
+    microseconds), ``kernel_warm_runs`` and ``kernel_calls_before_warm``.
+    Deltas between snapshots are what the engine folds into
+    :class:`~repro.engine.telemetry.RunTrace` counters.
+    """
+    snap: dict[str, float] = {
+        "kernel_warm_runs": float(_WARM_RUNS),
+        "kernel_calls_before_warm": float(_CALLS_BEFORE_WARM),
+    }
+    for name in KERNEL_NAMES:
+        snap[f"kernel_{name}_calls"] = float(_CALLS[name])
+        snap[f"kernel_{name}_us"] = _SECONDS[name] * 1e6
+    return snap
+
+
+def _reset_for_tests() -> None:
+    """Zero all counters and the warm flag (test isolation only)."""
+    global _WARM_RUNS, _CALLS_BEFORE_WARM, _WARMED
+    for name in KERNEL_NAMES:
+        _CALLS[name] = 0
+        _SECONDS[name] = 0.0
+    _WARM_RUNS = 0
+    _CALLS_BEFORE_WARM = 0
+    _WARMED = False
+
+
+def _timed(name: str, args: tuple):
+    global _CALLS_BEFORE_WARM
+    if not _WARMED:
+        _CALLS_BEFORE_WARM += 1
+    started = time.perf_counter()
+    out = _IMPL[name](*args)
+    _SECONDS[name] += time.perf_counter() - started
+    _CALLS[name] += 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Public kernels (instrumented dispatchers)
+# ---------------------------------------------------------------------------
+def ets_recursion(y, use_trend, seasonal_mode, period, alpha, beta, gamma, phi, level0, trend0, seasonal0):
+    """Exponential-smoothing error-correction pass.
+
+    Returns ``(errors, level, trend, seasonal_state)``. ``seasonal_mode``
+    is 0 (none), 1 (additive) or 2 (multiplicative); ``use_trend`` gates
+    the Holt trend update, with damping folded into ``phi``.
+    """
+    return _timed(
+        "ets_recursion",
+        (
+            np.ascontiguousarray(y, dtype=np.float64),
+            bool(use_trend),
+            int(seasonal_mode),
+            int(period),
+            float(alpha),
+            float(beta),
+            float(gamma),
+            float(phi),
+            float(level0),
+            float(trend0),
+            np.ascontiguousarray(seasonal0, dtype=np.float64),
+        ),
+    )
+
+
+def ets_mul_paths(level0, trend0, seasonal0, alpha, beta, gamma, phi, use_trend, period, start_index, shocks):
+    """Simulate the multiplicative-seasonal recursion for all shock paths.
+
+    ``shocks`` is ``(n_paths, horizon)`` of pre-drawn Gaussian innovations
+    (drawing them outside the kernel keeps both backends on the identical
+    random stream); returns the simulated values, same shape.
+    """
+    return _timed(
+        "ets_mul_paths",
+        (
+            float(level0),
+            float(trend0),
+            np.ascontiguousarray(seasonal0, dtype=np.float64),
+            float(alpha),
+            float(beta),
+            float(gamma),
+            float(phi),
+            bool(use_trend),
+            int(period),
+            int(start_index),
+            np.ascontiguousarray(shocks, dtype=np.float64),
+        ),
+    )
+
+
+def tbats_filter(y, alpha, beta, phi, use_trend, rot, gamma_vec, ar, ma, level0, trend0, z0, d0, e0):
+    """One TBATS filtering pass (innovations form).
+
+    Returns ``(innovations, level, trend, z, d_hist, e_hist)`` — the
+    final state components mirror :class:`repro.models.tbats._State`.
+    """
+    return _timed(
+        "tbats_filter",
+        (
+            np.ascontiguousarray(y, dtype=np.float64),
+            float(alpha),
+            float(beta),
+            float(phi),
+            bool(use_trend),
+            np.ascontiguousarray(rot, dtype=np.complex128),
+            np.ascontiguousarray(gamma_vec, dtype=np.complex128),
+            np.ascontiguousarray(ar, dtype=np.float64),
+            np.ascontiguousarray(ma, dtype=np.float64),
+            float(level0),
+            float(trend0),
+            np.ascontiguousarray(z0, dtype=np.complex128),
+            np.ascontiguousarray(d0, dtype=np.float64),
+            np.ascontiguousarray(e0, dtype=np.float64),
+        ),
+    )
+
+
+def tbats_paths(alpha, beta, phi, use_trend, rot, gamma_vec, ar, ma, level0, trend0, z0, d0, e0, shocks):
+    """Simulate the fitted TBATS state space forward for all shock paths."""
+    return _timed(
+        "tbats_paths",
+        (
+            float(alpha),
+            float(beta),
+            float(phi),
+            bool(use_trend),
+            np.ascontiguousarray(rot, dtype=np.complex128),
+            np.ascontiguousarray(gamma_vec, dtype=np.complex128),
+            np.ascontiguousarray(ar, dtype=np.float64),
+            np.ascontiguousarray(ma, dtype=np.float64),
+            float(level0),
+            float(trend0),
+            np.ascontiguousarray(z0, dtype=np.complex128),
+            np.ascontiguousarray(d0, dtype=np.float64),
+            np.ascontiguousarray(e0, dtype=np.float64),
+            np.ascontiguousarray(shocks, dtype=np.float64),
+        ),
+    )
+
+
+def kalman_filter(y, T, RRt, P0):
+    """Concentrated-likelihood Kalman pass for an ARMA state space.
+
+    Returns ``(sum_sq, sum_logF, ok)`` with σ² concentrated out; ``ok``
+    is False when the innovation variance left the finite/positive guard
+    band, which the caller maps to a ``-inf`` log-likelihood.
+    """
+    return _timed(
+        "kalman_filter",
+        (
+            np.ascontiguousarray(y, dtype=np.float64),
+            np.ascontiguousarray(T, dtype=np.float64),
+            np.ascontiguousarray(RRt, dtype=np.float64),
+            np.ascontiguousarray(P0, dtype=np.float64),
+        ),
+    )
+
+
+def arma_forecast(full_ar, ma_full, history, recent_e, c_star, horizon):
+    """Iterate the expanded ARMA difference equation ``horizon`` steps."""
+    return _timed(
+        "arma_forecast",
+        (
+            np.ascontiguousarray(full_ar, dtype=np.float64),
+            np.ascontiguousarray(ma_full, dtype=np.float64),
+            np.ascontiguousarray(history, dtype=np.float64),
+            np.ascontiguousarray(recent_e, dtype=np.float64),
+            float(c_star),
+            int(horizon),
+        ),
+    )
+
+
+def bootstrap_deviations(psi, shocks):
+    """Cumulative ψ-weight effect of resampled shocks, all paths at once."""
+    return _timed(
+        "bootstrap_deviations",
+        (
+            np.ascontiguousarray(psi, dtype=np.float64),
+            np.ascontiguousarray(shocks, dtype=np.float64),
+        ),
+    )

@@ -39,6 +39,7 @@ from ..core.boxcox import boxcox, guerrero_lambda, inv_boxcox
 from ..core.metrics import aic as _aic
 from ..core.timeseries import TimeSeries
 from ..exceptions import ConvergenceError, ModelError
+from . import kernels
 from .base import FittedModel, Forecast, ForecastModel, check_series
 
 __all__ = ["Tbats", "FittedTbats", "TbatsConfig"]
@@ -124,44 +125,32 @@ def _run(
     init: _State,
     rot: np.ndarray,
 ) -> tuple[np.ndarray, _State]:
-    """One filtering pass; returns innovations and the final state."""
-    alpha = params["alpha"]
-    beta = params["beta"]
-    phi = params["phi"]
+    """One filtering pass; returns innovations and the final state.
+
+    The per-timestep loop lives in
+    :func:`repro.models.kernels.tbats_filter` — it is the hot path of the
+    configuration search's L-BFGS objective.
+    """
     gamma = params["gamma1"] + 1j * params["gamma2"]  # per-season, broadcast below
-    ar = params["ar"]
-    ma = params["ma"]
-    p, q = ar.size, ma.size
-
-    level, trend = init.level, init.trend
-    z = init.z.copy()
-    d_hist = init.d_hist.copy()
-    e_hist = init.e_hist.copy()
+    z = init.z
     gamma_vec = np.repeat(gamma, params["k_per_season"]) if z.size else np.empty(0, complex)
-
-    innovations = np.empty(y.size)
-    for t in range(y.size):
-        seasonal = float(np.sum(z.real)) if z.size else 0.0
-        d_pred = float(ar @ d_hist) if p else 0.0
-        if q:
-            d_pred += float(ma @ e_hist)
-        y_hat = level + phi * trend + seasonal + d_pred
-        e = y[t] - y_hat
-        d = d_pred + e
-        innovations[t] = e
-        prev_level = level
-        level = prev_level + phi * trend + alpha * d
-        if config.use_trend:
-            trend = phi * trend + beta * d
-        if z.size:
-            z = rot * z + gamma_vec * d
-        if p:
-            d_hist = np.roll(d_hist, 1)
-            d_hist[0] = d
-        if q:
-            e_hist = np.roll(e_hist, 1)
-            e_hist[0] = e
-    return innovations, _State(level, trend, z, d_hist, e_hist)
+    innovations, level, trend, z_final, d_hist, e_hist = kernels.tbats_filter(
+        y,
+        params["alpha"],
+        params["beta"],
+        params["phi"],
+        config.use_trend,
+        rot,
+        gamma_vec,
+        params["ar"],
+        params["ma"],
+        init.level,
+        init.trend,
+        z,
+        init.d_hist,
+        init.e_hist,
+    )
+    return innovations, _State(level, trend, z_final, d_hist, e_hist)
 
 
 def _pack_params(config: TbatsConfig, n_seasons: int):
@@ -221,46 +210,38 @@ class FittedTbats(FittedModel):
         return f"TBATS {{{self.config.describe()}}}"
 
     def _simulate(self, horizon: int, n_paths: int, rng: np.random.Generator) -> np.ndarray:
-        # Simulation runs in the standardised state space.
+        # Simulation runs in the standardised state space. All paths go
+        # through the kernel together; the shocks are pre-drawn as one
+        # (paths, horizon) matrix, which consumes the generator in exactly
+        # the order the former nested loop did, so paths are bit-identical.
         sigma = math.sqrt(self.sigma2) / self.y_scale
         cfg, p = self.config, self.params
-        ar, ma = p["ar"], p["ma"]
-        out = np.empty((n_paths, horizon))
-        for i in range(n_paths):
-            state = _State(
-                self.final_state.level,
-                self.final_state.trend,
-                self.final_state.z.copy(),
-                self.final_state.d_hist.copy(),
-                self.final_state.e_hist.copy(),
-            )
-            gamma_vec = (
-                np.repeat(p["gamma1"] + 1j * p["gamma2"], p["k_per_season"])
-                if state.z.size
-                else np.empty(0, complex)
-            )
-            for h in range(horizon):
-                seasonal = float(np.sum(state.z.real)) if state.z.size else 0.0
-                d_pred = float(ar @ state.d_hist) if ar.size else 0.0
-                if ma.size:
-                    d_pred += float(ma @ state.e_hist)
-                e = rng.normal(0.0, sigma) if n_paths > 1 else 0.0
-                d = d_pred + e
-                y_hat = state.level + p["phi"] * state.trend + seasonal + d
-                out[i, h] = y_hat
-                prev_level = state.level
-                state.level = prev_level + p["phi"] * state.trend + p["alpha"] * d
-                if cfg.use_trend:
-                    state.trend = p["phi"] * state.trend + p["beta"] * d
-                if state.z.size:
-                    state.z = self._rot * state.z + gamma_vec * d
-                if ar.size:
-                    state.d_hist = np.roll(state.d_hist, 1)
-                    state.d_hist[0] = d
-                if ma.size:
-                    state.e_hist = np.roll(state.e_hist, 1)
-                    state.e_hist[0] = e
-        return out
+        state = self.final_state
+        gamma_vec = (
+            np.repeat(p["gamma1"] + 1j * p["gamma2"], p["k_per_season"])
+            if state.z.size
+            else np.empty(0, complex)
+        )
+        if n_paths > 1:
+            shocks = rng.normal(0.0, sigma, size=(n_paths, horizon))
+        else:
+            shocks = np.zeros((1, horizon))  # the noiseless point-forecast path
+        return kernels.tbats_paths(
+            p["alpha"],
+            p["beta"],
+            p["phi"],
+            cfg.use_trend,
+            self._rot,
+            gamma_vec,
+            p["ar"],
+            p["ma"],
+            state.level,
+            state.trend,
+            state.z,
+            state.d_hist,
+            state.e_hist,
+            shocks,
+        )
 
     def forecast(self, horizon: int, alpha: float = 0.05, n_paths: int = 300) -> Forecast:
         if horizon <= 0:

@@ -338,6 +338,7 @@ def _run_round(
     trace: RunTrace | None,
 ) -> list[GridResult]:
     """Score one population at one budget; results in spec order."""
+    from ..engine import kernels as engine_kernels
     from ..engine.executor import serialized_size
 
     args = [
@@ -345,9 +346,14 @@ def _run_round(
     ]
     if trace is not None:
         trace.count("bytes_tasks", sum(serialized_size(a) for a in args))
+    # Discard kernel deltas left over from runs that already reported them
+    # elsewhere (e.g. estate fan-out, whose per-entry traces carry the
+    # worker-side counts), then attribute this round's deltas to our trace.
+    executor.drain_kernel_counters()
     reports = executor.run(_score_broadcast, args)
     if trace is not None:
         trace.record_task_reports(reports)
+        engine_kernels.absorb_delta(trace, executor.drain_kernel_counters())
     results = []
     for spec, report in zip(specs, reports):
         if report.ok:

@@ -140,3 +140,57 @@ class TestInterpolateProperties:
         lo, hi = min(values[9], values[15]), max(values[9], values[15])
         assert np.all(filled[10:15] >= lo - 1e-12)
         assert np.all(filled[10:15] <= hi + 1e-12)
+
+
+def _find_gaps_scan(values: np.ndarray) -> list[tuple[int, int]]:
+    """The former scalar scan over the missing mask: (start, length) runs."""
+    runs: list[tuple[int, int]] = []
+    start = None
+    for i, is_missing in enumerate(np.isnan(values)):
+        if is_missing and start is None:
+            start = i
+        elif not is_missing and start is not None:
+            runs.append((start, i - start))
+            start = None
+    if start is not None:
+        runs.append((start, values.size - start))
+    return runs
+
+
+class TestFindGapsEquivalence:
+    """The vectorized edge-detection pass must match the scalar scan."""
+
+    def test_leading_gap(self):
+        gaps = find_gaps(TimeSeries([np.nan, np.nan, 3.0, 4.0]))
+        assert [(g.start_index, g.length) for g in gaps] == [(0, 2)]
+
+    def test_trailing_gap(self):
+        gaps = find_gaps(TimeSeries([1.0, 2.0, np.nan]))
+        assert [(g.start_index, g.length) for g in gaps] == [(2, 1)]
+
+    def test_entirely_missing(self):
+        gaps = find_gaps(TimeSeries([np.nan, np.nan, np.nan]))
+        assert [(g.start_index, g.length) for g in gaps] == [(0, 3)]
+
+    def test_single_sample_missing(self):
+        gaps = find_gaps(TimeSeries([np.nan]))
+        assert [(g.start_index, g.length) for g in gaps] == [(0, 1)]
+
+    def test_alternating(self):
+        gaps = find_gaps(TimeSeries([np.nan, 1.0, np.nan, 2.0, np.nan, 3.0]))
+        assert [(g.start_index, g.length) for g in gaps] == [(0, 1), (2, 1), (4, 1)]
+
+    @settings(max_examples=100, deadline=None)
+    @given(mask=st.lists(st.booleans(), min_size=1, max_size=200))
+    def test_matches_scalar_scan(self, mask):
+        values = np.where(np.asarray(mask), np.nan, 1.0)
+        gaps = find_gaps(TimeSeries(values))
+        assert [(g.start_index, g.length) for g in gaps] == _find_gaps_scan(values)
+        # Runs are maximal: every reported gap is NaN-filled and bounded
+        # by present samples (or a series edge).
+        for g in gaps:
+            assert np.isnan(values[g.start_index : g.end_index]).all()
+            if g.start_index > 0:
+                assert not np.isnan(values[g.start_index - 1])
+            if g.end_index < values.size:
+                assert not np.isnan(values[g.end_index])

@@ -194,3 +194,65 @@ class TestStationarityProperties:
         diffed = difference(y, d=0, seasonal_d=1, period=period)
         rebuilt = integrate(diffed[-h:], y[:-h], d=0, seasonal_d=1, period=period)
         assert np.allclose(rebuilt, y[-h:])
+
+
+def _integrate_scalar(diffed, original, d=1, seasonal_d=0, period=1):
+    """The former per-lag scalar rebuild of the seasonal chains."""
+    history_stack = [np.asarray(original, dtype=float)]
+    x = history_stack[0]
+    for __ in range(seasonal_d):
+        x = x[period:] - x[:-period]
+        history_stack.append(x)
+    for __ in range(d):
+        x = np.diff(x)
+        history_stack.append(x)
+    out = np.asarray(diffed, dtype=float).copy()
+    for layer in range(d):
+        base = history_stack[-2 - layer]
+        out = np.cumsum(out) + base[-1]
+    for layer in range(seasonal_d):
+        base = history_stack[seasonal_d - 1 - layer]
+        rebuilt = np.empty_like(out)
+        for h in range(out.size):
+            prev = rebuilt[h - period] if h >= period else base[base.size - period + h]
+            rebuilt[h] = out[h] + prev
+        out = rebuilt
+    return out
+
+
+class TestIntegrateVectorizedEquivalence:
+    """The per-phase cumulative rebuild must equal the scalar recurrence."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        period=st.integers(min_value=2, max_value=12),
+        horizon=st.integers(min_value=1, max_value=40),
+        d=st.integers(min_value=0, max_value=2),
+        seasonal_d=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scalar_recurrence(self, seed, period, horizon, d, seasonal_d):
+        rng = np.random.default_rng(seed)
+        n = (seasonal_d + 1) * 3 * period + d + 20
+        original = rng.normal(size=n).cumsum()
+        diffed = rng.normal(size=horizon)
+        got = integrate(diffed, original, d=d, seasonal_d=seasonal_d, period=period)
+        want = _integrate_scalar(diffed, original, d=d, seasonal_d=seasonal_d, period=period)
+        np.testing.assert_array_equal(got, want)
+
+    def test_horizon_within_one_season(self):
+        # n <= period takes the straight base-tail branch.
+        rng = np.random.default_rng(7)
+        original = rng.normal(size=60).cumsum()
+        diffed = rng.normal(size=5)
+        got = integrate(diffed, original, d=0, seasonal_d=1, period=12)
+        want = _integrate_scalar(diffed, original, d=0, seasonal_d=1, period=12)
+        np.testing.assert_array_equal(got, want)
+
+    def test_horizon_spanning_many_seasons(self):
+        rng = np.random.default_rng(8)
+        original = rng.normal(size=80).cumsum()
+        diffed = rng.normal(size=31)
+        got = integrate(diffed, original, d=1, seasonal_d=1, period=4)
+        want = _integrate_scalar(diffed, original, d=1, seasonal_d=1, period=4)
+        np.testing.assert_array_equal(got, want)

@@ -134,3 +134,58 @@ class TestHoltWinters:
         fit = HoltWinters(24).fit(daily_series)
         with pytest.raises(ModelError):
             fit.forecast(0)
+
+
+class TestDampedClosedForm:
+    """Regression pins for the closed-form damped-trend accumulation.
+
+    ``_damp_sums`` replaced an O(horizon²) nested accumulation; these tests
+    recompute forecasts and interval widths with the former per-step loops
+    and require exact agreement, so any drift in the closed form shows up
+    as a pinned-value break.
+    """
+
+    @pytest.fixture(scope="class")
+    def damped_fit(self):
+        rng = np.random.default_rng(11)
+        t = np.arange(300.0)
+        ts = TimeSeries(20.0 + 0.4 * t + rng.normal(0, 0.5, 300))
+        return Holt(damped=True).fit(ts)
+
+    def test_point_forecast_matches_nested_accumulation(self, damped_fit):
+        horizon = 60
+        fc = damped_fit.forecast(horizon)
+        mean_ref = np.empty(horizon)
+        acc = 0.0
+        for h in range(1, horizon + 1):
+            acc += damped_fit.phi**h
+            mean_ref[h - 1] = damped_fit.level + acc * damped_fit.trend
+        np.testing.assert_allclose(fc.mean.values, mean_ref, rtol=1e-12)
+
+    def test_interval_widths_match_nested_accumulation(self, damped_fit):
+        from scipy import stats
+
+        horizon = 60
+        fc = damped_fit.forecast(horizon)
+        acc = 0.0
+        c_ref = np.empty(horizon)
+        for j in range(1, horizon + 1):
+            acc += damped_fit.phi**j
+            c_ref[j - 1] = damped_fit.alpha + damped_fit.alpha * damped_fit.beta * acc
+        var_sum = 0.0
+        std_ref = np.empty(horizon)
+        for h in range(1, horizon + 1):
+            std_ref[h - 1] = np.sqrt(damped_fit.sigma2 * (1.0 + var_sum))
+            var_sum += c_ref[h - 1] ** 2
+        z = float(stats.norm.ppf(1.0 - fc.alpha / 2.0))
+        np.testing.assert_allclose(
+            fc.upper.values - fc.lower.values, 2.0 * z * std_ref, rtol=1e-10
+        )
+
+    def test_undamped_multipliers_are_linear(self):
+        rng = np.random.default_rng(12)
+        t = np.arange(200.0)
+        fit = Holt().fit(TimeSeries(5.0 + 0.2 * t + rng.normal(0, 0.3, 200)))
+        fc = fit.forecast(24)
+        expected = fit.level + np.arange(1, 25, dtype=float) * fit.trend
+        np.testing.assert_allclose(fc.mean.values, expected, rtol=1e-12)
