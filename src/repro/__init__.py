@@ -24,6 +24,9 @@ Capacity Planning using Time Series Analysis and Machine Learning*
 * :mod:`repro.stream` — live forecast serving: watermark-based hourly
   aggregation of raw polls, staleness-driven re-selection through the
   estate cache, and debounced breach alerting (``python -m repro stream``).
+* :mod:`repro.faults` — the fault plane: deterministic failure injection
+  (:class:`~repro.faults.plan.FaultPlan`), retry/backoff policies, and
+  named chaos scenarios with survival reports (``python -m repro chaos``).
 
 Quickstart::
 

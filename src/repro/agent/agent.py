@@ -12,6 +12,15 @@ simulated instance traces on the 15-minute polling grid, and it *drops*
 samples according to a configurable fault model (independent misses plus
 occasional multi-hour maintenance outages), producing exactly the gappy
 raw data the pipeline's interpolation stage exists for.
+
+The fault plane (:mod:`repro.faults`) adds two hook points on top of the
+statistical fault model: ``agent.poll`` fires once per (instance, metric)
+poll attempt — an injected transient error there models an agent that
+could not execute its command, and is retried under a
+:class:`~repro.faults.retry.RetryPolicy` before the metric's polls are
+given up as lost — and ``agent.sample`` fires per recorded sample,
+letting a plan drop, duplicate, corrupt, NaN or clock-skew individual
+readings in flight.
 """
 
 from __future__ import annotations
@@ -22,6 +31,8 @@ import numpy as np
 
 from ..core.timeseries import TimeSeries
 from ..exceptions import DataError
+from ..faults.plan import FaultInjector, InjectedFault
+from ..faults.retry import RetryPolicy, RetryRunner
 from ..workloads.cluster import ClusterRun
 
 __all__ = ["FaultModel", "MonitoringAgent", "AgentSample"]
@@ -86,12 +97,84 @@ class MonitoringAgent:
     seed:
         RNG seed for the fault process (separate from the workload seed so
         the same workload can be observed by differently flaky agents).
+    injector:
+        Optional :class:`~repro.faults.plan.FaultInjector` driving the
+        ``agent.poll`` / ``agent.sample`` hook points. ``None`` (or an
+        injector with an empty plan) leaves behaviour bit-for-bit
+        unchanged.
+    retry:
+        Backoff policy for transient ``agent.poll`` failures; ``None``
+        uses the default :class:`~repro.faults.retry.RetryPolicy`. Only
+        consulted when an injector is attached.
+    clock:
+        Optional stream-layer clock that poll-retry backoff waits are
+        applied to (never :func:`time.sleep`).
     """
 
-    def __init__(self, fault_model: FaultModel | None = None, seed: int = 99) -> None:
+    def __init__(
+        self,
+        fault_model: FaultModel | None = None,
+        seed: int = 99,
+        injector: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        clock=None,
+    ) -> None:
         self.fault_model = fault_model
         self.seed = seed
+        self.injector = injector
+        self._retry = RetryRunner(policy=retry, clock=clock, name="agent_poll")
+        self.counters: dict[str, int] = {}
 
+    # ------------------------------------------------------------------
+    # Fault-plane plumbing
+    # ------------------------------------------------------------------
+    @property
+    def fault_counters(self) -> dict[str, int]:
+        """Poll-retry and poll-loss counters for the telemetry ``faults`` block."""
+        merged = dict(self._retry.counters)
+        for key, value in self.counters.items():
+            merged[key] = merged.get(key, 0) + value
+        return merged
+
+    def _count(self, key: str, n: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    def _hooked(self) -> bool:
+        return self.injector is not None and self.injector.active
+
+    def _poll_attempt(self, collect):
+        """One (instance, metric) poll under the retry policy.
+
+        An injected transient error at ``agent.poll`` is retried; when the
+        policy gives up, the metric's polls for this pass are lost (the
+        paper's "agent may have been at fault" case) and counted as
+        ``agent_polls_failed``.
+        """
+        if not self._hooked():
+            return collect()
+
+        def attempt():
+            self.injector.check_call("agent.poll")
+            return collect()
+
+        try:
+            return self._retry.call(attempt, retry_on=(InjectedFault,))
+        except InjectedFault:
+            self._count("agent_polls_failed")
+            return []
+
+    def _deliver(self, samples: list[AgentSample]) -> list[AgentSample]:
+        """Pass recorded samples through the ``agent.sample`` hook."""
+        if not self._hooked():
+            return samples
+        out: list[AgentSample] = []
+        for sample in samples:
+            out.extend(self.injector.on_sample("agent.sample", sample))
+        return out
+
+    # ------------------------------------------------------------------
+    # Polling
+    # ------------------------------------------------------------------
     def poll_run(self, run: ClusterRun) -> list[AgentSample]:
         """Poll every metric of every instance in a cluster run."""
         rng = np.random.default_rng(self.seed)
@@ -105,20 +188,32 @@ class MonitoringAgent:
                     )
                 else:
                     dropped = np.zeros(len(series), dtype=bool)
-                ts = series.timestamps
-                vals = series.values
-                for i in range(len(series)):
-                    if dropped[i]:
-                        continue
-                    samples.append(
-                        AgentSample(
-                            instance=instance,
-                            metric=metric,
-                            timestamp=float(ts[i]),
-                            value=float(vals[i]),
-                        )
+                # The mask is drawn before any retry, so a retried poll
+                # replays the same statistical gaps deterministically.
+                recorded = self._poll_attempt(
+                    lambda s=series, i=instance, m=metric, d=dropped: self._collect(
+                        i, m, s, d
                     )
+                )
+                samples.extend(self._deliver(recorded))
         return samples
+
+    @staticmethod
+    def _collect(
+        instance: str, metric: str, series: TimeSeries, dropped: np.ndarray
+    ) -> list[AgentSample]:
+        ts = series.timestamps
+        vals = series.values
+        return [
+            AgentSample(
+                instance=instance,
+                metric=metric,
+                timestamp=float(ts[i]),
+                value=float(vals[i]),
+            )
+            for i in range(len(series))
+            if not dropped[i]
+        ]
 
     def poll_series(self, instance: str, metric: str, series: TimeSeries) -> list[AgentSample]:
         """Poll a single metric trace (used by tests and examples)."""
@@ -128,9 +223,7 @@ class MonitoringAgent:
             dropped = self.fault_model.dropped_mask(len(series), polls_per_day, rng)
         else:
             dropped = np.zeros(len(series), dtype=bool)
-        ts = series.timestamps
-        return [
-            AgentSample(instance=instance, metric=metric, timestamp=float(ts[i]), value=float(series.values[i]))
-            for i in range(len(series))
-            if not dropped[i]
-        ]
+        recorded = self._poll_attempt(
+            lambda: self._collect(instance, metric, series, dropped)
+        )
+        return self._deliver(recorded)

@@ -14,6 +14,16 @@ external service:
 Reading a series back snaps the raw polls onto the regular 15-minute grid
 (missing polls become NaN) and can aggregate to hourly values, exactly the
 data-preparation path of Figure 4.
+
+Writes are resilient by default: SQLite under WAL still throws
+``sqlite3.OperationalError: database is locked`` when a second writer
+holds the file, and the store used to surface that immediately — losing
+the agent's push. Every write transaction now runs under a
+:class:`~repro.faults.retry.RetryPolicy` (bounded, budget-capped backoff,
+no :func:`time.sleep` — see :mod:`repro.faults.retry`); only when the
+policy is exhausted does the error surface, converted to
+:class:`~repro.exceptions.RepositoryError`. The ``repository.write`` hook
+point lets the fault plane inject exactly that lock contention.
 """
 
 from __future__ import annotations
@@ -25,9 +35,16 @@ from dataclasses import dataclass
 from ..core.frequency import Frequency
 from ..core.timeseries import TimeSeries
 from ..exceptions import RepositoryError
+from ..faults.plan import FaultInjector
+from ..faults.retry import RetryPolicy, RetryRunner
 from .agent import AgentSample
 
 __all__ = ["MetricsRepository", "StoredModelRecord"]
+
+
+def _locked_error() -> sqlite3.OperationalError:
+    """The exact error a second writer provokes — what injection simulates."""
+    return sqlite3.OperationalError("database is locked")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS samples (
@@ -75,9 +92,26 @@ class MetricsRepository:
     path:
         SQLite file path, or ``":memory:"`` (default) for an ephemeral
         store.
+    retry:
+        Backoff policy for write transactions that hit a transient
+        ``sqlite3.OperationalError`` (lock contention). ``None`` uses the
+        default :class:`~repro.faults.retry.RetryPolicy` — retry is *on*
+        by default; pass ``RetryPolicy(max_attempts=1)`` to restore the
+        historical fail-fast behaviour.
+    injector:
+        Optional fault injector driving the ``repository.write`` hook
+        point (injected lock contention for chaos runs).
+    clock:
+        Optional stream-layer clock backoff waits are applied to.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(
+        self,
+        path: str = ":memory:",
+        retry: RetryPolicy | None = None,
+        injector: FaultInjector | None = None,
+        clock=None,
+    ) -> None:
         self._conn = sqlite3.connect(path)
         # WAL lets the streaming writer (agent pushes) and concurrent
         # readers (scheduler seeding, CLI inspect) coexist on a file
@@ -85,6 +119,35 @@ class MetricsRepository:
         self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.executescript(_SCHEMA)
         self._closed = False
+        self._injector = injector
+        self._writes = RetryRunner(
+            policy=retry if retry is not None else RetryPolicy(),
+            clock=clock,
+            name="repository_write",
+        )
+
+    @property
+    def fault_counters(self) -> dict[str, int]:
+        """Write-retry counters for the telemetry ``faults`` block."""
+        return dict(self._writes.counters)
+
+    def _write(self, txn):
+        """Run one write transaction under the lock-retry policy.
+
+        Each attempt first fires the ``repository.write`` hook (which may
+        inject a lock error), then runs ``txn``. SQLite rolls the
+        transaction back on failure, so a retried ``txn`` starts clean.
+        Exhausted retries surface as :class:`RepositoryError`.
+        """
+        def attempt():
+            if self._injector is not None and self._injector.active:
+                self._injector.check_call("repository.write", _locked_error)
+            return txn()
+
+        try:
+            return self._writes.call(attempt, retry_on=(sqlite3.OperationalError,))
+        except sqlite3.OperationalError as exc:
+            raise RepositoryError(f"write failed after retries: {exc}") from exc
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -112,12 +175,16 @@ class MetricsRepository:
         """Store raw agent polls; re-polled duplicates are overwritten."""
         self._check_open()
         rows = [(s.instance, s.metric, s.timestamp, s.value) for s in samples]
-        with self._conn:
-            self._conn.executemany(
-                "INSERT OR REPLACE INTO samples (instance, metric, timestamp, value) "
-                "VALUES (?, ?, ?, ?)",
-                rows,
-            )
+
+        def txn():
+            with self._conn:
+                self._conn.executemany(
+                    "INSERT OR REPLACE INTO samples (instance, metric, timestamp, value) "
+                    "VALUES (?, ?, ?, ?)",
+                    rows,
+                )
+
+        self._write(txn)
         return len(rows)
 
     def instances(self) -> list[str]:
@@ -236,13 +303,17 @@ class MetricsRepository:
     ) -> None:
         """Record the selected model for an (instance, metric) pair."""
         self._check_open()
-        with self._conn:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO models "
-                "(instance, metric, fitted_at, label, spec_json, rmse) "
-                "VALUES (?, ?, ?, ?, ?, ?)",
-                (instance, metric, fitted_at, label, json.dumps(spec), float(rmse)),
-            )
+
+        def txn():
+            with self._conn:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO models "
+                    "(instance, metric, fitted_at, label, spec_json, rmse) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (instance, metric, fitted_at, label, json.dumps(spec), float(rmse)),
+                )
+
+        self._write(txn)
 
     def load_model(self, instance: str, metric: str) -> StoredModelRecord | None:
         """Fetch the stored model record, or None when nothing is stored."""
@@ -268,6 +339,12 @@ class MetricsRepository:
     def purge_models_older_than(self, cutoff: float) -> int:
         """Drop stale model records fitted before ``cutoff`` (the weekly rule)."""
         self._check_open()
-        with self._conn:
-            cur = self._conn.execute("DELETE FROM models WHERE fitted_at < ?", (cutoff,))
-        return cur.rowcount
+
+        def txn():
+            with self._conn:
+                cur = self._conn.execute(
+                    "DELETE FROM models WHERE fitted_at < ?", (cutoff,)
+                )
+            return cur.rowcount
+
+        return self._write(txn)

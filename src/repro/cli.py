@@ -14,7 +14,9 @@ too::
 the monitoring agent into a SQLite repository; ``inspect`` prints the
 Figure 4 characterisation (stationarity, seasonality, shocks, faults);
 ``forecast`` runs the self-selection pipeline and renders a Figure 8-style
-panel; ``advise`` produces the estate report across every stored metric.
+panel; ``advise`` produces the estate report across every stored metric;
+``chaos`` runs a named fault-injection scenario (``repro chaos --list``)
+against the synthetic estate and prints a deterministic survival report.
 
 Metric series can also be read from / written to plain CSV
 (``timestamp,value`` rows) with ``--csv`` for integration with anything.
@@ -309,6 +311,31 @@ def _cmd_stream(args, parser) -> int:
     return 0
 
 
+def _cmd_chaos(args, parser) -> int:
+    from .faults.scenarios import SCENARIOS, run_scenario
+
+    if args.list:
+        for name in sorted(SCENARIOS):
+            print(f"{name}: {SCENARIOS[name].description}")
+        return 0
+    if not args.scenario:
+        parser.error("--scenario NAME is required (or --list)")
+    if args.scenario not in SCENARIOS:
+        parser.error(
+            f"unknown scenario {args.scenario!r}; available: "
+            + ", ".join(sorted(SCENARIOS))
+        )
+    report = run_scenario(
+        args.scenario, seed=args.seed, jobs=args.jobs, days=args.days
+    )
+    print(report.render())
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report.to_json() + "\n")
+        print(f"survival report → {args.out}")
+    return 0 if report.survived else 1
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -411,6 +438,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--faulty-agent", action="store_true", help="inject agent polling faults"
     )
     p_str.set_defaults(func=_cmd_stream)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run a named fault-injection scenario and print its survival report",
+    )
+    p_chaos.add_argument("--scenario", help="scenario name (see --list)")
+    p_chaos.add_argument("--list", action="store_true", help="list available scenarios")
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument("--jobs", type=int, default=1, help="selection fan-out workers")
+    p_chaos.add_argument(
+        "--days", type=float, default=None, help="simulated days (default: scenario)"
+    )
+    p_chaos.add_argument("--out", help="write the survival report as JSON here")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     return parser
 

@@ -11,6 +11,7 @@ out across thousands of workloads — rest on a single tested substrate.
 
 from . import kernels
 from .executor import (
+    ExecutionPolicy,
     Executor,
     PayloadRef,
     PoolExecutor,
@@ -38,6 +39,7 @@ from .telemetry import RunTrace, StageEvent
 
 __all__ = [
     "kernels",
+    "ExecutionPolicy",
     "Executor",
     "SerialExecutor",
     "PoolExecutor",

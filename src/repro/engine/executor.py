@@ -59,6 +59,7 @@ from ..exceptions import DataError
 __all__ = [
     "TaskReport",
     "PayloadRef",
+    "ExecutionPolicy",
     "Executor",
     "SerialExecutor",
     "PoolExecutor",
@@ -67,6 +68,43 @@ __all__ = [
     "default_executor",
     "shutdown_default_executors",
 ]
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Resilience policy of an executor — what happens when tasks fail.
+
+    The broken-pool recovery that used to be hard-wired into
+    :class:`PoolExecutor` is generalised here, joined by bounded re-try
+    of failed tasks (the gap the fault plane's ``executor.submit``
+    injection exposed: one transient worker error permanently failed its
+    workload even though a second attempt would have succeeded).
+
+    Parameters
+    ----------
+    task_retries:
+        How many extra rounds failed tasks are re-submitted for (``0``
+        preserves the historical fail-fast behaviour). Tasks that
+        succeeded are never re-run; each retry round re-submits only the
+        still-failed ones.
+    retry_timed_out:
+        Whether timed-out tasks are eligible for retry. Off by default:
+        a task that blew its deadline once usually will again, and its
+        worker may still be busy with the abandoned attempt.
+    rebuild_broken_pool:
+        Replace the worker pool transparently when a worker dies hard
+        (the pre-policy behaviour). ``False`` propagates the
+        :class:`~concurrent.futures.process.BrokenProcessPool` instead —
+        for callers that prefer to crash loudly.
+    """
+
+    task_retries: int = 0
+    retry_timed_out: bool = False
+    rebuild_broken_pool: bool = True
+
+    def __post_init__(self) -> None:
+        if self.task_retries < 0:
+            raise DataError(f"task_retries must be >= 0, got {self.task_retries}")
 
 
 @dataclass(frozen=True)
@@ -259,11 +297,110 @@ def _run_chunk(
 
 
 class Executor:
-    """Interface shared by :class:`SerialExecutor` and :class:`PoolExecutor`."""
+    """Interface shared by :class:`SerialExecutor` and :class:`PoolExecutor`.
+
+    :meth:`run` is a template method: it applies fault injection (when an
+    injector is attached), delegates the surviving tasks to the
+    subclass's :meth:`_execute`, then applies the
+    :class:`ExecutionPolicy`'s bounded retry to whatever failed.
+    Subclasses only implement :meth:`_execute` over ``(index, task)``
+    pairs; reports may come back in any order.
+    """
+
+    #: Resilience policy; ``None`` means fail-fast (historical behaviour).
+    policy: ExecutionPolicy | None = None
+    #: Fault injector for the ``executor.submit`` hook point; ``None``
+    #: (or an injector with an empty plan) makes :meth:`run` behave
+    #: bit-for-bit as if the hook did not exist.
+    injector = None
+
+    def _fault_count(self, key: str, n: int = 1) -> None:
+        counters = getattr(self, "fault_counters", None)
+        if counters is None:
+            counters = self.fault_counters = {}
+        counters[key] = counters.get(key, 0) + n
+
+    def _execute(self, fn: Callable, pairs: list[tuple[int, object]]) -> list[TaskReport]:
+        """Run ``fn`` over ``(index, task)`` pairs; any report order."""
+        raise NotImplementedError
+
+    def _partition_injected(
+        self, pairs: list[tuple[int, object]]
+    ) -> tuple[list[tuple[int, object]], dict[int, TaskReport]]:
+        """Ask the injector about each task; fabricate reports for victims.
+
+        Injected outcomes become synthetic :class:`TaskReport`s attributed
+        to worker ``"chaos"`` — a crash reads like a dead worker, a slow
+        call like a missed deadline, an error like a transient task
+        failure — so downstream telemetry and retry treat them exactly
+        like the real thing.
+        """
+        injector = getattr(self, "injector", None)
+        if injector is None or not getattr(injector, "active", False):
+            return pairs, {}
+        live: list[tuple[int, object]] = []
+        injected: dict[int, TaskReport] = {}
+        for index, task in pairs:
+            outcome = injector.task_outcome("executor.submit")
+            if outcome is None:
+                live.append((index, task))
+            elif outcome == "crash":
+                injected[index] = TaskReport(
+                    index=index, value=None,
+                    error="injected fault: worker died", worker="chaos",
+                )
+            elif outcome == "slow":
+                injected[index] = TaskReport(
+                    index=index, value=None,
+                    error="injected fault: deadline missed", worker="chaos",
+                    timed_out=True,
+                )
+            else:
+                injected[index] = TaskReport(
+                    index=index, value=None,
+                    error="InjectedFault: injected transient task error",
+                    worker="chaos",
+                )
+        return live, injected
+
+    def _retryable(self, report: TaskReport, policy: ExecutionPolicy) -> bool:
+        if report.ok:
+            return False
+        return policy.retry_timed_out or not report.timed_out
 
     def run(self, fn: Callable, tasks: Sequence) -> list[TaskReport]:
         """Apply ``fn`` to every task; reports in submission order."""
-        raise NotImplementedError
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        pairs, injected = self._partition_injected(list(enumerate(tasks)))
+        reports: dict[int, TaskReport] = dict(injected)
+        if pairs:
+            for report in self._execute(fn, pairs):
+                reports[report.index] = report
+        policy = getattr(self, "policy", None)
+        if policy is not None and policy.task_retries:
+            for __ in range(policy.task_retries):
+                failed = [
+                    index for index in sorted(reports)
+                    if self._retryable(reports[index], policy)
+                ]
+                if not failed:
+                    break
+                # Retries run the task for real: injection applies to the
+                # original submission only, so a transient injected error
+                # is recoverable — which is the point of the policy.
+                self._fault_count("tasks_retried", len(failed))
+                for report in self._execute(fn, [(i, tasks[i]) for i in failed]):
+                    if report.ok:
+                        self._fault_count("tasks_recovered")
+                    reports[report.index] = report
+            exhausted = sum(
+                1 for report in reports.values() if self._retryable(report, policy)
+            )
+            if exhausted:
+                self._fault_count("task_retries_exhausted", exhausted)
+        return [reports[i] for i in range(len(tasks))]
 
     def broadcast(self, payload: object) -> PayloadRef:
         """Ship ``payload`` to every worker once; tasks carry the ref.
@@ -312,7 +449,14 @@ class SerialExecutor(Executor):
     serial-vs-pool parity tests exercise one code path end to end.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        policy: ExecutionPolicy | None = None,
+        injector=None,
+    ) -> None:
+        self.policy = policy
+        self.injector = injector
+        self.fault_counters: dict[str, int] = {}
         self.bytes_broadcast = 0
         self.broadcasts_created = 0
         self.broadcast_hits = 0
@@ -329,14 +473,14 @@ class SerialExecutor(Executor):
             self.bytes_broadcast += len(blob)
         return PayloadRef(key=key, path=None, nbytes=len(blob))
 
-    def run(self, fn: Callable, tasks: Sequence) -> list[TaskReport]:
+    def _execute(self, fn: Callable, pairs: list[tuple[int, object]]) -> list[TaskReport]:
         # Match pool semantics: kernels are warm before the first task runs
         # (for numpy backends this is a microsecond no-op after the first call).
         from . import kernels as engine_kernels
 
         engine_kernels.warm_worker_init()
         reports = []
-        for index, task in enumerate(tasks):
+        for index, task in pairs:
             report = _run_captured(fn, task, index)
             # In-process execution: label the worker "serial" so telemetry
             # distinguishes it from pool workers at a glance.
@@ -384,6 +528,8 @@ class PoolExecutor(Executor):
         max_workers: int | None = None,
         chunksize: int | None = None,
         timeout: float | None = None,
+        policy: ExecutionPolicy | None = None,
+        injector=None,
     ) -> None:
         if max_workers is not None and max_workers < 0:
             raise DataError(f"max_workers must be >= 0, got {max_workers}")
@@ -394,6 +540,9 @@ class PoolExecutor(Executor):
         self.max_workers = max_workers or (os.cpu_count() or 1)
         self.chunksize = chunksize
         self.timeout = timeout
+        self.policy = policy
+        self.injector = injector
+        self.fault_counters: dict[str, int] = {}
         self.pools_created = 0
         self.tasks_dispatched = 0
         self.bytes_broadcast = 0
@@ -454,21 +603,24 @@ class PoolExecutor(Executor):
             return self.chunksize
         return max(1, min(8, n_tasks // (4 * self.max_workers)))
 
-    def run(self, fn: Callable, tasks: Sequence) -> list[TaskReport]:
-        tasks = list(tasks)
-        if not tasks:
-            return []
-        size = self._chunk_size_for(len(tasks))
-        indexed = list(enumerate(tasks))
-        chunks = [indexed[i : i + size] for i in range(0, len(indexed), size)]
+    @property
+    def _rebuild_broken(self) -> bool:
+        return self.policy.rebuild_broken_pool if self.policy is not None else True
+
+    def _execute(self, fn: Callable, pairs: list[tuple[int, object]]) -> list[TaskReport]:
+        size = self._chunk_size_for(len(pairs))
+        chunks = [pairs[i : i + size] for i in range(0, len(pairs), size)]
         try:
             pool = self._ensure_pool()
             futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
         except BrokenProcessPool:
+            if not self._rebuild_broken:
+                raise
             self._reset_pool()
+            self._fault_count("pools_rebuilt")
             pool = self._ensure_pool()
             futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
-        self.tasks_dispatched += len(tasks)
+        self.tasks_dispatched += len(pairs)
 
         reports: dict[int, TaskReport] = {}
         broken = False
@@ -502,9 +654,11 @@ class PoolExecutor(Executor):
                             worker="?",
                         ),
                     )
-        if broken:
+        if broken and self._rebuild_broken:
+            # Tear the corpse down now; the next _execute lazily rebuilds.
             self._reset_pool()
-        return [reports[i] for i in range(len(tasks))]
+            self._fault_count("pools_rebuilt")
+        return [reports[index] for index, __ in pairs]
 
     def drain_kernel_counters(self) -> dict[str, float]:
         """Take (and clear) the kernel-counter deltas workers reported."""

@@ -63,6 +63,18 @@ class RunTrace:
         Small string facts about the run environment — e.g.
         ``kernel_backend`` (``"numpy"`` or ``"numba"``), recorded by the
         pipeline alongside the ``kernel_<name>_calls`` / ``_us`` counters.
+    faults:
+        The fault plane's block: injected faults by kind
+        (``fault_<kind>`` / ``faults_injected`` from
+        :class:`~repro.faults.plan.FaultInjector`), retry activity
+        (``<name>_retries`` / ``_recoveries`` / ``_exhausted`` /
+        ``_wait_ms`` from :class:`~repro.faults.retry.RetryRunner`),
+        executor resilience (``tasks_retried`` / ``tasks_recovered`` /
+        ``pools_rebuilt``) and scheduler degradation
+        (``degraded_advisories``, ``degraded_cached_model``,
+        ``degraded_seasonal_naive``, ``selection_runs_failed``). Kept
+        separate from ``counters`` so the happy path renders no fault
+        noise and chaos runs can diff the block byte for byte.
     """
 
     events: list[StageEvent] = field(default_factory=list)
@@ -70,6 +82,7 @@ class RunTrace:
     worker_tasks: dict[str, int] = field(default_factory=dict)
     lineage: list[str] = field(default_factory=list)
     info: dict[str, str] = field(default_factory=dict)
+    faults: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Recording
@@ -91,6 +104,16 @@ class RunTrace:
 
     def count(self, key: str, n: int = 1) -> None:
         self.counters[key] = self.counters.get(key, 0) + int(n)
+
+    def fault(self, key: str, n: int = 1) -> None:
+        """Bump one fault-plane counter (see the ``faults`` attribute)."""
+        self.faults[key] = self.faults.get(key, 0) + int(n)
+
+    def absorb_faults(self, counters: dict[str, int] | None) -> None:
+        """Fold a component's fault counters (injector, retry runner,
+        executor) into the ``faults`` block."""
+        for key, value in (counters or {}).items():
+            self.fault(key, value)
 
     def record_worker(self, worker: str, n: int = 1) -> None:
         self.worker_tasks[worker] = self.worker_tasks.get(worker, 0) + int(n)
@@ -121,6 +144,8 @@ class RunTrace:
             self.record_worker(worker, value)
         for key, value in other.info.items():
             self.info.setdefault(key, value)
+        for key, value in other.faults.items():
+            self.fault(key, value)
 
     # ------------------------------------------------------------------
     # Reading
@@ -149,6 +174,9 @@ class RunTrace:
         kernel_line = self._kernel_line()
         if kernel_line:
             lines.append(kernel_line)
+        if self.faults:
+            detail = " ".join(f"{k}={v}" for k, v in sorted(self.faults.items()))
+            lines.append(f"faults: {detail}")
         if self.worker_tasks:
             busiest = sorted(self.worker_tasks.items(), key=lambda kv: -kv[1])
             util = " ".join(f"{worker}:{n}" for worker, n in busiest)

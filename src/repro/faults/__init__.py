@@ -1,0 +1,63 @@
+"""Fault-injection plane and resilience policies.
+
+Reproducing the paper's pipeline on clean synthetic data proves the
+models; proving the *system* takes failure. This package provides the
+three pieces of that proof:
+
+* :mod:`repro.faults.plan` — declarative, seedable fault injection:
+  a :class:`FaultPlan` of :class:`FaultRule`\\ s executed by a
+  :class:`FaultInjector` at named hook points threaded through the
+  agent, repository, streaming bus and engine executors. Deterministic
+  by construction; an empty plan is a bit-for-bit no-op.
+* :mod:`repro.faults.retry` — :class:`RetryPolicy` /
+  :class:`RetryRunner`: budget-capped exponential backoff with seeded
+  jitter, waits routed through the stream clock (never
+  :func:`time.sleep`).
+* :mod:`repro.faults.scenarios` — named chaos scenarios
+  (``repro chaos`` on the CLI) that run a fault plan against the
+  synthetic estate end to end and emit a deterministic
+  :class:`SurvivalReport`.
+
+Scenario names are exported lazily (PEP 562): scenarios pull in the
+streaming and service layers, which themselves use the plan/retry
+primitives here — eager import would cycle.
+"""
+
+from .plan import (
+    KNOWN_SITES,
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+)
+from .retry import RetryPolicy, RetryRunner
+
+__all__ = [
+    "FaultKind",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedFault",
+    "KNOWN_SITES",
+    "RetryPolicy",
+    "RetryRunner",
+    "ChaosScenario",
+    "SurvivalReport",
+    "SCENARIOS",
+    "run_scenario",
+]
+
+_SCENARIO_EXPORTS = {"ChaosScenario", "SurvivalReport", "SCENARIOS", "run_scenario"}
+
+
+def __getattr__(name: str):
+    if name in _SCENARIO_EXPORTS:
+        from . import scenarios
+
+        return getattr(scenarios, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | _SCENARIO_EXPORTS)

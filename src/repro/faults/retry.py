@@ -1,0 +1,172 @@
+"""Retry with exponential backoff: the fault plane's first resilience policy.
+
+Injecting transient failures (see :mod:`repro.faults.plan`) immediately
+exposed the gap this module fills: repository writes raised on the first
+``sqlite3.OperationalError: database is locked`` and an agent poll that
+failed once lost the whole metric. :class:`RetryPolicy` is the declarative
+cure — bounded attempts, exponentially growing delays with seeded jitter,
+and a hard **budget** on total backoff so a permanently broken dependency
+cannot stall a caller forever.
+
+Nothing here ever calls :func:`time.sleep`. Backoff waits are routed
+through the stream layer's :class:`~repro.stream.clock.Clock` abstraction:
+a :class:`~repro.stream.clock.ManualClock` *advances* (simulated weeks
+replay in milliseconds, deterministic tests), a custom ``waiter`` callable
+can block for real in a live deployment, and with neither the wait is
+accounted but instantaneous — retries then act as bounded immediate
+re-attempts, which is exactly right for in-process lock contention.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DataError
+
+__all__ = ["RetryPolicy", "RetryRunner"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often, how long, and how hard to retry a transient failure.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total call attempts (first try included); ``1`` disables retry.
+    base_delay:
+        Backoff before the first retry, in seconds.
+    multiplier:
+        Exponential growth factor between consecutive delays.
+    max_delay:
+        Per-retry delay ceiling.
+    jitter:
+        Fractional jitter: each delay is stretched by
+        ``U(0, jitter) × delay`` drawn from a seeded RNG, so colliding
+        writers decorrelate while every schedule stays reproducible.
+    budget:
+        Total backoff budget in seconds; once the summed delays would
+        exceed it, retrying stops even if attempts remain.
+    seed:
+        Seed of the jitter stream.
+    """
+
+    max_attempts: int = 5
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+    budget: float = 10.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise DataError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0 or self.budget < 0:
+            raise DataError("delays and budget must be non-negative")
+        if self.multiplier < 1.0:
+            raise DataError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise DataError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    def delays(self) -> Iterator[float]:
+        """The deterministic backoff schedule, capped by the budget.
+
+        Yields at most ``max_attempts - 1`` delays; stops early once the
+        budget is exhausted. A fresh iterator replays identically.
+        """
+        rng = np.random.default_rng(self.seed)
+        spent = 0.0
+        delay = self.base_delay
+        for __ in range(self.max_attempts - 1):
+            step = min(delay, self.max_delay)
+            if self.jitter:
+                step *= 1.0 + self.jitter * float(rng.random())
+            if spent + step > self.budget:
+                return
+            spent += step
+            yield step
+            delay *= self.multiplier
+
+
+class RetryRunner:
+    """Executes callables under a :class:`RetryPolicy`, counting everything.
+
+    Parameters
+    ----------
+    policy:
+        The backoff schedule; ``None`` uses the default policy.
+    clock:
+        Optional stream-layer clock. A clock with an ``advance`` method
+        (:class:`~repro.stream.clock.ManualClock`) has backoff waits
+        applied to it, keeping simulated time honest without sleeping.
+    waiter:
+        Optional ``f(delay_seconds)`` called for each wait — a live
+        deployment's hook for a real (interruptible) sleep. Takes
+        precedence over ``clock``.
+    name:
+        Prefix of the emitted counters (``<name>_retries``,
+        ``<name>_recoveries``, ``<name>_exhausted``, ``<name>_wait_ms``),
+        so several runners can share one ``faults`` telemetry block.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy | None = None,
+        clock=None,
+        waiter: Callable[[float], None] | None = None,
+        name: str = "retry",
+    ) -> None:
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.clock = clock
+        self.waiter = waiter
+        self.name = name
+        self.counters: dict[str, int] = {}
+
+    def _count(self, key: str, n: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    def _wait(self, delay: float) -> None:
+        self._count(f"{self.name}_wait_ms", int(round(delay * 1000.0)))
+        if self.waiter is not None:
+            self.waiter(delay)
+        elif self.clock is not None and hasattr(self.clock, "advance"):
+            self.clock.advance(delay)
+        # No waiter, no advanceable clock: the wait is accounted but
+        # instantaneous — never time.sleep.
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ):
+        """Run ``fn`` until it succeeds or the policy gives up.
+
+        Retries only exceptions matching ``retry_on``; anything else
+        propagates immediately. ``on_retry(attempt, exc)`` fires before
+        each retry (1-based attempt that just failed). When the policy is
+        exhausted the final exception propagates unchanged.
+        """
+        delays = self.policy.delays()
+        attempt = 1
+        while True:
+            try:
+                value = fn()
+            except retry_on as exc:
+                delay = next(delays, None)
+                if delay is None:
+                    self._count(f"{self.name}_exhausted")
+                    raise
+                self._count(f"{self.name}_retries")
+                self._wait(delay)
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                attempt += 1
+                continue
+            if attempt > 1:
+                self._count(f"{self.name}_recoveries")
+            return value

@@ -236,7 +236,9 @@ class CapacityPlanner:
 
         With no arguments, returns one merged trace across every cached
         selection — the planner-wide view the streaming telemetry
-        surfaces — or ``None`` when nothing has been selected. Asking
+        surfaces — with the repository's write-retry counters folded
+        into the trace's ``faults`` block, or ``None`` when nothing has
+        been selected *and* no fault-plane activity was recorded. Asking
         for an instance without a metric (or vice versa) is an error.
         """
         if (instance is None) != (metric is None):
@@ -247,11 +249,13 @@ class CapacityPlanner:
                 return None
             return entry.outcome.trace
         traces = [e.outcome.trace for e in self._entries.values() if e.outcome.trace is not None]
-        if not traces:
+        fault_counters = self.repository.fault_counters
+        if not traces and not fault_counters:
             return None
         merged = RunTrace()
         for trace in traces:
             merged.merge(trace)
+        merged.absorb_faults(fault_counters)
         return merged
 
     def observe(self, instance: str, metric: str, values) -> StalenessVerdict:

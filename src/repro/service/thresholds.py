@@ -49,6 +49,12 @@ class BreachPrediction:
     headroom:
         Threshold minus the forecast peak — negative when the point
         forecast breaches.
+    degraded:
+        Empty for a first-class advisory from the selected model.
+        Otherwise the degradation mode that produced it
+        (``"cached-model"`` or ``"seasonal-naive"``) — the scheduler's
+        fallback ladder keeps advisories flowing when selection fails,
+        and this marks them as lower-confidence.
     """
 
     severity: BreachSeverity
@@ -56,15 +62,17 @@ class BreachPrediction:
     first_breach_timestamp: float | None
     threshold: float
     headroom: float
+    degraded: str = ""
 
     def describe(self) -> str:
+        prefix = f"DEGRADED[{self.degraded}] " if self.degraded else ""
         if self.severity is BreachSeverity.NONE:
             return (
-                f"no breach of {self.threshold:g} within the horizon "
+                f"{prefix}no breach of {self.threshold:g} within the horizon "
                 f"(headroom {self.headroom:.1f})"
             )
         return (
-            f"{self.severity.value} at step {self.first_breach_step} "
+            f"{prefix}{self.severity.value} at step {self.first_breach_step} "
             f"(threshold {self.threshold:g}, headroom {self.headroom:.1f})"
         )
 

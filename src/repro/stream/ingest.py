@@ -91,6 +91,12 @@ class IngestBus:
     capacity:
         Maximum buffered (un-finalised) samples across all keys; pushes
         beyond it are rejected and counted as backpressure.
+    injector:
+        Optional :class:`~repro.faults.plan.FaultInjector` driving the
+        ``ingest.deliver`` hook point — the "network" between agent and
+        repository, where batches lose, duplicate or corrupt samples in
+        flight. Applied in :meth:`push_many` only; :meth:`push` stays a
+        pure single-sample intake.
     """
 
     def __init__(
@@ -98,6 +104,7 @@ class IngestBus:
         raw_frequency: Frequency = Frequency.MINUTE_15,
         allowed_lateness: float = 0.0,
         capacity: int = 1_000_000,
+        injector=None,
     ) -> None:
         if allowed_lateness < 0:
             raise DataError("allowed_lateness must be non-negative")
@@ -106,6 +113,7 @@ class IngestBus:
         self.raw_frequency = raw_frequency
         self.allowed_lateness = float(allowed_lateness)
         self.capacity = int(capacity)
+        self.injector = injector
         self._buffers: dict[StreamKey, KeyBuffer] = {}
         self._buffered = 0
         self.counters: dict[str, int] = {}
@@ -170,7 +178,23 @@ class IngestBus:
         return True
 
     def push_many(self, samples) -> int:
-        """Push a batch in order; returns how many were accepted."""
+        """Push a batch in order; returns how many were accepted.
+
+        The batch first passes the ``ingest.deliver`` hook (when an
+        injector with a non-empty plan is attached): per-sample delivery
+        faults — drops, duplicates, corruption, NaN bursts, clock skew —
+        mangle the batch before the bus's ordinary dedup/lateness/
+        backpressure accounting sees it. Injected NaNs surface as
+        ``samples_nonfinite`` rejections, injected duplicates as
+        ``samples_duplicate``: chaos traffic is counted by the same
+        ledger as real traffic.
+        """
+        injector = self.injector
+        if injector is not None and injector.active:
+            delivered = []
+            for sample in samples:
+                delivered.extend(injector.on_sample("ingest.deliver", sample))
+            samples = delivered
         return sum(1 for sample in samples if self.push(sample))
 
     # ------------------------------------------------------------------

@@ -99,6 +99,13 @@ class StreamRuntime:
         Alert sink; default records to a list (``runtime.alerts.sink``).
     clock:
         Injected clock; a :class:`ManualClock` at 0 when omitted.
+    injector:
+        Optional :class:`~repro.faults.plan.FaultInjector` shared by the
+        runtime's layers: it drives the bus's ``ingest.deliver`` hook and
+        its counters are folded into :meth:`telemetry`. Hand the same
+        injector to the agent, repository and executor to chaos-test the
+        whole deployment under one plan (that is what
+        :mod:`repro.faults.scenarios` does).
     """
 
     def __init__(
@@ -108,14 +115,18 @@ class StreamRuntime:
         executor: Executor | None = None,
         sink: AlertSink | None = None,
         clock: ManualClock | None = None,
+        injector=None,
     ) -> None:
         self.config = config or StreamConfig()
         self.clock = clock if clock is not None else ManualClock()
         self.planner = planner if planner is not None else EstatePlanner()
+        self.injector = injector
+        self._executor = executor
         self.bus = IngestBus(
             raw_frequency=Frequency.MINUTE_15,
             allowed_lateness=self.config.allowed_lateness,
             capacity=self.config.capacity,
+            injector=injector,
         )
         self.aggregator = WindowAggregator(self.bus, Frequency.HOURLY)
         self.trace = RunTrace()
@@ -233,13 +244,22 @@ class StreamRuntime:
     # Telemetry
     # ------------------------------------------------------------------
     def telemetry(self) -> RunTrace:
-        """One merged trace: bus + windows + scheduler + alert counters."""
+        """One merged trace: bus + windows + scheduler + alert counters.
+
+        Fault-plane activity rides along in the trace's ``faults`` block:
+        injected-fault counts from the runtime's injector and resilience
+        counters from the executor (task retries, rebuilt pools).
+        """
         trace = RunTrace()
         trace.merge(self.trace)
         for counters in (self.bus.counters, self.aggregator.counters, self.alerts.counters):
             for name, value in counters.items():
                 trace.count(name, value)
         trace.count("stream_ticks", self.ticks)
+        if self.injector is not None:
+            trace.absorb_faults(self.injector.counters)
+        if self._executor is not None:
+            trace.absorb_faults(getattr(self._executor, "fault_counters", None))
         return trace
 
     def summary_lines(self) -> list[str]:
@@ -278,4 +298,8 @@ class StreamRuntime:
                 len(self.alerts.active_alerts()),
             ),
         ]
+        faults = self.telemetry().faults
+        if faults:
+            detail = " ".join(f"{k}={v}" for k, v in sorted(faults.items()))
+            lines.append(f"faults: {detail}")
         return lines

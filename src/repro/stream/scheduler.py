@@ -23,12 +23,27 @@ finalised hourly window is one heartbeat:
 The scheduler never sleeps and never reads the wall clock directly: time
 is the injected :class:`~repro.stream.clock.Clock`, falling back to the
 event-time high watermark of the windows it has consumed.
+
+Selection failure does not silence a key. The scheduler degrades instead
+of dropping advisories, walking a two-rung fallback ladder per key:
+
+1. **cached model** — the last outcome that successfully modelled the
+   key keeps grading (stale, but calibrated);
+2. **seasonal-naive** — with no cached model, a
+   :class:`~repro.models.naive.SeasonalNaive` fitted on the key's own
+   streamed history grades instead (crude, but alert continuity holds).
+
+Degraded advisories carry the producing mode in
+:attr:`~repro.service.thresholds.BreachPrediction.degraded` and are
+counted in the trace's ``faults`` block; a failed key is re-registered
+on its next window (reason ``"recovery"``) so degradation is a bridge,
+not a terminal state.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -38,6 +53,7 @@ from ..engine.executor import Executor
 from ..engine.telemetry import RunTrace
 from ..exceptions import DataError
 from ..models.base import Forecast
+from ..models.naive import Naive, SeasonalNaive
 from ..selection.staleness import WEEK_SECONDS, StalenessVerdict
 from ..service.estate import EstatePlanner, EstateReport, WorkloadKey, WorkloadStatus
 from ..service.thresholds import BreachPrediction, predict_breach
@@ -106,6 +122,18 @@ class _KeyHistory:
             start=float(self.start),
             name=name,
         )
+
+
+@dataclass
+class _CachedModel:
+    """Fallback rung 1: the key's last good outcome, kept for degraded grading.
+
+    Duck-typed against :class:`~repro.service.estate.EstateEntry` for the
+    two attributes :meth:`ForecastScheduler._grade_entry` reads.
+    """
+
+    outcome: object
+    threshold: float
 
 
 class ForecastScheduler:
@@ -177,6 +205,8 @@ class ForecastScheduler:
         self._registered: set[StreamKey] = set()
         self._event_time = -math.inf
         self.refit_log: list[RefitEvent] = []
+        #: Last good outcome per key — rung 1 of the degradation ladder.
+        self._fallback: dict[StreamKey, _CachedModel] = {}
 
     # ------------------------------------------------------------------
     def workload_key(self, instance: str, metric: str) -> WorkloadKey:
@@ -245,6 +275,16 @@ class ForecastScheduler:
         for key, values in fresh.items():
             wkey = self.workload_key(*key)
             if key in self._registered:
+                if self._entry_failed(wkey):
+                    # A failed selection left the key degraded; re-register
+                    # with the grown history so the next report retries it.
+                    self._register(key)
+                    pending = True
+                    event = RefitEvent(key=wkey, reason="recovery", at=now)
+                    tick.refits.append(event)
+                    self.refit_log.append(event)
+                    self.trace.fault("recovery_reselections")
+                    continue
                 verdict = self.planner.observe(wkey, values)
                 if verdict is not None:
                     tick.verdicts[wkey] = verdict
@@ -268,13 +308,14 @@ class ForecastScheduler:
         tick.advisories = self._grade_all(now)
         return tick
 
-    def resync(self) -> EstateReport:
+    def resync(self) -> EstateReport | None:
         """Re-register every key with its current history and re-select.
 
         The restart path: histories re-registered with *unchanged* data
         hit the estate selection cache (same series and config
         fingerprints) and cost zero grid fits; anything that drifted is
-        re-selected for real. Returns the estate report.
+        re-selected for real. Returns the estate report (``None`` when
+        the selection run itself failed and the tick degraded).
         """
         if not self._histories:
             raise DataError("nothing streamed yet; no keys to resync")
@@ -295,8 +336,29 @@ class ForecastScheduler:
         )
         self._registered.add(key)
 
-    def _run_selection(self) -> EstateReport:
-        report = self.planner.report(executor=self.executor)
+    def _entry_failed(self, wkey: WorkloadKey) -> bool:
+        try:
+            entry = self.planner.entry(wkey)
+        except DataError:
+            return False
+        return entry.status is WorkloadStatus.FAILED
+
+    def _run_selection(self) -> EstateReport | None:
+        """Run the planner's fan-out; a whole-run failure degrades, not crashes.
+
+        Per-entry failures are already captured inside
+        :meth:`~repro.service.estate.EstatePlanner.report`; this guard
+        covers the run itself dying (a broken executor that was told not
+        to rebuild, an injected infrastructure error). The tick then
+        carries no report, the affected keys stay pending/failed, and
+        grading falls through the degradation ladder — advisories keep
+        flowing.
+        """
+        try:
+            report = self.planner.report(executor=self.executor)
+        except Exception:
+            self.trace.fault("selection_runs_failed")
+            return None
         if report.trace is not None:
             for counter in (
                 "selection_cache_hits",
@@ -321,17 +383,59 @@ class ForecastScheduler:
                 entry = self.planner.entry(wkey)
             except DataError:
                 continue
-            if (
-                entry.status is not WorkloadStatus.MODELLED
-                or entry.outcome is None
-                or entry.threshold is None
-            ):
+            if entry.threshold is None:
                 continue
-            advisory = self._grade_entry(entry, now)
+            if entry.status is WorkloadStatus.MODELLED and entry.outcome is not None:
+                # Healthy path — and the moment to refresh rung 1 of the
+                # degradation ladder with the newest good outcome.
+                self._fallback[key] = _CachedModel(
+                    outcome=entry.outcome, threshold=entry.threshold
+                )
+                advisory = self._grade_entry(entry, now)
+            else:
+                # Selection failed (or never completed): degrade rather
+                # than fall silent — alert continuity is the contract.
+                advisory = self._grade_degraded(key, entry.threshold, now)
+                if advisory is not None:
+                    self.trace.fault("degraded_advisories")
             if advisory is not None:
                 advisories[wkey] = advisory
                 self.trace.count("stream_advisories_graded")
         return advisories
+
+    def _grade_degraded(
+        self, key: StreamKey, threshold: float, now: float
+    ) -> BreachPrediction | None:
+        """Grade a key whose selection is unavailable, via the fallback ladder."""
+        cached = self._fallback.get(key)
+        if cached is not None:
+            try:
+                advisory = self._grade_entry(cached, now)
+            except Exception:
+                advisory = None  # sick cached model: fall through a rung
+            if advisory is not None:
+                self.trace.fault("degraded_cached_model")
+                return replace(advisory, degraded="cached-model")
+        base_horizon = (
+            self.horizon
+            if self.horizon is not None
+            else self.window_frequency.split_rule.horizon
+        )
+        if base_horizon <= 0:
+            return None
+        try:
+            series = self.history(*key)
+        except DataError:
+            return None
+        period = self.window_frequency.default_period
+        model = SeasonalNaive(period) if len(series) > period else Naive()
+        try:
+            forecast = model.fit(series).forecast(base_horizon).clipped(0.0)
+        except Exception:
+            return None  # even the floor model failed; nothing to grade
+        self.trace.fault("degraded_seasonal_naive")
+        advisory = predict_breach(forecast, threshold)
+        return replace(advisory, degraded="seasonal-naive")
 
     def _grade_entry(self, entry, now: float) -> BreachPrediction | None:
         """Grade a live model's *remaining* forecast against its threshold.

@@ -1,0 +1,89 @@
+"""Agent hook points: poll retry under injected faults, sample mangling."""
+
+import numpy as np
+
+from repro.agent.agent import FaultModel, MonitoringAgent
+from repro.core import Frequency, TimeSeries
+from repro.faults.plan import FaultInjector, FaultKind, FaultPlan, FaultRule
+from repro.faults.retry import RetryPolicy
+
+
+def trace(n=32):
+    rng = np.random.default_rng(0)
+    return TimeSeries(
+        values=20.0 + rng.random(n),
+        frequency=Frequency.MINUTE_15,
+        start=0.0,
+        name="cpu",
+    )
+
+
+def plan(*rules, seed=0):
+    return FaultInjector(FaultPlan(rules=tuple(rules), seed=seed))
+
+
+class TestPollRetry:
+    def test_transient_poll_errors_are_retried_transparently(self):
+        series = trace()
+        baseline = MonitoringAgent(seed=1).poll_series("db1", "cpu", series)
+        injector = plan(
+            FaultRule(site="agent.poll", kind=FaultKind.TRANSIENT_ERROR, every=1, limit=2)
+        )
+        agent = MonitoringAgent(seed=1, injector=injector)
+        samples = agent.poll_series("db1", "cpu", series)
+        assert samples == baseline
+        assert agent.fault_counters["agent_poll_retries"] == 2
+        assert agent.fault_counters["agent_poll_recoveries"] == 1
+        assert injector.counters["fault_transient_error"] == 2
+
+    def test_statistical_gaps_replay_identically_across_retries(self):
+        """The dropped-mask is drawn before the retried closure."""
+        series = trace(96)
+        model = FaultModel(miss_probability=0.2, outage_probability_per_day=0.0)
+        baseline = MonitoringAgent(fault_model=model, seed=4).poll_series(
+            "db1", "cpu", series
+        )
+        injector = plan(
+            FaultRule(site="agent.poll", kind=FaultKind.TRANSIENT_ERROR, every=1, limit=1)
+        )
+        retried = MonitoringAgent(
+            fault_model=model, seed=4, injector=injector
+        ).poll_series("db1", "cpu", series)
+        assert retried == baseline
+
+    def test_exhausted_retries_lose_the_poll(self):
+        injector = plan(
+            FaultRule(site="agent.poll", kind=FaultKind.TRANSIENT_ERROR, every=1)
+        )
+        agent = MonitoringAgent(
+            seed=1, injector=injector, retry=RetryPolicy(max_attempts=2, jitter=0.0)
+        )
+        assert agent.poll_series("db1", "cpu", trace()) == []
+        assert agent.fault_counters["agent_polls_failed"] == 1
+        assert agent.fault_counters["agent_poll_exhausted"] == 1
+
+
+class TestSampleHook:
+    def test_drop_every_sample(self):
+        injector = plan(
+            FaultRule(site="agent.sample", kind=FaultKind.DROP_SAMPLE, every=1)
+        )
+        agent = MonitoringAgent(seed=1, injector=injector)
+        assert agent.poll_series("db1", "cpu", trace()) == []
+
+    def test_duplicates_double_delivery(self):
+        series = trace()
+        injector = plan(
+            FaultRule(site="agent.sample", kind=FaultKind.DUPLICATE_SAMPLE, every=1)
+        )
+        agent = MonitoringAgent(seed=1, injector=injector)
+        samples = agent.poll_series("db1", "cpu", series)
+        assert len(samples) == 2 * len(series)
+
+    def test_no_injector_and_empty_plan_agree(self):
+        series = trace()
+        plain = MonitoringAgent(seed=7).poll_series("db1", "cpu", series)
+        empty = MonitoringAgent(seed=7, injector=FaultInjector()).poll_series(
+            "db1", "cpu", series
+        )
+        assert plain == empty

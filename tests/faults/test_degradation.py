@@ -1,0 +1,150 @@
+"""Graceful degradation: the scheduler's fallback ladder and recovery path."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency, TimeSeries
+from repro.engine.executor import SerialExecutor
+from repro.selection.auto import AutoConfig
+from repro.service import EstatePlanner
+from repro.service.estate import WorkloadStatus
+from repro.stream.aggregate import ClosedWindow
+from repro.stream.scheduler import ForecastScheduler
+
+from repro.faults.plan import FaultInjector, FaultKind, FaultPlan, FaultRule
+
+HOUR = 3600.0
+
+
+def hourly_series(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    values = 20.0 + 5.0 * np.sin(2.0 * np.pi * t / 24.0) + 0.2 * rng.random(n)
+    return TimeSeries(
+        values=values, frequency=Frequency.HOURLY, start=0.0, name="db1.cpu"
+    )
+
+
+def window_at(index, value=21.0):
+    return ClosedWindow(
+        instance="db1",
+        metric="cpu",
+        start=index * HOUR,
+        value=value,
+        n_samples=4,
+        expected=4,
+    )
+
+
+def broken_executor(limit=None):
+    """Executor whose submitted tasks all (or the first ``limit``) fail."""
+    rule = FaultRule(
+        site="executor.submit",
+        kind=FaultKind.TRANSIENT_ERROR,
+        every=1,
+        limit=limit,
+    )
+    return SerialExecutor(injector=FaultInjector(FaultPlan(rules=(rule,))))
+
+
+def make_scheduler(executor=None, threshold=26.0):
+    planner = EstatePlanner(config=AutoConfig(technique="hes", n_jobs=1))
+    scheduler = ForecastScheduler(
+        planner,
+        thresholds={"cpu": threshold},
+        executor=executor,
+        min_observations=48,
+    )
+    series = hourly_series()
+    scheduler.seed_history("db1", "cpu", series)
+    return planner, scheduler, len(series)
+
+
+class TestSeasonalNaiveFloor:
+    def test_failed_selection_degrades_instead_of_silencing(self):
+        planner, scheduler, n = make_scheduler(executor=broken_executor())
+        tick = scheduler.on_windows([window_at(n)])
+        wkey = scheduler.workload_key("db1", "cpu")
+        assert planner.entry(wkey).status is WorkloadStatus.FAILED
+        advisory = tick.advisories[wkey]
+        assert advisory.degraded == "seasonal-naive"
+        assert advisory.describe().startswith("DEGRADED[seasonal-naive]")
+        assert scheduler.trace.faults["degraded_advisories"] == 1
+        assert scheduler.trace.faults["degraded_seasonal_naive"] == 1
+
+    def test_whole_run_failure_is_survived(self, monkeypatch):
+        planner, scheduler, n = make_scheduler()
+
+        def boom(executor=None):
+            raise RuntimeError("selection infrastructure down")
+
+        monkeypatch.setattr(planner, "report", boom)
+        tick = scheduler.on_windows([window_at(n)])
+        assert tick.report is None
+        assert scheduler.trace.faults["selection_runs_failed"] == 1
+        # The key was registered but never modelled: the floor still grades.
+        advisory = tick.advisories[scheduler.workload_key("db1", "cpu")]
+        assert advisory.degraded == "seasonal-naive"
+
+
+class TestCachedModelRung:
+    def test_last_good_model_keeps_grading(self):
+        planner, scheduler, n = make_scheduler()
+        tick = scheduler.on_windows([window_at(n)])  # healthy initial selection
+        wkey = scheduler.workload_key("db1", "cpu")
+        assert tick.advisories[wkey].degraded == ""
+        assert planner.entry(wkey).status is WorkloadStatus.MODELLED
+
+        # Selection collapses later: the entry fails, the cached outcome
+        # from the healthy pass takes over grading.
+        entry = planner.entry(wkey)
+        entry.status = WorkloadStatus.FAILED
+        entry.outcome = None
+        tick = scheduler.on_windows([])
+        advisory = tick.advisories[wkey]
+        assert advisory.degraded == "cached-model"
+        assert advisory.describe().startswith("DEGRADED[cached-model]")
+        assert scheduler.trace.faults["degraded_cached_model"] == 1
+
+
+class TestRecovery:
+    def test_failed_key_is_reselected_on_its_next_window(self):
+        # Exactly one injected failure: the initial selection dies, the
+        # recovery re-selection succeeds.
+        planner, scheduler, n = make_scheduler(executor=broken_executor(limit=1))
+        wkey = scheduler.workload_key("db1", "cpu")
+
+        tick = scheduler.on_windows([window_at(n)])
+        assert planner.entry(wkey).status is WorkloadStatus.FAILED
+        assert tick.advisories[wkey].degraded == "seasonal-naive"
+
+        tick = scheduler.on_windows([window_at(n + 1)])
+        assert [e.reason for e in tick.refits] == ["recovery"]
+        assert scheduler.trace.faults["recovery_reselections"] == 1
+        assert planner.entry(wkey).status is WorkloadStatus.MODELLED
+        assert tick.advisories[wkey].degraded == ""
+
+
+class TestDegradedDescribe:
+    def test_prefix_marks_both_branches(self):
+        import dataclasses
+
+        from repro.models.naive import Naive
+        from repro.service.thresholds import predict_breach
+
+        series = hourly_series(48)
+        forecast = Naive().fit(series).forecast(24)
+        breach = predict_breach(forecast, 1.0)  # certain breach
+        calm = predict_breach(forecast, 1e9)  # never breaches
+        for advisory in (breach, calm):
+            degraded = dataclasses.replace(advisory, degraded="cached-model")
+            assert degraded.describe().startswith("DEGRADED[cached-model] ")
+            assert not advisory.describe().startswith("DEGRADED")
+
+
+def test_scheduler_rejects_bad_min_observations():
+    from repro.exceptions import DataError
+
+    planner = EstatePlanner()
+    with pytest.raises(DataError, match="min_observations"):
+        ForecastScheduler(planner, min_observations=1)

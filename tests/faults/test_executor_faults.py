@@ -1,0 +1,141 @@
+"""Executor fault injection and the ExecutionPolicy's bounded task retry."""
+
+import pytest
+
+from repro.engine.executor import (
+    ExecutionPolicy,
+    PoolExecutor,
+    SerialExecutor,
+)
+from repro.exceptions import DataError
+from repro.faults.plan import FaultInjector, FaultKind, FaultPlan, FaultRule
+
+
+def square(x):
+    return x * x
+
+
+def injector_for(kind, **kw):
+    rule = FaultRule(site="executor.submit", kind=kind, **kw)
+    return FaultInjector(FaultPlan(rules=(rule,)))
+
+
+class TestExecutionPolicy:
+    def test_defaults_preserve_historical_behaviour(self):
+        policy = ExecutionPolicy()
+        assert policy.task_retries == 0
+        assert not policy.retry_timed_out
+        assert policy.rebuild_broken_pool
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(DataError, match="task_retries"):
+            ExecutionPolicy(task_retries=-1)
+
+    def test_pool_rebuild_knob_reaches_the_pool(self):
+        keep = PoolExecutor(max_workers=2)
+        crash = PoolExecutor(
+            max_workers=2, policy=ExecutionPolicy(rebuild_broken_pool=False)
+        )
+        assert keep._rebuild_broken
+        assert not crash._rebuild_broken
+        keep.close()
+        crash.close()
+
+
+class TestInjection:
+    def test_injected_errors_become_chaos_reports(self):
+        executor = SerialExecutor(
+            injector=injector_for(FaultKind.TRANSIENT_ERROR, every=1, limit=2)
+        )
+        reports = executor.run(square, [1, 2, 3, 4])
+        assert [r.index for r in reports] == [0, 1, 2, 3]
+        assert [r.ok for r in reports] == [False, False, True, True]
+        assert reports[0].worker == "chaos"
+        assert "InjectedFault" in reports[0].error
+        assert [r.value for r in reports[2:]] == [9, 16]
+
+    def test_injected_crash_and_slow_shapes(self):
+        rules = (
+            FaultRule(site="executor.submit", kind=FaultKind.WORKER_CRASH, every=1, limit=1),
+            FaultRule(
+                site="executor.submit", kind=FaultKind.SLOW_CALL, every=1, start=1, limit=1
+            ),
+        )
+        executor = SerialExecutor(injector=FaultInjector(FaultPlan(rules=rules)))
+        crash, slow, ok = executor.run(square, [1, 2, 3])
+        assert "worker died" in crash.error and not crash.timed_out
+        assert slow.timed_out
+        assert ok.value == 9
+
+    def test_empty_injector_is_bit_for_bit_noop(self):
+        plain = SerialExecutor().run(square, [1, 2, 3])
+        hooked = SerialExecutor(
+            policy=ExecutionPolicy(task_retries=3), injector=FaultInjector()
+        ).run(square, [1, 2, 3])
+        assert [(r.index, r.value, r.error, r.timed_out) for r in plain] == [
+            (r.index, r.value, r.error, r.timed_out) for r in hooked
+        ]
+
+
+class TestTaskRetry:
+    def test_retry_recovers_injected_transient_errors(self):
+        executor = SerialExecutor(
+            policy=ExecutionPolicy(task_retries=1),
+            injector=injector_for(FaultKind.TRANSIENT_ERROR, every=1, limit=2),
+        )
+        reports = executor.run(square, [1, 2, 3])
+        assert all(r.ok for r in reports)
+        assert [r.value for r in reports] == [1, 4, 9]
+        assert executor.fault_counters["tasks_retried"] == 2
+        assert executor.fault_counters["tasks_recovered"] == 2
+        assert "task_retries_exhausted" not in executor.fault_counters
+
+    def test_no_policy_keeps_fail_fast(self):
+        executor = SerialExecutor(
+            injector=injector_for(FaultKind.TRANSIENT_ERROR, every=1, limit=1)
+        )
+        reports = executor.run(square, [1, 2])
+        assert not reports[0].ok
+        assert executor.fault_counters == {}
+
+    def test_retries_exhaust_on_persistent_failure(self):
+        def always_fails(x):
+            raise RuntimeError("hard down")
+
+        executor = SerialExecutor(policy=ExecutionPolicy(task_retries=2))
+        reports = executor.run(always_fails, [1, 2])
+        assert all(not r.ok for r in reports)
+        assert executor.fault_counters["tasks_retried"] == 4  # 2 tasks × 2 rounds
+        assert executor.fault_counters["task_retries_exhausted"] == 2
+
+    def test_timed_out_tasks_not_retried_by_default(self):
+        executor = SerialExecutor(
+            policy=ExecutionPolicy(task_retries=2),
+            injector=injector_for(FaultKind.SLOW_CALL, every=1, limit=1),
+        )
+        reports = executor.run(square, [1, 2])
+        assert reports[0].timed_out
+        assert "tasks_retried" not in executor.fault_counters
+
+    def test_retry_timed_out_opt_in(self):
+        executor = SerialExecutor(
+            policy=ExecutionPolicy(task_retries=1, retry_timed_out=True),
+            injector=injector_for(FaultKind.SLOW_CALL, every=1, limit=1),
+        )
+        reports = executor.run(square, [1, 2])
+        assert all(r.ok for r in reports)
+        assert executor.fault_counters["tasks_recovered"] == 1
+
+    def test_real_failures_also_retry(self):
+        calls = {"n": 0}
+
+        def flaky(x):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("first call loses")
+            return x * x
+
+        executor = SerialExecutor(policy=ExecutionPolicy(task_retries=1))
+        reports = executor.run(flaky, [3])
+        assert reports[0].ok and reports[0].value == 9
+        assert executor.fault_counters["tasks_recovered"] == 1

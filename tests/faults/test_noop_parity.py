@@ -1,0 +1,85 @@
+"""No-op parity: an empty FaultPlan must change nothing, bit for bit.
+
+The fault plane's core contract: hooks wired through the agent, the
+repository, the bus, the executor and the scheduler short-circuit when the
+plan is empty, so a deployment carrying an idle injector behaves exactly
+like one without any injector at all.
+"""
+
+import numpy as np
+
+from repro.agent.agent import MonitoringAgent
+from repro.agent.repository import MetricsRepository
+from repro.core import Frequency
+from repro.engine.executor import ExecutionPolicy, SerialExecutor
+from repro.faults.plan import FaultInjector, FaultPlan
+from repro.selection.auto import AutoConfig
+from repro.service import EstatePlanner
+from repro.stream.runtime import StreamConfig, StreamRuntime
+from repro.workloads.oltp import OltpExperiment, generate_oltp_run
+
+
+def cpu_samples():
+    run = generate_oltp_run(OltpExperiment(days=3.5, seed=3), hourly=False)
+    agent = MonitoringAgent(seed=5)
+    return [s for s in agent.poll_run(run) if s.metric == "cpu"]
+
+
+def build_runtime(injector=None, executor=None):
+    planner = EstatePlanner(config=AutoConfig(technique="hes", n_jobs=1))
+    config = StreamConfig(thresholds={"cpu": 26.0}, min_observations=72, seed=11)
+    return StreamRuntime(
+        planner=planner, config=config, executor=executor, injector=injector
+    )
+
+
+class TestEndToEndParity:
+    def test_idle_fault_plane_changes_nothing(self):
+        samples = cpu_samples()
+
+        plain = build_runtime()
+        armed = build_runtime(
+            injector=FaultInjector(FaultPlan()),
+            executor=SerialExecutor(
+                policy=ExecutionPolicy(task_retries=2),
+                injector=FaultInjector(FaultPlan()),
+            ),
+        )
+
+        ticks_plain = plain.run(samples) + [plain.finish()]
+        ticks_armed = armed.run(samples) + [armed.finish()]
+
+        assert len(ticks_plain) == len(ticks_armed)
+        for a, b in zip(ticks_plain, ticks_armed):
+            assert sorted(a.advisories) == sorted(b.advisories)
+            for key in a.advisories:
+                assert a.advisories[key].describe() == b.advisories[key].describe()
+                assert b.advisories[key].degraded == ""
+            assert [e.reason for e in a.refits] == [e.reason for e in b.refits]
+
+        assert plain.events == armed.events
+        trace_plain, trace_armed = plain.telemetry(), armed.telemetry()
+        assert trace_plain.counters == trace_armed.counters
+        assert trace_armed.faults == {}  # the idle plane never counts anything
+
+
+class TestLayerParity:
+    def test_repository_parity(self):
+        samples = cpu_samples()[:64]
+        with MetricsRepository() as plain, MetricsRepository(
+            injector=FaultInjector()
+        ) as armed:
+            assert plain.ingest(samples) == armed.ingest(samples)
+            a = plain.load_series("cdbm011", "cpu", frequency=Frequency.MINUTE_15)
+            b = armed.load_series("cdbm011", "cpu", frequency=Frequency.MINUTE_15)
+            assert np.array_equal(a.values, b.values, equal_nan=True)
+            assert a.start == b.start
+            assert armed.fault_counters == {}
+
+    def test_empty_plan_report_is_not_even_counted(self):
+        injector = FaultInjector(FaultPlan())
+        executor = SerialExecutor(policy=ExecutionPolicy(task_retries=1), injector=injector)
+        reports = executor.run(lambda x: x + 1, [1, 2, 3])
+        assert [r.value for r in reports] == [2, 3, 4]
+        assert injector.counters == {}
+        assert executor.fault_counters == {}

@@ -1,0 +1,127 @@
+"""Regression tests: repository writes retry 'database is locked' errors.
+
+The seed behaviour raised ``sqlite3.OperationalError`` straight through on
+the first locked write, losing the agent's push. Writes now run under a
+budget-capped :class:`~repro.faults.retry.RetryPolicy`; these tests cover
+both the injected contention path and a *real* second-writer lock.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.agent.agent import AgentSample
+from repro.agent.repository import MetricsRepository
+from repro.core import Frequency
+from repro.exceptions import RepositoryError
+from repro.faults.plan import FaultInjector, FaultKind, FaultPlan, FaultRule
+from repro.faults.retry import RetryPolicy
+
+
+def samples(n=8):
+    return [
+        AgentSample(instance="db1", metric="cpu", timestamp=900.0 * i, value=10.0 + i)
+        for i in range(n)
+    ]
+
+
+class ReleasingClock:
+    """Manual clock whose first backoff wait releases the blocking writer."""
+
+    def __init__(self, release):
+        self._release = release
+        self._now = 0.0
+
+    def now(self):
+        return self._now
+
+    def advance(self, seconds):
+        self._now += seconds
+        if self._release is not None:
+            release, self._release = self._release, None
+            release()
+        return self._now
+
+
+class TestInjectedLockContention:
+    def test_bounded_contention_is_absorbed(self):
+        injector = FaultInjector(
+            FaultPlan(
+                rules=(
+                    FaultRule(
+                        site="repository.write",
+                        kind=FaultKind.TRANSIENT_ERROR,
+                        every=1,
+                        limit=2,
+                    ),
+                )
+            )
+        )
+        with MetricsRepository(injector=injector) as repo:
+            assert repo.ingest(samples()) == 8
+            series = repo.load_series("db1", "cpu", frequency=Frequency.MINUTE_15)
+            assert len(series) == 8
+            assert repo.fault_counters["repository_write_retries"] == 2
+            assert repo.fault_counters["repository_write_recoveries"] == 1
+
+    def test_exhausted_retries_surface_as_repository_error(self):
+        injector = FaultInjector(
+            FaultPlan(
+                rules=(
+                    FaultRule(
+                        site="repository.write",
+                        kind=FaultKind.TRANSIENT_ERROR,
+                        every=1,
+                    ),
+                )
+            )
+        )
+        repo = MetricsRepository(
+            injector=injector, retry=RetryPolicy(max_attempts=3, jitter=0.0)
+        )
+        with pytest.raises(RepositoryError, match="after retries"):
+            repo.ingest(samples())
+        assert repo.fault_counters["repository_write_exhausted"] == 1
+        repo.close()
+
+
+class TestRealLockContention:
+    def open_contended(self, tmp_path, retry, clock=None):
+        path = str(tmp_path / "metrics.db")
+        repo = MetricsRepository(path, retry=retry, clock=clock)
+        # Fail fast instead of blocking in SQLite's own busy handler: the
+        # retry policy owns the backoff, the driver should not sleep.
+        repo._conn.execute("PRAGMA busy_timeout=0")
+        blocker = sqlite3.connect(path)
+        blocker.execute("BEGIN IMMEDIATE")  # holds the write lock
+        return repo, blocker
+
+    def test_write_survives_a_real_locked_database(self, tmp_path):
+        released = {}
+
+        def release():
+            released["done"] = True
+            blocker.rollback()
+
+        clock = ReleasingClock(release)
+        repo, blocker = self.open_contended(
+            tmp_path, retry=RetryPolicy(max_attempts=4, jitter=0.0), clock=clock
+        )
+        assert repo.ingest(samples()) == 8
+        assert released["done"]
+        assert repo.fault_counters["repository_write_retries"] >= 1
+        assert repo.fault_counters["repository_write_recoveries"] == 1
+        series = repo.load_series("db1", "cpu", frequency=Frequency.MINUTE_15)
+        assert len(series) == 8
+        blocker.close()
+        repo.close()
+
+    def test_fail_fast_policy_restores_seed_behaviour(self, tmp_path):
+        repo, blocker = self.open_contended(
+            tmp_path, retry=RetryPolicy(max_attempts=1)
+        )
+        with pytest.raises(RepositoryError, match="locked"):
+            repo.ingest(samples())
+        blocker.rollback()
+        blocker.close()
+        repo.close()

@@ -1,0 +1,131 @@
+"""Tests for the retry/backoff policy and its clock-routed runner."""
+
+import pytest
+
+from repro.exceptions import DataError
+from repro.faults.retry import RetryPolicy, RetryRunner
+from repro.stream.clock import ManualClock
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(DataError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(DataError, match="non-negative"):
+            RetryPolicy(base_delay=-1.0)
+        with pytest.raises(DataError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(DataError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+    def test_delay_schedule_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=5, seed=9)
+        assert list(policy.delays()) == list(policy.delays())
+
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(
+            max_attempts=6,
+            base_delay=0.5,
+            multiplier=2.0,
+            max_delay=2.0,
+            jitter=0.0,
+            budget=100.0,
+        )
+        assert list(policy.delays()) == [0.5, 1.0, 2.0, 2.0, 2.0]
+
+    def test_jitter_stretches_within_bounds(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=1.0, multiplier=1.0, max_delay=1.0, jitter=0.25
+        )
+        for delay in policy.delays():
+            assert 1.0 <= delay <= 1.25
+
+    def test_budget_caps_total_backoff(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, multiplier=1.0, jitter=0.0, budget=2.5
+        )
+        delays = list(policy.delays())
+        assert delays == [1.0, 1.0]  # a third delay would blow the budget
+        assert sum(delays) <= policy.budget
+
+    def test_single_attempt_never_waits(self):
+        assert list(RetryPolicy(max_attempts=1).delays()) == []
+
+
+class TestRetryRunner:
+    def flaky(self, fail_times, exc=ValueError):
+        state = {"left": fail_times, "calls": 0}
+
+        def fn():
+            state["calls"] += 1
+            if state["left"] > 0:
+                state["left"] -= 1
+                raise exc("transient")
+            return "ok"
+
+        return fn, state
+
+    def test_recovers_and_counts(self):
+        fn, state = self.flaky(2)
+        runner = RetryRunner(
+            policy=RetryPolicy(max_attempts=5, jitter=0.0), name="probe"
+        )
+        assert runner.call(fn, retry_on=(ValueError,)) == "ok"
+        assert state["calls"] == 3
+        assert runner.counters["probe_retries"] == 2
+        assert runner.counters["probe_recoveries"] == 1
+        assert "probe_exhausted" not in runner.counters
+
+    def test_backoff_advances_manual_clock(self):
+        fn, __ = self.flaky(2)
+        clock = ManualClock()
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=1.0, multiplier=2.0, max_delay=10.0,
+            jitter=0.0, budget=100.0,
+        )
+        runner = RetryRunner(policy=policy, clock=clock, name="probe")
+        runner.call(fn, retry_on=(ValueError,))
+        assert clock.now() == pytest.approx(3.0)  # 1s + 2s, no sleeping
+        assert runner.counters["probe_wait_ms"] == 3000
+
+    def test_waiter_takes_precedence_over_clock(self):
+        fn, __ = self.flaky(1)
+        clock = ManualClock()
+        waited = []
+        runner = RetryRunner(
+            policy=RetryPolicy(max_attempts=3, base_delay=0.5, jitter=0.0),
+            clock=clock,
+            waiter=waited.append,
+            name="probe",
+        )
+        runner.call(fn, retry_on=(ValueError,))
+        assert waited == [0.5]
+        assert clock.now() == 0.0
+
+    def test_exhaustion_reraises_final_error(self):
+        fn, state = self.flaky(99)
+        runner = RetryRunner(policy=RetryPolicy(max_attempts=3, jitter=0.0), name="probe")
+        with pytest.raises(ValueError, match="transient"):
+            runner.call(fn, retry_on=(ValueError,))
+        assert state["calls"] == 3
+        assert runner.counters["probe_retries"] == 2
+        assert runner.counters["probe_exhausted"] == 1
+
+    def test_non_matching_exception_propagates_immediately(self):
+        fn, state = self.flaky(1, exc=KeyError)
+        runner = RetryRunner(name="probe")
+        with pytest.raises(KeyError):
+            runner.call(fn, retry_on=(ValueError,))
+        assert state["calls"] == 1
+        assert runner.counters == {}
+
+    def test_on_retry_callback_sees_each_failure(self):
+        fn, __ = self.flaky(2)
+        seen = []
+        runner = RetryRunner(policy=RetryPolicy(max_attempts=5, jitter=0.0))
+        runner.call(
+            fn,
+            retry_on=(ValueError,),
+            on_retry=lambda attempt, exc: seen.append((attempt, str(exc))),
+        )
+        assert seen == [(1, "transient"), (2, "transient")]

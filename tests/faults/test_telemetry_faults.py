@@ -1,0 +1,100 @@
+"""The ``faults`` telemetry block: RunTrace plumbing and surface rendering."""
+
+from repro.agent.agent import AgentSample
+from repro.agent.repository import MetricsRepository
+from repro.engine.executor import ExecutionPolicy, SerialExecutor
+from repro.engine.telemetry import RunTrace
+from repro.faults.plan import FaultInjector, FaultKind, FaultPlan, FaultRule
+from repro.service.planner import CapacityPlanner
+from repro.stream.runtime import StreamConfig, StreamRuntime
+
+
+def samples(n=6):
+    return [
+        AgentSample(instance="db1", metric="cpu", timestamp=900.0 * i, value=12.0)
+        for i in range(n)
+    ]
+
+
+class TestRunTraceFaults:
+    def test_fault_and_absorb(self):
+        trace = RunTrace()
+        trace.fault("degraded_advisories")
+        trace.fault("degraded_advisories", 2)
+        trace.absorb_faults({"tasks_retried": 4})
+        trace.absorb_faults(None)  # tolerated: nothing to fold
+        assert trace.faults == {"degraded_advisories": 3, "tasks_retried": 4}
+
+    def test_merge_folds_fault_blocks(self):
+        one, two = RunTrace(), RunTrace()
+        one.fault("faults_injected", 2)
+        two.fault("faults_injected", 3)
+        two.fault("pools_rebuilt")
+        one.merge(two)
+        assert one.faults == {"faults_injected": 5, "pools_rebuilt": 1}
+
+    def test_summary_renders_faults_line(self):
+        trace = RunTrace()
+        assert not any("faults:" in line for line in trace.summary_lines())
+        trace.fault("fault_drop_sample", 7)
+        trace.fault("agent_poll_retries", 2)
+        (line,) = [ln for ln in trace.summary_lines() if "faults:" in ln]
+        assert "agent_poll_retries=2" in line
+        assert "fault_drop_sample=7" in line
+
+
+class TestPlannerTelemetry:
+    def test_no_activity_is_none(self):
+        assert CapacityPlanner().telemetry() is None
+
+    def test_repository_retry_counters_surface(self):
+        injector = FaultInjector(
+            FaultPlan(
+                rules=(
+                    FaultRule(
+                        site="repository.write",
+                        kind=FaultKind.TRANSIENT_ERROR,
+                        every=1,
+                        limit=1,
+                    ),
+                )
+            )
+        )
+        repo = MetricsRepository(injector=injector)
+        planner = CapacityPlanner(repository=repo)
+        planner.ingest(samples())
+        trace = planner.telemetry()
+        assert trace is not None
+        assert trace.faults["repository_write_retries"] == 1
+        assert trace.faults["repository_write_recoveries"] == 1
+        repo.close()
+
+
+class TestRuntimeTelemetry:
+    def test_injector_counters_fold_into_the_trace(self):
+        injector = FaultInjector(
+            FaultPlan(
+                rules=(
+                    FaultRule(
+                        site="ingest.deliver", kind=FaultKind.DROP_SAMPLE, every=1
+                    ),
+                )
+            )
+        )
+        runtime = StreamRuntime(config=StreamConfig(), injector=injector)
+        assert not any("faults:" in ln for ln in runtime.summary_lines())
+        injector.on_sample("ingest.deliver", samples(1)[0])
+        assert runtime.telemetry().faults["fault_drop_sample"] == 1
+        (line,) = [ln for ln in runtime.summary_lines() if "faults:" in ln]
+        assert "fault_drop_sample=1" in line
+
+    def test_executor_resilience_counters_fold_in(self):
+        def fails_once(x):
+            raise RuntimeError("down")
+
+        executor = SerialExecutor(policy=ExecutionPolicy(task_retries=1))
+        executor.run(fails_once, [1])
+        runtime = StreamRuntime(config=StreamConfig(), executor=executor)
+        faults = runtime.telemetry().faults
+        assert faults["tasks_retried"] == 1
+        assert faults["task_retries_exhausted"] == 1

@@ -24,6 +24,7 @@ SUBPACKAGES = [
     "repro.engine",
     "repro.workloads",
     "repro.agent",
+    "repro.faults",
     "repro.service",
     "repro.reporting",
     "repro.cli",
