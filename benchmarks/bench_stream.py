@@ -20,17 +20,29 @@ to ``benchmarks/output/BENCH_stream.json`` for CI trend tracking. Set
 ``REPRO_REDUCED_GRID=1`` (the CI smoke mode) for a seconds-scale run.
 """
 
+import dataclasses
 import json
 import os
 import time
 
+import numpy as np
 import pytest
 
 from repro.agent import AgentSample, MonitoringAgent
+from repro.core import Frequency, TimeSeries
+from repro.models import HoltWinters
 from repro.reporting import Table
 from repro.selection import AutoConfig
+from repro.selection.auto import SelectionOutcome
 from repro.service import EstatePlanner, SelectionCache
-from repro.stream import IngestBus, StreamConfig, StreamRuntime, WindowAggregator
+from repro.stream import (
+    ClosedWindow,
+    ForecastScheduler,
+    IngestBus,
+    StreamConfig,
+    StreamRuntime,
+    WindowAggregator,
+)
 from repro.workloads import OltpExperiment, generate_oltp_run
 
 from .conftest import output_path
@@ -213,3 +225,121 @@ def test_scheduler_end_to_end_latency():
     # Fits happen on staleness events only — far fewer than ticks.
     assert counters["stream_initial_selections"] >= 1
     assert counters.get("stream_selection_runs", 0) < ticks
+
+
+def test_cohort_tick_scaling():
+    """ms/tick vs key count: the cohort dividend at estate scale.
+
+    One HES model is fitted once and cloned across the whole estate via
+    ``dataclasses.replace`` + ``adopt_model`` (zero grid fits), then each
+    tick delivers one closed window per key and the same feed runs under
+    both dispatch modes. Under cohort dispatch the scheduler rolls every
+    cached state in one batched call per cohort and grades the estate
+    through one batched forecast; under per-key dispatch every key pays
+    full per-call model dispatch. The acceptance contract: cohort ticks
+    cost a fraction of per-key ticks at every estate size (the batched
+    kernels amortise dispatch), and growing the estate 10x never costs
+    more than ~10x (per-key cost must not *grow* with estate size).
+    """
+    key_counts = (100, 1000) if REDUCED else (100, 1000, 10_000)
+    seed_hours = 168
+    n_ticks = 8
+    period = 24
+
+    rng = np.random.default_rng(5)
+    t = np.arange(seed_hours)
+    base = 55.0 + 9.0 * np.sin(2 * np.pi * t / period) + rng.normal(0, 0.8, seed_hours)
+    template = HoltWinters(period=period).fit(TimeSeries(base, Frequency.HOURLY))
+
+    def _run(n_keys: int, dispatch: str) -> tuple[float, dict]:
+        planner = EstatePlanner(config=AutoConfig(technique="hes", n_jobs=1))
+        sched = ForecastScheduler(
+            planner,
+            thresholds={"cpu": 95.0},
+            min_observations=seed_hours,
+            dispatch=dispatch,
+        )
+        for k in range(n_keys):
+            name = f"db{k:05d}"
+            series = TimeSeries(base, Frequency.HOURLY, name=f"{name}.cpu")
+            sched.seed_history(name, "cpu", series)
+            outcome = SelectionOutcome(
+                model=dataclasses.replace(template, train=series),
+                technique="hes",
+                test_rmse=1.0,
+                best_spec=None,
+                seasonality=None,
+                shock_calendar=None,
+            )
+            sched.adopt_model(name, "cpu", outcome)
+
+        per_tick = []
+        for tick in range(n_ticks):
+            hour = seed_hours + tick
+            batch = [
+                ClosedWindow(
+                    instance=f"db{k:05d}",
+                    metric="cpu",
+                    start=hour * 3600.0,
+                    value=float(base[hour % seed_hours]),
+                    n_samples=4,
+                    expected=4,
+                )
+                for k in range(n_keys)
+            ]
+            t0 = time.perf_counter()
+            out = sched.on_windows(batch)
+            per_tick.append(time.perf_counter() - t0)
+            assert len(out.advisories) == n_keys
+        counters = sched.trace.counters
+        assert counters.get("stream_selection_runs", 0) == 0  # adopted, never fitted
+        assert counters.get("stream_rolls_applied", 0) == n_keys * n_ticks
+        return min(per_tick), dict(counters)
+
+    results = {}
+    for n_keys in key_counts:
+        cohort_s, counters = _run(n_keys, "cohort")
+        scalar_s, __ = _run(n_keys, "per-key")
+        results[str(n_keys)] = {
+            "ms_per_tick": 1e3 * cohort_s,
+            "ms_per_tick_scalar": 1e3 * scalar_s,
+            "us_per_key_tick": 1e6 * cohort_s / n_keys,
+            "dispatch_speedup": scalar_s / cohort_s,
+            "cohorts_dispatched": counters.get("stream_cohorts_dispatched", 0),
+        }
+
+    table = Table(
+        ["Keys", "cohort ms/tick", "per-key ms/tick", "speedup", "us/key/tick"],
+        title="Scheduler tick cost vs estate size",
+    )
+    for n_keys in key_counts:
+        e = results[str(n_keys)]
+        table.add_row([
+            str(n_keys), f"{e['ms_per_tick']:.2f}", f"{e['ms_per_tick_scalar']:.2f}",
+            f"{e['dispatch_speedup']:.1f}x", f"{e['us_per_key_tick']:.1f}",
+        ])
+    print()
+    table.print()
+
+    _write_bench_json(
+        "cohort_scaling",
+        {
+            "key_counts": list(key_counts),
+            "ticks": n_ticks,
+            "reduced": REDUCED,
+            "per_keys": results,
+            "ms_per_tick_1000": results["1000"]["ms_per_tick"],
+            "dispatch_speedup_1000": results["1000"]["dispatch_speedup"],
+        },
+    )
+
+    for n_keys in key_counts:
+        e = results[str(n_keys)]
+        assert e["dispatch_speedup"] >= 2.0, (n_keys, e)
+    # Estate growth must stay (sub)linear: per-key cost cannot *increase*
+    # with key count (13x allows timing noise on a ~linear baseline).
+    ratio = results["1000"]["ms_per_tick"] / results["100"]["ms_per_tick"]
+    assert ratio < 13.0, f"tick cost scaled {ratio:.1f}x for 10x keys"
+    if "10000" in results:
+        ratio = results["10000"]["ms_per_tick"] / results["1000"]["ms_per_tick"]
+        assert ratio < 13.0, f"tick cost scaled {ratio:.1f}x for 10x keys"

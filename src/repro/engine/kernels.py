@@ -21,11 +21,17 @@ Counting policy (who absorbs what, so nothing is counted twice):
 * Pool workers report their delta piggybacked on each completed chunk;
   :class:`PoolExecutor` accumulates those, and the grid scorer drains
   them into the active trace (they are invisible to the parent snapshot).
+
+The registry carries a batch-size dimension: every batched kernel in
+:data:`BATCHED_KERNEL_NAMES` reports ``kernel_<name>_rows`` next to the
+usual ``_calls``/``_seconds`` — rows ÷ calls is the realised mean cohort
+size, the number the scheduler's batched dispatch exists to maximise.
 """
 
 from __future__ import annotations
 
 from ..models import kernels as _kernels
+from ..models.kernels import BATCHED_KERNEL_NAMES, KERNEL_NAMES
 
 __all__ = [
     "active_backend",
@@ -34,6 +40,8 @@ __all__ = [
     "snapshot",
     "delta",
     "absorb_delta",
+    "KERNEL_NAMES",
+    "BATCHED_KERNEL_NAMES",
 ]
 
 

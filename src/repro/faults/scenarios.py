@@ -223,6 +223,8 @@ _REPORT_COUNTERS = (
     "stream_selection_runs",
     "stream_initial_selections",
     "stream_refits_triggered",
+    "stream_rolls_applied",
+    "stream_drift_refits",
     "stream_advisories_graded",
     "alerts_raised",
     "alerts_escalated",
@@ -237,7 +239,11 @@ def _reduced() -> bool:
 
 
 def run_scenario(
-    name: str, seed: int = 0, jobs: int = 1, days: float | None = None
+    name: str,
+    seed: int = 0,
+    jobs: int = 1,
+    days: float | None = None,
+    dispatch: str = "cohort",
 ) -> SurvivalReport:
     """Run one named scenario end to end and grade its survival.
 
@@ -245,7 +251,12 @@ def run_scenario(
     ``seed``: agent hooks, repository write hooks, bus delivery hooks and
     the executor's submit hook all draw from their own per-site streams
     of that plan. ``jobs > 1`` fans re-selections out on a dedicated
-    (never the shared) pool executor.
+    (never the shared) pool executor. ``dispatch`` selects the
+    scheduler's grading mode (``"cohort"`` or ``"per-key"``); reports
+    are byte-identical across the two — only the counters in
+    ``_REPORT_COUNTERS`` are copied in, and every one of them is
+    dispatch-independent, which is exactly what the chaos parity suite
+    asserts.
     """
     # Leaf-layer imports: this module is reached lazily from the package
     # root precisely because these pull in the agent/stream/service stack.
@@ -293,6 +304,7 @@ def run_scenario(
             thresholds=dict(scenario.thresholds),
             min_observations=min_obs,
             seed=seed,
+            dispatch=dispatch,
         ),
         executor=executor,
         injector=injector,

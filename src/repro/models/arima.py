@@ -25,7 +25,7 @@ the RMSE ranking the pipeline needs is insensitive to the difference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 from scipy import optimize, signal
@@ -319,6 +319,41 @@ class FittedArima(FittedModel):
             alpha=alpha,
             model_label=self.label(),
         )
+
+    def advance(self, values: np.ndarray) -> tuple["FittedArima", np.ndarray]:
+        """Roll the forecast origin through new observations without refitting.
+
+        ARIMA keeps no incremental state: :meth:`_forecast_adjusted`
+        rebuilds the difference-equation history from ``train`` on every
+        call, so moving the origin is just extending the training series
+        with the frozen coefficients. The returned innovations are the
+        observed deviations from the pre-roll forecast rescaled to
+        one-step-equivalents (``ψ``-weight std back to ``sqrt(sigma2)``
+        units, exact at step one since ``ψ₀ = 1``), so drift detectors can
+        standardise them against ``sqrt(sigma2)`` like any other family's.
+        """
+        raw = np.ascontiguousarray(values, dtype=float)
+        if raw.ndim != 1 or raw.size == 0:
+            raise ModelError("advance needs a non-empty 1-D batch of observations")
+        if not np.all(np.isfinite(raw)):
+            raise ModelError("cannot roll an ARIMA origin through non-finite observations")
+        mean, std = self._forecast_adjusted(self.train.values, raw.size)
+        sigma = float(np.sqrt(self.sigma2))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            innovations = np.where(std > 0, (raw - mean) * (sigma / std), raw - mean)
+        step = self.train.frequency.seconds
+        extension = TimeSeries(
+            values=raw,
+            frequency=self.train.frequency,
+            start=self.train.end + step,
+            name=self.train.name,
+        )
+        rolled = replace(
+            self,
+            train=self.train.append(extension),
+            residuals=np.concatenate([self.residuals, innovations]),
+        )
+        return rolled, innovations
 
     def _bootstrap_band(
         self, mean: np.ndarray, horizon: int, alpha: float, n_paths: int

@@ -18,10 +18,10 @@ closed form exists.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
-from scipy import optimize
+from scipy import optimize, stats
 
 from ..core.timeseries import TimeSeries
 from ..exceptions import ConvergenceError, ModelError
@@ -33,6 +33,8 @@ __all__ = [
     "Holt",
     "HoltWinters",
     "FittedExpSmoothing",
+    "advance_cohort",
+    "forecast_cohort_arrays",
 ]
 
 _BOUND = (1e-4, 0.9999)
@@ -216,6 +218,24 @@ class FittedExpSmoothing(FittedModel):
         std = self._forecast_std(horizon)
         return self.make_forecast(mean, std, alpha)
 
+    def advance(self, values: np.ndarray) -> tuple["FittedExpSmoothing", np.ndarray]:
+        """Roll the fitted state through new observations without refitting.
+
+        Continues the level/trend/seasonal recursion over ``values`` from
+        the stored final state — exactly the updates a full refit's
+        recursion would apply over the concatenated series, so the rolled
+        state (and therefore every subsequent forecast) is bit-identical
+        to the tail of one long recursion. The smoothing parameters and
+        ``sigma2`` stay frozen at their fitted values; the forecast
+        origin moves to the end of the extended series.
+
+        Returns ``(rolled model, one-step innovations)``; the innovations
+        are in observation units (the same units as ``sqrt(sigma2)``),
+        which is what drift detectors standardise against.
+        """
+        rolled, innovations = advance_cohort([self], np.asarray(values, dtype=float)[None, :])
+        return rolled[0], innovations[0]
+
 
 class _EtsBase(ForecastModel):
     """Shared fitting machinery for the smoothing family."""
@@ -394,3 +414,192 @@ class HoltWinters(_EtsBase):
             seasonal=self.seasonal,
             period=self.period,
         )
+
+
+# ---------------------------------------------------------------------------
+# Cohort (structure-of-arrays) entry points
+#
+# A cohort is a list of fitted models sharing one _EtsSpec; per-key scalars
+# stack into (B,) vectors and the batched kernels run the cross-key axis
+# vectorised. Both helpers are bit-identical, row for row, to calling the
+# per-key method on each model — the batch of one *is* the per-key call.
+# ---------------------------------------------------------------------------
+def _cohort_params(models: list[FittedExpSmoothing]) -> _EtsSpec:
+    if not models:
+        raise ModelError("empty smoothing cohort")
+    spec = models[0].spec
+    if any(m.spec != spec for m in models):
+        raise ModelError("smoothing cohort mixes specs; group by spec first")
+    return spec
+
+
+def advance_cohort(
+    models: list[FittedExpSmoothing], values: np.ndarray
+) -> tuple[list[FittedExpSmoothing], np.ndarray]:
+    """Roll a same-spec cohort through new observations in one kernel call.
+
+    ``values`` is ``(B, n_new)`` — row ``i`` continues ``models[i]``'s
+    training series. The seasonal buffers are phase-rotated per row so the
+    single batched recursion continues each key's training rotation
+    (``seasonal[t % m]`` with ``t`` counted from each key's own training
+    length), then rotated back. Returns ``(rolled models, innovations
+    (B, n_new))``; see :meth:`FittedExpSmoothing.advance` for the
+    single-model contract this batches.
+    """
+    values = np.ascontiguousarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ModelError(f"cohort values must be (batch, n_new), got {values.shape}")
+    if values.shape[0] != len(models):
+        raise ModelError(
+            f"cohort size mismatch: {len(models)} models, {values.shape[0]} value rows"
+        )
+    if values.shape[1] == 0:
+        raise ModelError("cannot advance through zero observations")
+    spec = _cohort_params(models)
+    m = spec.period
+    offsets = np.array([len(model.train) % m for model in models])
+    # One gather instead of B np.roll calls: row i of ``rolled_seas`` is
+    # np.roll(seasonal_state, -offsets[i]), bit for bit (pure permutation).
+    seas_mat = np.stack([model.seasonal_state for model in models])
+    phase = np.arange(m)[None, :]
+    rolled_seas = np.take_along_axis(seas_mat, (phase + offsets[:, None]) % m, axis=1)
+    errors, levels, trends, seas = kernels.ets_recursion_batch(
+        values,
+        spec.trend,
+        _SEASONAL_MODE[spec.seasonal],
+        m,
+        np.array([model.alpha for model in models]),
+        np.array([model.beta for model in models]),
+        np.array([model.gamma for model in models]),
+        np.array([model.phi for model in models]),
+        np.array([model.level for model in models]),
+        np.array([model.trend for model in models]),
+        rolled_seas,
+    )
+    unrolled = np.take_along_axis(seas, (phase - offsets[:, None]) % m, axis=1)
+    out: list[FittedExpSmoothing] = []
+    for i, model in enumerate(models):
+        # Contiguity holds by construction (row i continues train i), so
+        # extend the train directly rather than routing through append's
+        # re-validation — the resulting series is identical.
+        out.append(
+            replace(
+                model,
+                train=replace(
+                    model.train,
+                    values=np.concatenate([model.train.values, values[i]]),
+                ),
+                residuals=np.concatenate([model.residuals, errors[i]]),
+                level=float(levels[i]),
+                trend=float(trends[i]),
+                seasonal_state=unrolled[i].copy(),
+            )
+        )
+    return out, errors
+
+
+def _cohort_point_forecast(
+    models: list[FittedExpSmoothing], spec: _EtsSpec, horizon: int, damp: np.ndarray
+) -> np.ndarray:
+    levels = np.array([model.level for model in models])
+    if spec.trend:
+        out = levels[:, None] + damp * np.array([model.trend for model in models])[:, None]
+    else:
+        out = np.repeat(levels[:, None], horizon, axis=1)
+    if spec.seasonal:
+        m = spec.period
+        seas = np.stack(
+            [
+                model.seasonal_state[(len(model.train) + np.arange(horizon)) % m]
+                for model in models
+            ]
+        )
+        out = out + seas if spec.seasonal == "add" else out * seas
+    return np.asarray(out, dtype=float)
+
+
+#: Multiplicative-std simulation memory bound: rows per ets_mul_paths_batch
+#: call (each row carries a (500, horizon) shock matrix).
+_MUL_STD_CHUNK = 32
+
+
+def _cohort_forecast_std(
+    models: list[FittedExpSmoothing], spec: _EtsSpec, horizon: int, damp: np.ndarray
+) -> np.ndarray:
+    sigma2 = np.array([model.sigma2 for model in models])
+    B = len(models)
+    m = spec.period
+    if spec.seasonal != "mul":
+        alphas = np.array([model.alpha for model in models])
+        c = np.repeat(alphas[:, None], horizon, axis=1)
+        if spec.trend:
+            betas = np.array([model.beta for model in models])
+            c = c + (alphas * betas)[:, None] * damp
+        if spec.seasonal == "add" and m > 1:
+            gammas = np.array([model.gamma for model in models])
+            c = np.where(
+                (np.arange(1, horizon + 1) % m == 0)[None, :],
+                c + (gammas * (1 - alphas))[:, None],
+                c,
+            )
+        acc = np.concatenate(
+            [np.zeros((B, 1)), np.cumsum(c[:, :-1] ** 2, axis=1)], axis=1
+        )
+        return np.sqrt(sigma2[:, None] * (1.0 + acc))
+    sigma = np.sqrt(sigma2)
+    std = np.empty((B, horizon))
+    for lo in range(0, B, _MUL_STD_CHUNK):
+        chunk = models[lo : lo + _MUL_STD_CHUNK]
+        # One fresh generator per key, exactly as the per-key path draws.
+        shocks = np.stack(
+            [
+                np.random.default_rng(1234).normal(0.0, sigma[lo + j], size=(500, horizon))
+                for j in range(len(chunk))
+            ]
+        )
+        sims = kernels.ets_mul_paths_batch(
+            np.array([model.level for model in chunk]),
+            np.array([model.trend for model in chunk]),
+            np.stack([model.seasonal_state for model in chunk]),
+            np.array([model.alpha for model in chunk]),
+            np.array([model.beta for model in chunk]),
+            np.array([model.gamma for model in chunk]),
+            np.array([model.phi for model in chunk]),
+            spec.trend,
+            m,
+            np.array([len(model.train) for model in chunk]),
+            shocks,
+        )
+        for j in range(len(chunk)):
+            std[lo + j] = sims[j].std(axis=0)
+    return std
+
+
+def forecast_cohort_arrays(
+    models: list[FittedExpSmoothing], horizon: int, alpha: float = 0.05
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Forecast a same-spec cohort as stacked ``(B, horizon)`` bands.
+
+    Returns ``(mean, lower, upper)`` — row ``i`` bit-identical to
+    ``models[i].forecast(horizon, alpha)``'s band values, without building
+    per-key :class:`~repro.models.base.Forecast`/TimeSeries objects. The
+    caller owns timestamps (each row's forecast starts one step after its
+    model's training end).
+    """
+    if horizon <= 0:
+        raise ModelError(f"horizon must be positive, got {horizon}")
+    spec = _cohort_params(models)
+    if spec.trend:
+        if spec.damped:
+            phis = np.array([model.phi for model in models])
+            damp = np.cumsum(phis[:, None] ** np.arange(1, horizon + 1, dtype=float), axis=1)
+        else:
+            damp = np.repeat(np.arange(1, horizon + 1, dtype=float)[None, :], len(models), axis=0)
+    else:
+        damp = np.empty((len(models), 0))
+    mean = _cohort_point_forecast(models, spec, horizon, damp)
+    std = _cohort_forecast_std(models, spec, horizon, damp)
+    if np.any(std < 0):
+        raise ModelError("negative forecast standard deviation")
+    z = float(stats.norm.ppf(1.0 - alpha / 2.0))
+    return mean, mean - z * std, mean + z * std

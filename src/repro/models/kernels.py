@@ -50,6 +50,7 @@ import numpy as np
 
 __all__ = [
     "KERNEL_NAMES",
+    "BATCHED_KERNEL_NAMES",
     "NUMBA_AVAILABLE",
     "active_backend",
     "available_backends",
@@ -65,6 +66,12 @@ __all__ = [
     "kalman_filter",
     "arma_forecast",
     "bootstrap_deviations",
+    "ets_recursion_batch",
+    "ets_mul_paths_batch",
+    "tbats_filter_batch",
+    "kalman_filter_batch",
+    "arma_forecast_batch",
+    "bootstrap_deviations_batch",
 ]
 
 BACKEND_ENV = "REPRO_KERNEL_BACKEND"
@@ -77,6 +84,19 @@ KERNEL_NAMES = (
     "kalman_filter",
     "arma_forecast",
     "bootstrap_deviations",
+)
+
+#: Structure-of-arrays variants: one ``(batch, …)`` state block advances
+#: N independent keys through the same recursion in a single dispatch.
+#: ``tbats_paths`` has no batched variant — it is already vectorised
+#: across simulation paths, which is its batch axis.
+BATCHED_KERNEL_NAMES = (
+    "ets_recursion_batch",
+    "ets_mul_paths_batch",
+    "tbats_filter_batch",
+    "kalman_filter_batch",
+    "arma_forecast_batch",
+    "bootstrap_deviations_batch",
 )
 
 try:  # pragma: no cover - exercised only where numba is installed
@@ -391,6 +411,327 @@ def _bootstrap_deviations_numpy(psi, shocks):
     return shocks @ weights
 
 
+# ---------------------------------------------------------------------------
+# Batched (structure-of-arrays) NumPy backend
+#
+# Each batched kernel advances B independent series through the same
+# per-timestep recursion as its per-key sibling, with the batch laid out
+# as the leading axis (one (B, n) value block, (B,) parameter vectors,
+# (B, m) state blocks). The time loop stays sequential; only the cross-key
+# axis is vectorised, and every elementwise operation is written in the
+# exact order of the per-key kernel so results are bit-identical.
+#
+# Two guarantees keep parity airtight:
+#
+# * ``B == 1`` delegates straight to the per-key implementation — the
+#   per-key kernel *is* the batch-1 special case, not a reimplementation;
+# * any row whose vectorised outputs contain a non-finite value is
+#   recomputed through the per-key implementation and its outputs are
+#   taken verbatim, so overflow handling (saturate vs. raise) can never
+#   diverge between the two code paths.
+#
+# Reductions with backend-dependent summation order (BLAS dot products in
+# the Kalman and ARMA kernels, ``math.log``) are *not* vectorised across
+# the batch: those two kernels delegate per row, and batching only
+# amortises the dispatch/validation overhead.
+# ---------------------------------------------------------------------------
+def _nonfinite_rows(*arrays) -> np.ndarray:
+    """Boolean (B,) mask of rows with any non-finite output component."""
+    bad = None
+    for arr in arrays:
+        arr = np.asarray(arr)
+        flat = arr.reshape(arr.shape[0], -1)
+        row_bad = ~np.isfinite(flat).all(axis=1)
+        if np.iscomplexobj(arr):
+            row_bad = ~(
+                np.isfinite(flat.real).all(axis=1) & np.isfinite(flat.imag).all(axis=1)
+            )
+        bad = row_bad if bad is None else (bad | row_bad)
+    return bad
+
+
+def _ets_recursion_batch_numpy(
+    y, use_trend, seasonal_mode, period, alpha, beta, gamma, phi, level0, trend0, seasonal0
+):
+    """Batched smoothing pass: ``y`` is ``(B, n)``, parameters are ``(B,)``.
+
+    ``use_trend`` / ``seasonal_mode`` / ``period`` are cohort-wide (shared
+    by every row — that is what makes a cohort a cohort).
+    """
+    B, n = y.shape
+    if B == 1:
+        errors, level, trend, seas = _ets_recursion_numpy(
+            y[0], use_trend, seasonal_mode, period,
+            float(alpha[0]), float(beta[0]), float(gamma[0]), float(phi[0]),
+            float(level0[0]), float(trend0[0]), seasonal0[0],
+        )
+        return (
+            np.asarray(errors)[None, :],
+            np.array([level]),
+            np.array([trend]),
+            np.asarray(seas)[None, :],
+        )
+    level = level0.astype(float).copy()
+    trend = trend0.astype(float).copy()
+    # Column-major working copies: the time loop reads/writes whole
+    # timesteps, so keeping the batch axis contiguous per step roughly
+    # halves the strided-access overhead. Transposes copy values without
+    # touching them — results stay bit-identical.
+    yT = np.ascontiguousarray(y.T)
+    # Explicit copy, not ascontiguousarray: a size-1 trailing dim keeps a
+    # transpose contiguous, which would alias (and corrupt) the caller's
+    # state array when the loop writes seasT in place.
+    seasT = seasonal0.T.copy()
+    errorsT = np.empty((n, B))
+    one_a = 1.0 - alpha
+    one_b = 1.0 - beta
+    one_g = 1.0 - gamma
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        if seasonal_mode == 0:
+            for t in range(n):
+                dt = phi * trend if use_trend else 0.0
+                yt = yT[t]
+                errorsT[t] = yt - (level + dt)
+                prev = level
+                level = alpha * yt + one_a * (prev + dt)
+                if use_trend:
+                    trend = beta * (level - prev) + one_b * dt
+        elif seasonal_mode == 1:
+            for t in range(n):
+                dt = phi * trend if use_trend else 0.0
+                s_idx = t % period
+                s = seasT[s_idx]
+                yt = yT[t]
+                errorsT[t] = yt - (level + dt + s)
+                prev = level
+                level = alpha * (yt - s) + one_a * (prev + dt)
+                seasT[s_idx] = gamma * (yt - prev - dt) + one_g * s
+                if use_trend:
+                    trend = beta * (level - prev) + one_b * dt
+        else:
+            for t in range(n):
+                dt = phi * trend if use_trend else 0.0
+                s_idx = t % period
+                s = seasT[s_idx]
+                yt = yT[t]
+                errorsT[t] = yt - (level + dt) * s
+                prev = level
+                denom = np.where(np.abs(s) > 1e-12, s, 1e-12)
+                level = alpha * (yt / denom) + one_a * (prev + dt)
+                base = prev + dt
+                base = np.where(np.abs(base) > 1e-12, base, 1e-12)
+                seasT[s_idx] = gamma * (yt / base) + one_g * s
+                if use_trend:
+                    trend = beta * (level - prev) + one_b * dt
+    errors = np.ascontiguousarray(errorsT.T)
+    seas = np.ascontiguousarray(seasT.T)
+    bad = _nonfinite_rows(errors, level[:, None], trend[:, None], seas)
+    for b in np.flatnonzero(bad):
+        e_b, l_b, t_b, s_b = _ets_recursion_numpy(
+            y[b], use_trend, seasonal_mode, period,
+            float(alpha[b]), float(beta[b]), float(gamma[b]), float(phi[b]),
+            float(level0[b]), float(trend0[b]), seasonal0[b],
+        )
+        errors[b] = e_b
+        level[b] = l_b
+        trend[b] = t_b
+        seas[b] = s_b
+    return errors, level, trend, seas
+
+
+def _ets_mul_paths_batch_numpy(
+    level0, trend0, seasonal0, alpha, beta, gamma, phi, use_trend, period, start_index, shocks
+):
+    """Batched multiplicative-seasonal simulation: ``shocks`` is ``(B, P, H)``."""
+    B, n_paths, horizon = shocks.shape
+    if B == 1:
+        sims = _ets_mul_paths_numpy(
+            float(level0[0]), float(trend0[0]), seasonal0[0],
+            float(alpha[0]), float(beta[0]), float(gamma[0]), float(phi[0]),
+            use_trend, period, int(start_index[0]), shocks[0],
+        )
+        return sims[None, :, :]
+    level = np.repeat(level0.astype(float)[:, None], n_paths, axis=1)
+    trend = np.repeat(trend0.astype(float)[:, None], n_paths, axis=1)
+    seas = np.repeat(seasonal0.astype(float)[:, None, :], n_paths, axis=1)
+    sims = np.empty((B, n_paths, horizon))
+    al = alpha[:, None]
+    be = beta[:, None]
+    ga = gamma[:, None]
+    ph = phi[:, None]
+    one_a = 1.0 - al
+    one_g = 1.0 - ga
+    one_b = 1.0 - be
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        for h in range(horizon):
+            dt = ph * trend if use_trend else 0.0
+            s_idx = (start_index + h) % period
+            gather = s_idx[:, None, None]
+            s = np.take_along_axis(seas, gather, axis=2)[:, :, 0]
+            value = (level + dt) * s + shocks[:, :, h]
+            prev = level
+            denom = np.where(np.abs(s) > 1e-12, s, 1e-12)
+            level = al * (value / denom) + one_a * (prev + dt)
+            base = prev + dt
+            base = np.where(np.abs(base) > 1e-12, base, 1e-12)
+            np.put_along_axis(seas, gather, (ga * (value / base) + one_g * s)[:, :, None], axis=2)
+            if use_trend:
+                trend = be * (level - prev) + one_b * dt
+            sims[:, :, h] = value
+    bad = _nonfinite_rows(sims)
+    for b in np.flatnonzero(bad):
+        sims[b] = _ets_mul_paths_numpy(
+            float(level0[b]), float(trend0[b]), seasonal0[b],
+            float(alpha[b]), float(beta[b]), float(gamma[b]), float(phi[b]),
+            use_trend, period, int(start_index[b]), shocks[b],
+        )
+    return sims
+
+
+def _tbats_filter_batch_numpy(
+    y, alpha, beta, phi, use_trend, rot, gamma_vec, ar, ma, level0, trend0, z0, d0, e0
+):
+    """Batched TBATS filtering pass: one ``(B, n)`` block, shared shape.
+
+    All rows must share the harmonic count ``k`` and ARMA orders ``p``/``q``
+    (cohort contract); parameters and states differ per row.
+    """
+    B, n = y.shape
+    if B == 1:
+        innov, level, trend, z, d_hist, e_hist = _tbats_filter_numpy(
+            y[0], float(alpha[0]), float(beta[0]), float(phi[0]), use_trend,
+            rot[0], gamma_vec[0], ar[0], ma[0],
+            float(level0[0]), float(trend0[0]), z0[0], d0[0], e0[0],
+        )
+        return (
+            np.asarray(innov)[None, :],
+            np.array([level]),
+            np.array([trend]),
+            np.asarray(z, dtype=complex)[None, :],
+            np.asarray(d_hist)[None, :],
+            np.asarray(e_hist)[None, :],
+        )
+    k = z0.shape[1]
+    p = ar.shape[1]
+    q = ma.shape[1]
+    level = level0.astype(float).copy()
+    trend = trend0.astype(float).copy()
+    # Harmonic states kept as split real/imag float arrays: numpy's
+    # complex multiply may contract to FMA, rounding differently from the
+    # per-key kernel's scalar complex arithmetic. Separate float ops
+    # reproduce the naive (re*re - im*im, re*im + im*re) product exactly.
+    # The written buffers (zr/zi/dT/eT) need explicit copies: with k, p or
+    # q equal to 1 the transpose of the caller's (B, 1) state array is
+    # still contiguous, so ascontiguousarray would hand back an aliasing
+    # view and the in-place updates would corrupt the fitted model state.
+    zr = z0.real.T.copy()
+    zi = z0.imag.T.copy()
+    rr = np.ascontiguousarray(rot.real.T)
+    ri = np.ascontiguousarray(rot.imag.T)
+    gr = np.ascontiguousarray(gamma_vec.real.T)
+    gi = np.ascontiguousarray(gamma_vec.imag.T)
+    arT = np.ascontiguousarray(ar.T)
+    maT = np.ascontiguousarray(ma.T)
+    dT = d0.T.copy()
+    eT = e0.T.copy()
+    yT = np.ascontiguousarray(y.T)
+    innovT = np.empty((n, B))
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        for t in range(n):
+            seasonal = np.zeros(B)
+            for i in range(k):
+                seasonal = seasonal + zr[i]
+            d_pred = np.zeros(B)
+            for i in range(p):
+                d_pred = d_pred + arT[i] * dT[i]
+            for i in range(q):
+                d_pred = d_pred + maT[i] * eT[i]
+            yt = yT[t]
+            e = yt - (level + phi * trend + seasonal + d_pred)
+            d = d_pred + e
+            innovT[t] = e
+            prev = level
+            level = prev + phi * trend + alpha * d
+            if use_trend:
+                trend = phi * trend + beta * d
+            for i in range(k):
+                t_re = rr[i] * zr[i] - ri[i] * zi[i]
+                t_im = rr[i] * zi[i] + ri[i] * zr[i]
+                zr[i] = t_re + gr[i] * d
+                zi[i] = t_im + gi[i] * d
+            if p:
+                dT[1:] = dT[:-1]
+                dT[0] = d
+            if q:
+                eT[1:] = eT[:-1]
+                eT[0] = e
+    innov = np.ascontiguousarray(innovT.T)
+    z = np.empty((B, k), dtype=complex)
+    z.real = zr.T
+    z.imag = zi.T
+    d_hist = np.ascontiguousarray(dT.T)
+    e_hist = np.ascontiguousarray(eT.T)
+    bad = _nonfinite_rows(innov, level[:, None], trend[:, None], z, d_hist, e_hist)
+    for b in np.flatnonzero(bad):
+        i_b, l_b, t_b, z_b, d_b, e_b = _tbats_filter_numpy(
+            y[b], float(alpha[b]), float(beta[b]), float(phi[b]), use_trend,
+            rot[b], gamma_vec[b], ar[b], ma[b],
+            float(level0[b]), float(trend0[b]), z0[b], d0[b], e0[b],
+        )
+        innov[b] = i_b
+        level[b] = l_b
+        trend[b] = t_b
+        z[b] = z_b
+        d_hist[b] = d_b
+        e_hist[b] = e_b
+    return innov, level, trend, z, d_hist, e_hist
+
+
+def _kalman_filter_batch_numpy(y, T, RRt, P0):
+    """Batched concentrated Kalman pass: delegates per row.
+
+    The per-key kernel mixes ``math.log`` and BLAS inner products whose
+    rounding is not reproducible by cross-key vectorised numpy ops, so the
+    numpy leg keeps the per-key recursion as the unit of work and the
+    batch only amortises dispatch; the payoff is shape validation and
+    counter bumping once per cohort instead of once per key.
+    """
+    B = y.shape[0]
+    sum_sq = np.empty(B)
+    sum_logF = np.empty(B)
+    ok = np.empty(B, dtype=bool)
+    for b in range(B):
+        sum_sq[b], sum_logF[b], ok[b] = _kalman_filter_numpy(y[b], T[b], RRt[b], P0[b])
+    return sum_sq, sum_logF, ok
+
+
+def _arma_forecast_batch_numpy(full_ar, ma_full, history, recent_e, c_star, horizon):
+    """Batched ARMA forecast iteration: delegates per row (BLAS dot order)."""
+    B = full_ar.shape[0]
+    mean = np.empty((B, horizon))
+    for b in range(B):
+        mean[b] = _arma_forecast_numpy(
+            full_ar[b], ma_full[b], history[b], recent_e[b], float(c_star[b]), horizon
+        )
+    return mean
+
+
+def _bootstrap_deviations_batch_numpy(psi, shocks):
+    """Batched ψ-weight convolution: stacked Toeplitz mat-muls.
+
+    ``psi`` is ``(B, H)`` and ``shocks`` ``(B, P, H)``; the stacked
+    ``matmul`` runs the same per-slice dgemm as the per-key kernel, so
+    each row is bit-identical to a per-key call.
+    """
+    B, horizon = psi.shape
+    if B == 1:
+        return _bootstrap_deviations_numpy(psi[0], shocks[0])[None, :, :]
+    weights = np.zeros((B, horizon, horizon))
+    for i in range(horizon):
+        weights[:, i, i:] = psi[:, : horizon - i]
+    return shocks @ weights
+
+
 _NUMPY_IMPLS = {
     "ets_recursion": _ets_recursion_numpy,
     "ets_mul_paths": _ets_mul_paths_numpy,
@@ -399,6 +740,12 @@ _NUMPY_IMPLS = {
     "kalman_filter": _kalman_filter_numpy,
     "arma_forecast": _arma_forecast_numpy,
     "bootstrap_deviations": _bootstrap_deviations_numpy,
+    "ets_recursion_batch": _ets_recursion_batch_numpy,
+    "ets_mul_paths_batch": _ets_mul_paths_batch_numpy,
+    "tbats_filter_batch": _tbats_filter_batch_numpy,
+    "kalman_filter_batch": _kalman_filter_batch_numpy,
+    "arma_forecast_batch": _arma_forecast_batch_numpy,
+    "bootstrap_deviations_batch": _bootstrap_deviations_batch_numpy,
 }
 
 
@@ -644,6 +991,94 @@ if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installe
                 out[i, h] = acc
         return out
 
+    # Batched numba leg: the compiled per-key kernel stays the unit of
+    # work — a thin Python loop walks the batch axis and calls it per
+    # row. That makes batch/per-key bit-identity true by construction on
+    # this backend (identical machine code runs either way); the batch
+    # call amortises the wrapper's validation/conversion/counter overhead,
+    # which is the dominant per-call cost once the loops are compiled.
+    def _ets_recursion_batch_nb(
+        y, use_trend, seasonal_mode, period, alpha, beta, gamma, phi, level0, trend0, seasonal0
+    ):
+        B, n = y.shape
+        errors = np.empty((B, n))
+        level = np.empty(B)
+        trend = np.empty(B)
+        seas = np.empty_like(seasonal0)
+        for b in range(B):
+            e_b, l_b, t_b, s_b = _ets_recursion_nb(
+                y[b], use_trend, seasonal_mode, period,
+                alpha[b], beta[b], gamma[b], phi[b],
+                level0[b], trend0[b], seasonal0[b],
+            )
+            errors[b] = e_b
+            level[b] = l_b
+            trend[b] = t_b
+            seas[b] = s_b
+        return errors, level, trend, seas
+
+    def _ets_mul_paths_batch_nb(
+        level0, trend0, seasonal0, alpha, beta, gamma, phi, use_trend, period, start_index, shocks
+    ):
+        B = shocks.shape[0]
+        sims = np.empty_like(shocks)
+        for b in range(B):
+            sims[b] = _ets_mul_paths_nb(
+                level0[b], trend0[b], seasonal0[b],
+                alpha[b], beta[b], gamma[b], phi[b],
+                use_trend, period, start_index[b], shocks[b],
+            )
+        return sims
+
+    def _tbats_filter_batch_nb(
+        y, alpha, beta, phi, use_trend, rot, gamma_vec, ar, ma, level0, trend0, z0, d0, e0
+    ):
+        B, n = y.shape
+        innov = np.empty((B, n))
+        level = np.empty(B)
+        trend = np.empty(B)
+        z = np.empty_like(z0)
+        d_hist = np.empty_like(d0)
+        e_hist = np.empty_like(e0)
+        for b in range(B):
+            i_b, l_b, t_b, z_b, d_b, e_b = _tbats_filter_nb(
+                y[b], alpha[b], beta[b], phi[b], use_trend,
+                rot[b], gamma_vec[b], ar[b], ma[b],
+                level0[b], trend0[b], z0[b], d0[b], e0[b],
+            )
+            innov[b] = i_b
+            level[b] = l_b
+            trend[b] = t_b
+            z[b] = z_b
+            d_hist[b] = d_b
+            e_hist[b] = e_b
+        return innov, level, trend, z, d_hist, e_hist
+
+    def _kalman_filter_batch_nb(y, T, RRt, P0):
+        B = y.shape[0]
+        sum_sq = np.empty(B)
+        sum_logF = np.empty(B)
+        ok = np.empty(B, dtype=np.bool_)
+        for b in range(B):
+            sum_sq[b], sum_logF[b], ok[b] = _kalman_filter_nb(y[b], T[b], RRt[b], P0[b])
+        return sum_sq, sum_logF, ok
+
+    def _arma_forecast_batch_nb(full_ar, ma_full, history, recent_e, c_star, horizon):
+        B = full_ar.shape[0]
+        mean = np.empty((B, horizon))
+        for b in range(B):
+            mean[b] = _arma_forecast_nb(
+                full_ar[b], ma_full[b], history[b], recent_e[b], c_star[b], horizon
+            )
+        return mean
+
+    def _bootstrap_deviations_batch_nb(psi, shocks):
+        B = psi.shape[0]
+        out = np.empty_like(shocks)
+        for b in range(B):
+            out[b] = _bootstrap_deviations_nb(psi[b], shocks[b])
+        return out
+
     _NUMBA_IMPLS = {
         "ets_recursion": _ets_recursion_nb,
         "ets_mul_paths": _ets_mul_paths_nb,
@@ -652,6 +1087,12 @@ if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installe
         "kalman_filter": _kalman_filter_nb,
         "arma_forecast": _arma_forecast_nb,
         "bootstrap_deviations": _bootstrap_deviations_nb,
+        "ets_recursion_batch": _ets_recursion_batch_nb,
+        "ets_mul_paths_batch": _ets_mul_paths_batch_nb,
+        "tbats_filter_batch": _tbats_filter_batch_nb,
+        "kalman_filter_batch": _kalman_filter_batch_nb,
+        "arma_forecast_batch": _arma_forecast_batch_nb,
+        "bootstrap_deviations_batch": _bootstrap_deviations_batch_nb,
     }
 
 
@@ -676,8 +1117,13 @@ def _resolve(requested: str) -> str:
 _ACTIVE_BACKEND = _resolve(os.environ.get(BACKEND_ENV, "auto"))
 _IMPL = dict(_NUMBA_IMPLS if _ACTIVE_BACKEND == "numba" else _NUMPY_IMPLS)
 
-_CALLS = {name: 0 for name in KERNEL_NAMES}
-_SECONDS = {name: 0.0 for name in KERNEL_NAMES}
+_ALL_KERNEL_NAMES = KERNEL_NAMES + BATCHED_KERNEL_NAMES
+
+_CALLS = {name: 0 for name in _ALL_KERNEL_NAMES}
+_SECONDS = {name: 0.0 for name in _ALL_KERNEL_NAMES}
+#: Batch-size dimension of the counters: total rows (keys) pushed through
+#: each batched kernel. ``rows / calls`` is the mean cohort size.
+_ROWS = {name: 0 for name in BATCHED_KERNEL_NAMES}
 _WARM_RUNS = 0
 _CALLS_BEFORE_WARM = 0
 _WARMED = False
@@ -738,9 +1184,37 @@ def warm_compile() -> int:
     _IMPL["kalman_filter"](y, T, RRt, np.eye(2))
     _IMPL["arma_forecast"](np.array([1.0, -0.5]), np.array([1.0, 0.3]), np.array([1.0]), np.array([0.1]), 0.0, 3)
     _IMPL["bootstrap_deviations"](np.array([1.0, 0.5]), np.zeros((2, 2)))
+    # Batched variants: a 2-row cohort exercises the vectorised path
+    # (batch 1 delegates to the per-key kernels warmed above).
+    two = np.array([0.0, 0.0])
+    _IMPL["ets_recursion_batch"](
+        np.vstack([y, y]), True, 1, 2,
+        np.array([0.3, 0.2]), np.array([0.1, 0.1]), np.array([0.1, 0.1]),
+        np.array([0.97, 0.97]), np.array([1.0, 1.0]), two, np.tile(seasonal, (2, 1)),
+    )
+    _IMPL["ets_mul_paths_batch"](
+        np.array([1.0, 1.0]), two, np.ones((2, 2)),
+        np.array([0.3, 0.2]), np.array([0.1, 0.1]), np.array([0.1, 0.1]),
+        np.array([0.97, 0.97]), True, 2, np.array([0, 1]), np.zeros((2, 2, 3)),
+    )
+    _IMPL["tbats_filter_batch"](
+        np.vstack([y, y]), np.array([0.1, 0.1]), np.array([0.01, 0.01]),
+        np.array([0.98, 0.98]), True, np.tile(rot, (2, 1)), np.tile(gamma_vec, (2, 1)),
+        np.tile(arma, (2, 1)), np.tile(arma, (2, 1)), np.array([1.0, 1.0]), two,
+        np.tile(z0, (2, 1)), np.tile(hist, (2, 1)), np.tile(hist, (2, 1)),
+    )
+    _IMPL["kalman_filter_batch"](
+        np.vstack([y, y]), np.tile(T, (2, 1, 1)), np.tile(RRt, (2, 1, 1)),
+        np.tile(np.eye(2), (2, 1, 1)),
+    )
+    _IMPL["arma_forecast_batch"](
+        np.tile(np.array([1.0, -0.5]), (2, 1)), np.tile(np.array([1.0, 0.3]), (2, 1)),
+        np.ones((2, 1)), np.full((2, 1), 0.1), two, 3,
+    )
+    _IMPL["bootstrap_deviations_batch"](np.tile(np.array([1.0, 0.5]), (2, 1)), np.zeros((2, 2, 2)))
     _WARMED = True
     _WARM_RUNS += 1
-    return len(KERNEL_NAMES)
+    return len(_ALL_KERNEL_NAMES)
 
 
 def ensure_warm() -> None:
@@ -761,18 +1235,22 @@ def stats_snapshot() -> dict[str, float]:
         "kernel_warm_runs": float(_WARM_RUNS),
         "kernel_calls_before_warm": float(_CALLS_BEFORE_WARM),
     }
-    for name in KERNEL_NAMES:
+    for name in _ALL_KERNEL_NAMES:
         snap[f"kernel_{name}_calls"] = float(_CALLS[name])
         snap[f"kernel_{name}_us"] = _SECONDS[name] * 1e6
+    for name in BATCHED_KERNEL_NAMES:
+        snap[f"kernel_{name}_rows"] = float(_ROWS[name])
     return snap
 
 
 def _reset_for_tests() -> None:
     """Zero all counters and the warm flag (test isolation only)."""
     global _WARM_RUNS, _CALLS_BEFORE_WARM, _WARMED
-    for name in KERNEL_NAMES:
+    for name in _ALL_KERNEL_NAMES:
         _CALLS[name] = 0
         _SECONDS[name] = 0.0
+    for name in BATCHED_KERNEL_NAMES:
+        _ROWS[name] = 0
     _WARM_RUNS = 0
     _CALLS_BEFORE_WARM = 0
     _WARMED = False
@@ -786,6 +1264,13 @@ def _timed(name: str, args: tuple):
     out = _IMPL[name](*args)
     _SECONDS[name] += time.perf_counter() - started
     _CALLS[name] += 1
+    return out
+
+
+def _timed_batch(name: str, rows: int, args: tuple):
+    """Like :func:`_timed`, but also accumulates the batch-size dimension."""
+    out = _timed(name, args)
+    _ROWS[name] += int(rows)
     return out
 
 
@@ -931,6 +1416,148 @@ def bootstrap_deviations(psi, shocks):
         "bootstrap_deviations",
         (
             np.ascontiguousarray(psi, dtype=np.float64),
+            np.ascontiguousarray(shocks, dtype=np.float64),
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Batched public kernels (cohort dispatchers)
+#
+# Shapes follow a structure-of-arrays convention: the batch axis leads,
+# per-key scalar parameters become (B,) vectors, per-key state vectors
+# become (B, m) blocks. Cohort-wide structure (trend/seasonal flags,
+# period, ARMA orders, horizon) stays scalar — rows that differ in
+# structure belong in different cohorts. Every batched kernel is
+# bit-identical, row for row, to B calls of its per-key sibling on both
+# backends; a batch of one simply delegates to the per-key kernel.
+# ---------------------------------------------------------------------------
+def ets_recursion_batch(y, use_trend, seasonal_mode, period, alpha, beta, gamma, phi, level0, trend0, seasonal0):
+    """Batched :func:`ets_recursion`: ``y`` is ``(B, n)``, params ``(B,)``.
+
+    Returns ``(errors (B, n), level (B,), trend (B,), seasonal (B, m))``.
+    """
+    y = np.ascontiguousarray(y, dtype=np.float64)
+    return _timed_batch(
+        "ets_recursion_batch",
+        y.shape[0],
+        (
+            y,
+            bool(use_trend),
+            int(seasonal_mode),
+            int(period),
+            np.ascontiguousarray(alpha, dtype=np.float64),
+            np.ascontiguousarray(beta, dtype=np.float64),
+            np.ascontiguousarray(gamma, dtype=np.float64),
+            np.ascontiguousarray(phi, dtype=np.float64),
+            np.ascontiguousarray(level0, dtype=np.float64),
+            np.ascontiguousarray(trend0, dtype=np.float64),
+            np.ascontiguousarray(seasonal0, dtype=np.float64),
+        ),
+    )
+
+
+def ets_mul_paths_batch(level0, trend0, seasonal0, alpha, beta, gamma, phi, use_trend, period, start_index, shocks):
+    """Batched :func:`ets_mul_paths`: ``shocks`` is ``(B, paths, horizon)``.
+
+    ``start_index`` is a ``(B,)`` int vector — each key's forecast origin
+    phase within the seasonal cycle. Returns simulations ``(B, paths, horizon)``.
+    """
+    shocks = np.ascontiguousarray(shocks, dtype=np.float64)
+    return _timed_batch(
+        "ets_mul_paths_batch",
+        shocks.shape[0],
+        (
+            np.ascontiguousarray(level0, dtype=np.float64),
+            np.ascontiguousarray(trend0, dtype=np.float64),
+            np.ascontiguousarray(seasonal0, dtype=np.float64),
+            np.ascontiguousarray(alpha, dtype=np.float64),
+            np.ascontiguousarray(beta, dtype=np.float64),
+            np.ascontiguousarray(gamma, dtype=np.float64),
+            np.ascontiguousarray(phi, dtype=np.float64),
+            bool(use_trend),
+            int(period),
+            np.ascontiguousarray(start_index, dtype=np.int64),
+            shocks,
+        ),
+    )
+
+
+def tbats_filter_batch(y, alpha, beta, phi, use_trend, rot, gamma_vec, ar, ma, level0, trend0, z0, d0, e0):
+    """Batched :func:`tbats_filter` over rows sharing ``(k, p, q)`` structure.
+
+    Returns ``(innovations (B, n), level (B,), trend (B,), z (B, k),
+    d_hist (B, p), e_hist (B, q))``.
+    """
+    y = np.ascontiguousarray(y, dtype=np.float64)
+    return _timed_batch(
+        "tbats_filter_batch",
+        y.shape[0],
+        (
+            y,
+            np.ascontiguousarray(alpha, dtype=np.float64),
+            np.ascontiguousarray(beta, dtype=np.float64),
+            np.ascontiguousarray(phi, dtype=np.float64),
+            bool(use_trend),
+            np.ascontiguousarray(rot, dtype=np.complex128),
+            np.ascontiguousarray(gamma_vec, dtype=np.complex128),
+            np.ascontiguousarray(ar, dtype=np.float64),
+            np.ascontiguousarray(ma, dtype=np.float64),
+            np.ascontiguousarray(level0, dtype=np.float64),
+            np.ascontiguousarray(trend0, dtype=np.float64),
+            np.ascontiguousarray(z0, dtype=np.complex128),
+            np.ascontiguousarray(d0, dtype=np.float64),
+            np.ascontiguousarray(e0, dtype=np.float64),
+        ),
+    )
+
+
+def kalman_filter_batch(y, T, RRt, P0):
+    """Batched :func:`kalman_filter`: ``y`` is ``(B, n)``, matrices ``(B, m, m)``.
+
+    Returns ``(sum_sq (B,), sum_logF (B,), ok (B,) bool)``.
+    """
+    y = np.ascontiguousarray(y, dtype=np.float64)
+    return _timed_batch(
+        "kalman_filter_batch",
+        y.shape[0],
+        (
+            y,
+            np.ascontiguousarray(T, dtype=np.float64),
+            np.ascontiguousarray(RRt, dtype=np.float64),
+            np.ascontiguousarray(P0, dtype=np.float64),
+        ),
+    )
+
+
+def arma_forecast_batch(full_ar, ma_full, history, recent_e, c_star, horizon):
+    """Batched :func:`arma_forecast` over rows sharing ``(L, q)`` structure.
+
+    Returns the point forecasts as ``(B, horizon)``.
+    """
+    full_ar = np.ascontiguousarray(full_ar, dtype=np.float64)
+    return _timed_batch(
+        "arma_forecast_batch",
+        full_ar.shape[0],
+        (
+            full_ar,
+            np.ascontiguousarray(ma_full, dtype=np.float64),
+            np.ascontiguousarray(history, dtype=np.float64),
+            np.ascontiguousarray(recent_e, dtype=np.float64),
+            np.ascontiguousarray(c_star, dtype=np.float64),
+            int(horizon),
+        ),
+    )
+
+
+def bootstrap_deviations_batch(psi, shocks):
+    """Batched :func:`bootstrap_deviations`: ``psi`` ``(B, H)``, shocks ``(B, P, H)``."""
+    psi = np.ascontiguousarray(psi, dtype=np.float64)
+    return _timed_batch(
+        "bootstrap_deviations_batch",
+        psi.shape[0],
+        (
+            psi,
             np.ascontiguousarray(shocks, dtype=np.float64),
         ),
     )

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 from scipy import optimize
@@ -267,6 +267,46 @@ class FittedTbats(FittedModel):
             alpha=alpha,
             model_label=self.label(),
         )
+
+    def advance(self, values: np.ndarray) -> tuple["FittedTbats", np.ndarray]:
+        """Roll the state space through new observations without refitting.
+
+        Runs the fitted filter (frozen parameters) from the stored final
+        state over ``values`` — the same per-timestep updates a refit's
+        filtering pass would apply to the concatenated series — and moves
+        the forecast origin forward. Returns ``(rolled model, one-step
+        innovations)`` with innovations in ``residuals`` units (the
+        Box-Cox-transformed scale when a transform is active), the units
+        of ``sqrt(sigma2)``.
+        """
+        raw = np.ascontiguousarray(values, dtype=float)
+        if raw.ndim != 1 or raw.size == 0:
+            raise ModelError("advance needs a non-empty 1-D batch of observations")
+        if not np.all(np.isfinite(raw)):
+            raise ModelError("cannot roll a TBATS state through non-finite observations")
+        if self.boxcox_lambda is not None:
+            if np.any(raw <= 0):
+                raise ModelError("Box-Cox roll requires positive observations")
+            y = boxcox(raw, self.boxcox_lambda) / self.y_scale
+        else:
+            y = raw / self.y_scale
+        with np.errstate(over="ignore", invalid="ignore"):
+            innovations, state = _run(y, self.config, self.params, self.final_state, self._rot)
+        innovations = innovations * self.y_scale
+        step = self.train.frequency.seconds
+        extension = TimeSeries(
+            values=raw,
+            frequency=self.train.frequency,
+            start=self.train.end + step,
+            name=self.train.name,
+        )
+        rolled = replace(
+            self,
+            train=self.train.append(extension),
+            residuals=np.concatenate([self.residuals, innovations]),
+            final_state=state,
+        )
+        return rolled, innovations
 
 
 class Tbats(ForecastModel):

@@ -268,6 +268,33 @@ class EstatePlanner:
         self._entries[key] = EstateEntry(key=key, series=series, threshold=threshold)
         return key
 
+    def adopt(
+        self,
+        customer: str,
+        workload: str,
+        metric: str,
+        series: TimeSeries,
+        outcome: SelectionOutcome,
+        threshold: float | None = None,
+    ) -> WorkloadKey:
+        """Install a pre-fitted selection outcome without running the grid.
+
+        The bulk-seeding path (restarts, benchmarks): the entry lands
+        ``MODELLED`` immediately and the outcome is stored in the
+        selection cache, so the staleness monitor governs its lifecycle
+        exactly as if :meth:`report` had selected it here. No advisory
+        is attached — the streaming scheduler grades on its own clock.
+        """
+        key = self.register(customer, workload, metric, series, threshold=threshold)
+        entry = self._entries[key]
+        entry.status = WorkloadStatus.MODELLED
+        entry.model_label = outcome.model.label()
+        entry.test_rmse = outcome.test_rmse
+        entry.detail = "adopted pre-fitted outcome"
+        entry.outcome = outcome
+        self.cache.put(key, entry.series, self.config, outcome)
+        return key
+
     def register_cluster_run(
         self,
         customer: str,

@@ -19,7 +19,12 @@ import numpy as np
 from ..exceptions import DataError
 from ..models.base import Forecast
 
-__all__ = ["BreachSeverity", "BreachPrediction", "predict_breach"]
+__all__ = [
+    "BreachSeverity",
+    "BreachPrediction",
+    "predict_breach",
+    "predict_breach_arrays",
+]
 
 
 class BreachSeverity(enum.Enum):
@@ -94,12 +99,32 @@ def predict_breach(forecast: Forecast, threshold: float) -> BreachPrediction:
     residual variance) is legitimate: all three bands then cross at the
     same step and the verdict is simply CERTAIN.
     """
+    return predict_breach_arrays(
+        forecast.mean.values,
+        forecast.lower.values,
+        forecast.upper.values,
+        forecast.mean.timestamps,
+        threshold,
+    )
+
+
+def predict_breach_arrays(
+    mean: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    timestamps: np.ndarray,
+    threshold: float,
+) -> BreachPrediction:
+    """Array-level core of :func:`predict_breach`.
+
+    The cohort-batched scheduler path grades many keys from one
+    ``(batch, horizon)`` forecast block without materialising a
+    :class:`~repro.models.base.Forecast` per key; it calls this directly
+    on each row. ``predict_breach`` delegates here, so both paths share
+    one implementation and produce bit-identical verdicts.
+    """
     if not np.isfinite(threshold):
         raise DataError("threshold must be finite")
-    mean = forecast.mean.values
-    lower = forecast.lower.values
-    upper = forecast.upper.values
-    timestamps = forecast.mean.timestamps
 
     def first_crossing(values: np.ndarray) -> int | None:
         hits = np.flatnonzero(values >= threshold)

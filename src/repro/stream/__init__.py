@@ -9,9 +9,12 @@ package keeps that answer *current* while samples keep arriving:
 * :mod:`~repro.stream.aggregate` — incremental hourly windows that
   finalise as watermarks advance, bit-equal to the batch repository's
   ``load_series``;
-* :mod:`~repro.stream.scheduler` — staleness-driven model upkeep:
-  observe, expire, re-select through the engine executor and the estate
-  selection cache;
+* :mod:`~repro.stream.scheduler` — cohort-batched model upkeep: roll
+  stored states forward on closed windows, grade same-spec keys in one
+  batched kernel call, re-select through the engine executor and the
+  estate selection cache only on real staleness;
+* :mod:`~repro.stream.drift` — the CUSUM drift check on roll
+  innovations that decides when re-selection is worth paying for;
 * :mod:`~repro.stream.alerts` — debounced breach alerting with severity
   escalation and recovery;
 * :mod:`~repro.stream.runtime` — the wired loop over simulated agent
@@ -28,6 +31,7 @@ from .alerts import (
     ListSink,
 )
 from .clock import Clock, ManualClock, SystemClock
+from .drift import CusumDetector
 from .ingest import IngestBus, KeyBuffer, StreamKey
 from .runtime import StreamConfig, StreamRuntime
 from .scheduler import ForecastScheduler, RefitEvent, SchedulerTick
@@ -40,6 +44,7 @@ __all__ = [
     "Clock",
     "ClosedWindow",
     "ConsoleSink",
+    "CusumDetector",
     "ForecastScheduler",
     "IngestBus",
     "KeyBuffer",

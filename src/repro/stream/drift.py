@@ -1,0 +1,62 @@
+"""Cheap per-key drift detection on one-step forecast errors.
+
+The streaming scheduler rolls cached model states forward on every closed
+window instead of refitting, so the old "refit when RMSE doubles" check
+(which needed a fresh holdout evaluation) is replaced by a sequential
+test on the innovations the roll produces for free: a two-sided CUSUM on
+standardized one-step errors. While the model tracks the series the
+standardized innovations are ~N(0, 1) and both CUSUM statistics hover
+near zero; a level shift, trend break, or variance blow-up pushes one of
+them past the decision interval within a handful of windows, and only
+then does the scheduler pay for a full grid re-selection.
+
+Parameters follow the classic tuning for detecting a one-sigma shift:
+reference value ``k = 0.5`` (half the shift to detect) and decision
+interval ``h = 8.0`` (long in-control average run length, ~16-window
+detection delay for a sustained 1-sigma drift; a hard regime change with
+multi-sigma errors trips in one or two windows).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["CusumDetector"]
+
+
+@dataclass
+class CusumDetector:
+    """Two-sided CUSUM over standardized innovations.
+
+    ``update`` consumes one standardized one-step error per closed
+    window and returns ``True`` when either the upper or lower cumulative
+    sum exceeds the decision interval — the caller then refits and
+    installs a fresh detector. A non-finite innovation (the model state
+    produced NaN/inf) trips immediately: that model is not gradeable and
+    must be replaced regardless of drift history.
+    """
+
+    k: float = 0.5
+    h: float = 8.0
+    g_pos: float = field(default=0.0, init=False)
+    g_neg: float = field(default=0.0, init=False)
+
+    def update(self, e: float) -> bool:
+        if not math.isfinite(e):
+            self.g_pos = self.g_neg = math.inf
+            return True
+        self.g_pos = max(0.0, self.g_pos + e - self.k)
+        self.g_neg = max(0.0, self.g_neg - e - self.k)
+        return self.g_pos > self.h or self.g_neg > self.h
+
+    def update_many(self, errors) -> bool:
+        """Feed a batch of innovations; ``True`` if any step trips."""
+        tripped = False
+        for e in errors:
+            tripped = self.update(float(e)) or tripped
+        return tripped
+
+    def reset(self) -> None:
+        self.g_pos = 0.0
+        self.g_neg = 0.0

@@ -67,6 +67,10 @@ class StreamConfig:
         Alert debounce knobs (see :class:`~repro.stream.alerts.AlertManager`).
     min_observations / horizon / history_cap:
         Scheduler knobs (see :class:`~repro.stream.scheduler.ForecastScheduler`).
+    dispatch:
+        Scheduler grading mode: ``"cohort"`` (default) batches same-spec
+        keys into one kernel call per tick, ``"per-key"`` forces the
+        scalar path. Advisories are bit-identical either way.
     """
 
     thresholds: dict[str, float] = field(default_factory=dict)
@@ -81,6 +85,7 @@ class StreamConfig:
     min_observations: int | None = None
     horizon: int | None = None
     history_cap: int | None = None
+    dispatch: str = "cohort"
 
 
 class StreamRuntime:
@@ -139,6 +144,7 @@ class StreamRuntime:
             min_observations=self.config.min_observations,
             history_cap=self.config.history_cap,
             trace=self.trace,
+            dispatch=self.config.dispatch,
         )
         self.alerts = AlertManager(
             sink=sink,
@@ -284,12 +290,13 @@ class StreamRuntime:
                 agg.get("samples_aggregated", 0),
             ),
             "models: {} selection runs — {} cache hits, {} misses, {} refits, "
-            "{} initial".format(
+            "{} initial, {} rolls".format(
                 sched.get("stream_selection_runs", 0),
                 sched.get("selection_cache_hits", 0),
                 sched.get("selection_cache_misses", 0),
                 sched.get("stream_refits_triggered", 0),
                 sched.get("stream_initial_selections", 0),
+                sched.get("stream_rolls_applied", 0),
             ),
             "alerts: {} raised, {} escalated, {} recovered ({} active)".format(
                 al.get("alerts_raised", 0),

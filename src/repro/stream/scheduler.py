@@ -6,10 +6,16 @@ finalised hourly window is one heartbeat:
 1. the window's value is appended to the key's hourly history;
 2. once a key has a full Table 1 observation budget it is registered with
    the :class:`~repro.service.estate.EstatePlanner` and selected;
-3. every subsequent window is fed to
-   :meth:`~repro.service.estate.EstatePlanner.observe` — the stored
-   model's staleness monitor applies the weekly-expiry / RMSE-degradation
-   / data-growth rules, and a stale verdict queues a **re-selection**;
+3. every subsequent window **rolls the stored model's state forward**
+   instead of refitting: the window's observations run through the
+   model's one-step filter (``advance``), the forecast origin moves to
+   the stream head, and staleness becomes a cheap per-key drift check —
+   a two-sided CUSUM on the standardized one-step innovations the roll
+   produces for free (:mod:`repro.stream.drift`) plus the weekly-expiry
+   and data-growth rules. Only a *tripped* check queues a re-selection,
+   so the expensive grid runs on real regime change, not on a timer.
+   Models that cannot roll (exogenous-regressor fits, models without an
+   ``advance``) stay on the legacy monitor-based observe path;
 4. queued re-selections run through the planner's
    :meth:`~repro.service.estate.EstatePlanner.report`, fanning out on the
    injected :class:`~repro.engine.executor.Executor` and consulting the
@@ -19,6 +25,14 @@ finalised hourly window is one heartbeat:
 5. each tick re-grades every live model's forecast against its threshold
    *from the current watermark onwards* (the part of the horizon still in
    the future), producing the advisories the alerting layer debounces.
+   Grading thinks in **cohorts**: keys whose winning models share an
+   exponential-smoothing spec and forecast window are graded in one
+   batched ``(batch, horizon)`` kernel call
+   (:func:`repro.models.ets.forecast_cohort_arrays` →
+   :func:`repro.service.thresholds.predict_breach_arrays`), bit-identical
+   to the per-key path (``dispatch="per-key"`` forces the scalar path
+   for A/B verification). An advisory memo per key skips the forecast
+   entirely while (model state, elapsed offset, threshold) are unchanged.
 
 The scheduler never sleeps and never reads the wall clock directly: time
 is the injected :class:`~repro.stream.clock.Clock`, falling back to the
@@ -37,7 +51,9 @@ Degraded advisories carry the producing mode in
 :attr:`~repro.service.thresholds.BreachPrediction.degraded` and are
 counted in the trace's ``faults`` block; a failed key is re-registered
 on its next window (reason ``"recovery"``) so degradation is a bridge,
-not a terminal state.
+not a terminal state. A key whose roll or cohort grading fails falls
+back to its per-key path alone — it drops out of its cohort, not the
+whole batch.
 """
 
 from __future__ import annotations
@@ -53,12 +69,19 @@ from ..engine.executor import Executor
 from ..engine.telemetry import RunTrace
 from ..exceptions import DataError
 from ..models.base import Forecast
+from ..models.ets import FittedExpSmoothing, advance_cohort, forecast_cohort_arrays
 from ..models.naive import Naive, SeasonalNaive
-from ..selection.staleness import WEEK_SECONDS, StalenessVerdict
+from ..selection.auto import SelectionOutcome
+from ..selection.staleness import WEEK_SECONDS, StalenessReason, StalenessVerdict
 from ..service.estate import EstatePlanner, EstateReport, WorkloadKey, WorkloadStatus
-from ..service.thresholds import BreachPrediction, predict_breach
+from ..service.thresholds import (
+    BreachPrediction,
+    predict_breach,
+    predict_breach_arrays,
+)
 from .aggregate import ClosedWindow
 from .clock import Clock
+from .drift import CusumDetector
 from .ingest import StreamKey
 
 __all__ = ["RefitEvent", "SchedulerTick", "ForecastScheduler"]
@@ -99,10 +122,22 @@ class SchedulerTick:
 
 @dataclass
 class _KeyHistory:
-    """Hourly history of one key as a growable (start, values) pair."""
+    """Hourly history of one key as a growable (start, values) pair.
+
+    ``trim`` is amortised O(1): instead of slicing the list on every
+    over-cap append (O(cap) per window once the cap is reached), a dead
+    prefix offset advances past trimmed samples and the list is
+    compacted only once the dead prefix itself outgrows the cap — total
+    compaction work stays linear over the stream's whole life. ``start``
+    and ``len`` always describe the *live* suffix.
+    """
 
     start: float | None = None
     values: list[float] = field(default_factory=list)
+    _offset: int = field(default=0, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.values) - self._offset
 
     def append(self, window: ClosedWindow) -> None:
         if self.start is None:
@@ -110,14 +145,18 @@ class _KeyHistory:
         self.values.append(window.value)
 
     def trim(self, cap: int, step: float) -> None:
-        if len(self.values) > cap:
-            drop = len(self.values) - cap
-            del self.values[:drop]
+        live = len(self.values) - self._offset
+        if live > cap:
+            drop = live - cap
+            self._offset += drop
             self.start += drop * step
+        if self._offset > max(cap, 64):
+            del self.values[: self._offset]
+            self._offset = 0
 
     def series(self, frequency: Frequency, name: str) -> TimeSeries:
         return TimeSeries(
-            values=np.asarray(self.values, dtype=float),
+            values=np.asarray(self.values[self._offset :], dtype=float),
             frequency=frequency,
             start=float(self.start),
             name=name,
@@ -134,6 +173,59 @@ class _CachedModel:
 
     outcome: object
     threshold: float
+
+
+@dataclass
+class _LiveModel:
+    """A rolled-forward copy of one key's winning model.
+
+    ``source`` is the selection outcome the roll chain started from —
+    its identity detects refits (a new outcome starts a new chain) and
+    its fit-time ``sigma2`` standardizes the innovations the CUSUM drift
+    detector consumes. ``model`` is advanced one closed-window batch at
+    a time via the family's ``advance``; its forecast origin therefore
+    tracks the stream head between refits.
+    """
+
+    source: SelectionOutcome
+    model: object
+    fitted_at: float
+    initial_len: int
+    detector: CusumDetector = field(default_factory=CusumDetector)
+    rolls: int = 0
+
+
+@dataclass
+class _CachedAdvisory:
+    """Memo of one key's last grading, valid while nothing moved.
+
+    A grading is a pure function of (model state identity, elapsed
+    windows since the forecast origin, threshold); ticks that close no
+    new window for a key re-serve the memo instead of re-running the
+    forecast. Any roll or refit replaces the model object, so identity
+    comparison is the exact invalidation rule.
+    """
+
+    model: object
+    elapsed: int
+    threshold: float
+    advisory: BreachPrediction
+
+
+@dataclass(frozen=True)
+class _CohortJob:
+    """One healthy-path grading deferred into a batched cohort dispatch."""
+
+    key: StreamKey
+    wkey: WorkloadKey
+    entry: object
+    model: FittedExpSmoothing
+    base_horizon: int
+    elapsed: int
+
+
+#: Sentinel: the advisory will be produced by the cohort pass instead.
+_DEFERRED = object()
 
 
 class ForecastScheduler:
@@ -170,6 +262,11 @@ class ForecastScheduler:
         Granularity of the incoming windows (hourly).
     trace:
         Telemetry sink; a fresh :class:`RunTrace` when not supplied.
+    dispatch:
+        ``"cohort"`` (default) grades same-spec exponential-smoothing
+        keys in one batched kernel call per tick; ``"per-key"`` forces
+        the scalar path. Both produce bit-identical advisories — the
+        knob exists for A/B verification and fault isolation.
     """
 
     def __init__(
@@ -184,6 +281,7 @@ class ForecastScheduler:
         history_cap: int | None = None,
         window_frequency: Frequency = Frequency.HOURLY,
         trace: RunTrace | None = None,
+        dispatch: str = "cohort",
     ) -> None:
         if min_observations is None:
             min_observations = window_frequency.split_rule.observations
@@ -191,6 +289,8 @@ class ForecastScheduler:
             raise DataError("min_observations must be at least 2")
         if history_cap is not None and history_cap < min_observations:
             raise DataError("history_cap cannot be smaller than min_observations")
+        if dispatch not in ("cohort", "per-key"):
+            raise DataError(f"dispatch must be 'cohort' or 'per-key', got {dispatch!r}")
         self.planner = planner
         self.customer = customer
         self.thresholds = dict(thresholds or {})
@@ -201,12 +301,17 @@ class ForecastScheduler:
         self.history_cap = history_cap
         self.window_frequency = window_frequency
         self.trace = trace if trace is not None else RunTrace()
+        self.dispatch = dispatch
         self._histories: dict[StreamKey, _KeyHistory] = {}
         self._registered: set[StreamKey] = set()
         self._event_time = -math.inf
         self.refit_log: list[RefitEvent] = []
         #: Last good outcome per key — rung 1 of the degradation ladder.
         self._fallback: dict[StreamKey, _CachedModel] = {}
+        #: Rolled model states per key (keys whose family supports it).
+        self._live: dict[StreamKey, _LiveModel] = {}
+        #: Last advisory per key, keyed on (model identity, elapsed, threshold).
+        self._advisory_memo: dict[StreamKey, _CachedAdvisory] = {}
 
     # ------------------------------------------------------------------
     def workload_key(self, instance: str, metric: str) -> WorkloadKey:
@@ -220,7 +325,7 @@ class ForecastScheduler:
     def history(self, instance: str, metric: str) -> TimeSeries:
         """The hourly history the scheduler holds for a key."""
         state = self._histories.get((instance, metric))
-        if state is None or not state.values:
+        if state is None or not len(state):
             raise DataError(f"no streamed history for {instance}/{metric}")
         return state.series(self.window_frequency, f"{instance}.{metric}")
 
@@ -245,6 +350,34 @@ class ForecastScheduler:
         )
         self._event_time = max(self._event_time, series.end + series.frequency.seconds)
 
+    def adopt_model(
+        self, instance: str, metric: str, outcome: SelectionOutcome
+    ) -> WorkloadKey:
+        """Install a pre-selected outcome for a seeded key — zero grid fits.
+
+        The bulk-seeding path for restarts and benchmarks: the key must
+        already hold a seeded or streamed history; the outcome lands
+        ``MODELLED`` in the planner (and the selection cache, so the
+        normal lifecycle rules govern it) and the key starts rolling and
+        grading on the next tick.
+        """
+        key: StreamKey = (instance, metric)
+        state = self._histories.get(key)
+        if state is None or not len(state):
+            raise DataError(
+                f"adopt_model requires history for {instance}/{metric}; seed it first"
+            )
+        wkey = self.planner.adopt(
+            customer=self.customer,
+            workload=instance,
+            metric=metric,
+            series=self.history(instance, metric),
+            outcome=outcome,
+            threshold=self.thresholds.get(metric),
+        )
+        self._registered.add(key)
+        return wkey
+
     # ------------------------------------------------------------------
     # The event loop body
     # ------------------------------------------------------------------
@@ -256,8 +389,8 @@ class ForecastScheduler:
         for window in windows:
             key: StreamKey = (window.instance, window.metric)
             state = self._histories.setdefault(key, _KeyHistory())
-            if state.start is not None and state.values:
-                expected = state.start + len(state.values) * step
+            if state.start is not None and len(state):
+                expected = state.start + len(state) * step
                 if abs(window.start - expected) > 1e-6 * step:
                     raise DataError(
                         f"window for {window.instance}/{window.metric} at {window.start} "
@@ -271,6 +404,7 @@ class ForecastScheduler:
             self.trace.count("stream_windows_observed")
 
         now = self._now()
+        rolled = self._advance_live(fresh)
         pending = False
         for key, values in fresh.items():
             wkey = self.workload_key(*key)
@@ -285,7 +419,10 @@ class ForecastScheduler:
                     self.refit_log.append(event)
                     self.trace.fault("recovery_reselections")
                     continue
-                verdict = self.planner.observe(wkey, values)
+                if key in rolled:
+                    verdict = self._absorb_roll(key, wkey, rolled[key], now)
+                else:
+                    verdict = self.planner.observe(wkey, values)
                 if verdict is not None:
                     tick.verdicts[wkey] = verdict
                     if verdict.stale:
@@ -295,7 +432,7 @@ class ForecastScheduler:
                         tick.refits.append(event)
                         self.refit_log.append(event)
                         self.trace.count("stream_refits_triggered")
-            elif len(self._histories[key].values) >= self.min_observations:
+            elif len(self._histories[key]) >= self.min_observations:
                 self._register(key)
                 pending = True
                 event = RefitEvent(key=wkey, reason="initial", at=now)
@@ -320,9 +457,141 @@ class ForecastScheduler:
         if not self._histories:
             raise DataError("nothing streamed yet; no keys to resync")
         for key, state in self._histories.items():
-            if state.values and len(state.values) >= self.min_observations:
+            if len(state) >= self.min_observations:
                 self._register(key)
         return self._run_selection()
+
+    # ------------------------------------------------------------------
+    # Incremental state rolls
+    # ------------------------------------------------------------------
+    def _live_model_for(self, key: StreamKey, outcome: SelectionOutcome) -> _LiveModel | None:
+        """The key's roll chain, started or refreshed from ``outcome``.
+
+        ``None`` when the family cannot roll: exogenous-regressor fits
+        (their forecast needs a future shock matrix aligned to the
+        original origin) and models without an ``advance``.
+        """
+        uses_exog = (
+            outcome.best_spec is not None
+            and outcome.best_spec.exog_columns
+            and outcome.shock_calendar is not None
+        )
+        if uses_exog or not hasattr(outcome.model, "advance"):
+            return None
+        live = self._live.get(key)
+        if live is None or live.source is not outcome:
+            live = _LiveModel(
+                source=outcome,
+                model=outcome.model,
+                fitted_at=float(outcome.model.train.end),
+                initial_len=len(outcome.model.train),
+            )
+            self._live[key] = live
+        return live
+
+    def _advance_live(self, fresh: dict[StreamKey, list[float]]) -> dict[StreamKey, tuple]:
+        """Roll stored model states through this tick's closed windows.
+
+        Same-spec exponential-smoothing keys advance in one batched
+        state-space recursion (:func:`repro.models.ets.advance_cohort`);
+        other families advance per key. Runs identically under both
+        dispatch modes — rolls determine model *state*, the dispatch
+        knob only changes how grading is executed. A key whose roll
+        fails (non-finite window, sick state) drops back to the legacy
+        monitor-based observe path alone; its cohort peers still roll.
+        """
+        candidates: list[tuple[StreamKey, object, list[float]]] = []
+        for key, values in fresh.items():
+            if key not in self._registered:
+                continue
+            try:
+                entry = self.planner.entry(self.workload_key(*key))
+            except DataError:
+                continue
+            if entry.status is not WorkloadStatus.MODELLED or entry.outcome is None:
+                continue
+            live = self._live_model_for(key, entry.outcome)
+            if live is None:
+                continue
+            # Scalar finiteness check: the per-tick block is a handful of
+            # floats per key, where ndarray round-trips are pure overhead.
+            if not all(math.isfinite(v) for v in values):
+                # The filter cannot run through garbage; hand the key
+                # back to the monitor path and drop the roll chain.
+                self._live.pop(key, None)
+                continue
+            candidates.append((key, live.model, values))
+
+        results: dict[StreamKey, tuple] = {}
+        groups: dict[tuple, list[int]] = {}
+        for i, (key, model, values) in enumerate(candidates):
+            if isinstance(model, FittedExpSmoothing):
+                groups.setdefault(("ets", model.spec, len(values)), []).append(i)
+            else:
+                groups.setdefault(("solo", i), []).append(i)
+        for gkey, idxs in groups.items():
+            if gkey[0] == "ets":
+                models = [candidates[i][1] for i in idxs]
+                block = np.array([candidates[i][2] for i in idxs], dtype=float)
+                try:
+                    out, innovations = advance_cohort(models, block)
+                except Exception:
+                    pass  # cohort roll failed: retry the rows one by one
+                else:
+                    self.trace.count("stream_cohorts_dispatched")
+                    self.trace.count("stream_cohort_rows", len(idxs))
+                    for j, i in enumerate(idxs):
+                        results[candidates[i][0]] = (out[j], innovations[j])
+                    continue
+            for i in idxs:
+                key, model, values = candidates[i]
+                try:
+                    results[key] = model.advance(np.asarray(values, dtype=float))
+                except Exception:
+                    self._live.pop(key, None)
+        return results
+
+    def _absorb_roll(
+        self, key: StreamKey, wkey: WorkloadKey, rolled: tuple, now: float
+    ) -> StalenessVerdict:
+        """Install a rolled state and run the cheap staleness checks.
+
+        Mirrors :meth:`~repro.selection.staleness.ModelMonitor.check`'s
+        rule order — expiry, accuracy, growth — but the accuracy rule is
+        the CUSUM drift test on the roll's standardized innovations
+        instead of a fresh forecast-vs-observed RMSE, so staying healthy
+        costs O(new windows) per key per tick.
+        """
+        model, innovations = rolled
+        live = self._live[key]
+        live.model = model
+        live.rolls += int(innovations.size)
+        self.trace.count("stream_rolls_applied", int(innovations.size))
+        sigma2 = float(getattr(live.source.model, "sigma2", 0.0))
+        scale = math.sqrt(sigma2) if sigma2 > 0 and math.isfinite(sigma2) else 1.0
+        tripped = live.detector.update_many(np.asarray(innovations, dtype=float) / scale)
+
+        age = max(0.0, now - live.fitted_at) if math.isfinite(now) else 0.0
+        reason = StalenessReason.FRESH
+        if age > self.planner.cache.max_age_seconds:
+            reason = StalenessReason.EXPIRED
+        elif tripped:
+            reason = StalenessReason.DEGRADED
+            self.trace.count("stream_drift_refits")
+        elif len(model.train) - live.initial_len >= self.planner.cache.growth_factor * live.initial_len:
+            reason = StalenessReason.DATA_GROWTH
+        stale = reason is not StalenessReason.FRESH
+        verdict = StalenessVerdict(
+            stale=stale,
+            reason=reason,
+            current_rmse=None,
+            baseline_rmse=float(live.source.test_rmse),
+            age_seconds=age,
+        )
+        if stale:
+            self._live.pop(key, None)
+            self.planner.cache.invalidate(wkey)
+        return verdict
 
     # ------------------------------------------------------------------
     def _register(self, key: StreamKey) -> None:
@@ -377,8 +646,11 @@ class ForecastScheduler:
     # ------------------------------------------------------------------
     def _grade_all(self, now: float) -> dict[WorkloadKey, BreachPrediction]:
         advisories: dict[WorkloadKey, BreachPrediction] = {}
+        order: list[WorkloadKey] = []
+        deferred: list[_CohortJob] = []
         for key in sorted(self._registered):
             wkey = self.workload_key(*key)
+            order.append(wkey)
             try:
                 entry = self.planner.entry(wkey)
             except DataError:
@@ -391,7 +663,9 @@ class ForecastScheduler:
                 self._fallback[key] = _CachedModel(
                     outcome=entry.outcome, threshold=entry.threshold
                 )
-                advisory = self._grade_entry(entry, now)
+                advisory = self._grade_healthy(key, wkey, entry, now, deferred)
+                if advisory is _DEFERRED:
+                    continue
             else:
                 # Selection failed (or never completed): degrade rather
                 # than fall silent — alert continuity is the contract.
@@ -401,7 +675,106 @@ class ForecastScheduler:
             if advisory is not None:
                 advisories[wkey] = advisory
                 self.trace.count("stream_advisories_graded")
-        return advisories
+        if deferred:
+            self._grade_cohorts(deferred, advisories, now)
+        # Cohort results land out of order; re-serve in registry order so
+        # both dispatch modes hand the alerting layer the same sequence.
+        return {wk: advisories[wk] for wk in order if wk in advisories}
+
+    def _grade_healthy(self, key, wkey, entry, now, deferred):
+        """Grade one modelled key, via memo, cohort deferral or scalar path."""
+        outcome = entry.outcome
+        live = self._live.get(key)
+        model = live.model if live is not None and live.source is outcome else outcome.model
+        base_horizon, elapsed = self._grading_window(model, now)
+        if base_horizon is None:
+            return None  # zero lookahead: grading disabled, not defaulted
+        memo = self._advisory_memo.get(key)
+        if (
+            memo is not None
+            and memo.model is model
+            and memo.elapsed == elapsed
+            and memo.threshold == entry.threshold
+        ):
+            self.trace.count("stream_advisory_cache_hits")
+            return memo.advisory
+        uses_exog = (
+            outcome.best_spec is not None
+            and outcome.best_spec.exog_columns
+            and outcome.shock_calendar is not None
+        )
+        if (
+            self.dispatch == "cohort"
+            and not uses_exog
+            and isinstance(model, FittedExpSmoothing)
+        ):
+            deferred.append(_CohortJob(key, wkey, entry, model, base_horizon, elapsed))
+            return _DEFERRED
+        advisory = self._grade_entry(entry, now, model=model)
+        if advisory is not None:
+            self._advisory_memo[key] = _CachedAdvisory(
+                model, elapsed, entry.threshold, advisory
+            )
+        return advisory
+
+    def _grade_cohorts(
+        self,
+        deferred: list[_CohortJob],
+        advisories: dict[WorkloadKey, BreachPrediction],
+        now: float,
+    ) -> None:
+        """Grade deferred keys in one batched kernel call per cohort.
+
+        A cohort is every deferred key sharing (smoothing spec, base
+        horizon, elapsed offset): one ``(batch, horizon)`` forecast
+        block, clipped, sliced to the still-future part and graded row
+        by row through :func:`predict_breach_arrays` — bit-identical to
+        the scalar path. If the batched call fails, the cohort's rows
+        are graded one by one so a sick key cannot silence its peers.
+        """
+        groups: dict[tuple, list[_CohortJob]] = {}
+        for job in deferred:
+            groups.setdefault((job.model.spec, job.base_horizon, job.elapsed), []).append(job)
+        for (__, base_horizon, elapsed), jobs in groups.items():
+            try:
+                mean, lower, upper = forecast_cohort_arrays(
+                    [job.model for job in jobs], base_horizon + elapsed
+                )
+            except Exception:
+                for job in jobs:
+                    self._finish_grading(
+                        job, elapsed, self._grade_entry(job.entry, now, model=job.model), advisories
+                    )
+                continue
+            self.trace.count("stream_cohorts_dispatched")
+            self.trace.count("stream_cohort_rows", len(jobs))
+            mean = np.maximum(mean, 0.0)
+            lower = np.maximum(lower, 0.0)
+            upper = np.maximum(upper, 0.0)
+            if elapsed > 0:
+                mean = mean[:, elapsed:]
+                lower = lower[:, elapsed:]
+                upper = upper[:, elapsed:]
+            horizon = mean.shape[1]
+            steps = np.arange(horizon)
+            for i, job in enumerate(jobs):
+                train = job.model.train
+                sec = train.frequency.seconds
+                start = train.end + sec + elapsed * sec
+                timestamps = start + steps * float(sec)
+                advisory = predict_breach_arrays(
+                    mean[i], lower[i], upper[i], timestamps, job.entry.threshold
+                )
+                self._finish_grading(job, elapsed, advisory, advisories)
+
+    def _finish_grading(self, job, elapsed, advisory, advisories) -> None:
+        if advisory is None:
+            return
+        self._advisory_memo[job.key] = _CachedAdvisory(
+            job.model, elapsed, job.entry.threshold, advisory
+        )
+        advisories[job.wkey] = advisory
+        self.trace.count("stream_advisories_graded")
 
     def _grade_degraded(
         self, key: StreamKey, threshold: float, now: float
@@ -437,34 +810,48 @@ class ForecastScheduler:
         advisory = predict_breach(forecast, threshold)
         return replace(advisory, degraded="seasonal-naive")
 
-    def _grade_entry(self, entry, now: float) -> BreachPrediction | None:
-        """Grade a live model's *remaining* forecast against its threshold.
+    def _grading_window(self, model, now: float) -> tuple[int | None, int]:
+        """(base horizon, elapsed windows past the model's forecast origin).
 
-        The stored model forecasts from its training end; as the stream
-        advances, the leading steps of that horizon slip into the past.
-        Grading only the still-future part makes advisories evolve
-        between refits — a predicted breach draws nearer step by step,
-        which is what the alerting layer's escalation keys off.
+        ``(None, 0)`` when grading is disabled. ``elapsed`` is capped at
+        one week of windows: weekly expiry guarantees a refit within
+        max_age, so any further slide cannot happen on a healthy stream;
+        the cap keeps per-tick forecast length (and the exog
+        future-matrix allocation) bounded even if grading outlives a
+        model that somehow never refits.
         """
-        outcome = entry.outcome
         base_horizon = (
             self.horizon
             if self.horizon is not None
             else self.window_frequency.split_rule.horizon
         )
         if base_horizon <= 0:
-            return None  # zero lookahead: grading disabled, not defaulted
-        train = outcome.model.train
+            return None, 0
+        train = model.train
         step = float(train.frequency.seconds)
         elapsed = 0
         if math.isfinite(now) and now > train.end:
             elapsed = int(math.floor((now - train.end) / step))
-            # Weekly expiry guarantees a refit within max_age, so any
-            # further slide cannot happen on a healthy stream; the cap
-            # keeps per-tick forecast length (and the exog future-matrix
-            # allocation) bounded even if grading outlives a model that
-            # somehow never refits.
             elapsed = min(elapsed, int(math.ceil(WEEK_SECONDS / step)))
+        return base_horizon, elapsed
+
+    def _grade_entry(self, entry, now: float, model=None) -> BreachPrediction | None:
+        """Grade a live model's *remaining* forecast against its threshold.
+
+        The model forecasts from its training end; as the stream
+        advances, the leading steps of that horizon slip into the past.
+        Grading only the still-future part makes advisories evolve
+        between refits — a predicted breach draws nearer step by step,
+        which is what the alerting layer's escalation keys off. With a
+        rolled ``model`` the origin already sits at the stream head and
+        ``elapsed`` is simply zero.
+        """
+        outcome = entry.outcome
+        if model is None:
+            model = outcome.model
+        base_horizon, elapsed = self._grading_window(model, now)
+        if base_horizon is None:
+            return None
         horizon = base_horizon + elapsed
         kwargs = {}
         if (
@@ -475,7 +862,7 @@ class ForecastScheduler:
             kwargs["exog_future"] = outcome.shock_calendar.future_matrix(horizon)[
                 :, : outcome.best_spec.exog_columns
             ]
-        forecast = outcome.model.forecast(horizon, **kwargs).clipped(0.0)
+        forecast = model.forecast(horizon, **kwargs).clipped(0.0)
         if elapsed > 0:
             forecast = Forecast(
                 mean=forecast.mean[elapsed:],

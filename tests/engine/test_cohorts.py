@@ -1,0 +1,105 @@
+"""Tests for cohort task dispatch on the engine executors."""
+
+import pytest
+
+from repro.engine import PoolExecutor, SerialExecutor
+from repro.engine.executor import CohortSpec
+from repro.exceptions import DataError
+
+
+# Module-level so the process pool can pickle them.
+def _grade(spec):
+    return {"family": spec.family, "rows": len(spec.keys)}
+
+
+def _boom_on_tbats(spec):
+    if spec.family == "tbats":
+        raise ValueError("sick cohort")
+    return len(spec.keys)
+
+
+def _fetch_payload(spec):
+    from repro.engine.executor import resolve_payload
+
+    return (spec.family, resolve_payload(spec.payload))
+
+
+class TestCohortSpec:
+    def test_requires_keys(self):
+        with pytest.raises(DataError):
+            CohortSpec(family="hes", keys=())
+
+    def test_frozen_identity(self):
+        spec = CohortSpec(family="hes", keys=("a", "b"))
+        assert spec.family == "hes"
+        assert spec.keys == ("a", "b")
+        assert spec.payload is None
+
+
+class TestRunCohorts:
+    def test_serial_reports_in_order(self):
+        specs = [
+            CohortSpec(family="hes", keys=("a", "b", "c")),
+            CohortSpec(family="tbats", keys=("d",)),
+        ]
+        ex = SerialExecutor()
+        reports = ex.run_cohorts(_grade, specs)
+        assert [r.value for r in reports] == [
+            {"family": "hes", "rows": 3},
+            {"family": "tbats", "rows": 1},
+        ]
+        assert ex.cohort_counters == {
+            "cohorts_dispatched": 2,
+            "cohort_rows": 4,
+            "cohort_rows_max": 3,
+        }
+
+    def test_rejects_non_cohort_tasks(self):
+        with pytest.raises(DataError):
+            SerialExecutor().run_cohorts(_grade, [("hes", ("a",))])
+
+    def test_failed_cohort_counted_not_raised(self):
+        specs = [
+            CohortSpec(family="hes", keys=("a", "b")),
+            CohortSpec(family="tbats", keys=("c", "d", "e")),
+        ]
+        ex = SerialExecutor()
+        reports = ex.run_cohorts(_boom_on_tbats, specs)
+        assert reports[0].ok and not reports[1].ok
+        assert "sick cohort" in reports[1].error
+        assert ex.cohort_counters["cohorts_dispatched"] == 1
+        assert ex.cohort_counters["cohorts_failed"] == 1
+        # Failed rows are not charged to the rows counters.
+        assert ex.cohort_counters["cohort_rows"] == 2
+
+    def test_counters_accumulate_across_calls(self):
+        ex = SerialExecutor()
+        ex.run_cohorts(_grade, [CohortSpec(family="hes", keys=("a",))])
+        ex.run_cohorts(_grade, [CohortSpec(family="hes", keys=("b", "c"))])
+        assert ex.cohort_counters["cohorts_dispatched"] == 2
+        assert ex.cohort_counters["cohort_rows"] == 3
+        assert ex.cohort_counters["cohort_rows_max"] == 2
+
+    def test_pool_executor(self):
+        ex = PoolExecutor(max_workers=2)
+        try:
+            specs = [
+                CohortSpec(family="hes", keys=tuple("abcd")),
+                CohortSpec(family="arima", keys=("e",)),
+            ]
+            reports = ex.run_cohorts(_grade, specs)
+            assert [r.value["rows"] for r in reports] == [4, 1]
+            assert ex.cohort_counters["cohort_rows_max"] == 4
+        finally:
+            ex.close()
+
+    def test_cohort_payload_rides_broadcast_plane(self):
+        ex = PoolExecutor(max_workers=2)
+        try:
+            ref = ex.broadcast({"theta": [1.0, 2.0]})
+            spec = CohortSpec(family="hes", keys=("a", "b"), payload=ref)
+            reports = ex.run_cohorts(_fetch_payload, [spec])
+            assert reports[0].ok
+            assert reports[0].value == ("hes", {"theta": [1.0, 2.0]})
+        finally:
+            ex.close()

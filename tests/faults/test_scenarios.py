@@ -69,3 +69,34 @@ class TestDeterminism:
         assert doc["survived"] is True
         assert doc["faults"]  # injected lock contention was recorded
         assert "repository_write_retries" in doc["faults"]
+
+
+class TestDispatchParity:
+    """Chaos drills must not care how the scheduler grades its keys.
+
+    Every counter copied into the survival report is dispatch-independent,
+    so running the same scenario under cohort and per-key dispatch has to
+    produce byte-identical reports — faults knock individual keys out of
+    their cohort, never the whole batch.
+    """
+
+    @pytest.mark.parametrize("name", ["nan-burst", "blackout"])
+    def test_cohort_and_per_key_reports_match(self, name):
+        batched = run_scenario(name, seed=11, dispatch="cohort")
+        scalar = run_scenario(name, seed=11, dispatch="per-key")
+        assert batched.survived and scalar.survived
+        assert batched.to_json() == scalar.to_json()
+        assert batched.faults == scalar.faults
+
+    def test_faulted_keys_do_not_sink_the_cohort(self):
+        # nan-burst poisons a slice of samples; under cohort dispatch the
+        # healthy keys must keep grading through the burst.
+        report = run_scenario("nan-burst", seed=11, dispatch="cohort")
+        assert report.survived, report.render()
+        assert report.faults.get("fault_nan_burst_samples", 0) > 0
+        assert report.counters.get("samples_nonfinite", 0) > 0
+        assert report.advisory_ticks > 0
+
+    def test_invalid_dispatch_rejected(self):
+        with pytest.raises(DataError):
+            run_scenario("nan-burst", seed=11, dispatch="simd")

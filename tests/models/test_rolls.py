@@ -1,0 +1,172 @@
+"""Incremental state rolls: ``advance`` moves the forecast origin, no refit.
+
+Every fitted family that supports rolling must satisfy the same algebra:
+advancing through a block of observations in chunks lands on exactly the
+state (and innovation stream) that one big advance produces, the rolled
+train grows by exactly the absorbed values, and the ETS cohort roll is
+bit-identical to rolling each member alone — that last equivalence is
+what lets the scheduler batch same-spec keys without changing a single
+advisory byte.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TimeSeries
+from repro.exceptions import ModelError
+from repro.models import Arima, HoltWinters, Tbats
+from repro.models.ets import advance_cohort, forecast_cohort_arrays
+
+
+def _seasonal(seed, n, period=24):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 100.0 + 0.05 * t + 12.0 * np.sin(2 * np.pi * t / period) + rng.normal(0, 1.5, n)
+
+
+@pytest.fixture(scope="module")
+def hw_fit():
+    y = _seasonal(0, 400)
+    return HoltWinters(period=24).fit(TimeSeries(y[:360])), y[360:]
+
+
+@pytest.fixture(scope="module")
+def tbats_fit():
+    y = _seasonal(1, 480)
+    model = Tbats(periods=[24], max_harmonics=2, try_boxcox=False, maxiter=60)
+    return model.fit(TimeSeries(y[:456])), y[456:]
+
+
+@pytest.fixture(scope="module")
+def arima_fit():
+    rng = np.random.default_rng(2)
+    e = rng.normal(0, 1.0, 400)
+    y = np.empty(400)
+    y[0] = 0.0
+    for t in range(1, 400):
+        y[t] = 0.6 * y[t - 1] + e[t]
+    return Arima((1, 0, 0)).fit(TimeSeries(50.0 + y[:380])), 50.0 + y[380:]
+
+
+def _assert_same_model(a, b):
+    assert repr(a.train) == repr(b.train)
+    assert np.array_equal(a.train.values, b.train.values)
+    assert a.train.end == b.train.end
+    assert a.sigma2 == b.sigma2
+
+
+class TestChunkedEqualsOneShot:
+    def test_ets(self, hw_fit):
+        fit, future = hw_fit
+        one, innov_one = fit.advance(future[:12])
+        two_a, innov_a = fit.advance(future[:5])
+        two, innov_b = two_a.advance(future[5:12])
+        _assert_same_model(one, two)
+        assert one.level == two.level and one.trend == two.trend
+        assert np.array_equal(one.seasonal_state, two.seasonal_state)
+        assert np.array_equal(innov_one, np.concatenate([innov_a, innov_b]))
+        assert repr(one.forecast(24)) == repr(two.forecast(24))
+
+    def test_tbats(self, tbats_fit):
+        fit, future = tbats_fit
+        one, innov_one = fit.advance(future[:12])
+        two_a, innov_a = fit.advance(future[:7])
+        two, innov_b = two_a.advance(future[7:12])
+        _assert_same_model(one, two)
+        assert np.array_equal(innov_one, np.concatenate([innov_a, innov_b]))
+        assert repr(one.forecast(24)) == repr(two.forecast(24))
+
+    def test_arima(self, arima_fit):
+        # ARIMA innovations are block-relative (deviations from the
+        # pre-roll forecast), so only the leading chunk matches the
+        # one-shot stream — but the rolled model and its forecasts must
+        # land on the same origin regardless of chunking.
+        fit, future = arima_fit
+        one, innov_one = fit.advance(future[:10])
+        two_a, innov_a = fit.advance(future[:4])
+        two, innov_b = two_a.advance(future[4:10])
+        _assert_same_model(one, two)
+        assert np.array_equal(innov_one[:4], innov_a)
+        assert innov_b.shape == (6,)
+        assert repr(one.forecast(24)) == repr(two.forecast(24))
+
+
+class TestRollSemantics:
+    def test_train_extends_and_origin_moves(self, hw_fit):
+        fit, future = hw_fit
+        rolled, innov = fit.advance(future[:6])
+        assert len(rolled.train) == len(fit.train) + 6
+        assert np.array_equal(rolled.train.values[-6:], future[:6])
+        step = fit.train.frequency.seconds
+        assert rolled.train.end == fit.train.end + 6 * step
+        assert innov.shape == (6,)
+
+    def test_arima_first_innovation_is_one_step_error(self, arima_fit):
+        fit, future = arima_fit
+        point = fit.forecast(1).mean.values[0]
+        __, innov = fit.advance(future[:1])
+        # Step one is exact (psi_0 = 1): the innovation is the one-step
+        # forecast error in observation units.
+        assert innov[0] == pytest.approx(future[0] - point, rel=1e-9)
+
+    def test_tbats_rejects_nonfinite(self, tbats_fit):
+        fit, __ = tbats_fit
+        with pytest.raises(ModelError):
+            fit.advance(np.array([1.0, np.nan]))
+
+    def test_tbats_boxcox_rejects_nonpositive(self):
+        y = _seasonal(5, 480)
+        model = Tbats(periods=[24], max_harmonics=1, try_boxcox=True, maxiter=40)
+        fit = model.fit(TimeSeries(y[:456]))
+        if fit.boxcox_lambda is None:
+            pytest.skip("fit did not choose a Box-Cox transform")
+        with pytest.raises(ModelError):
+            fit.advance(np.array([-5.0]))
+
+
+class TestEtsCohort:
+    def _members(self, n_keys=4):
+        fits = []
+        futures = []
+        for k in range(n_keys):
+            y = _seasonal(10 + k, 400)
+            fits.append(HoltWinters(period=24).fit(TimeSeries(y[:360])))
+            futures.append(y[360:])
+        return fits, futures
+
+    def test_cohort_roll_matches_per_key(self):
+        fits, futures = self._members()
+        block = np.stack([f[:8] for f in futures])
+        rolled, innov = advance_cohort(fits, block)
+        assert innov.shape == (len(fits), 8)
+        for i, fit in enumerate(fits):
+            solo, solo_innov = fit.advance(block[i])
+            assert np.array_equal(innov[i], solo_innov)
+            _assert_same_model(rolled[i], solo)
+            assert rolled[i].level == solo.level
+            assert rolled[i].trend == solo.trend
+            assert np.array_equal(rolled[i].seasonal_state, solo.seasonal_state)
+            assert repr(rolled[i].forecast(24)) == repr(solo.forecast(24))
+
+    def test_cohort_forecast_matches_per_key(self):
+        fits, __ = self._members()
+        mean, lower, upper = forecast_cohort_arrays(fits, 24)
+        for i, fit in enumerate(fits):
+            fc = fit.forecast(24)
+            assert np.array_equal(mean[i], fc.mean.values)
+            assert np.array_equal(lower[i], fc.lower.values)
+            assert np.array_equal(upper[i], fc.upper.values)
+
+    def test_cohort_of_one_matches_per_key(self):
+        fits, futures = self._members(1)
+        rolled, innov = advance_cohort(fits, futures[0][:4][None, :])
+        solo, solo_innov = fits[0].advance(futures[0][:4])
+        assert np.array_equal(innov[0], solo_innov)
+        _assert_same_model(rolled[0], solo)
+
+    def test_mixed_spec_cohort_rejected(self):
+        y = _seasonal(20, 400)
+        hw = HoltWinters(period=24).fit(TimeSeries(y[:360]))
+        hw12 = HoltWinters(period=12).fit(TimeSeries(y[:360]))
+        with pytest.raises(ModelError):
+            advance_cohort([hw, hw12], np.zeros((2, 4)))
