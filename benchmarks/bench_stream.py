@@ -343,3 +343,132 @@ def test_cohort_tick_scaling():
     if "10000" in results:
         ratio = results["10000"]["ms_per_tick"] / results["1000"]["ms_per_tick"]
         assert ratio < 13.0, f"tick cost scaled {ratio:.1f}x for 10x keys"
+
+
+def test_shard_scaling():
+    """Partitioned serving capacity vs shard count.
+
+    A 10k+-key poll stream is partitioned across N shards by the
+    consistent-hash router and replayed end to end (``mangle=False``:
+    the stream is pre-ordered once so every N sees byte-identical
+    input). Because CI boxes may have a single core, the scaling claim
+    is measured in **CPU seconds per shard** (``time.process_time``
+    inside each :class:`ShardHandler`), not wall clock: the
+    deployment's capacity is bounded by its busiest shard, so
+
+        ingest samples/cpu-s  = accepted_total / max-shard ingest CPU
+        windows/cpu-s         = windows_total  / max-shard tick CPU
+
+    and the acceptance contract is that both rates scale with N —
+    ≥1.6x at two shards, ≥2.5x at four (ring imbalance and the
+    per-shard fixed tick cost eat the rest of the ideal Nx).
+
+    Shards run inline (``processes=False``) — the same ShardHandler
+    code path the worker processes execute, minus two measurement
+    contaminants a 1-CPU box cannot average away: OS timesharing
+    between concurrent workers inflating one shard's cache-miss CPU,
+    and cyclic-GC pauses landing in whichever shard's timer happens to
+    be open. GC is additionally quiesced around the timed region, and
+    each shard count takes the best of two replays.
+    """
+    import gc
+
+    from repro.shard import ShardedRuntime
+
+    n_keys = 10_000 if REDUCED else 40_000
+    slots_per_key = 12  # 3 hours of 15-minute polls
+    shard_counts = (1, 2, 4)
+    repeats = 2
+    config = StreamConfig(batch_polls=8192, seed=11)
+
+    samples = [
+        AgentSample(
+            instance=f"db{k:05d}",
+            metric="cpu",
+            timestamp=i * 900.0,
+            value=50.0 + (k % 7) + 0.1 * i,
+        )
+        for i in range(slots_per_key)
+        for k in range(n_keys)
+    ]
+
+    results = {}
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    gc.freeze()
+    try:
+        for n_shards in shard_counts:
+            best = None
+            for _ in range(repeats):
+                gc.collect()
+                with ShardedRuntime(
+                    n_shards, config=config, processes=False, mangle=False
+                ) as runtime:
+                    runtime.run(samples)
+                    runtime.finish()
+                    stats = runtime.shard_stats()
+                accepted = sum(s["counters"].get("samples_accepted", 0) for s in stats)
+                windows = sum(s["counters"].get("windows_closed", 0) for s in stats)
+                ingest_cpu = max(s["ingest_cpu_seconds"] for s in stats)
+                tick_cpu = max(s["tick_cpu_seconds"] for s in stats)
+                assert accepted == len(samples)
+                assert windows == n_keys * (slots_per_key // 4)
+                if best is None or ingest_cpu + tick_cpu < (
+                    best["max_shard_ingest_cpu_s"] + best["max_shard_tick_cpu_s"]
+                ):
+                    best = {
+                        "accepted": accepted,
+                        "windows": windows,
+                        "max_shard_ingest_cpu_s": ingest_cpu,
+                        "max_shard_tick_cpu_s": tick_cpu,
+                        "ingest_samples_per_cpu_s": accepted / ingest_cpu,
+                        "windows_per_cpu_s": windows / tick_cpu,
+                    }
+            results[str(n_shards)] = best
+    finally:
+        gc.unfreeze()
+        if gc_was_enabled:
+            gc.enable()
+
+    base = results["1"]
+    for entry in results.values():
+        entry["ingest_speedup"] = (
+            entry["ingest_samples_per_cpu_s"] / base["ingest_samples_per_cpu_s"]
+        )
+        entry["windows_speedup"] = entry["windows_per_cpu_s"] / base["windows_per_cpu_s"]
+
+    table = Table(
+        ["Shards", "ingest samples/cpu-s", "windows/cpu-s", "ingest x", "windows x"],
+        title=f"Shard scaling, {n_keys} keys x {slots_per_key} polls",
+    )
+    for n_shards in shard_counts:
+        e = results[str(n_shards)]
+        table.add_row([
+            str(n_shards),
+            f"{e['ingest_samples_per_cpu_s']:.0f}",
+            f"{e['windows_per_cpu_s']:.0f}",
+            f"{e['ingest_speedup']:.2f}x",
+            f"{e['windows_speedup']:.2f}x",
+        ])
+    print()
+    table.print()
+
+    _write_bench_json(
+        "shard_scaling",
+        {
+            "n_keys": n_keys,
+            "slots_per_key": slots_per_key,
+            "shard_counts": list(shard_counts),
+            "reduced": REDUCED,
+            "per_shards": results,
+            "ingest_speedup_2": results["2"]["ingest_speedup"],
+            "windows_speedup_2": results["2"]["windows_speedup"],
+            "ingest_speedup_4": results["4"]["ingest_speedup"],
+            "windows_speedup_4": results["4"]["windows_speedup"],
+        },
+    )
+
+    assert results["2"]["ingest_speedup"] >= 1.6, results["2"]
+    assert results["2"]["windows_speedup"] >= 1.6, results["2"]
+    assert results["4"]["ingest_speedup"] >= 2.5, results["4"]
+    assert results["4"]["windows_speedup"] >= 2.5, results["4"]

@@ -36,6 +36,10 @@ HEADLINES: tuple[tuple[str, str, str], ...] = (
     ("BENCH_stream.json", "scheduler.ms_per_tick", "lower"),
     ("BENCH_stream.json", "cohort_scaling.ms_per_tick_1000", "lower"),
     ("BENCH_stream.json", "cohort_scaling.dispatch_speedup_1000", "higher"),
+    ("BENCH_stream.json", "shard_scaling.ingest_speedup_2", "higher"),
+    ("BENCH_stream.json", "shard_scaling.windows_speedup_2", "higher"),
+    ("BENCH_stream.json", "shard_scaling.ingest_speedup_4", "higher"),
+    ("BENCH_stream.json", "shard_scaling.windows_speedup_4", "higher"),
     ("BENCH_kernels.json", "auto_select_end_to_end.wall_seconds", "lower"),
     ("BENCH_kernels.json", "batched_dispatch.speedup_256", "higher"),
 )

@@ -1,0 +1,103 @@
+"""Pluggable storage backends for the central metrics repository.
+
+The paper stores polls "centrally, in a repository"; at estate scale the
+repository becomes the write bottleneck — one SQLite WAL file serialises
+every shard's ingest. This package splits the storage engine out of
+:class:`~repro.agent.repository.MetricsRepository` behind a small
+:class:`~repro.agent.backends.base.StorageBackend` interface so each
+shard of the sharded runtime (:mod:`repro.shard`) can own its *own*
+partition on whichever engine fits:
+
+* ``sqlite`` — the historical default: zero dependencies, WAL journal,
+  file or in-memory;
+* ``duckdb`` — an optional columnar engine (the ``backends`` extra)
+  whose per-partition files sidestep SQLite's single-writer lock and
+  serve analytical range scans faster.
+
+Backends are selected by URL through
+:meth:`~repro.agent.repository.MetricsRepository.open`::
+
+    MetricsRepository.open("sqlite:///var/lib/repro/shard0.db")
+    MetricsRepository.open("duckdb:///var/lib/repro/shard0.duckdb")
+    MetricsRepository.open(":memory:")          # sqlite, ephemeral
+
+Both backends speak the same ``?``-parameter SQL dialect subset, so the
+repository's query text is shared; the interface only abstracts what
+genuinely differs (transaction brackets, multi-statement scripts,
+delete row counts, transient-error types).
+"""
+
+from __future__ import annotations
+
+from ...exceptions import RepositoryError
+from .base import StorageBackend
+from .sqlite import SqliteBackend
+
+__all__ = [
+    "StorageBackend",
+    "SqliteBackend",
+    "BACKEND_SCHEMES",
+    "open_backend",
+    "parse_repository_url",
+]
+
+#: URL schemes the repository understands, mapped to a factory import.
+BACKEND_SCHEMES = ("sqlite", "duckdb")
+
+
+def parse_repository_url(url: str) -> tuple[str, str]:
+    """Split a repository URL into ``(scheme, path)``.
+
+    Accepted shapes::
+
+        sqlite:///abs/path.db   duckdb:///abs/path.duckdb
+        sqlite://rel/path.db    duckdb://:memory:
+        /plain/path.db          :memory:        (both default to sqlite)
+
+    An empty path (``sqlite://``) means in-memory.
+    """
+    scheme, sep, rest = url.partition("://")
+    if not sep:
+        return "sqlite", url or ":memory:"
+    scheme = scheme.lower()
+    if scheme not in BACKEND_SCHEMES:
+        raise RepositoryError(
+            f"unknown repository backend {scheme!r}; known: {', '.join(BACKEND_SCHEMES)}"
+        )
+    return scheme, rest or ":memory:"
+
+
+def ensure_backend_available(url: str) -> str:
+    """Validate a repository URL without opening a database.
+
+    Returns the scheme. Raises :class:`~repro.exceptions.RepositoryError`
+    for unknown schemes or when the named engine's optional dependency is
+    missing — lets drivers fail fast on configuration errors instead of
+    surfacing them from a worker process mid-boot.
+    """
+    scheme, _ = parse_repository_url(url)
+    if scheme == "duckdb":
+        from importlib.util import find_spec
+
+        if find_spec("duckdb") is None:
+            raise RepositoryError(
+                "duckdb backend requested but duckdb is not installed; "
+                'install the "backends" extra (pip install "repro[backends]")'
+            )
+    return scheme
+
+
+def open_backend(url: str) -> StorageBackend:
+    """Build the storage backend a repository URL names.
+
+    The duckdb backend is imported lazily so the package (and everything
+    that only ever uses sqlite) works without the optional dependency;
+    asking for it without ``duckdb`` installed raises a
+    :class:`~repro.exceptions.RepositoryError` naming the extra.
+    """
+    scheme, path = parse_repository_url(url)
+    if scheme == "sqlite":
+        return SqliteBackend(path)
+    from .duckdb import DuckDBBackend
+
+    return DuckDBBackend(path)

@@ -1,0 +1,84 @@
+"""The storage-backend contract the metrics repository programs against.
+
+The repository keeps all of its SQL — both engines accept the same
+``?``-parameter dialect subset — and delegates to a backend only for the
+operations whose semantics genuinely differ between engines:
+
+* **transaction brackets** — sqlite's ``with conn:`` commits/rolls back,
+  duckdb needs explicit ``BEGIN``/``COMMIT``/``ROLLBACK``;
+* **multi-statement scripts** — sqlite has ``executescript``, duckdb
+  wants one statement per ``execute``;
+* **delete counts** — sqlite cursors report ``rowcount``, duckdb's is
+  unreliable, so deletes that need a count go through
+  :meth:`StorageBackend.delete_returning_count`;
+* **transient errors** — which exception types the write retry policy
+  should treat as retryable lock/contention conditions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+from contextlib import contextmanager
+
+
+class StorageBackend(ABC):
+    """One database connection, abstracted just enough for the repository."""
+
+    #: short engine name ("sqlite", "duckdb") for URLs and telemetry
+    kind: str = "?"
+
+    # -- statements ----------------------------------------------------
+    @abstractmethod
+    def execute(self, sql: str, params: Sequence = ()) -> list[tuple]:
+        """Run one statement and return all rows (empty for writes)."""
+
+    @abstractmethod
+    def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        """Run one parameterised statement across many rows."""
+
+    @abstractmethod
+    def executescript(self, script: str) -> None:
+        """Run a multi-statement DDL script (used once, for the schema)."""
+
+    @abstractmethod
+    def delete_returning_count(self, sql: str, params: Sequence = ()) -> int:
+        """Run a DELETE and return how many rows it removed."""
+
+    # -- transactions --------------------------------------------------
+    @contextmanager
+    def transaction(self):
+        """Commit on clean exit, roll back on exception.
+
+        Every repository write runs inside exactly one of these, so a
+        retried transaction always starts from a clean slate.
+        """
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            self.rollback()
+            raise
+        self.commit()
+
+    @abstractmethod
+    def begin(self) -> None: ...
+
+    @abstractmethod
+    def commit(self) -> None: ...
+
+    @abstractmethod
+    def rollback(self) -> None: ...
+
+    # -- error classification / lifecycle ------------------------------
+    @property
+    @abstractmethod
+    def transient_errors(self) -> tuple[type[BaseException], ...]:
+        """Exception types the write retry policy may retry on."""
+
+    @abstractmethod
+    def locked_error(self) -> BaseException:
+        """The engine's lock-contention error — what fault injection raises."""
+
+    @abstractmethod
+    def close(self) -> None: ...

@@ -1,0 +1,86 @@
+"""DuckDB storage backend — optional columnar engine for shard partitions.
+
+DuckDB accepts the repository's ``?``-parameter SQL verbatim (including
+``INSERT OR REPLACE`` against a ``PRIMARY KEY``), so only the engine
+plumbing differs from sqlite:
+
+* no ``executescript`` — the schema script is split on ``;`` and run
+  statement by statement;
+* ``with conn:`` is not a transaction bracket — transactions are
+  explicit ``BEGIN``/``COMMIT``/``ROLLBACK`` statements;
+* cursor ``rowcount`` is unreliable for DML — deletes that need a count
+  append ``RETURNING 1`` and count the rows;
+* contention surfaces as ``duckdb.IOException`` (file locks) or
+  ``duckdb.TransactionException`` — both retryable.
+
+The import is gated: the package works without duckdb installed (the
+``backends`` extra provides it), and asking for this backend without it
+raises :class:`~repro.exceptions.RepositoryError` naming the extra.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ...exceptions import RepositoryError
+from .base import StorageBackend
+
+try:  # pragma: no cover - exercised only where the extra is installed
+    import duckdb
+except ImportError:  # pragma: no cover
+    duckdb = None
+
+
+class DuckDBBackend(StorageBackend):
+    kind = "duckdb"
+
+    def __init__(self, path: str = ":memory:") -> None:
+        if duckdb is None:
+            raise RepositoryError(
+                "duckdb backend requested but duckdb is not installed; "
+                'install the "backends" extra (pip install "repro[backends]")'
+            )
+        self._conn = duckdb.connect(path)
+        self._in_txn = False
+
+    def execute(self, sql: str, params: Sequence = ()) -> list[tuple]:
+        return self._conn.execute(sql, list(params)).fetchall()
+
+    def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        rows = [list(row) for row in rows]
+        if rows:
+            self._conn.executemany(sql, rows)
+
+    def executescript(self, script: str) -> None:
+        for statement in script.split(";"):
+            if statement.strip():
+                self._conn.execute(statement)
+
+    def delete_returning_count(self, sql: str, params: Sequence = ()) -> int:
+        return len(self._conn.execute(sql + " RETURNING 1", list(params)).fetchall())
+
+    def begin(self) -> None:
+        self._conn.execute("BEGIN TRANSACTION")
+        self._in_txn = True
+
+    def commit(self) -> None:
+        if self._in_txn:
+            self._conn.execute("COMMIT")
+            self._in_txn = False
+
+    def rollback(self) -> None:
+        if self._in_txn:
+            self._conn.execute("ROLLBACK")
+            self._in_txn = False
+
+    @property
+    def transient_errors(self) -> tuple[type[BaseException], ...]:
+        return (duckdb.IOException, duckdb.TransactionException)
+
+    def locked_error(self) -> BaseException:
+        """DuckDB's file-lock contention error — what injection simulates."""
+        return duckdb.IOException("database is locked")
+
+    def close(self) -> None:
+        self.commit()
+        self._conn.close()

@@ -1,0 +1,61 @@
+"""SQLite storage backend — the historical default, zero dependencies.
+
+Preserves the repository's original engine behaviour exactly: WAL journal
+on file stores so the streaming writer and concurrent readers coexist,
+``sqlite3.OperationalError`` ("database is locked") as the retryable
+contention signal, and implicit-transaction writes bracketed by
+``with conn:``.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterable, Sequence
+
+from .base import StorageBackend
+
+
+class SqliteBackend(StorageBackend):
+    kind = "sqlite"
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        # WAL lets the streaming writer (agent pushes) and concurrent
+        # readers (scheduler seeding, CLI inspect) coexist on a file
+        # store; in-memory databases silently keep the default journal.
+        self._conn.execute("PRAGMA journal_mode=WAL")
+
+    def execute(self, sql: str, params: Sequence = ()) -> list[tuple]:
+        return self._conn.execute(sql, params).fetchall()
+
+    def executemany(self, sql: str, rows: Iterable[Sequence]) -> None:
+        self._conn.executemany(sql, rows)
+
+    def executescript(self, script: str) -> None:
+        self._conn.executescript(script)
+
+    def delete_returning_count(self, sql: str, params: Sequence = ()) -> int:
+        return self._conn.execute(sql, params).rowcount
+
+    def begin(self) -> None:
+        # sqlite3 opens its implicit transaction on the first write
+        # statement; nothing to do here.
+        pass
+
+    def commit(self) -> None:
+        self._conn.commit()
+
+    def rollback(self) -> None:
+        self._conn.rollback()
+
+    @property
+    def transient_errors(self) -> tuple[type[BaseException], ...]:
+        return (sqlite3.OperationalError,)
+
+    def locked_error(self) -> BaseException:
+        """The exact error a second writer provokes — what injection simulates."""
+        return sqlite3.OperationalError("database is locked")
+
+    def close(self) -> None:
+        self._conn.commit()
+        self._conn.close()

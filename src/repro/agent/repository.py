@@ -3,9 +3,10 @@
 "The values from the metrics are then stored, centrally, in a repository
 where they are aggregated into hourly values" (Section 5.1); the winning
 model per metric is also "stored in a central repository and used for a
-period of one week". This module implements both stores on SQLite (file or
-in-memory), which matches the paper's central-repository role without any
-external service:
+period of one week". This module implements both stores on a pluggable
+storage engine (:mod:`repro.agent.backends` — SQLite by default, DuckDB
+optionally), which matches the paper's central-repository role without
+any external service:
 
 * ``samples`` — raw agent polls keyed by (instance, metric, timestamp);
 * ``models`` — selected model metadata: label, spec, baseline RMSE,
@@ -17,20 +18,26 @@ data-preparation path of Figure 4.
 
 Writes are resilient by default: SQLite under WAL still throws
 ``sqlite3.OperationalError: database is locked`` when a second writer
-holds the file, and the store used to surface that immediately — losing
-the agent's push. Every write transaction now runs under a
-:class:`~repro.faults.retry.RetryPolicy` (bounded, budget-capped backoff,
-no :func:`time.sleep` — see :mod:`repro.faults.retry`); only when the
-policy is exhausted does the error surface, converted to
-:class:`~repro.exceptions.RepositoryError`. The ``repository.write`` hook
-point lets the fault plane inject exactly that lock contention.
+holds the file (DuckDB throws its own lock errors), and the store used to
+surface that immediately — losing the agent's push. Every write
+transaction now runs under a :class:`~repro.faults.retry.RetryPolicy`
+(bounded, budget-capped backoff, no :func:`time.sleep` — see
+:mod:`repro.faults.retry`); only when the policy is exhausted does the
+error surface, converted to :class:`~repro.exceptions.RepositoryError`.
+The ``repository.write`` hook point lets the fault plane inject exactly
+that lock contention.
+
+Under the sharded runtime (:mod:`repro.shard`) each shard worker opens
+its *own* repository partition via :meth:`MetricsRepository.open`, so N
+shards never contend on one WAL file.
 """
 
 from __future__ import annotations
 
 import json
-import sqlite3
+import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..core.frequency import Frequency
 from ..core.timeseries import TimeSeries
@@ -38,13 +45,13 @@ from ..exceptions import RepositoryError
 from ..faults.plan import FaultInjector
 from ..faults.retry import RetryPolicy, RetryRunner
 from .agent import AgentSample
+from .backends import StorageBackend, open_backend
+from .backends.sqlite import SqliteBackend
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..stream.aggregate import ClosedWindow
 
 __all__ = ["MetricsRepository", "StoredModelRecord"]
-
-
-def _locked_error() -> sqlite3.OperationalError:
-    """The exact error a second writer provokes — what injection simulates."""
-    return sqlite3.OperationalError("database is locked")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS samples (
@@ -79,30 +86,37 @@ class StoredModelRecord:
 
 
 class MetricsRepository:
-    """SQLite-backed store for raw polls and selected models.
+    """Backend-agnostic store for raw polls and selected models.
 
     Use as a context manager or call :meth:`close` explicitly::
 
-        with MetricsRepository() as repo:           # in-memory
+        with MetricsRepository() as repo:           # in-memory sqlite
             repo.ingest(samples)
             series = repo.load_series("cdbm011", "cpu", Frequency.HOURLY)
+
+    or pick the engine by URL::
+
+        MetricsRepository.open("duckdb:///var/lib/repro/shard0.duckdb")
 
     Parameters
     ----------
     path:
         SQLite file path, or ``":memory:"`` (default) for an ephemeral
-        store.
+        store. Ignored when ``backend`` is given.
     retry:
         Backoff policy for write transactions that hit a transient
-        ``sqlite3.OperationalError`` (lock contention). ``None`` uses the
-        default :class:`~repro.faults.retry.RetryPolicy` — retry is *on*
-        by default; pass ``RetryPolicy(max_attempts=1)`` to restore the
+        engine error (lock contention). ``None`` uses the default
+        :class:`~repro.faults.retry.RetryPolicy` — retry is *on* by
+        default; pass ``RetryPolicy(max_attempts=1)`` to restore the
         historical fail-fast behaviour.
     injector:
         Optional fault injector driving the ``repository.write`` hook
         point (injected lock contention for chaos runs).
     clock:
         Optional stream-layer clock backoff waits are applied to.
+    backend:
+        An already-constructed :class:`~repro.agent.backends.StorageBackend`
+        to adopt instead of opening sqlite at ``path``.
     """
 
     def __init__(
@@ -111,13 +125,10 @@ class MetricsRepository:
         retry: RetryPolicy | None = None,
         injector: FaultInjector | None = None,
         clock=None,
+        backend: StorageBackend | None = None,
     ) -> None:
-        self._conn = sqlite3.connect(path)
-        # WAL lets the streaming writer (agent pushes) and concurrent
-        # readers (scheduler seeding, CLI inspect) coexist on a file
-        # store; in-memory databases silently keep the default journal.
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.executescript(_SCHEMA)
+        self._backend = backend if backend is not None else SqliteBackend(path)
+        self._backend.executescript(_SCHEMA)
         self._closed = False
         self._injector = injector
         self._writes = RetryRunner(
@@ -125,6 +136,32 @@ class MetricsRepository:
             clock=clock,
             name="repository_write",
         )
+
+    @classmethod
+    def open(
+        cls,
+        url: str,
+        retry: RetryPolicy | None = None,
+        injector: FaultInjector | None = None,
+        clock=None,
+    ) -> "MetricsRepository":
+        """Open a repository on the engine a URL names.
+
+        ``sqlite://path``, ``duckdb://path``, a plain path, or
+        ``":memory:"`` (sqlite). See :mod:`repro.agent.backends`.
+        """
+        return cls(retry=retry, injector=injector, clock=clock, backend=open_backend(url))
+
+    @property
+    def backend(self) -> str:
+        """The storage engine name ("sqlite" or "duckdb")."""
+        return self._backend.kind
+
+    @property
+    def _conn(self):
+        # Escape hatch for tests and PRAGMA-level introspection; the
+        # repository itself only talks through the backend interface.
+        return self._backend._conn
 
     @property
     def fault_counters(self) -> dict[str, int]:
@@ -135,18 +172,21 @@ class MetricsRepository:
         """Run one write transaction under the lock-retry policy.
 
         Each attempt first fires the ``repository.write`` hook (which may
-        inject a lock error), then runs ``txn``. SQLite rolls the
-        transaction back on failure, so a retried ``txn`` starts clean.
-        Exhausted retries surface as :class:`RepositoryError`.
+        inject a lock error), then runs ``txn`` inside one backend
+        transaction, so a retried ``txn`` starts clean. Exhausted retries
+        surface as :class:`RepositoryError`.
         """
+        transient = self._backend.transient_errors
+
         def attempt():
             if self._injector is not None and self._injector.active:
-                self._injector.check_call("repository.write", _locked_error)
-            return txn()
+                self._injector.check_call("repository.write", self._backend.locked_error)
+            with self._backend.transaction():
+                return txn()
 
         try:
-            return self._writes.call(attempt, retry_on=(sqlite3.OperationalError,))
-        except sqlite3.OperationalError as exc:
+            return self._writes.call(attempt, retry_on=transient)
+        except transient as exc:
             raise RepositoryError(f"write failed after retries: {exc}") from exc
 
     # ------------------------------------------------------------------
@@ -154,8 +194,7 @@ class MetricsRepository:
     # ------------------------------------------------------------------
     def close(self) -> None:
         if not self._closed:
-            self._conn.commit()
-            self._conn.close()
+            self._backend.close()
             self._closed = True
 
     def __enter__(self) -> "MetricsRepository":
@@ -177,12 +216,41 @@ class MetricsRepository:
         rows = [(s.instance, s.metric, s.timestamp, s.value) for s in samples]
 
         def txn():
-            with self._conn:
-                self._conn.executemany(
-                    "INSERT OR REPLACE INTO samples (instance, metric, timestamp, value) "
-                    "VALUES (?, ?, ?, ?)",
-                    rows,
-                )
+            self._backend.executemany(
+                "INSERT OR REPLACE INTO samples (instance, metric, timestamp, value) "
+                "VALUES (?, ?, ?, ?)",
+                rows,
+            )
+
+        self._write(txn)
+        return len(rows)
+
+    def store_windows(self, windows: "list[ClosedWindow]") -> int:
+        """Persist closed hourly windows as samples, one transaction.
+
+        The streaming scheduler calls this once per flush with *every*
+        window the tick closed — a single ``executemany`` transaction
+        instead of a write per key, which matters once sharding
+        multiplies the flush fan-out. Windows whose value is NaN (a
+        fully-missed hour) are skipped: the gap is re-derived on read by
+        :meth:`load_series` grid-snapping, and a NaN would violate the
+        column's NOT NULL contract.
+        """
+        self._check_open()
+        rows = [
+            (w.instance, w.metric, w.start, float(w.value))
+            for w in windows
+            if math.isfinite(w.value)
+        ]
+        if not rows:
+            return 0
+
+        def txn():
+            self._backend.executemany(
+                "INSERT OR REPLACE INTO samples (instance, metric, timestamp, value) "
+                "VALUES (?, ?, ?, ?)",
+                rows,
+            )
 
         self._write(txn)
         return len(rows)
@@ -190,25 +258,27 @@ class MetricsRepository:
     def instances(self) -> list[str]:
         """Distinct instance names with stored samples."""
         self._check_open()
-        cur = self._conn.execute("SELECT DISTINCT instance FROM samples ORDER BY instance")
-        return [row[0] for row in cur.fetchall()]
+        rows = self._backend.execute(
+            "SELECT DISTINCT instance FROM samples ORDER BY instance"
+        )
+        return [row[0] for row in rows]
 
     def metrics(self, instance: str) -> list[str]:
         """Distinct metric names stored for an instance."""
         self._check_open()
-        cur = self._conn.execute(
+        rows = self._backend.execute(
             "SELECT DISTINCT metric FROM samples WHERE instance = ? ORDER BY metric",
             (instance,),
         )
-        return [row[0] for row in cur.fetchall()]
+        return [row[0] for row in rows]
 
     def sample_count(self, instance: str, metric: str) -> int:
         self._check_open()
-        cur = self._conn.execute(
+        rows = self._backend.execute(
             "SELECT COUNT(*) FROM samples WHERE instance = ? AND metric = ?",
             (instance, metric),
         )
-        return int(cur.fetchone()[0])
+        return int(rows[0][0])
 
     @staticmethod
     def _infer_raw_frequency(timestamps: list[float]) -> Frequency:
@@ -228,12 +298,11 @@ class MetricsRepository:
         history up to here, then accept live pushes from here on.
         """
         self._check_open()
-        cur = self._conn.execute(
+        rows = self._backend.execute(
             "SELECT MAX(timestamp) FROM samples WHERE instance = ? AND metric = ?",
             (instance, metric),
         )
-        row = cur.fetchone()
-        return float(row[0]) if row and row[0] is not None else None
+        return float(rows[0][0]) if rows and rows[0][0] is not None else None
 
     def load_series(
         self,
@@ -271,8 +340,7 @@ class MetricsRepository:
         if end is not None:
             query += " AND timestamp <= ?"
             params.append(float(end))
-        cur = self._conn.execute(query + " ORDER BY timestamp", params)
-        rows = cur.fetchall()
+        rows = self._backend.execute(query + " ORDER BY timestamp", params)
         if not rows:
             window = "" if start is None and end is None else f" in [{start}, {end}]"
             raise RepositoryError(f"no samples stored for {instance}/{metric}{window}")
@@ -302,31 +370,56 @@ class MetricsRepository:
         rmse: float,
     ) -> None:
         """Record the selected model for an (instance, metric) pair."""
+        self.store_models(
+            [
+                StoredModelRecord(
+                    instance=instance,
+                    metric=metric,
+                    fitted_at=fitted_at,
+                    label=label,
+                    spec=spec,
+                    rmse=rmse,
+                )
+            ]
+        )
+
+    def store_models(self, records: list[StoredModelRecord]) -> int:
+        """Record many selected models in one ``executemany`` transaction.
+
+        The streaming scheduler batches every selection a tick produced
+        through one call, so a 10k-key estate refresh costs one
+        transaction, not 10k.
+        """
         self._check_open()
+        rows = [
+            (r.instance, r.metric, r.fitted_at, r.label, json.dumps(r.spec), float(r.rmse))
+            for r in records
+        ]
+        if not rows:
+            return 0
 
         def txn():
-            with self._conn:
-                self._conn.execute(
-                    "INSERT OR REPLACE INTO models "
-                    "(instance, metric, fitted_at, label, spec_json, rmse) "
-                    "VALUES (?, ?, ?, ?, ?, ?)",
-                    (instance, metric, fitted_at, label, json.dumps(spec), float(rmse)),
-                )
+            self._backend.executemany(
+                "INSERT OR REPLACE INTO models "
+                "(instance, metric, fitted_at, label, spec_json, rmse) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                rows,
+            )
 
         self._write(txn)
+        return len(rows)
 
     def load_model(self, instance: str, metric: str) -> StoredModelRecord | None:
         """Fetch the stored model record, or None when nothing is stored."""
         self._check_open()
-        cur = self._conn.execute(
+        rows = self._backend.execute(
             "SELECT fitted_at, label, spec_json, rmse FROM models "
             "WHERE instance = ? AND metric = ?",
             (instance, metric),
         )
-        row = cur.fetchone()
-        if row is None:
+        if not rows:
             return None
-        fitted_at, label, spec_json, rmse_val = row
+        fitted_at, label, spec_json, rmse_val = rows[0]
         return StoredModelRecord(
             instance=instance,
             metric=metric,
@@ -341,10 +434,9 @@ class MetricsRepository:
         self._check_open()
 
         def txn():
-            with self._conn:
-                cur = self._conn.execute(
-                    "DELETE FROM models WHERE fitted_at < ?", (cutoff,)
-                )
-            return cur.rowcount
+            return self._backend.delete_returning_count(
+                "DELETE FROM models WHERE fitted_at < ?", (cutoff,)
+            )
 
         return self._write(txn)
+

@@ -279,23 +279,61 @@ def _cmd_stream(args, parser) -> int:
     if not samples:
         parser.error(f"no samples for metrics {metrics}")
 
-    planner = EstatePlanner(
-        config=AutoConfig(technique=args.technique, n_jobs=1, racing=args.racing),
-        cache=SelectionCache(),
-    )
-    runtime = StreamRuntime(
-        planner=planner,
-        config=StreamConfig(
-            thresholds=thresholds,
-            min_observations=args.min_observations,
-            seed=args.seed,
-        ),
-        executor=default_executor(args.jobs),
-        sink=ConsoleSink(),
+    stream_config = StreamConfig(
+        thresholds=thresholds,
+        min_observations=args.min_observations,
+        seed=args.seed,
     )
     print(
         f"streaming {len(samples)} polls from experiment {args.experiment} "
         f"({len(run.instances)} instances, metrics: {', '.join(metrics)})"
+    )
+
+    if args.shards > 0:
+        from .shard import ShardedRuntime
+
+        repo_url = f"{args.repo_backend}://" if args.repo_backend else None
+        with ShardedRuntime(
+            args.shards,
+            config=stream_config,
+            technique=args.technique,
+            racing=args.racing,
+            repo_url=repo_url,
+        ) as sharded:
+            ticks = sharded.run(samples)
+            final = sharded.finish()
+            for tick in (*ticks, final):
+                for event in tick.refits:
+                    print(
+                        f"  model refit: {event.key} ({event.reason}) "
+                        f"at t={event.at:.0f}s"
+                    )
+            for event in sharded.events:
+                print(f"  {event.describe()}")
+            for line in sharded.summary_lines():
+                print(line)
+            for line in _data_plane_lines(sharded.telemetry()):
+                print(f"  {line}")
+            advisories = final.advisories or (ticks[-1].advisories if ticks else {})
+            for key in advisories:
+                print(f"  {key}: {advisories[key].describe()}")
+        return 0
+
+    planner = EstatePlanner(
+        config=AutoConfig(technique=args.technique, n_jobs=1, racing=args.racing),
+        cache=SelectionCache(),
+    )
+    repository = None
+    if args.repo_backend:
+        from .agent import MetricsRepository
+
+        repository = MetricsRepository.open(f"{args.repo_backend}://")
+    runtime = StreamRuntime(
+        planner=planner,
+        config=stream_config,
+        executor=default_executor(args.jobs),
+        sink=ConsoleSink(),
+        repository=repository,
     )
     ticks = runtime.run(samples)
     final = runtime.finish()
@@ -325,8 +363,15 @@ def _cmd_chaos(args, parser) -> int:
             f"unknown scenario {args.scenario!r}; available: "
             + ", ".join(sorted(SCENARIOS))
         )
+    if args.shards > 0:
+        print(f"sharded: {args.shards} worker processes, backend={args.repo_backend}")
     report = run_scenario(
-        args.scenario, seed=args.seed, jobs=args.jobs, days=args.days
+        args.scenario,
+        seed=args.seed,
+        jobs=args.jobs,
+        days=args.days,
+        shards=args.shards,
+        repo_backend=args.repo_backend,
     )
     print(report.render())
     if args.out:
@@ -437,6 +482,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_str.add_argument(
         "--faulty-agent", action="store_true", help="inject agent polling faults"
     )
+    p_str.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition keys across N shard worker processes (0 = single process)",
+    )
+    p_str.add_argument(
+        "--repo-backend",
+        choices=["sqlite", "duckdb"],
+        default=None,
+        help="persist closed windows and models to an in-memory repository "
+        "partition per shard using this storage engine",
+    )
     p_str.set_defaults(func=_cmd_stream)
 
     p_chaos = sub.add_parser(
@@ -451,6 +509,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--days", type=float, default=None, help="simulated days (default: scenario)"
     )
     p_chaos.add_argument("--out", help="write the survival report as JSON here")
+    p_chaos.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="run the stream on N shard worker processes (0 = single process)",
+    )
+    p_chaos.add_argument(
+        "--repo-backend",
+        choices=["sqlite", "duckdb"],
+        default="sqlite",
+        help="central repository storage engine",
+    )
     p_chaos.set_defaults(func=_cmd_chaos)
 
     return parser

@@ -244,6 +244,9 @@ def run_scenario(
     jobs: int = 1,
     days: float | None = None,
     dispatch: str = "cohort",
+    shards: int = 0,
+    repo_backend: str = "sqlite",
+    shard_processes: bool = True,
 ) -> SurvivalReport:
     """Run one named scenario end to end and grade its survival.
 
@@ -257,6 +260,22 @@ def run_scenario(
     ``_REPORT_COUNTERS`` are copied in, and every one of them is
     dispatch-independent, which is exactly what the chaos parity suite
     asserts.
+
+    ``shards > 0`` runs the streaming half on a
+    :class:`~repro.shard.runtime.ShardedRuntime` instead: the agent and
+    the central repository stay at the driver under the driver's
+    injector, while each shard worker rebuilds its own injector and
+    executor from the scenario's ``(rules, seed)``. Because the fault
+    plan's RNG streams are independent per ``(seed, site)``, the
+    driver-consumed sites (``agent.poll`` / ``agent.sample`` /
+    ``repository.write``) and the worker-consumed sites
+    (``ingest.deliver`` / ``executor.submit``) draw exactly the
+    sequences the single-process run would have drawn — so a sharded
+    report at N=1 is byte-identical to the unsharded one, and fault
+    totals stay comparable at any N. ``jobs`` is ignored under sharding
+    (the workers are the parallelism; each runs a serial executor).
+    ``repo_backend`` picks the central repository's storage engine
+    (``sqlite`` or ``duckdb``) in either mode.
     """
     # Leaf-layer imports: this module is reached lazily from the package
     # root precisely because these pull in the agent/stream/service stack.
@@ -282,33 +301,53 @@ def run_scenario(
         min_obs = min(min_obs, 72)
 
     injector = FaultInjector(FaultPlan(rules=scenario.rules, seed=seed))
-    policy = ExecutionPolicy(
-        task_retries=scenario.task_retries,
-        retry_timed_out=scenario.retry_timed_out,
+    stream_config = StreamConfig(
+        thresholds=dict(scenario.thresholds),
+        min_observations=min_obs,
+        seed=seed,
+        dispatch=dispatch,
     )
-    if jobs > 1:
-        executor = PoolExecutor(max_workers=jobs, policy=policy, injector=injector)
+
+    executor = None
+    runtime = None
+    sharded = None
+    if shards > 0:
+        from ..shard import ShardedRuntime
+
+        sharded = ShardedRuntime(
+            shards,
+            config=stream_config,
+            technique="hes",
+            n_jobs=1,
+            processes=shard_processes,
+            fault_rules=scenario.rules,
+            fault_seed=seed,
+            task_retries=scenario.task_retries,
+            retry_timed_out=scenario.retry_timed_out,
+        )
     else:
-        executor = SerialExecutor(policy=policy, injector=injector)
+        policy = ExecutionPolicy(
+            task_retries=scenario.task_retries,
+            retry_timed_out=scenario.retry_timed_out,
+        )
+        if jobs > 1:
+            executor = PoolExecutor(max_workers=jobs, policy=policy, injector=injector)
+        else:
+            executor = SerialExecutor(policy=policy, injector=injector)
+        planner = EstatePlanner(
+            config=AutoConfig(technique="hes", n_jobs=1),
+            cache=SelectionCache(),
+        )
+        runtime = StreamRuntime(
+            planner=planner,
+            config=stream_config,
+            executor=executor,
+            injector=injector,
+        )
 
     notes: list[str] = []
     agent = MonitoringAgent(seed=seed, injector=injector)
-    repository = MetricsRepository(injector=injector)
-    planner = EstatePlanner(
-        config=AutoConfig(technique="hes", n_jobs=1),
-        cache=SelectionCache(),
-    )
-    runtime = StreamRuntime(
-        planner=planner,
-        config=StreamConfig(
-            thresholds=dict(scenario.thresholds),
-            min_observations=min_obs,
-            seed=seed,
-            dispatch=dispatch,
-        ),
-        executor=executor,
-        injector=injector,
-    )
+    repository = MetricsRepository.open(f"{repo_backend}://", injector=injector)
 
     completed = False
     all_ticks = []
@@ -325,13 +364,14 @@ def run_scenario(
             repository.ingest(samples)
         except Exception as exc:
             notes.append(f"repository ingest gave up: {exc}")
-        all_ticks = runtime.run(samples)
-        all_ticks.append(runtime.finish())
+        driver = sharded if sharded is not None else runtime
+        all_ticks = driver.run(samples)
+        all_ticks.append(driver.finish())
         completed = True
     except Exception as exc:
         notes.append(f"runtime crashed: {type(exc).__name__}: {exc}")
     finally:
-        if jobs > 1:
+        if jobs > 1 and executor is not None:
             executor.close()
 
     advisory_ticks = sum(1 for t in all_ticks if t.advisories)
@@ -348,7 +388,22 @@ def run_scenario(
     )
     survived = completed and continuous
 
-    trace = runtime.telemetry()
+    if sharded is not None:
+        try:
+            trace = sharded.telemetry()
+        except Exception as exc:
+            from ..engine.telemetry import RunTrace
+
+            trace = RunTrace()
+            notes.append(f"shard telemetry unavailable: {type(exc).__name__}: {exc}")
+        # The driver's injector (agent + repository sites) is not wired
+        # into any runtime, so its injected-fault counts are folded in
+        # here; the workers' injectors already arrived via shard
+        # telemetry. At N=1 the union equals the single-process totals.
+        trace.absorb_faults(injector.counters)
+        sharded.close()
+    else:
+        trace = runtime.telemetry()
     trace.absorb_faults(agent.fault_counters)
     trace.absorb_faults(repository.fault_counters)
     counters = {

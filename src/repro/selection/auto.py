@@ -147,6 +147,24 @@ class SelectionOutcome:
         bits.append(f"{self.n_evaluated} candidates)")
         return " ".join(bits)
 
+    def spec_payload(self) -> dict:
+        """The JSON-serialisable spec the repository stores for this winner.
+
+        SARIMAX winners persist their full candidate spec (so
+        ``restore_model`` can rebuild without a grid search); spec-less
+        techniques (HES, TBATS) persist only the technique name — cheap
+        enough to re-select on restart.
+        """
+        if self.best_spec is None:
+            return {"technique": self.technique}
+        return {
+            "order": list(self.best_spec.order),
+            "seasonal": list(self.best_spec.seasonal or ()),
+            "exog_columns": self.best_spec.exog_columns,
+            "fourier_periods": list(self.best_spec.fourier_periods),
+            "fourier_orders": list(self.best_spec.fourier_orders),
+        }
+
 
 def _candidate_periods(series: TimeSeries, config: AutoConfig) -> list[int]:
     freq = series.frequency

@@ -332,6 +332,17 @@ class EstatePlanner:
         except KeyError:
             raise DataError(f"unknown workload {key}") from None
 
+    def forget(self, key: WorkloadKey) -> bool:
+        """Drop a workload from the estate (shard rebalance migration).
+
+        Removes the live entry and invalidates its selection-cache slot;
+        returns ``False`` when the key was never registered. The workload
+        re-registers from scratch wherever it lands next.
+        """
+        removed = self._entries.pop(key, None) is not None
+        self.cache.invalidate(key)
+        return removed
+
     # ------------------------------------------------------------------
     def report(self, executor: Executor | None = None) -> EstateReport:
         """Process every pending workload and build the fleet report.

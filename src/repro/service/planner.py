@@ -131,17 +131,7 @@ class CapacityPlanner:
             metric=metric,
             fitted_at=outcome.model.train.end,
             label=outcome.model.label(),
-            spec=(
-                {
-                    "order": list(outcome.best_spec.order),
-                    "seasonal": list(outcome.best_spec.seasonal or ()),
-                    "exog_columns": outcome.best_spec.exog_columns,
-                    "fourier_periods": list(outcome.best_spec.fourier_periods),
-                    "fourier_orders": list(outcome.best_spec.fourier_orders),
-                }
-                if outcome.best_spec is not None
-                else {"technique": outcome.technique}
-            ),
+            spec=outcome.spec_payload(),
             rmse=outcome.test_rmse,
         )
         return outcome

@@ -1,0 +1,41 @@
+"""Sharded estate runtime: consistent-hash partitioning across workers.
+
+The paper's setting is an estate of *thousands* of database instances,
+yet one :class:`~repro.stream.runtime.StreamRuntime` serves every
+(instance, metric) key from a single process — one ingest bus, one
+scheduler sweep, one sqlite WAL file — so ingest and window-close cost
+grow linearly with key count. ARIMA_PLUS and tspDB (PAPERS.md) both make
+the same argument: forecasting at estate scale only works when the
+serving plane is partitioned and pushed to where the data lives. This
+package is that partitioning:
+
+* :mod:`~repro.shard.ring` — a consistent-hash ring with virtual nodes:
+  stable key→shard assignment where resizing N→N+1 moves ~1/(N+1) of
+  keys instead of reshuffling everything;
+* :mod:`~repro.shard.worker` — one shard's whole serving slice: a
+  :class:`~repro.stream.runtime.StreamRuntime` (bus + aggregator +
+  cohort scheduler + alerts) plus its *own* repository partition,
+  executor and fault injector, driveable inline or as a
+  ``multiprocessing`` worker over SPSC queues;
+* :mod:`~repro.shard.runtime` — the thin control plane:
+  :class:`~repro.shard.runtime.ShardedRuntime` applies the delivery
+  model once, fans batched envelopes out per shard, keeps every shard's
+  clock on the same global chunk targets, merges advisories/alerts
+  deterministically (N=1 output is byte-identical to the single-process
+  runtime) and rebalances keys on shard add/remove.
+"""
+
+from .ring import HashRing
+from .router import ShardRouter
+from .runtime import MergedTick, ShardedRuntime
+from .worker import ShardHandler, ShardPlan, ShardTick
+
+__all__ = [
+    "HashRing",
+    "MergedTick",
+    "ShardHandler",
+    "ShardPlan",
+    "ShardRouter",
+    "ShardTick",
+    "ShardedRuntime",
+]

@@ -1,0 +1,76 @@
+"""Key registration and ingest fan-out over the consistent-hash ring.
+
+The router is the control plane's only per-sample code path, so it is
+deliberately tiny: one dict lookup per sample (the ring's hash + bisect
+runs once per *key*, then the placement is memoised), appending into
+per-shard lists. The memo doubles as the key registry — the set of every
+key this deployment has ever routed — which rebalancing walks to compute
+exactly which keys move when the ring resizes.
+"""
+
+from __future__ import annotations
+
+from ..agent.agent import AgentSample
+from .ring import HashRing
+
+__all__ = ["ShardRouter"]
+
+
+class ShardRouter:
+    """Memoised key→shard placement plus batch partitioning."""
+
+    def __init__(self, n_shards: int, vnodes: int = 64) -> None:
+        self.ring = HashRing(n_shards, vnodes=vnodes)
+        self._placement: dict[tuple[str, str], int] = {}
+
+    @property
+    def n_shards(self) -> int:
+        return self.ring.n_shards
+
+    def shard_for(self, instance: str, metric: str) -> int:
+        """The shard owning a key (memoised; registers the key)."""
+        key = (instance, metric)
+        shard = self._placement.get(key)
+        if shard is None:
+            shard = self._placement[key] = self.ring.shard_for(instance, metric)
+        return shard
+
+    def known_keys(self) -> list[tuple[str, str]]:
+        """Every key ever routed, sorted."""
+        return sorted(self._placement)
+
+    def partition(self, samples: list[AgentSample]) -> list[list[AgentSample]]:
+        """Split one delivery-ordered chunk into per-shard sub-chunks.
+
+        Relative sample order is preserved within each shard, so each
+        shard sees exactly the arrival order the single-process bus
+        would have seen for its keys.
+        """
+        parts: list[list[AgentSample]] = [[] for _ in range(self.n_shards)]
+        placement = self._placement
+        ring_lookup = self.ring.shard_for
+        for sample in samples:
+            key = (sample.instance, sample.metric)
+            shard = placement.get(key)
+            if shard is None:
+                shard = placement[key] = ring_lookup(sample.instance, sample.metric)
+            parts[shard].append(sample)
+        return parts
+
+    def rebuild(self, n_shards: int) -> dict[tuple[str, str], tuple[int, int]]:
+        """Resize the ring; returns ``{moved key: (old shard, new shard)}``.
+
+        Every registered key is re-placed on the new ring and the memo
+        updated in place; only keys whose owner changed are returned —
+        the migration worklist for
+        :meth:`~repro.shard.runtime.ShardedRuntime.rebalance`.
+        """
+        new_ring = self.ring.resized(n_shards)
+        moved: dict[tuple[str, str], tuple[int, int]] = {}
+        for key, old in self._placement.items():
+            new = new_ring.shard_for(*key)
+            if new != old:
+                moved[key] = (old, new)
+            self._placement[key] = new
+        self.ring = new_ring
+        return moved

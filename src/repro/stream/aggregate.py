@@ -212,6 +212,46 @@ class WindowAggregator:
                 self._count("samples_discarded_at_flush", len(leftover))
         return closed
 
+    def evict(self, instance: str, metric: str) -> None:
+        """Drop a key's finalisation state (shard rebalance migration).
+
+        The bus buffer is evicted too; the key restarts with a fresh grid
+        anchor wherever its samples land next. Counters keep their
+        historical totals.
+        """
+        self._keys.pop((instance, metric), None)
+        self.bus.evict(instance, metric)
+
+    def export_state(self, instance: str, metric: str) -> dict | None:
+        """A key's finalisation state as a picklable dict, or ``None``.
+
+        Shard rebalance migration: the grid anchor and closed-window
+        count must travel with the key, or the receiving shard would
+        re-anchor on whatever buffered sample arrives first and emit
+        windows that break hourly continuity with the migrated history.
+        """
+        state = self._keys.get((instance, metric))
+        if state is None:
+            return None
+        return {
+            "anchor_slot": state.anchor_slot,
+            "closed": state.closed,
+            "trimmed": state.trimmed,
+            "values": list(state.values),
+        }
+
+    def adopt_state(self, instance: str, metric: str, state: dict) -> None:
+        """Install a migrated key's finalisation state (see ``export_state``)."""
+        key: StreamKey = (instance, metric)
+        if key in self._keys:
+            raise DataError(f"window state already present for {instance}/{metric}")
+        self._keys[key] = _KeyWindows(
+            anchor_slot=state["anchor_slot"],
+            closed=state["closed"],
+            trimmed=state["trimmed"],
+            values=[float(v) for v in state["values"]],
+        )
+
     # ------------------------------------------------------------------
     # Reading back
     # ------------------------------------------------------------------

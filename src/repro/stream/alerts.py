@@ -162,6 +162,15 @@ class AlertManager:
         self._count(f"alerts_{event.kind.value}")
         return event
 
+    def evict(self, key: WorkloadKey) -> None:
+        """Drop a key's debounce state (shard rebalance migration).
+
+        No RECOVERED event is emitted — the alert is not resolving, its
+        key is moving shards; the receiving shard rebuilds streaks from
+        its own first observation.
+        """
+        self._states.pop(key, None)
+
     def active_alerts(self) -> dict[WorkloadKey, BreachSeverity]:
         """Currently raised alerts by key."""
         return {

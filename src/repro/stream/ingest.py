@@ -224,6 +224,58 @@ class IngestBus:
             return -math.inf
         return buffer.max_slot * self.step - self.allowed_lateness
 
+    def evict(self, instance: str, metric: str) -> int:
+        """Drop a key's buffer entirely (shard rebalance migration).
+
+        Returns how many buffered samples were released. A later push for
+        the key starts a fresh buffer — watermark, frontier and dedup
+        ledger reset — exactly as if the key had never been seen here.
+        """
+        buffer = self._buffers.pop((instance, metric), None)
+        if buffer is None:
+            return 0
+        released = len(buffer.slots)
+        self._buffered -= released
+        return released
+
+    def export_buffer(self, instance: str, metric: str) -> dict | None:
+        """A key's raw buffer state as a plain picklable dict, or ``None``.
+
+        The sending half of shard rebalance migration: the still-open
+        slots, grid extremes and finalisation frontier travel to the
+        key's new shard so no buffered sample is lost and the watermark
+        discipline resumes exactly where it left off.
+        """
+        buffer = self._buffers.get((instance, metric))
+        if buffer is None:
+            return None
+        return {
+            "slots": dict(buffer.slots),
+            "min_slot": buffer.min_slot,
+            "max_slot": buffer.max_slot,
+            "frontier_slot": buffer.frontier_slot,
+        }
+
+    def adopt_buffer(self, instance: str, metric: str, state: dict) -> None:
+        """Install a migrated buffer (the receiving half of ``export_buffer``).
+
+        Migration is admission-free: the adopted slots bypass the
+        capacity check (they were already admitted on the source shard),
+        so a rebalance can transiently overshoot ``capacity`` rather
+        than drop accepted data.
+        """
+        key: StreamKey = (instance, metric)
+        if key in self._buffers:
+            raise DataError(f"buffer already present for {instance}/{metric}")
+        buffer = KeyBuffer(
+            slots={int(s): float(v) for s, v in state["slots"].items()},
+            min_slot=state["min_slot"],
+            max_slot=state["max_slot"],
+            frontier_slot=state["frontier_slot"],
+        )
+        self._buffers[key] = buffer
+        self._buffered += len(buffer.slots)
+
     def consume(
         self, key: StreamKey, upto_slot: int, from_slot: int | None = None
     ) -> dict[int, float]:

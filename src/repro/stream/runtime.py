@@ -24,6 +24,7 @@ import numpy as np
 
 from ..agent.agent import AgentSample
 from ..core.frequency import Frequency
+from ..core.timeseries import TimeSeries
 from ..engine.executor import Executor
 from ..engine.telemetry import RunTrace
 from ..exceptions import DataError
@@ -34,7 +35,89 @@ from .clock import ManualClock
 from .ingest import IngestBus
 from .scheduler import ForecastScheduler, SchedulerTick
 
-__all__ = ["StreamConfig", "StreamRuntime"]
+__all__ = ["StreamConfig", "StreamRuntime", "mangle_delivery", "stream_summary_lines"]
+
+
+def mangle_delivery(
+    samples: list[AgentSample],
+    rng: np.random.Generator,
+    jitter_seconds: float,
+    duplicate_rate: float,
+) -> list[AgentSample]:
+    """Deterministically mangle a poll stream the way networks do.
+
+    Each sample arrives at ``event time + U(0, jitter_seconds)`` —
+    bounded reordering — and ``duplicate_rate`` of samples are delivered
+    twice (the second copy a little later), modelling agent retries. The
+    draw order is fixed (one jitter draw plus one duplicate draw per
+    sample), so a given RNG state always produces the same arrival
+    order. Shared between :class:`StreamRuntime` and the sharded
+    control plane (:mod:`repro.shard`), which applies the delivery model
+    *once* at the router — before partitioning — so N shards replay the
+    exact arrival order one process would have seen.
+    """
+    if not samples:
+        return []
+    arrivals: list[tuple[float, int, AgentSample]] = []
+    for i, sample in enumerate(samples):
+        delay = float(rng.uniform(0.0, jitter_seconds))
+        arrivals.append((float(sample.timestamp) + delay, i, sample))
+        if rng.random() < duplicate_rate:
+            redelay = float(rng.uniform(0.0, 2.0 * jitter_seconds))
+            arrivals.append((float(sample.timestamp) + delay + redelay, i, sample))
+    arrivals.sort(key=lambda item: (item[0], item[1]))
+    return [sample for _, _, sample in arrivals]
+
+
+def stream_summary_lines(
+    bus: dict[str, int],
+    agg: dict[str, int],
+    sched: dict[str, int],
+    alerts: dict[str, int],
+    active_alerts: int,
+    faults: dict[str, int] | None = None,
+) -> list[str]:
+    """The CLI's live-telemetry block, from raw counter dicts.
+
+    Shared by :meth:`StreamRuntime.summary_lines` and the sharded
+    runtime's merged fan-in, so ``--shards N`` renders the same four
+    lines (plus the optional faults line) from summed shard counters.
+    """
+    lines = [
+        "ingest: {} accepted ({} duplicate, {} late-dropped, {} out-of-order, "
+        "{} backpressure)".format(
+            bus.get("samples_accepted", 0),
+            bus.get("samples_duplicate", 0),
+            bus.get("samples_late_dropped", 0),
+            bus.get("samples_out_of_order", 0),
+            bus.get("samples_rejected_backpressure", 0),
+        ),
+        "windows: {} closed ({} empty, {} partial) from {} samples".format(
+            agg.get("windows_closed", 0),
+            agg.get("windows_empty", 0),
+            agg.get("windows_partial", 0),
+            agg.get("samples_aggregated", 0),
+        ),
+        "models: {} selection runs — {} cache hits, {} misses, {} refits, "
+        "{} initial, {} rolls".format(
+            sched.get("stream_selection_runs", 0),
+            sched.get("selection_cache_hits", 0),
+            sched.get("selection_cache_misses", 0),
+            sched.get("stream_refits_triggered", 0),
+            sched.get("stream_initial_selections", 0),
+            sched.get("stream_rolls_applied", 0),
+        ),
+        "alerts: {} raised, {} escalated, {} recovered ({} active)".format(
+            alerts.get("alerts_raised", 0),
+            alerts.get("alerts_escalated", 0),
+            alerts.get("alerts_recovered", 0),
+            active_alerts,
+        ),
+    ]
+    if faults:
+        detail = " ".join(f"{k}={v}" for k, v in sorted(faults.items()))
+        lines.append(f"faults: {detail}")
+    return lines
 
 
 @dataclass(frozen=True)
@@ -111,6 +194,11 @@ class StreamRuntime:
         injector to the agent, repository and executor to chaos-test the
         whole deployment under one plan (that is what
         :mod:`repro.faults.scenarios` does).
+    repository:
+        Optional :class:`~repro.agent.repository.MetricsRepository` the
+        scheduler persists closed windows and selected models into,
+        batched one transaction per flush (see
+        :class:`~repro.stream.scheduler.ForecastScheduler`).
     """
 
     def __init__(
@@ -121,6 +209,7 @@ class StreamRuntime:
         sink: AlertSink | None = None,
         clock: ManualClock | None = None,
         injector=None,
+        repository=None,
     ) -> None:
         self.config = config or StreamConfig()
         self.clock = clock if clock is not None else ManualClock()
@@ -145,6 +234,7 @@ class StreamRuntime:
             history_cap=self.config.history_cap,
             trace=self.trace,
             dispatch=self.config.dispatch,
+            repository=repository,
         )
         self.alerts = AlertManager(
             sink=sink,
@@ -172,18 +262,9 @@ class StreamRuntime:
         a fresh runtime is deterministic while successive calls on the
         same runtime (chunked feeds) see independent delivery noise.
         """
-        if not samples:
-            return []
-        rng = self._rng
-        arrivals: list[tuple[float, int, AgentSample]] = []
-        for i, sample in enumerate(samples):
-            delay = float(rng.uniform(0.0, self.config.jitter_seconds))
-            arrivals.append((float(sample.timestamp) + delay, i, sample))
-            if rng.random() < self.config.duplicate_rate:
-                redelay = float(rng.uniform(0.0, 2.0 * self.config.jitter_seconds))
-                arrivals.append((float(sample.timestamp) + delay + redelay, i, sample))
-        arrivals.sort(key=lambda item: (item[0], item[1]))
-        return [sample for _, _, sample in arrivals]
+        return mangle_delivery(
+            samples, self._rng, self.config.jitter_seconds, self.config.duplicate_rate
+        )
 
     # ------------------------------------------------------------------
     # Driving
@@ -197,6 +278,27 @@ class StreamRuntime:
                 self.events.append(event)
         self.ticks += 1
         return tick
+
+    def ingest_batch(
+        self, chunk: list[AgentSample], clock_target: float | None = None
+    ) -> SchedulerTick:
+        """One loop iteration on an *already delivery-ordered* chunk.
+
+        Pushes the chunk onto the bus, advances the clock (to the chunk's
+        newest event timestamp, or an explicit ``clock_target`` — the
+        sharded control plane passes the *global* chunk maximum so every
+        shard's clock agrees), closes whatever windows the watermarks
+        allow and ticks the scheduler. An empty chunk still ticks: under
+        sharding every shard must tick every global chunk so alert
+        debounce streaks count ticks identically to one process.
+        """
+        if chunk:
+            self.bus.push_many(chunk)
+            if clock_target is None:
+                clock_target = max(s.timestamp for s in chunk)
+        if clock_target is not None:
+            self.clock.advance_to(clock_target)
+        return self._tick(self.aggregator.advance())
 
     def run(self, samples: list[AgentSample]) -> list[SchedulerTick]:
         """Replay a poll stream through the whole loop, batch by batch.
@@ -213,10 +315,7 @@ class StreamRuntime:
         batch = max(1, int(self.config.batch_polls))
         ticks: list[SchedulerTick] = []
         for lo in range(0, len(stream), batch):
-            chunk = stream[lo : lo + batch]
-            self.bus.push_many(chunk)
-            self.clock.advance_to(max(s.timestamp for s in chunk))
-            ticks.append(self._tick(self.aggregator.advance()))
+            ticks.append(self.ingest_batch(stream[lo : lo + batch]))
         return ticks
 
     def finish(self) -> SchedulerTick:
@@ -270,43 +369,69 @@ class StreamRuntime:
 
     def summary_lines(self) -> list[str]:
         """The CLI's live-telemetry block."""
-        bus = self.bus.counters
-        agg = self.aggregator.counters
-        al = self.alerts.counters
-        sched = self.trace.counters
-        lines = [
-            "ingest: {} accepted ({} duplicate, {} late-dropped, {} out-of-order, "
-            "{} backpressure)".format(
-                bus.get("samples_accepted", 0),
-                bus.get("samples_duplicate", 0),
-                bus.get("samples_late_dropped", 0),
-                bus.get("samples_out_of_order", 0),
-                bus.get("samples_rejected_backpressure", 0),
-            ),
-            "windows: {} closed ({} empty, {} partial) from {} samples".format(
-                agg.get("windows_closed", 0),
-                agg.get("windows_empty", 0),
-                agg.get("windows_partial", 0),
-                agg.get("samples_aggregated", 0),
-            ),
-            "models: {} selection runs — {} cache hits, {} misses, {} refits, "
-            "{} initial, {} rolls".format(
-                sched.get("stream_selection_runs", 0),
-                sched.get("selection_cache_hits", 0),
-                sched.get("selection_cache_misses", 0),
-                sched.get("stream_refits_triggered", 0),
-                sched.get("stream_initial_selections", 0),
-                sched.get("stream_rolls_applied", 0),
-            ),
-            "alerts: {} raised, {} escalated, {} recovered ({} active)".format(
-                al.get("alerts_raised", 0),
-                al.get("alerts_escalated", 0),
-                al.get("alerts_recovered", 0),
-                len(self.alerts.active_alerts()),
-            ),
-        ]
-        faults = self.telemetry().faults
-        if faults:
-            detail = " ".join(f"{k}={v}" for k, v in sorted(faults.items()))
-            lines.append(f"faults: {detail}")
-        return lines
+        return stream_summary_lines(
+            self.bus.counters,
+            self.aggregator.counters,
+            self.trace.counters,
+            self.alerts.counters,
+            len(self.alerts.active_alerts()),
+            self.telemetry().faults,
+        )
+
+    # ------------------------------------------------------------------
+    # Shard rebalance migration
+    # ------------------------------------------------------------------
+    def export_key(self, instance: str, metric: str) -> dict | None:
+        """Package one key's migratable streaming state, picklable.
+
+        Three layers travel together — the bus's still-open raw buffer,
+        the aggregator's grid anchor / closed-window count, and the
+        scheduler's hourly history — because each alone is useless: a
+        history without the window state breaks hourly continuity on the
+        next close, and a buffer without its frontier re-admits already
+        finalised hours. Models, fallbacks and alert streaks stay behind
+        by design (the key re-registers on its new shard with an
+        ``initial`` re-selection, which hits the selection cache when
+        the series is unchanged). Returns ``None`` for a key with no
+        state here.
+        """
+        series = self.scheduler.export_history(instance, metric)
+        buffer = self.bus.export_buffer(instance, metric)
+        windows = self.aggregator.export_state(instance, metric)
+        if series is None and buffer is None and windows is None:
+            return None
+        history = None
+        if series is not None:
+            history = (float(series.start), [float(v) for v in series.values])
+        return {"history": history, "buffer": buffer, "windows": windows}
+
+    def adopt_key(self, instance: str, metric: str, state: dict) -> None:
+        """Install a migrated key's state (the receiving half of export)."""
+        if state.get("buffer") is not None:
+            self.bus.adopt_buffer(instance, metric, state["buffer"])
+        if state.get("windows") is not None:
+            self.aggregator.adopt_state(instance, metric, state["windows"])
+        history = state.get("history")
+        if history is not None:
+            start, values = history
+            self.scheduler.seed_history(
+                instance,
+                metric,
+                TimeSeries(
+                    values=np.asarray(values, dtype=float),
+                    frequency=self.scheduler.window_frequency,
+                    start=start,
+                    name=f"{instance}.{metric}",
+                ),
+            )
+
+    def evict_key(self, instance: str, metric: str) -> None:
+        """Forget one (instance, metric) key across every layer.
+
+        Bus buffer, aggregator state, scheduler history/models and alert
+        debounce state all go; the key's samples re-enter wherever the
+        shard router sends them next, starting clean.
+        """
+        self.aggregator.evict(instance, metric)  # evicts the bus buffer too
+        self.scheduler.evict_key(instance, metric)
+        self.alerts.evict(self.scheduler.workload_key(instance, metric))

@@ -267,6 +267,17 @@ class ForecastScheduler:
         keys in one batched kernel call per tick; ``"per-key"`` forces
         the scalar path. Both produce bit-identical advisories — the
         knob exists for A/B verification and fault isolation.
+    repository:
+        Optional :class:`~repro.agent.repository.MetricsRepository` the
+        scheduler persists into as it goes: every tick's closed windows
+        land in one ``executemany`` transaction
+        (:meth:`~repro.agent.repository.MetricsRepository.store_windows`)
+        and every selection run's winners in another
+        (:meth:`~repro.agent.repository.MetricsRepository.store_models`)
+        — one transaction per flush, not one per key, so persistence
+        cost does not multiply with estate size. Persistence failures
+        degrade (counted as ``repository_flush_failures`` faults), they
+        never stop the tick.
     """
 
     def __init__(
@@ -282,6 +293,7 @@ class ForecastScheduler:
         window_frequency: Frequency = Frequency.HOURLY,
         trace: RunTrace | None = None,
         dispatch: str = "cohort",
+        repository=None,
     ) -> None:
         if min_observations is None:
             min_observations = window_frequency.split_rule.observations
@@ -302,6 +314,7 @@ class ForecastScheduler:
         self.window_frequency = window_frequency
         self.trace = trace if trace is not None else RunTrace()
         self.dispatch = dispatch
+        self.repository = repository
         self._histories: dict[StreamKey, _KeyHistory] = {}
         self._registered: set[StreamKey] = set()
         self._event_time = -math.inf
@@ -403,6 +416,9 @@ class ForecastScheduler:
             self._event_time = max(self._event_time, window.start + step)
             self.trace.count("stream_windows_observed")
 
+        if windows and self.repository is not None:
+            self._persist_windows(windows)
+
         now = self._now()
         rolled = self._advance_live(fresh)
         pending = False
@@ -460,6 +476,31 @@ class ForecastScheduler:
             if len(state) >= self.min_observations:
                 self._register(key)
         return self._run_selection()
+
+    # ------------------------------------------------------------------
+    # Shard rebalance migration
+    # ------------------------------------------------------------------
+    def export_history(self, instance: str, metric: str) -> TimeSeries | None:
+        """A key's hourly history for handoff, or ``None`` when empty."""
+        state = self._histories.get((instance, metric))
+        if state is None or not len(state):
+            return None
+        return state.series(self.window_frequency, f"{instance}.{metric}")
+
+    def evict_key(self, instance: str, metric: str) -> None:
+        """Forget one key entirely (it moved to another shard).
+
+        Drops the streamed history, roll chain, fallback model, advisory
+        memo and the planner entry. The receiving shard re-seeds from the
+        exported history and re-registers on its next window.
+        """
+        key: StreamKey = (instance, metric)
+        self._histories.pop(key, None)
+        self._registered.discard(key)
+        self._live.pop(key, None)
+        self._fallback.pop(key, None)
+        self._advisory_memo.pop(key, None)
+        self.planner.forget(self.workload_key(instance, metric))
 
     # ------------------------------------------------------------------
     # Incremental state rolls
@@ -639,7 +680,46 @@ class ForecastScheduler:
                 if counter in report.trace.counters:
                     self.trace.count(counter, report.trace.counters[counter])
         self.trace.count("stream_selection_runs")
+        if self.repository is not None:
+            self._persist_models(report)
         return report
+
+    # ------------------------------------------------------------------
+    # Batched repository persistence
+    # ------------------------------------------------------------------
+    def _persist_windows(self, windows: list[ClosedWindow]) -> None:
+        """Flush one tick's closed windows in a single transaction."""
+        try:
+            written = self.repository.store_windows(windows)
+        except Exception:
+            self.trace.fault("repository_flush_failures")
+        else:
+            self.trace.count("repository_windows_persisted", written)
+
+    def _persist_models(self, report: EstateReport) -> None:
+        """Flush one selection run's winners in a single transaction."""
+        from ..agent.repository import StoredModelRecord
+
+        records = [
+            StoredModelRecord(
+                instance=entry.key.workload,
+                metric=entry.key.metric,
+                fitted_at=float(entry.outcome.model.train.end),
+                label=entry.outcome.model.label(),
+                spec=entry.outcome.spec_payload(),
+                rmse=float(entry.outcome.test_rmse),
+            )
+            for entry in report.modelled
+            if entry.outcome is not None
+        ]
+        if not records:
+            return
+        try:
+            written = self.repository.store_models(records)
+        except Exception:
+            self.trace.fault("repository_flush_failures")
+        else:
+            self.trace.count("repository_models_persisted", written)
 
     # ------------------------------------------------------------------
     # Advisory grading

@@ -1,0 +1,167 @@
+"""Repository storage backends: URL parsing, sqlite behaviour, duckdb parity.
+
+The duckdb tests skip cleanly when the engine is not installed (it ships
+via the optional ``backends`` extra); the parity assertions are
+bit-identical — both engines must return the exact same floats from
+``load_series`` and ``latest_timestamp`` for the same ingested polls.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agent import AgentSample, MetricsRepository
+from repro.agent.backends import (
+    ensure_backend_available,
+    open_backend,
+    parse_repository_url,
+)
+from repro.agent.backends.sqlite import SqliteBackend
+from repro.core import Frequency
+from repro.exceptions import RepositoryError
+
+
+def polls(n, instance="db1", metric="cpu", step=900.0):
+    return [
+        AgentSample(
+            instance=instance,
+            metric=metric,
+            timestamp=i * step,
+            value=float(40 + 10 * np.sin(i / 3)),
+        )
+        for i in range(n)
+    ]
+
+
+class TestUrlParsing:
+    @pytest.mark.parametrize(
+        "url,expected",
+        [
+            ("sqlite:///tmp/x.db", ("sqlite", "/tmp/x.db")),
+            ("sqlite://", ("sqlite", ":memory:")),
+            ("duckdb://part0.db", ("duckdb", "part0.db")),
+            ("duckdb://", ("duckdb", ":memory:")),
+            ("/plain/path.db", ("sqlite", "/plain/path.db")),
+            (":memory:", ("sqlite", ":memory:")),
+        ],
+    )
+    def test_parse(self, url, expected):
+        assert parse_repository_url(url) == expected
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(RepositoryError, match="postgres"):
+            parse_repository_url("postgres://db")
+
+    def test_open_backend_sqlite(self):
+        backend = open_backend("sqlite://")
+        assert backend.kind == "sqlite"
+        backend.close()
+
+    def test_ensure_backend_available(self, tmp_path):
+        # validation must not create the database file
+        path = tmp_path / "probe.db"
+        assert ensure_backend_available(f"sqlite://{path}") == "sqlite"
+        assert not path.exists()
+        with pytest.raises(RepositoryError, match="postgres"):
+            ensure_backend_available("postgres://db")
+
+    def test_sharded_runtime_fails_fast_on_missing_engine(self):
+        try:
+            import duckdb  # noqa: F401
+        except ImportError:
+            from repro.shard import ShardedRuntime
+
+            with pytest.raises(RepositoryError, match="backends"):
+                ShardedRuntime(2, repo_url="duckdb://part{shard}.db")
+        else:
+            pytest.skip("duckdb installed; absence path not testable")
+
+
+class TestSqliteBackend:
+    def test_repository_default_is_sqlite(self):
+        repo = MetricsRepository()
+        assert repo.backend == "sqlite"
+
+    def test_open_url_roundtrip(self, tmp_path):
+        path = tmp_path / "metrics.db"
+        repo = MetricsRepository.open(f"sqlite://{path}")
+        repo.ingest(polls(96))
+        series = repo.load_series("db1", "cpu", frequency=Frequency.HOURLY)
+        repo.close()
+        again = MetricsRepository.open(str(path))
+        reread = again.load_series("db1", "cpu", frequency=Frequency.HOURLY)
+        np.testing.assert_array_equal(series.values, reread.values)
+        again.close()
+
+    def test_transaction_rolls_back_on_error(self):
+        backend = SqliteBackend(":memory:")
+        backend.executescript("CREATE TABLE t (x INTEGER)")
+        with pytest.raises(ValueError):
+            with backend.transaction():
+                backend.execute("INSERT INTO t VALUES (1)")
+                raise ValueError("boom")
+        assert backend.execute("SELECT COUNT(*) FROM t") == [(0,)]
+        backend.close()
+
+
+class TestDuckdbParity:
+    """Bit-identical reads across engines (skipped without duckdb)."""
+
+    @pytest.fixture
+    def pair(self):
+        pytest.importorskip("duckdb")
+        sqlite_repo = MetricsRepository.open("sqlite://")
+        duck_repo = MetricsRepository.open("duckdb://")
+        yield sqlite_repo, duck_repo
+        sqlite_repo.close()
+        duck_repo.close()
+
+    def test_backend_kind(self, pair):
+        _, duck = pair
+        assert duck.backend == "duckdb"
+
+    def test_load_series_bit_identical(self, pair):
+        sqlite_repo, duck_repo = pair
+        samples = polls(7 * 96) + polls(7 * 96, metric="iops")
+        sqlite_repo.ingest(samples)
+        duck_repo.ingest(samples)
+        for metric in ("cpu", "iops"):
+            for freq in (Frequency.MINUTE_15, Frequency.HOURLY, Frequency.DAILY):
+                a = sqlite_repo.load_series("db1", metric, frequency=freq)
+                b = duck_repo.load_series("db1", metric, frequency=freq)
+                assert a.start == b.start
+                np.testing.assert_array_equal(a.values, b.values)
+
+    def test_latest_timestamp_bit_identical(self, pair):
+        sqlite_repo, duck_repo = pair
+        samples = polls(50)
+        sqlite_repo.ingest(samples)
+        duck_repo.ingest(samples)
+        assert sqlite_repo.latest_timestamp("db1", "cpu") == duck_repo.latest_timestamp(
+            "db1", "cpu"
+        )
+
+    def test_model_roundtrip_parity(self, pair):
+        sqlite_repo, duck_repo = pair
+        for repo in pair:
+            repo.store_model(
+                "db1",
+                "cpu",
+                fitted_at=3600.0,
+                label="hes",
+                spec={"technique": "hes"},
+                rmse=1.25,
+            )
+        a = sqlite_repo.load_model("db1", "cpu")
+        b = duck_repo.load_model("db1", "cpu")
+        assert a == b
+
+
+class TestMissingDuckdb:
+    def test_clear_error_when_engine_absent(self):
+        try:
+            import duckdb  # noqa: F401
+        except ImportError:
+            with pytest.raises(RepositoryError, match="backends"):
+                MetricsRepository.open("duckdb://")
+        else:
+            pytest.skip("duckdb installed; absence path not testable")

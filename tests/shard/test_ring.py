@@ -1,0 +1,125 @@
+"""Consistent-hash ring: stability, balance and rebalance economy."""
+
+import math
+import subprocess
+import sys
+
+import pytest
+
+from repro.exceptions import DataError
+from repro.shard import HashRing, ShardRouter
+
+
+def keys(n):
+    return [(f"db{i:05d}", metric) for i in range(n // 2) for metric in ("cpu", "iops")]
+
+
+class TestPlacement:
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert {ring.shard_for(i, m) for i, m in keys(200)} == {0}
+
+    def test_placement_is_deterministic(self):
+        a, b = HashRing(5), HashRing(5)
+        for i, m in keys(500):
+            assert a.shard_for(i, m) == b.shard_for(i, m)
+
+    def test_placement_is_stable_across_processes(self):
+        """blake2b placement must not depend on PYTHONHASHSEED — the
+        control plane and its workers compute placements independently."""
+        sample = keys(40)
+        script = (
+            "from repro.shard import HashRing\n"
+            "ring = HashRing(4)\n"
+            f"print([ring.shard_for(i, m) for i, m in {sample!r}])\n"
+        )
+        outs = set()
+        for hashseed in ("1", "2"):
+            import os
+
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={
+                    **os.environ,
+                    "PYTHONPATH": os.pathsep.join(sys.path),
+                    "PYTHONHASHSEED": hashseed,
+                },
+                check=True,
+            )
+            outs.add(proc.stdout.strip())
+        local = HashRing(4)
+        assert outs == {str([local.shard_for(i, m) for i, m in sample])}
+
+    def test_all_shards_receive_load(self):
+        ring = HashRing(8)
+        owners = {ring.shard_for(i, m) for i, m in keys(2000)}
+        assert owners == set(range(8))
+
+    def test_load_split_is_roughly_balanced(self):
+        ring = HashRing(4)
+        counts = [0, 0, 0, 0]
+        for i, m in keys(4000):
+            counts[ring.shard_for(i, m)] += 1
+        assert max(counts) / min(counts) < 2.0
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            HashRing(0)
+        with pytest.raises(DataError):
+            HashRing(2, vnodes=0)
+
+
+class TestRebalanceStability:
+    @pytest.mark.parametrize("n_from,n_to", [(1, 2), (2, 3), (3, 4), (4, 5)])
+    def test_grow_moves_about_one_nth(self, n_from, n_to):
+        """Adding the (N+1)-th shard moves ~K/(N+1) keys, never a reshuffle."""
+        sample = keys(3000)
+        old, new = HashRing(n_from), HashRing(n_to)
+        moved = sum(1 for i, m in sample if old.shard_for(i, m) != new.shard_for(i, m))
+        expected = len(sample) / n_to
+        # generous slack for vnode variance; a mod-N remap would move
+        # (N-1)/N of all keys and blow straight through this bound
+        assert moved <= math.ceil(expected * 1.5)
+        assert moved > 0
+
+    def test_survivor_placements_never_change_on_grow(self):
+        """A key that stays put keeps its exact shard — grow only steals."""
+        sample = keys(2000)
+        old, new = HashRing(3), HashRing(4)
+        for i, m in sample:
+            if new.shard_for(i, m) != 3:
+                assert new.shard_for(i, m) == old.shard_for(i, m)
+
+
+class TestRouter:
+    def test_partition_preserves_per_shard_order(self):
+        from repro.agent.agent import AgentSample
+
+        router = ShardRouter(3)
+        samples = [
+            AgentSample(instance=f"db{i % 7}", metric="cpu", timestamp=float(i), value=1.0)
+            for i in range(100)
+        ]
+        parts = router.partition(samples)
+        assert sum(len(p) for p in parts) == len(samples)
+        for shard, part in enumerate(parts):
+            assert [s.timestamp for s in part] == sorted(s.timestamp for s in part)
+            for s in part:
+                assert router.shard_for(s.instance, s.metric) == shard
+
+    def test_rebuild_returns_only_moved_keys(self):
+        router = ShardRouter(2)
+        for i, m in keys(400):
+            router.shard_for(i, m)
+        before = {k: router.shard_for(*k) for k in router.known_keys()}
+        moved = router.rebuild(3)
+        for key, (old, new) in moved.items():
+            assert before[key] == old
+            assert router.shard_for(*key) == new
+            assert old != new
+        for key in router.known_keys():
+            if key not in moved:
+                assert router.shard_for(*key) == before[key]
+        assert 0 < len(moved) <= math.ceil(len(before) / 3 * 1.5)
