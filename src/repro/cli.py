@@ -15,8 +15,11 @@ the monitoring agent into a SQLite repository; ``inspect`` prints the
 Figure 4 characterisation (stationarity, seasonality, shocks, faults);
 ``forecast`` runs the self-selection pipeline and renders a Figure 8-style
 panel; ``advise`` produces the estate report across every stored metric;
-``chaos`` runs a named fault-injection scenario (``repro chaos --list``)
-against the synthetic estate and prints a deterministic survival report.
+``plan`` turns those forecasts into a one-shot estate provisioning plan
+(catalog blueprints scored against the forecast bands, joined by a
+deterministic beam search); ``chaos`` runs a named fault-injection
+scenario (``repro chaos --list``) against the synthetic estate and
+prints a deterministic survival report.
 
 Metric series can also be read from / written to plain CSV
 (``timestamp,value`` rows) with ``--csv`` for integration with anything.
@@ -263,6 +266,64 @@ def _cmd_advise(args, parser) -> int:
     return 0 if not report.failed else 1
 
 
+def _cmd_plan(args, parser) -> int:
+    from .planner import DEFAULT_CATALOG, demands_from_entries, plan_estate, tier_named
+    from .shard.ring import HashRing
+
+    thresholds = _parse_thresholds(args.threshold, parser)
+    if not thresholds:
+        parser.error("at least one --threshold METRIC=VALUE is required")
+    tier = tier_named(args.tier, DEFAULT_CATALOG) if args.tier else DEFAULT_CATALOG[0]
+
+    # Forecasting fans out per shard exactly as the serving plane would
+    # partition it; per-key selection is deterministic and
+    # partition-independent, and demands are merged sorted, so the plan
+    # bytes are identical for every --shards value.
+    shards = max(1, args.shards)
+    ring = HashRing(shards)
+    executor = default_executor(args.jobs)
+    planners = [
+        EstatePlanner(
+            config=AutoConfig(technique=args.technique, n_jobs=1, racing=args.racing),
+            executor=executor,
+        )
+        for _ in range(shards)
+    ]
+    registered = 0
+    with MetricsRepository(args.db) as repo:
+        for instance in repo.instances():
+            for metric in repo.metrics(instance):
+                if metric not in thresholds:
+                    continue
+                series = repo.load_series(instance, metric)
+                planners[ring.shard_for(instance, metric)].register(
+                    customer=args.customer,
+                    workload=instance,
+                    metric=metric,
+                    series=series,
+                    threshold=thresholds[metric],
+                )
+                registered += 1
+    if not registered:
+        parser.error(f"no stored series match thresholds {sorted(thresholds)}")
+    entries = []
+    for planner in planners:
+        if planner.size:
+            entries.extend(planner.report().modelled)
+    demands = demands_from_entries(entries, tier)
+    if not demands:
+        print("no modelled workloads to plan (selection failed everywhere)")
+        return 1
+    plan = plan_estate(demands, beam_width=args.beam_width, seed=args.seed)
+    for line in plan.describe_lines():
+        print(line)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(plan.to_json() + "\n")
+        print(f"estate plan → {args.out}")
+    return 0
+
+
 def _cmd_stream(args, parser) -> int:
     from .service import SelectionCache
     from .stream import ConsoleSink, StreamConfig, StreamRuntime
@@ -283,6 +344,7 @@ def _cmd_stream(args, parser) -> int:
         thresholds=thresholds,
         min_observations=args.min_observations,
         seed=args.seed,
+        planning=args.plan,
     )
     print(
         f"streaming {len(samples)} polls from experiment {args.experiment} "
@@ -310,6 +372,8 @@ def _cmd_stream(args, parser) -> int:
                     )
             for event in sharded.events:
                 print(f"  {event.describe()}")
+            for proposal in sharded.proposals:
+                print(f"  {proposal.describe()}")
             for line in sharded.summary_lines():
                 print(line)
             for line in _data_plane_lines(sharded.telemetry()):
@@ -495,7 +559,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist closed windows and models to an in-memory repository "
         "partition per shard using this storage engine",
     )
+    p_str.add_argument(
+        "--plan",
+        action="store_true",
+        help="escalate sustained breaches into provisioning plan proposals",
+    )
     p_str.set_defaults(func=_cmd_stream)
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="one-shot estate provisioning plan from a metrics repository",
+    )
+    p_plan.add_argument("--db", required=True)
+    p_plan.add_argument("--customer", default="estate")
+    p_plan.add_argument(
+        "--threshold",
+        action="append",
+        metavar="METRIC=VALUE",
+        help="current capacity per metric (repeatable; required)",
+    )
+    p_plan.add_argument("--jobs", type=int, default=0, help="selection workers (0 = all cores)")
+    p_plan.add_argument("--technique", choices=["auto", "sarimax", "hes"], default="hes")
+    p_plan.add_argument("--racing", action="store_true")
+    p_plan.add_argument(
+        "--tier",
+        default=None,
+        help="catalog tier every instance currently runs on (default: smallest)",
+    )
+    p_plan.add_argument("--beam-width", type=int, default=4)
+    p_plan.add_argument("--seed", type=int, default=0, help="beam tie-break seed")
+    p_plan.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition forecasting across N planners (plan bytes are identical at any N)",
+    )
+    p_plan.add_argument("--out", help="write the plan as JSON here")
+    p_plan.set_defaults(func=_cmd_plan)
 
     p_chaos = sub.add_parser(
         "chaos",

@@ -247,6 +247,7 @@ def run_scenario(
     shards: int = 0,
     repo_backend: str = "sqlite",
     shard_processes: bool = True,
+    planning: bool = False,
 ) -> SurvivalReport:
     """Run one named scenario end to end and grade its survival.
 
@@ -276,6 +277,12 @@ def run_scenario(
     (the workers are the parallelism; each runs a serial executor).
     ``repo_backend`` picks the central repository's storage engine
     (``sqlite`` or ``duckdb``) in either mode.
+
+    ``planning`` turns the provisioning escalator on inside the runtime
+    (:attr:`StreamConfig.planning`). Planning is observation-only — plan
+    counters are deliberately absent from ``_REPORT_COUNTERS`` — so a
+    report is byte-identical with it on or off, which the chaos planning
+    parity test asserts.
     """
     # Leaf-layer imports: this module is reached lazily from the package
     # root precisely because these pull in the agent/stream/service stack.
@@ -306,6 +313,7 @@ def run_scenario(
         min_observations=min_obs,
         seed=seed,
         dispatch=dispatch,
+        planning=planning,
     )
 
     executor = None

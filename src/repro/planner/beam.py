@@ -1,0 +1,198 @@
+"""Deterministic beam search over the estate-level blueprint space.
+
+Per-instance choices compose — an estate plan is one blueprint per
+instance — except consolidation, which couples every instance of a
+co-location group into a single choice. The joint space is therefore
+exponential in instances; a beam of width ``beam_width`` over the
+instances in sorted order keeps search linear while still letting a
+costly-but-breach-free choice on an early instance survive long enough
+to beat a greedy pick.
+
+Determinism is a contract, not an accident: instances are expanded in
+sorted order, candidates are ranked with slug-stable tie-breaks, and
+beam pruning breaks composite-score ties with a seeded blake2b hash of
+the partial plan's slugs — the same recipe the shard ring uses, so plans
+are byte-identical across runs, processes and ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..exceptions import DataError
+from .blueprint import (
+    DEFAULT_CATALOG,
+    Blueprint,
+    CatalogTier,
+    enumerate_blueprints,
+    enumerate_consolidations,
+)
+from .scoring import BlueprintScore, InstanceDemand, ScoreWeights, rank_blueprints
+
+__all__ = ["PlanChoice", "EstatePlan", "plan_estate"]
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """One chosen blueprint within an estate plan, with its score."""
+
+    blueprint: Blueprint
+    score: BlueprintScore
+
+    def describe(self) -> str:
+        return f"{self.blueprint.describe()} — {self.score.describe()}"
+
+
+@dataclass(frozen=True)
+class EstatePlan:
+    """A full estate provisioning plan: one choice per covered instance set."""
+
+    choices: tuple[PlanChoice, ...]
+    total_hourly_cost: float
+    total_composite: float
+    breach_probability: float
+    beam_width: int
+    seed: int
+
+    def describe_lines(self) -> list[str]:
+        lines = [
+            f"estate plan: {len(self.choices)} choices, "
+            f"${self.total_hourly_cost:.2f}/h, residual p(breach) "
+            f"{self.breach_probability:.1%} (beam {self.beam_width}, seed {self.seed})"
+        ]
+        lines.extend(f"  {choice.describe()}" for choice in self.choices)
+        return lines
+
+    def to_payload(self) -> dict:
+        return {
+            "beam_width": self.beam_width,
+            "seed": self.seed,
+            "total_hourly_cost": self.total_hourly_cost,
+            "total_composite": self.total_composite,
+            "breach_probability": self.breach_probability,
+            "choices": [
+                {
+                    "kind": c.blueprint.kind.value,
+                    "instances": list(c.blueprint.instances),
+                    "tier": c.blueprint.tier.name,
+                    "replicas": c.blueprint.replicas,
+                    "hourly_cost": c.blueprint.hourly_cost,
+                    "breach_probability": c.score.breach_probability,
+                    "expected_headroom": c.score.expected_headroom,
+                    "overprovision": c.score.overprovision,
+                    "composite": c.score.composite,
+                }
+                for c in self.choices
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON — the byte-reproducibility surface."""
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True)
+
+
+@dataclass(frozen=True)
+class _BeamState:
+    """A partial plan: covered instances, choices so far, running totals."""
+
+    covered: frozenset
+    choices: tuple[PlanChoice, ...]
+    composite: float
+    cost: float
+    survival: float
+
+
+def _tiebreak(seed: int, choices: tuple[PlanChoice, ...]) -> str:
+    """Seeded, PYTHONHASHSEED-independent ordering key for equal scores."""
+    slugs = ",".join(c.blueprint.slug() for c in choices)
+    return hashlib.blake2b(
+        f"{seed}|{slugs}".encode(), digest_size=8
+    ).hexdigest()
+
+
+def plan_estate(
+    demands: Sequence[InstanceDemand],
+    catalog: Sequence[CatalogTier] = DEFAULT_CATALOG,
+    weights: ScoreWeights = ScoreWeights(),
+    beam_width: int = 4,
+    seed: int = 0,
+    max_replicas: int = 3,
+) -> EstatePlan:
+    """Beam-search the estate's joint blueprint space; return the best plan.
+
+    ``demands`` may arrive in any order (shard fan-in merges them
+    unsorted); they are planned in sorted instance order. Instances
+    sharing a ``group`` label additionally offer CONSOLIDATE candidates,
+    evaluated when the beam reaches the group's first instance and
+    covering the whole group at once.
+    """
+    if beam_width < 1:
+        raise DataError(f"beam_width must be >= 1, got {beam_width}")
+    if not demands:
+        raise DataError("plan_estate needs at least one instance demand")
+    ordered = sorted(demands, key=lambda d: d.instance)
+    if len({d.instance for d in ordered}) != len(ordered):
+        raise DataError("duplicate instance in demands")
+    by_instance = {d.instance: d for d in ordered}
+    groups: dict[str, list[InstanceDemand]] = {}
+    for demand in ordered:
+        if demand.group is not None:
+            groups.setdefault(demand.group, []).append(demand)
+
+    beam = [
+        _BeamState(covered=frozenset(), choices=(), composite=0.0, cost=0.0, survival=1.0)
+    ]
+    for demand in ordered:
+        options: list[tuple[tuple[str, ...], PlanChoice]] = []
+        candidates = enumerate_blueprints(
+            demand.instance,
+            demand.tier,
+            catalog,
+            replicas=demand.replicas,
+            max_replicas=max_replicas,
+        )
+        for bp, score in rank_blueprints(candidates, [demand], weights):
+            options.append(((demand.instance,), PlanChoice(bp, score)))
+        if demand.group is not None:
+            members = groups[demand.group]
+            if len(members) >= 2 and members[0].instance == demand.instance:
+                group_names = tuple(sorted(m.instance for m in members))
+                consolidations = enumerate_consolidations(
+                    group_names, catalog, max_replicas=max_replicas
+                )
+                for bp, score in rank_blueprints(consolidations, members, weights):
+                    options.append((group_names, PlanChoice(bp, score)))
+
+        grown: list[_BeamState] = []
+        for state in beam:
+            if demand.instance in state.covered:
+                grown.append(state)
+                continue
+            for covers, choice in options:
+                if any(name in state.covered for name in covers):
+                    continue
+                grown.append(
+                    _BeamState(
+                        covered=state.covered | set(covers),
+                        choices=state.choices + (choice,),
+                        composite=state.composite + choice.score.composite,
+                        cost=state.cost + choice.blueprint.hourly_cost,
+                        survival=state.survival
+                        * (1.0 - choice.score.breach_probability),
+                    )
+                )
+        grown.sort(key=lambda s: (s.composite, _tiebreak(seed, s.choices)))
+        beam = grown[:beam_width]
+
+    best = beam[0]
+    return EstatePlan(
+        choices=best.choices,
+        total_hourly_cost=float(best.cost),
+        total_composite=float(best.composite),
+        breach_probability=float(1.0 - best.survival),
+        beam_width=int(beam_width),
+        seed=int(seed),
+    )

@@ -9,8 +9,19 @@ from .estate import (
 )
 from .planner import CapacityPlanner, PlannerEntry
 from .selection_cache import SelectionCache
-from .sizing import CapacityRecommendation, overprovision_ratio, recommend_capacity
-from .thresholds import BreachPrediction, BreachSeverity, predict_breach
+from .sizing import (
+    CapacityRecommendation,
+    ShapeRecommendation,
+    overprovision_ratio,
+    recommend_capacity,
+    recommend_shape,
+)
+from .thresholds import (
+    BreachPrediction,
+    BreachSeverity,
+    breach_probability_arrays,
+    predict_breach,
+)
 
 __all__ = [
     "CapacityPlanner",
@@ -24,7 +35,10 @@ __all__ = [
     "BreachPrediction",
     "BreachSeverity",
     "predict_breach",
+    "breach_probability_arrays",
     "CapacityRecommendation",
+    "ShapeRecommendation",
     "recommend_capacity",
+    "recommend_shape",
     "overprovision_ratio",
 ]

@@ -16,13 +16,20 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
 from ..exceptions import DataError
 from ..models.base import Forecast
 
-__all__ = ["CapacityRecommendation", "recommend_capacity", "overprovision_ratio"]
+__all__ = [
+    "CapacityRecommendation",
+    "ShapeRecommendation",
+    "recommend_capacity",
+    "recommend_shape",
+    "overprovision_ratio",
+]
 
 
 @dataclass(frozen=True)
@@ -95,6 +102,69 @@ def recommend_capacity(
         unit=unit,
         peak_forecast=float(forecast.mean.values.max()),
     )
+
+
+@dataclass(frozen=True)
+class ShapeRecommendation:
+    """A whole-shape provisioning recommendation — one number per resource.
+
+    The paper sizes migrations by "the correct shape (in terms of CPU,
+    Memory and Storage) of cloud resource", not one metric at a time;
+    this wraps a :class:`CapacityRecommendation` per resource produced in
+    one call so the shape is internally consistent (same percentile and
+    headroom policy across resources).
+    """
+
+    resources: dict[str, CapacityRecommendation]
+
+    @property
+    def shape(self) -> dict[str, float]:
+        """The recommended provisioning per resource, ready to order."""
+        return {name: rec.recommended for name, rec in sorted(self.resources.items())}
+
+    def describe(self) -> str:
+        parts = [
+            f"{name}: {rec.describe()}" for name, rec in sorted(self.resources.items())
+        ]
+        return "; ".join(parts)
+
+
+def recommend_shape(
+    forecasts: Mapping[str, Forecast],
+    percentile: float = 95.0,
+    headroom: float = 0.10,
+    units: Mapping[str, float] | None = None,
+) -> ShapeRecommendation:
+    """Size every resource of a shape from its forecast in one call.
+
+    Parameters
+    ----------
+    forecasts:
+        Forecast per resource name (``{"cpu": ..., "memory": ...,
+        "storage": ...}``); any resource set works, the names are yours.
+    percentile / headroom:
+        The :func:`recommend_capacity` policy, applied uniformly.
+    units:
+        Optional procurement quantum per resource (1 OCPU, a 16 GB
+        memory stick, a 256 GB volume...); resources without an entry
+        round to whole units of 1.
+    """
+    if not forecasts:
+        raise DataError("recommend_shape needs at least one resource forecast")
+    units = dict(units or {})
+    unknown = sorted(set(units) - set(forecasts))
+    if unknown:
+        raise DataError(f"units given for resources without forecasts: {unknown}")
+    resources = {
+        name: recommend_capacity(
+            forecast,
+            percentile=percentile,
+            headroom=headroom,
+            unit=float(units.get(name, 1.0)),
+        )
+        for name, forecast in sorted(forecasts.items())
+    }
+    return ShapeRecommendation(resources=resources)
 
 
 def overprovision_ratio(provisioned: float, actual_peak: float) -> float:

@@ -24,6 +24,7 @@ __all__ = [
     "BreachPrediction",
     "predict_breach",
     "predict_breach_arrays",
+    "breach_probability_arrays",
 ]
 
 
@@ -54,6 +55,12 @@ class BreachPrediction:
     headroom:
         Threshold minus the forecast peak — negative when the point
         forecast breaches.
+    probability:
+        P(any step of the horizon exceeds the threshold), computed from
+        the band quantiles by :func:`breach_probability_arrays`. The
+        first-crossing severity answers *when and how certainly*; this
+        answers *how likely at all* — the quantity the provisioning
+        planner's scorer optimises. ``NaN`` for degenerate forecasts.
     degraded:
         Empty for a first-class advisory from the selected model.
         Otherwise the degradation mode that produced it
@@ -67,6 +74,7 @@ class BreachPrediction:
     first_breach_timestamp: float | None
     threshold: float
     headroom: float
+    probability: float = 0.0
     degraded: str = ""
 
     def describe(self) -> str:
@@ -105,7 +113,52 @@ def predict_breach(forecast: Forecast, threshold: float) -> BreachPrediction:
         forecast.upper.values,
         forecast.mean.timestamps,
         threshold,
+        alpha=forecast.alpha,
     )
+
+
+def breach_probability_arrays(
+    mean: np.ndarray,
+    upper: np.ndarray,
+    threshold: float,
+    alpha: float = 0.05,
+) -> float:
+    """P(any step of the horizon exceeds ``threshold``), from band quantiles.
+
+    The models' intervals are Gaussian quantiles
+    (:meth:`~repro.models.base.FittedModel.make_forecast`): the half-width
+    ``upper - mean`` is ``z_{1-alpha/2} * sigma``, so each step's
+    predictive sigma is recoverable from the band alone and the step's
+    breach probability is a normal tail. Steps combine as independent
+    exceedances, ``1 - prod(1 - p_t)`` — the horizon-level number the
+    provisioning planner's scorer minimises and :func:`predict_breach`
+    reports alongside the first-crossing severity (one implementation,
+    both consumers).
+
+    Degenerate inputs grade safe: no finite step yields ``NaN``; a
+    zero-width band (zero residual variance) is a point mass, so each
+    step contributes exactly 0 or 1.
+    """
+    from scipy import stats
+
+    if not np.isfinite(threshold):
+        raise DataError("threshold must be finite")
+    if not 0.0 < alpha < 1.0:
+        raise DataError("alpha must be in (0, 1)")
+    mean = np.asarray(mean, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    finite = np.isfinite(mean) & np.isfinite(upper)
+    if not finite.any():
+        return float("nan")
+    centre = mean[finite]
+    half = upper[finite] - centre
+    z = float(stats.norm.ppf(1.0 - alpha / 2.0))
+    steps = np.where(centre >= threshold, 1.0, 0.0)
+    widened = half > 0.0
+    if widened.any():
+        margin = (threshold - centre[widened]) * (z / half[widened])
+        steps[widened] = stats.norm.sf(margin)
+    return float(1.0 - np.prod(1.0 - steps))
 
 
 def predict_breach_arrays(
@@ -114,6 +167,7 @@ def predict_breach_arrays(
     upper: np.ndarray,
     timestamps: np.ndarray,
     threshold: float,
+    alpha: float = 0.05,
 ) -> BreachPrediction:
     """Array-level core of :func:`predict_breach`.
 
@@ -138,8 +192,10 @@ def predict_breach_arrays(
             first_breach_timestamp=None,
             threshold=threshold,
             headroom=float("nan"),
+            probability=float("nan"),
         )
     headroom = float(threshold - finite_mean.max())
+    probability = breach_probability_arrays(mean, upper, threshold, alpha=alpha)
     for values, severity in (
         (lower, BreachSeverity.CERTAIN),
         (mean, BreachSeverity.LIKELY),
@@ -153,6 +209,7 @@ def predict_breach_arrays(
                 first_breach_timestamp=float(timestamps[idx]),
                 threshold=threshold,
                 headroom=headroom,
+                probability=probability,
             )
     return BreachPrediction(
         severity=BreachSeverity.NONE,
@@ -160,4 +217,5 @@ def predict_breach_arrays(
         first_breach_timestamp=None,
         threshold=threshold,
         headroom=headroom,
+        probability=probability,
     )

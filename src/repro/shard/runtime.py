@@ -67,6 +67,8 @@ class MergedTick:
     advisories: dict[WorkloadKey, BreachPrediction] = field(default_factory=dict)
     events: list[AlertEvent] = field(default_factory=list)
     refits: list[RefitEvent] = field(default_factory=list)
+    #: Merged PlanProposal events (empty unless planning is enabled).
+    proposals: list = field(default_factory=list)
 
 
 class _InlineShard:
@@ -215,6 +217,7 @@ class ShardedRuntime:
         self._inflight: deque[int] = deque()
         self._clock_target: float | None = None
         self.events: list[AlertEvent] = []
+        self.proposals: list = []
         self.ticks = 0
         self._closed = False
 
@@ -278,12 +281,17 @@ class ShardedRuntime:
         refits = sorted(
             (r for st in shard_ticks for r in st.refits), key=lambda r: r.key
         )
+        proposals = sorted(
+            (p for st in shard_ticks for p in st.proposals), key=lambda p: p.key
+        )
         self.events.extend(events)
+        self.proposals.extend(proposals)
         self.ticks += 1
         return MergedTick(
             advisories={k: advisories[k] for k in sorted(advisories)},
             events=events,
             refits=refits,
+            proposals=proposals,
         )
 
     # ------------------------------------------------------------------
@@ -343,6 +351,91 @@ class ShardedRuntime:
             "modelled": sum(r["modelled"] for r in results),
             "failed": sum(r["failed"] for r in results),
         }
+
+    # ------------------------------------------------------------------
+    # Estate planning
+    # ------------------------------------------------------------------
+    def propose_plan(
+        self,
+        beam_width: int = 4,
+        seed: int = 0,
+        only_fired: bool = False,
+        catalog=None,
+        current_tier=None,
+        max_replicas: int = 3,
+        policy=None,
+    ):
+        """One estate-wide provisioning plan across every shard.
+
+        Broadcasts ``plan_state`` — each shard contributes the remaining
+        forecast band and current capacity for every thresholded key it
+        owns, plus its trigger-tracker export — merges the per-shard
+        trigger state into one estate view
+        (:meth:`~repro.planner.triggers.TriggerTracker.merged`), and
+        runs one deterministic beam over the merged demands. Because
+        shards partition keys disjointly and each key's model state is
+        byte-identical to the single-process run, the returned
+        :class:`~repro.planner.beam.EstatePlan` is identical for every
+        shard count.
+
+        ``only_fired`` restricts the plan to instances with at least one
+        key whose triggers currently fire (the continuous re-planning
+        shape); the default plans the whole estate (the one-shot shape).
+        ``policy`` overrides the trigger thresholds the merged evidence
+        is judged with — it defaults to the same config-derived policy
+        the shard escalators planned under, but an estate-level sweep
+        may legitimately ask with different thresholds (e.g. a zero
+        cooldown to see everything currently in breach). Returns
+        ``None`` when there is nothing to plan.
+        """
+        from ..planner.beam import plan_estate
+        from ..planner.blueprint import DEFAULT_CATALOG
+        from ..planner.scoring import ForecastBand, InstanceDemand
+        from ..planner.triggers import TriggerPolicy, TriggerTracker
+
+        catalog = tuple(catalog) if catalog is not None else DEFAULT_CATALOG
+        tier = current_tier if current_tier is not None else catalog[0]
+        if policy is None:
+            policy = TriggerPolicy(
+                sustained_breach_ticks=self.config.plan_sustained_ticks,
+                cooldown_seconds=self.config.plan_cooldown_seconds,
+            )
+        states = self._command("plan_state")
+        tracker = TriggerTracker.merged(
+            (s["triggers"] for s in states), policy=policy
+        )
+        now = self._clock_target if self._clock_target is not None else 0.0
+        firing_instances = {key.workload for key in tracker.fired(now)}
+
+        merged: dict[str, dict] = {}
+        for state in states:
+            for record in state["keys"]:
+                entry = merged.setdefault(
+                    record["instance"], {"bands": {}, "capacities": {}}
+                )
+                entry["bands"][record["metric"]] = ForecastBand.from_payload(
+                    record["band"]
+                )
+                entry["capacities"][record["metric"]] = float(record["threshold"])
+        demands = [
+            InstanceDemand(
+                instance=instance,
+                tier=tier,
+                bands=merged[instance]["bands"],
+                capacities=merged[instance]["capacities"],
+            )
+            for instance in sorted(merged)
+            if not only_fired or instance in firing_instances
+        ]
+        if not demands:
+            return None
+        return plan_estate(
+            demands,
+            catalog=catalog,
+            beam_width=beam_width,
+            seed=seed,
+            max_replicas=max_replicas,
+        )
 
     # ------------------------------------------------------------------
     # Telemetry

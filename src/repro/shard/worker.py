@@ -71,14 +71,16 @@ class ShardTick:
 
     The full :class:`~repro.stream.scheduler.SchedulerTick` carries the
     estate report (fitted models, traces); shipping that per tick would
-    drown the queues. Advisories, alert transitions and refit events are
-    everything the control plane merges and everything the parity
-    contract is defined over.
+    drown the queues. Advisories, alert transitions, refit events and
+    plan proposals are everything the control plane merges and
+    everything the parity contract is defined over.
     """
 
     advisories: dict[WorkloadKey, BreachPrediction] = field(default_factory=dict)
     events: tuple[AlertEvent, ...] = ()
     refits: tuple[RefitEvent, ...] = ()
+    #: PlanProposal events the tick emitted (empty unless planning is on).
+    proposals: tuple = ()
 
 
 class ShardHandler:
@@ -154,6 +156,8 @@ class ShardHandler:
             }
         if op == "telemetry":
             return self._telemetry()
+        if op == "plan_state":
+            return self.runtime.plan_inputs()
         if op == "extract":
             return self._extract(payload)
         if op == "seed":
@@ -192,11 +196,13 @@ class ShardHandler:
     def _capture(self, advance) -> ShardTick:
         """Run one tick-producing call; package its delta as a ShardTick."""
         before = len(self.runtime.events)
+        before_proposals = len(self.runtime.proposals)
         tick = advance()
         return ShardTick(
             advisories=dict(tick.advisories),
             events=tuple(self.runtime.events[before:]),
             refits=tuple(tick.refits),
+            proposals=tuple(self.runtime.proposals[before_proposals:]),
         )
 
     def _telemetry(self) -> dict:

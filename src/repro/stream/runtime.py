@@ -114,6 +114,17 @@ def stream_summary_lines(
             active_alerts,
         ),
     ]
+    if any(
+        key in sched
+        for key in ("plan_proposals_emitted", "plan_triggers_fired", "plan_blueprints_scored")
+    ):
+        lines.append(
+            "plans: {} proposals ({} triggers fired, {} blueprints scored)".format(
+                sched.get("plan_proposals_emitted", 0),
+                sched.get("plan_triggers_fired", 0),
+                sched.get("plan_blueprints_scored", 0),
+            )
+        )
     if faults:
         detail = " ".join(f"{k}={v}" for k, v in sorted(faults.items()))
         lines.append(f"faults: {detail}")
@@ -154,6 +165,17 @@ class StreamConfig:
         Scheduler grading mode: ``"cohort"`` (default) batches same-spec
         keys into one kernel call per tick, ``"per-key"`` forces the
         scalar path. Advisories are bit-identical either way.
+    planning:
+        Enable the alert→plan escalation loop: a
+        :class:`~repro.planner.escalation.PlanEscalator` rides every
+        tick, and keys whose triggers fire emit
+        :class:`~repro.planner.escalation.PlanProposal` events through
+        the alert sink. Off by default — planning is observation-only
+        (advisories and alerts are byte-identical either way), but sinks
+        see extra proposal events when it is on.
+    plan_sustained_ticks / plan_cooldown_seconds / plan_max_replicas:
+        Planner knobs (see :class:`~repro.planner.triggers.TriggerPolicy`
+        and :func:`~repro.planner.blueprint.enumerate_blueprints`).
     """
 
     thresholds: dict[str, float] = field(default_factory=dict)
@@ -169,6 +191,10 @@ class StreamConfig:
     horizon: int | None = None
     history_cap: int | None = None
     dispatch: str = "cohort"
+    planning: bool = False
+    plan_sustained_ticks: int = 6
+    plan_cooldown_seconds: float = 21600.0
+    plan_max_replicas: int = 3
 
 
 class StreamRuntime:
@@ -243,6 +269,23 @@ class StreamRuntime:
             clock=self.clock,
         )
         self.events: list[AlertEvent] = []
+        self.proposals: list = []
+        self.escalator = None
+        if self.config.planning:
+            # Leaf-layer import: repro.planner imports from repro.stream,
+            # so the reverse edge must stay out of module import time.
+            from ..planner.escalation import PlanEscalator
+            from ..planner.triggers import TriggerPolicy
+
+            self.escalator = PlanEscalator(
+                sink=self.alerts.sink,
+                policy=TriggerPolicy(
+                    sustained_breach_ticks=self.config.plan_sustained_ticks,
+                    cooldown_seconds=self.config.plan_cooldown_seconds,
+                ),
+                max_replicas=self.config.plan_max_replicas,
+                trace=self.trace,
+            )
         self.ticks = 0
         # One RNG for the runtime's lifetime: chunked run() calls draw
         # fresh (still seed-deterministic) jitter instead of replaying
@@ -272,10 +315,17 @@ class StreamRuntime:
     def _tick(self, windows) -> SchedulerTick:
         tick = self.scheduler.on_windows(windows)
         now = self.clock.now()
+        before = len(self.events)
         for key in sorted(tick.advisories):
             event = self.alerts.observe(key, tick.advisories[key], at=now)
             if event is not None:
                 self.events.append(event)
+        if self.escalator is not None:
+            self.proposals.extend(
+                self.escalator.on_tick(
+                    self.scheduler, tick, self.events[before:], windows, now
+                )
+            )
         self.ticks += 1
         return tick
 
@@ -344,6 +394,41 @@ class StreamRuntime:
             instance, metric, frequency=Frequency.HOURLY, start=start, end=end
         )
         self.scheduler.seed_history(instance, metric, series)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan_inputs(self) -> dict:
+        """Picklable planning inputs: per-key forecast bands + trigger state.
+
+        The sharded control plane broadcasts this to assemble one
+        estate-wide plan: each shard contributes the remaining forecast
+        (exactly what its alert path grades) and current capacity for
+        every thresholded key it owns, plus its
+        :class:`~repro.planner.triggers.TriggerTracker` export. Works
+        with planning disabled too (empty trigger state) — a one-shot
+        estate plan does not require the escalation loop.
+        """
+        from ..planner.scoring import ForecastBand
+
+        keys = []
+        for instance, metric in self.scheduler.planning_keys():
+            view = self.scheduler.planning_view(instance, metric)
+            if view is None:
+                continue
+            forecast, threshold = view
+            keys.append(
+                {
+                    "instance": instance,
+                    "metric": metric,
+                    "threshold": float(threshold),
+                    "band": ForecastBand.from_forecast(forecast).payload(),
+                }
+            )
+        triggers = (
+            self.escalator.tracker.export_state() if self.escalator is not None else {}
+        )
+        return {"keys": keys, "triggers": triggers}
 
     # ------------------------------------------------------------------
     # Telemetry
@@ -435,3 +520,5 @@ class StreamRuntime:
         self.aggregator.evict(instance, metric)  # evicts the bus buffer too
         self.scheduler.evict_key(instance, metric)
         self.alerts.evict(self.scheduler.workload_key(instance, metric))
+        if self.escalator is not None:
+            self.escalator.tracker.evict(self.scheduler.workload_key(instance, metric))

@@ -915,16 +915,15 @@ class ForecastScheduler:
             elapsed = min(elapsed, int(math.ceil(WEEK_SECONDS / step)))
         return base_horizon, elapsed
 
-    def _grade_entry(self, entry, now: float, model=None) -> BreachPrediction | None:
-        """Grade a live model's *remaining* forecast against its threshold.
+    def _entry_forecast(self, entry, now: float, model=None) -> Forecast | None:
+        """The *remaining* forecast a live model serves right now.
 
         The model forecasts from its training end; as the stream
         advances, the leading steps of that horizon slip into the past.
-        Grading only the still-future part makes advisories evolve
-        between refits — a predicted breach draws nearer step by step,
-        which is what the alerting layer's escalation keys off. With a
-        rolled ``model`` the origin already sits at the stream head and
-        ``elapsed`` is simply zero.
+        Only the still-future part is returned, clipped at zero — the
+        exact distribution the alert path grades and the provisioning
+        planner scores. With a rolled ``model`` the origin already sits
+        at the stream head and ``elapsed`` is simply zero.
         """
         outcome = entry.outcome
         if model is None:
@@ -951,4 +950,66 @@ class ForecastScheduler:
                 alpha=forecast.alpha,
                 model_label=forecast.model_label,
             )
+        return forecast
+
+    def _grade_entry(self, entry, now: float, model=None) -> BreachPrediction | None:
+        """Grade a live model's remaining forecast against its threshold.
+
+        Grading only the still-future part makes advisories evolve
+        between refits — a predicted breach draws nearer step by step,
+        which is what the alerting layer's escalation keys off.
+        """
+        forecast = self._entry_forecast(entry, now, model=model)
+        if forecast is None:
+            return None
         return predict_breach(forecast, entry.threshold)
+
+    # ------------------------------------------------------------------
+    # Planning support
+    # ------------------------------------------------------------------
+    def planning_keys(self) -> list[StreamKey]:
+        """Registered keys whose metric has a threshold, sorted."""
+        return sorted(k for k in self._registered if k[1] in self.thresholds)
+
+    def planning_view(self, instance: str, metric: str) -> tuple[Forecast, float] | None:
+        """(remaining forecast, current capacity) for the planner's scorer.
+
+        Returns exactly the distribution the alert path is grading this
+        tick — same model state, same elapsed slice, same clipping — so
+        a plan scored from it agrees with the advisory that triggered
+        it. Falls back to the degradation ladder's cached model when
+        selection is unavailable; ``None`` when the key has no
+        threshold, no model, or grading is disabled.
+        """
+        key: StreamKey = (instance, metric)
+        threshold = self.thresholds.get(metric)
+        if threshold is None or key not in self._registered:
+            return None
+        entry = None
+        try:
+            candidate = self.planner.entry(self.workload_key(instance, metric))
+        except DataError:
+            candidate = None
+        if (
+            candidate is not None
+            and candidate.status is WorkloadStatus.MODELLED
+            and candidate.outcome is not None
+        ):
+            entry = candidate
+        else:
+            entry = self._fallback.get(key)
+        if entry is None or entry.outcome is None:
+            return None
+        live = self._live.get(key)
+        model = (
+            live.model
+            if live is not None and live.source is entry.outcome
+            else entry.outcome.model
+        )
+        try:
+            forecast = self._entry_forecast(entry, self._now(), model=model)
+        except Exception:
+            return None
+        if forecast is None:
+            return None
+        return forecast, float(threshold)

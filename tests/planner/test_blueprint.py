@@ -1,0 +1,126 @@
+"""Tests for blueprint enumeration and the tier catalog."""
+
+import pytest
+
+from repro.exceptions import DataError
+from repro.planner import (
+    DEFAULT_CATALOG,
+    BlueprintKind,
+    enumerate_blueprints,
+    enumerate_consolidations,
+    metric_dimension,
+    tier_named,
+)
+from repro.planner.blueprint import DIMENSIONS
+
+
+class TestResourceShape:
+    def test_amount_per_dimension(self):
+        shape = DEFAULT_CATALOG[0].shape
+        assert shape.amount("cpu") == 2.0
+        assert shape.amount("memory_gb") == 16.0
+        assert shape.amount("storage_gb") == 256.0
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(DataError):
+            DEFAULT_CATALOG[0].shape.amount("gpus")
+
+    def test_dominates_is_strict(self):
+        small, medium = DEFAULT_CATALOG[0].shape, DEFAULT_CATALOG[1].shape
+        assert medium.dominates(small)
+        assert not small.dominates(medium)
+        assert not small.dominates(small)  # equality is not dominance
+
+
+class TestCatalog:
+    def test_doubling_ladder_dominates_upward(self):
+        for lower, upper in zip(DEFAULT_CATALOG, DEFAULT_CATALOG[1:]):
+            assert upper.shape.dominates(lower.shape)
+            assert upper.hourly_cost > lower.hourly_cost
+
+    def test_tier_named(self):
+        assert tier_named("t-large") is DEFAULT_CATALOG[2]
+        with pytest.raises(DataError):
+            tier_named("t-galactic")
+
+
+class TestMetricDimension:
+    @pytest.mark.parametrize(
+        ("metric", "dimension"),
+        [
+            ("cpu", "cpu"),
+            ("sessions", "cpu"),
+            ("sga_used", "memory_gb"),
+            ("memory_pct", "memory_gb"),
+            ("logical_iops", "storage_gb"),
+            ("disk_space", "storage_gb"),
+            ("tablespace_gb", "storage_gb"),
+        ],
+    )
+    def test_known_tokens(self, metric, dimension):
+        assert metric_dimension(metric) == dimension
+
+    def test_matching_is_word_level_not_substring(self):
+        # "memcached" contains "mem" as a prefix but is not a memory token.
+        assert metric_dimension("memcached_ops") == "cpu"
+
+    def test_every_answer_is_a_dimension(self):
+        for metric in ("cpu", "sga", "iops", "whatever"):
+            assert metric_dimension(metric) in DIMENSIONS
+
+
+class TestEnumerateBlueprints:
+    def test_stay_comes_first(self):
+        bps = enumerate_blueprints("db1", DEFAULT_CATALOG[0])
+        assert bps[0].kind is BlueprintKind.STAY
+        assert bps[0].tier is DEFAULT_CATALOG[0]
+
+    def test_count_bound(self):
+        # len(catalog) + max_replicas - replicas, independent of estate size
+        bps = enumerate_blueprints("db1", DEFAULT_CATALOG[0], max_replicas=3)
+        assert len(bps) == len(DEFAULT_CATALOG) + 3 - 1
+
+    def test_scale_up_requires_dominance(self):
+        bps = enumerate_blueprints("db1", DEFAULT_CATALOG[2])
+        up = [b for b in bps if b.kind is BlueprintKind.SCALE_UP]
+        down = [b for b in bps if b.kind is BlueprintKind.MIGRATE]
+        assert {b.tier.name for b in up} == {"t-xlarge", "t-2xlarge"}
+        assert {b.tier.name for b in down} == {"t-small", "t-medium"}
+
+    def test_scale_out_counts(self):
+        bps = enumerate_blueprints("db1", DEFAULT_CATALOG[0], replicas=1, max_replicas=4)
+        out = [b for b in bps if b.kind is BlueprintKind.SCALE_OUT]
+        assert [b.replicas for b in out] == [2, 3, 4]
+        assert all(b.tier is DEFAULT_CATALOG[0] for b in out)
+
+    def test_capacity_and_cost_scale_with_replicas(self):
+        bp = enumerate_blueprints("db1", DEFAULT_CATALOG[0], max_replicas=2)[-1]
+        assert bp.replicas == 2
+        assert bp.capacity("cpu") == 4.0
+        assert bp.hourly_cost == pytest.approx(0.68)
+
+    def test_replica_validation(self):
+        with pytest.raises(DataError):
+            enumerate_blueprints("db1", DEFAULT_CATALOG[0], replicas=0)
+        with pytest.raises(DataError):
+            enumerate_blueprints("db1", DEFAULT_CATALOG[0], replicas=3, max_replicas=2)
+
+    def test_slug_is_stable_identity(self):
+        bps = enumerate_blueprints("db1", DEFAULT_CATALOG[0])
+        assert bps[0].slug() == "stay:db1:t-smallx1"
+        assert len({b.slug() for b in bps}) == len(bps)
+
+
+class TestEnumerateConsolidations:
+    def test_singleton_group_yields_nothing(self):
+        assert enumerate_consolidations(["db1"]) == ()
+        assert enumerate_consolidations([]) == ()
+
+    def test_group_is_sorted_and_deduplicated(self):
+        bps = enumerate_consolidations(["b", "a", "b"])
+        assert all(bp.instances == ("a", "b") for bp in bps)
+        assert all(bp.kind is BlueprintKind.CONSOLIDATE for bp in bps)
+
+    def test_count_bound(self):
+        bps = enumerate_consolidations(["a", "b"], max_replicas=3)
+        assert len(bps) == len(DEFAULT_CATALOG) * 3

@@ -1,0 +1,130 @@
+"""Tests for the re-plan trigger rules."""
+
+from repro.planner import TriggerPolicy, TriggerReason, TriggerTracker
+from repro.service import BreachSeverity
+from repro.service.thresholds import BreachPrediction
+
+
+def advisory(severity=BreachSeverity.LIKELY):
+    return BreachPrediction(
+        severity=severity,
+        first_breach_step=1 if severity is not BreachSeverity.NONE else None,
+        first_breach_timestamp=None,
+        threshold=100.0,
+        headroom=-1.0,
+    )
+
+
+POLICY = TriggerPolicy(
+    sustained_breach_ticks=3,
+    drift_refits=1,
+    max_plan_age_seconds=1000.0,
+    utilisation_error=0.25,
+    cooldown_seconds=100.0,
+)
+
+
+class TestTriggerRules:
+    def test_unknown_key_never_fires(self):
+        assert TriggerTracker(POLICY).firing("k", at=0.0) == ()
+
+    def test_sustained_breach_debounce(self):
+        tracker = TriggerTracker(POLICY)
+        for _ in range(2):
+            tracker.observe_advisory("k", advisory())
+        assert tracker.firing("k", at=0.0) == ()
+        tracker.observe_advisory("k", advisory())
+        assert tracker.firing("k", at=0.0) == (TriggerReason.SUSTAINED_BREACH,)
+
+    def test_clean_advisory_resets_streak(self):
+        tracker = TriggerTracker(POLICY)
+        for _ in range(2):
+            tracker.observe_advisory("k", advisory())
+        tracker.observe_advisory("k", advisory(BreachSeverity.NONE))
+        for _ in range(2):
+            tracker.observe_advisory("k", advisory())
+        assert tracker.firing("k", at=0.0) == ()
+
+    def test_escalation_fires_immediately(self):
+        tracker = TriggerTracker(POLICY)
+        tracker.observe_escalation("k")
+        assert tracker.firing("k", at=0.0) == (TriggerReason.ESCALATED_ALERT,)
+
+    def test_drift_fires_at_threshold(self):
+        tracker = TriggerTracker(POLICY)
+        tracker.observe_drift("k")
+        assert TriggerReason.DRIFT in tracker.firing("k", at=0.0)
+
+    def test_cooldown_suppresses_everything(self):
+        tracker = TriggerTracker(POLICY)
+        tracker.observe_escalation("k")
+        tracker.note_planned("k", at=0.0)
+        tracker.observe_escalation("k")
+        assert tracker.firing("k", at=50.0) == ()  # inside the cooldown
+        assert tracker.firing("k", at=150.0) == (TriggerReason.ESCALATED_ALERT,)
+
+    def test_plan_age_fires_without_new_evidence(self):
+        tracker = TriggerTracker(POLICY)
+        tracker.note_planned("k", at=0.0)
+        assert tracker.firing("k", at=500.0) == ()
+        assert tracker.firing("k", at=2000.0) == (TriggerReason.PLAN_AGE,)
+
+    def test_utilisation_error_fires_on_large_deviation(self):
+        tracker = TriggerTracker(POLICY)
+        tracker.note_planned("k", at=0.0, planned_peak=100.0)
+        tracker.observe_utilisation("k", 110.0)  # within 25%
+        assert tracker.firing("k", at=200.0) == ()
+        tracker.observe_utilisation("k", 140.0)  # 40% over plan
+        assert tracker.firing("k", at=200.0) == (TriggerReason.UTILISATION_ERROR,)
+
+    def test_note_planned_resets_evidence(self):
+        tracker = TriggerTracker(POLICY)
+        for _ in range(3):
+            tracker.observe_advisory("k", advisory())
+        tracker.observe_escalation("k")
+        tracker.observe_drift("k")
+        tracker.note_planned("k", at=0.0)
+        assert tracker.firing("k", at=150.0) == ()
+
+    def test_fired_reports_sorted_keys(self):
+        tracker = TriggerTracker(POLICY)
+        for key in ("z", "a"):
+            tracker.observe_escalation(key)
+        assert list(tracker.fired(at=0.0)) == ["a", "z"]
+
+    def test_evict_drops_state(self):
+        tracker = TriggerTracker(POLICY)
+        tracker.observe_escalation("k")
+        tracker.evict("k")
+        assert tracker.firing("k", at=0.0) == ()
+
+
+class TestShardFanIn:
+    def test_export_adopt_roundtrip(self):
+        tracker = TriggerTracker(POLICY)
+        for _ in range(3):
+            tracker.observe_advisory("k", advisory())
+        tracker.observe_drift("k")
+        restored = TriggerTracker(POLICY)
+        restored.adopt_state(tracker.export_state())
+        assert restored.firing("k", at=0.0) == tracker.firing("k", at=0.0)
+
+    def test_merged_unions_disjoint_shards(self):
+        left, right = TriggerTracker(POLICY), TriggerTracker(POLICY)
+        left.observe_escalation("a")
+        right.observe_drift("z")
+        merged = TriggerTracker.merged(
+            [left.export_state(), right.export_state()], policy=POLICY
+        )
+        fired = merged.fired(at=0.0)
+        assert list(fired) == ["a", "z"]
+        assert fired["a"] == (TriggerReason.ESCALATED_ALERT,)
+        assert fired["z"] == (TriggerReason.DRIFT,)
+
+    def test_export_is_plain_data(self):
+        import pickle
+
+        tracker = TriggerTracker(POLICY)
+        tracker.observe_escalation("k")
+        exported = tracker.export_state()
+        assert pickle.loads(pickle.dumps(exported)) == exported

@@ -6,7 +6,7 @@ import pytest
 from repro.core import Frequency, TimeSeries
 from repro.exceptions import DataError
 from repro.models.base import Forecast
-from repro.service import overprovision_ratio, recommend_capacity
+from repro.service import overprovision_ratio, recommend_capacity, recommend_shape
 
 
 def _forecast(upper_values):
@@ -67,3 +67,45 @@ class TestOverprovisionRatio:
             overprovision_ratio(0.0, 1.0)
         with pytest.raises(DataError):
             overprovision_ratio(1.0, -1.0)
+
+
+class TestRecommendShape:
+    def _forecasts(self):
+        return {
+            "cpu": _forecast(np.full(10, 7.0)),
+            "memory": _forecast(np.full(10, 100.0)),
+            "storage": _forecast(np.full(10, 900.0)),
+        }
+
+    def test_one_recommendation_per_resource(self):
+        rec = recommend_shape(self._forecasts(), headroom=0.0)
+        assert sorted(rec.resources) == ["cpu", "memory", "storage"]
+        assert rec.shape == {"cpu": 7.0, "memory": 100.0, "storage": 900.0}
+
+    def test_policy_applied_uniformly(self):
+        forecasts = self._forecasts()
+        rec = recommend_shape(forecasts, percentile=90.0, headroom=0.2)
+        for name, forecast in forecasts.items():
+            alone = recommend_capacity(forecast, percentile=90.0, headroom=0.2)
+            assert rec.resources[name].recommended == alone.recommended
+
+    def test_units_round_per_resource(self):
+        rec = recommend_shape(
+            self._forecasts(),
+            headroom=0.0,
+            units={"memory": 16.0, "storage": 256.0},
+        )
+        assert rec.shape["cpu"] == 7.0  # default unit of 1
+        assert rec.shape["memory"] == 112.0  # ceil(100/16)*16
+        assert rec.shape["storage"] == 1024.0  # ceil(900/256)*256
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            recommend_shape({})
+        with pytest.raises(DataError):
+            recommend_shape(self._forecasts(), units={"gpus": 1.0})
+
+    def test_describe_names_every_resource(self):
+        text = recommend_shape(self._forecasts()).describe()
+        for name in ("cpu", "memory", "storage"):
+            assert name in text

@@ -7,6 +7,7 @@ from repro.core import Frequency, TimeSeries
 from repro.exceptions import DataError
 from repro.models.base import Forecast
 from repro.service import BreachSeverity, predict_breach
+from repro.service.thresholds import breach_probability_arrays
 
 
 def _forecast(mean, spread=5.0, start=0.0):
@@ -89,3 +90,62 @@ class TestDegenerateForecasts:
         assert result.severity is BreachSeverity.CERTAIN
         result = predict_breach(_forecast([10.0, 10.0], spread=0.0), threshold=80.0)
         assert result.severity is BreachSeverity.NONE
+
+
+class TestBreachProbability:
+    """The band-quantile horizon probability shared with the planner."""
+
+    def test_comfortable_margin_is_near_zero(self):
+        mean = np.full(24, 10.0)
+        p = breach_probability_arrays(mean, mean + 5.0, threshold=80.0)
+        assert p == pytest.approx(0.0, abs=1e-9)
+
+    def test_mean_at_threshold_is_half_per_step(self):
+        mean = np.array([80.0])
+        p = breach_probability_arrays(mean, mean + 5.0, threshold=80.0)
+        assert p == pytest.approx(0.5)
+
+    def test_steps_combine_as_independent_exceedances(self):
+        one = breach_probability_arrays(
+            np.array([80.0]), np.array([85.0]), threshold=80.0
+        )
+        two = breach_probability_arrays(
+            np.array([80.0, 80.0]), np.array([85.0, 85.0]), threshold=80.0
+        )
+        assert two == pytest.approx(1.0 - (1.0 - one) ** 2)
+
+    def test_zero_width_band_is_a_point_mass(self):
+        mean = np.array([10.0, 90.0])
+        assert breach_probability_arrays(mean, mean, threshold=80.0) == 1.0
+        assert breach_probability_arrays(mean[:1], mean[:1], threshold=80.0) == 0.0
+
+    def test_no_finite_step_is_nan(self):
+        nans = np.full(3, np.nan)
+        assert np.isnan(breach_probability_arrays(nans, nans, threshold=80.0))
+
+    def test_validation(self):
+        mean = np.array([10.0])
+        with pytest.raises(DataError):
+            breach_probability_arrays(mean, mean, threshold=np.inf)
+        with pytest.raises(DataError):
+            breach_probability_arrays(mean, mean, threshold=80.0, alpha=0.0)
+
+    def test_predict_breach_reports_the_same_number(self):
+        fc = _forecast([70.0, 75.0, 85.0])
+        result = predict_breach(fc, threshold=80.0)
+        direct = breach_probability_arrays(
+            np.asarray(fc.mean.values),
+            np.asarray(fc.upper.values),
+            threshold=80.0,
+            alpha=fc.alpha,
+        )
+        assert result.probability == pytest.approx(direct)
+        assert 0.0 < result.probability < 1.0
+
+    def test_probability_rides_the_advisory_grades(self):
+        certain = predict_breach(_forecast([150.0, 150.0]), threshold=80.0)
+        assert certain.probability > 0.99
+        quiet = predict_breach(_forecast([10.0, 10.0]), threshold=80.0)
+        assert quiet.probability == pytest.approx(0.0, abs=1e-9)
+        empty = predict_breach(_forecast([np.nan, np.nan]), threshold=80.0)
+        assert np.isnan(empty.probability)
