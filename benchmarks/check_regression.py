@@ -32,6 +32,8 @@ HEADLINES: tuple[tuple[str, str, str], ...] = (
     ("BENCH_engine.json", "scaling.wall_seconds.1", "lower"),
     ("BENCH_engine.json", "racing.wall_seconds_racing", "lower"),
     ("BENCH_stream.json", "ingest.samples_per_second", "higher"),
+    ("BENCH_stream.json", "ingest_fastpath.samples_per_s_100k", "higher"),
+    ("BENCH_stream.json", "ingest_fastpath.sparse_advance_ms", "lower"),
     ("BENCH_stream.json", "windows.windows_per_second", "higher"),
     ("BENCH_stream.json", "scheduler.ms_per_tick", "lower"),
     ("BENCH_stream.json", "cohort_scaling.ms_per_tick_1000", "lower"),

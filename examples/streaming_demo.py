@@ -83,6 +83,22 @@ def main() -> None:
     for line in runtime.summary_lines():
         print(line)
 
+    # The columnar ingest path's own ledger: every poll entered through
+    # push_columns (batched admission over interned key ids), and the
+    # bus counted what the delivery order did to it.
+    bus = runtime.bus
+    print(f"\ningest path ({len(bus.key_table)} interned keys, "
+          f"{bus.buffered} samples still buffered):")
+    for name in (
+        "samples_accepted",
+        "samples_duplicate",
+        "samples_out_of_order",
+        "samples_late_dropped",
+        "samples_nonfinite",
+        "samples_rejected_backpressure",
+    ):
+        print(f"  {name:30s} {bus.counters.get(name, 0):>7d}")
+
     peak_observed = max(
         s.value for s in samples if s.instance == "cdbm012"
     )

@@ -225,6 +225,19 @@ class FaultInjector:
         """False for an empty plan — every hook then short-circuits."""
         return not self.plan.empty
 
+    def active_at(self, site: str) -> bool:
+        """Whether the plan has any rule at ``site``.
+
+        Callers with a batched fast path (the bus's columnar intake)
+        check this before paying per-sample hook dispatch: a plan that
+        only targets, say, ``executor.submit`` must not force ingest
+        back onto the one-sample-at-a-time road. Skipping the hook for
+        an inactive site is observationally safe — :meth:`_fire` on such
+        a site fires nothing and leaves every counter and RNG stream
+        untouched.
+        """
+        return site in self._site_rules
+
     def _count(self, key: str, n: int = 1) -> None:
         self.counters[key] = self.counters.get(key, 0) + n
 

@@ -307,7 +307,13 @@ class ShardedRuntime:
 
     @staticmethod
     def _envelope(part: list[AgentSample], clock_target: float):
-        """Pack one shard's sub-chunk as a batched SoA envelope."""
+        """Pack one shard's sub-chunk as a batched SoA envelope.
+
+        The four columns cross the IPC boundary as-is and feed straight
+        into :meth:`~repro.stream.ingest.IngestBus.push_columns` on the
+        worker — the columnar layout survives end to end, with no
+        per-sample object reconstruction on either side.
+        """
         n = len(part)
         return (
             [s.instance for s in part],

@@ -28,7 +28,6 @@ import time
 import traceback
 from dataclasses import dataclass, field
 
-from ..agent.agent import AgentSample
 from ..exceptions import DataError
 from ..faults.plan import FaultInjector, FaultPlan, FaultRule
 from ..service.estate import WorkloadKey
@@ -170,23 +169,24 @@ class ShardHandler:
 
     # ------------------------------------------------------------------
     def _ingest(self, envelope) -> ShardTick:
-        """Decode one batched envelope, push it, tick once.
+        """Feed one batched SoA envelope straight to the bus, tick once.
 
         Equivalent to :meth:`StreamRuntime.ingest_batch` on the decoded
         chunk, split so intake and window/advisory work are timed apart:
         the push runs first, then an empty-chunk ``ingest_batch`` carries
-        the clock advance and the tick. An empty envelope still ticks —
-        every shard ticks every global chunk, keeping alert debounce
-        streak counts identical to the single-process runtime.
+        the clock advance and the tick. The envelope's four columns go
+        directly into :meth:`IngestBus.push_columns` — no ``AgentSample``
+        reconstruction on the hot path (``push_columns`` itself rebuilds
+        samples only when a fault plan targets ``ingest.deliver``, where
+        the per-sample delivery hook and its RNG draw order must hold).
+        An empty envelope still ticks — every shard ticks every global
+        chunk, keeping alert debounce streak counts identical to the
+        single-process runtime.
         """
         instances, metrics, timestamps, values, clock_target = envelope
         t0 = time.process_time()
         if instances:
-            chunk = [
-                AgentSample(instance=i, metric=m, timestamp=float(t), value=float(v))
-                for i, m, t, v in zip(instances, metrics, timestamps, values)
-            ]
-            self.runtime.bus.push_many(chunk)
+            self.runtime.bus.push_columns(instances, metrics, timestamps, values)
         t1 = time.process_time()
         tick = self._capture(lambda: self.runtime.ingest_batch([], clock_target))
         self.tick_cpu += time.process_time() - t1

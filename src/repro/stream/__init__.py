@@ -4,8 +4,11 @@ The batch pipeline answers "what will this stored series do next?"; this
 package keeps that answer *current* while samples keep arriving:
 
 * :mod:`~repro.stream.clock` — injectable time (tests never sleep);
+* :mod:`~repro.stream.keys` — the interned key table: ``(instance,
+  metric)`` ↔ dense int id, shared by bus, aggregator and scheduler;
 * :mod:`~repro.stream.ingest` — the sample bus: dedup, watermarks,
-  bounded buffering with backpressure accounting;
+  bounded buffering with backpressure accounting, and the columnar
+  ``push_columns`` fast path with dirty-key tracking;
 * :mod:`~repro.stream.aggregate` — incremental hourly windows that
   finalise as watermarks advance, bit-equal to the batch repository's
   ``load_series``;
@@ -33,6 +36,7 @@ from .alerts import (
 from .clock import Clock, ManualClock, SystemClock
 from .drift import CusumDetector
 from .ingest import IngestBus, KeyBuffer, StreamKey
+from .keys import KeyTable
 from .runtime import StreamConfig, StreamRuntime
 from .scheduler import ForecastScheduler, RefitEvent, SchedulerTick
 
@@ -48,6 +52,7 @@ __all__ = [
     "ForecastScheduler",
     "IngestBus",
     "KeyBuffer",
+    "KeyTable",
     "ListSink",
     "ManualClock",
     "RefitEvent",

@@ -26,6 +26,17 @@ polls through ``IngestBus`` → ``WindowAggregator`` → :meth:`flush` yields
 Windows close strictly left to right per key, so the emitted stream *is*
 the hourly series — :meth:`WindowAggregator.series` rebuilds it for the
 scheduler without touching the raw store.
+
+Finalisation is **dirty-key driven**: the bus records which keys accepted
+samples since the last tick, and :meth:`advance` visits exactly those —
+a quiet 100k-key estate pays O(touched), not O(estate), per tick. When a
+key has several windows ready at once (a catch-up burst, a long-idle key
+waking up) they close in one bulk pass: a single ``consume_span`` pops
+the whole span, and per-window means come from one ``np.bincount``
+accumulation over window indices rather than per-window ``consume`` +
+``np.mean`` calls. The accumulation runs in buffer insertion order —
+the same order the sequential mean summed — keeping every emitted value
+bit-identical to the one-window-at-a-time path.
 """
 
 from __future__ import annotations
@@ -37,7 +48,7 @@ import numpy as np
 from ..core.frequency import Frequency
 from ..core.timeseries import TimeSeries
 from ..exceptions import DataError, FrequencyError
-from .ingest import IngestBus, StreamKey
+from .ingest import IngestBus
 
 __all__ = ["ClosedWindow", "WindowAggregator"]
 
@@ -91,7 +102,9 @@ class WindowAggregator:
     ----------
     bus:
         The :class:`~repro.stream.ingest.IngestBus` owning the raw
-        buffers and watermarks.
+        buffers and watermarks. Its
+        :class:`~repro.stream.keys.KeyTable` is shared: finalisation
+        state here is keyed by the bus's dense key ids.
     window_frequency:
         Aggregation granularity (hourly, the paper's storage policy).
         Must be a coarser integer multiple of the bus's polling grid.
@@ -120,17 +133,23 @@ class WindowAggregator:
         self.window_frequency = window_frequency
         self.ratio = ratio
         self.history_limit = history_limit
-        self._keys: dict[StreamKey, _KeyWindows] = {}
+        self._keys: dict[int, _KeyWindows] = {}
         self.counters: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def _count(self, key: str, n: int = 1) -> None:
         self.counters[key] = self.counters.get(key, 0) + n
 
-    def _close_up_to(self, key: StreamKey, limit_slot: int) -> list[ClosedWindow]:
-        """Finalise every window of ``key`` whose end slot is ≤ ``limit_slot``."""
-        buffer = self.bus.buffer(*key)
-        state = self._keys.setdefault(key, _KeyWindows())
+    def _close_up_to(self, kid: int, limit_slot: int) -> list[ClosedWindow]:
+        """Finalise every window of key ``kid`` whose end slot is ≤ ``limit_slot``.
+
+        All ready windows close in one pass: a single
+        :meth:`~repro.stream.ingest.IngestBus.consume_span` pops the full
+        span and a ``bincount`` over window indices accumulates each
+        window's sum and count — means, emptiness and partial-window
+        accounting for the whole burst come out of one sweep.
+        """
+        state = self._keys.setdefault(kid, _KeyWindows())
         if state.closed == 0:
             # The grid anchor is the batch path's t0: the key's earliest
             # *accepted* sample. It must keep tracking min_slot until the
@@ -139,37 +158,71 @@ class WindowAggregator:
             # and freezing too early would sweep that sample into the
             # first window (corrupting its mean) and misalign every
             # window after it relative to the batch grid.
-            if buffer.min_slot is None:
+            min_slot = self.bus.min_slot_of(kid)
+            if min_slot is None:
                 return []
-            state.anchor_slot = buffer.min_slot
-        closed: list[ClosedWindow] = []
-        while True:
-            end_slot = state.anchor_slot + (state.closed + 1) * self.ratio
-            if end_slot > limit_slot:
-                break
-            taken = self.bus.consume(key, end_slot, from_slot=end_slot - self.ratio)
-            value = float(np.mean(list(taken.values()))) if taken else float("nan")
-            window = ClosedWindow(
-                instance=key[0],
-                metric=key[1],
-                start=(end_slot - self.ratio) * self.bus.step,
-                value=value,
-                n_samples=len(taken),
-                expected=self.ratio,
+            state.anchor_slot = min_slot
+        ratio = self.ratio
+        n_windows = (limit_slot - state.anchor_slot) // ratio - state.closed
+        if n_windows <= 0:
+            return []
+        base = state.anchor_slot + state.closed * ratio
+        upto = base + n_windows * ratio
+        slots, values = self.bus.consume_span(kid, upto, from_slot=base)
+        window_idx = (slots - base) // ratio
+        counts = np.bincount(window_idx, minlength=n_windows)
+        if ratio < 8:
+            # bincount's weighted accumulation adds values in scan order
+            # — the buffer's insertion order, exactly the sequence a
+            # per-window np.mean(list(...)) would have summed. For fewer
+            # than 8 addends numpy's reduction is the same plain
+            # sequential loop, so sum (and thus mean) is bit-identical.
+            # Empty windows divide 0/0 into the batch path's NaN.
+            with np.errstate(invalid="ignore"):
+                means = np.bincount(
+                    window_idx, weights=values, minlength=n_windows
+                ) / counts
+        else:
+            # At 8+ addends numpy switches to unrolled pairwise
+            # summation, which a left-to-right bincount would not match
+            # bit-for-bit — fall back to one np.mean per window over the
+            # insertion-ordered slice (stable sort keeps that order).
+            means = np.full(n_windows, np.nan)
+            order = np.argsort(window_idx, kind="stable")
+            bounds = np.searchsorted(window_idx[order], np.arange(n_windows + 1))
+            for i in range(n_windows):
+                lo, hi = int(bounds[i]), int(bounds[i + 1])
+                if hi > lo:
+                    means[i] = np.mean(values[order[lo:hi]])
+        instance, metric = self.bus.key_table.key_of(kid)
+        step = self.bus.step
+        mean_list = means.tolist()
+        count_list = counts.tolist()
+        closed = [
+            ClosedWindow(
+                instance=instance,
+                metric=metric,
+                start=(base + i * ratio) * step,
+                value=mean_list[i],
+                n_samples=count_list[i],
+                expected=ratio,
             )
-            state.closed += 1
-            state.values.append(value)
-            if self.history_limit is not None and len(state.values) > self.history_limit:
-                drop = len(state.values) - self.history_limit
-                del state.values[:drop]
-                state.trimmed += drop
-            self._count("windows_closed")
-            self._count("samples_aggregated", len(taken))
-            if not taken:
-                self._count("windows_empty")
-            elif len(taken) < self.ratio:
-                self._count("windows_partial")
-            closed.append(window)
+            for i in range(n_windows)
+        ]
+        state.closed += n_windows
+        state.values.extend(mean_list)
+        if self.history_limit is not None and len(state.values) > self.history_limit:
+            drop = len(state.values) - self.history_limit
+            del state.values[:drop]
+            state.trimmed += drop
+        self._count("windows_closed", n_windows)
+        self._count("samples_aggregated", int(counts.sum()))
+        n_empty = n_windows - int(np.count_nonzero(counts))
+        if n_empty:
+            self._count("windows_empty", n_empty)
+        n_partial = int(np.count_nonzero((counts > 0) & (counts < ratio)))
+        if n_partial:
+            self._count("windows_partial", n_partial)
         return closed
 
     # ------------------------------------------------------------------
@@ -182,13 +235,18 @@ class WindowAggregator:
         left-to-right per key; a closed window's slots leave the bus
         buffer (releasing backpressure capacity) and its span becomes
         immutable — later arrivals below it are dropped as late.
+
+        Only the keys the bus marked **dirty** since the last tick are
+        visited: an untouched key's watermark has not moved and its
+        anchor cannot have re-based, so it can close nothing. The tick
+        therefore costs O(keys touched), independent of estate size.
         """
         closed: list[ClosedWindow] = []
-        for key in self.bus.keys():
-            wm_slot = self.bus.buffer(*key).watermark_slot(self.bus.lateness_slots)
+        for kid in self.bus.take_dirty():
+            wm_slot = self.bus.watermark_slot_of(kid)
             if wm_slot is None:
                 continue
-            closed.extend(self._close_up_to(key, wm_slot))
+            closed.extend(self._close_up_to(kid, wm_slot))
         return closed
 
     def flush(self) -> list[ClosedWindow]:
@@ -202,14 +260,14 @@ class WindowAggregator:
         :meth:`TimeSeries.aggregate` drops a partial trailing bucket.
         """
         closed: list[ClosedWindow] = []
-        for key in self.bus.keys():
-            buffer = self.bus.buffer(*key)
-            if buffer.max_slot is None:
+        for kid in self.bus.live_kids():
+            max_slot = self.bus.max_slot_of(kid)
+            if max_slot is None:
                 continue
-            closed.extend(self._close_up_to(key, buffer.max_slot + 1))
-            leftover = self.bus.consume(key, buffer.max_slot + 1)
-            if leftover:
-                self._count("samples_discarded_at_flush", len(leftover))
+            closed.extend(self._close_up_to(kid, max_slot + 1))
+            leftover_slots, __ = self.bus.consume_span(kid, max_slot + 1)
+            if leftover_slots.size:
+                self._count("samples_discarded_at_flush", int(leftover_slots.size))
         return closed
 
     def evict(self, instance: str, metric: str) -> None:
@@ -219,7 +277,9 @@ class WindowAggregator:
         anchor wherever its samples land next. Counters keep their
         historical totals.
         """
-        self._keys.pop((instance, metric), None)
+        kid = self.bus.key_table.id_of(instance, metric)
+        if kid is not None:
+            self._keys.pop(kid, None)
         self.bus.evict(instance, metric)
 
     def export_state(self, instance: str, metric: str) -> dict | None:
@@ -230,7 +290,8 @@ class WindowAggregator:
         re-anchor on whatever buffered sample arrives first and emit
         windows that break hourly continuity with the migrated history.
         """
-        state = self._keys.get((instance, metric))
+        kid = self.bus.key_table.id_of(instance, metric)
+        state = self._keys.get(kid) if kid is not None else None
         if state is None:
             return None
         return {
@@ -242,10 +303,10 @@ class WindowAggregator:
 
     def adopt_state(self, instance: str, metric: str, state: dict) -> None:
         """Install a migrated key's finalisation state (see ``export_state``)."""
-        key: StreamKey = (instance, metric)
-        if key in self._keys:
+        kid = self.bus.key_table.intern(instance, metric)
+        if kid in self._keys:
             raise DataError(f"window state already present for {instance}/{metric}")
-        self._keys[key] = _KeyWindows(
+        self._keys[kid] = _KeyWindows(
             anchor_slot=state["anchor_slot"],
             closed=state["closed"],
             trimmed=state["trimmed"],
@@ -256,7 +317,8 @@ class WindowAggregator:
     # Reading back
     # ------------------------------------------------------------------
     def windows_closed(self, instance: str, metric: str) -> int:
-        state = self._keys.get((instance, metric))
+        kid = self.bus.key_table.id_of(instance, metric)
+        state = self._keys.get(kid) if kid is not None else None
         return state.closed if state is not None else 0
 
     def series(self, instance: str, metric: str) -> TimeSeries:
@@ -266,7 +328,8 @@ class WindowAggregator:
         same accepted polls (modulo any windows trimmed under
         ``history_limit``).
         """
-        state = self._keys.get((instance, metric))
+        kid = self.bus.key_table.id_of(instance, metric)
+        state = self._keys.get(kid) if kid is not None else None
         if state is None or not state.values:
             raise DataError(f"no finalised windows for {instance}/{metric}")
         start = (state.anchor_slot + state.trimmed * self.ratio) * self.bus.step

@@ -1,0 +1,91 @@
+"""Interned stream-key ids: ``(instance, metric)`` ↔ dense integer.
+
+Every layer of the streaming plane — bus buffers, window finalisation
+state, scheduler histories — is keyed by the same ``(instance, metric)``
+pair. Hashing that tuple of strings on every sample is affordable once;
+doing it per sample per layer at estate scale is the dispatch tax the
+columnar ingest path exists to remove. :class:`KeyTable` interns each
+pair once into a dense integer **key id** (``kid``): hot loops then index
+lists and ndarrays instead of hashing strings, and a batch of samples
+carries its keys as one ``int64`` column.
+
+One table is shared per deployment (the bus owns it; the aggregator and
+scheduler borrow it), so a kid means the same key everywhere. Ids are
+stable for the table's lifetime: evicting a key from a layer clears that
+layer's slot for the kid but never reassigns the id — a later re-adopt
+or re-push of the same key lands on the same kid.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KeyTable"]
+
+#: A monitored metric's identity: ``(instance, metric)``.
+StreamKey = tuple[str, str]
+
+
+class KeyTable:
+    """Bidirectional ``StreamKey`` ↔ dense int id map, append-only.
+
+    ``intern`` is the single write path: the first sighting of a key
+    assigns the next id, every later sighting returns the same id.
+    Lookup back out (:meth:`key_of`) is a list index — no hashing.
+    """
+
+    __slots__ = ("_ids", "_keys")
+
+    def __init__(self) -> None:
+        self._ids: dict[StreamKey, int] = {}
+        self._keys: list[StreamKey] = []
+
+    def intern(self, instance: str, metric: str) -> int:
+        """The key's id, assigning the next dense id on first sighting."""
+        key = (instance, metric)
+        kid = self._ids.get(key)
+        if kid is None:
+            kid = len(self._keys)
+            self._ids[key] = kid
+            self._keys.append(key)
+        return kid
+
+    def intern_column(self, instances, metrics) -> list[int]:
+        """Ids for a whole column of keys, one per row, interning misses.
+
+        The columnar counterpart of :meth:`intern`: row ``i`` maps to the
+        id of ``(instances[i], metrics[i])``, with unseen keys assigned
+        ids in first-appearance (delivery) order — identical to calling
+        ``intern`` per row. The all-hits case (a warm table, the steady
+        state) runs entirely in C via ``map``; the first miss falls back
+        to a per-row loop that interns as it goes.
+        """
+        ids = self._ids
+        try:
+            return list(map(ids.__getitem__, zip(instances, metrics)))
+        except KeyError:
+            pass
+        keys = self._keys
+        get = ids.get
+        out: list[int] = []
+        append = out.append
+        for pair in zip(instances, metrics):
+            kid = get(pair)
+            if kid is None:
+                kid = len(keys)
+                ids[pair] = kid
+                keys.append(pair)
+            append(kid)
+        return out
+
+    def id_of(self, instance: str, metric: str) -> int | None:
+        """The key's id if it was ever interned, else ``None``."""
+        return self._ids.get((instance, metric))
+
+    def key_of(self, kid: int) -> StreamKey:
+        """The ``(instance, metric)`` pair behind an id."""
+        return self._keys[kid]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: StreamKey) -> bool:
+        return key in self._ids

@@ -261,6 +261,7 @@ class StreamRuntime:
             trace=self.trace,
             dispatch=self.config.dispatch,
             repository=repository,
+            key_table=self.bus.key_table,
         )
         self.alerts = AlertManager(
             sink=sink,
@@ -343,7 +344,11 @@ class StreamRuntime:
         debounce streaks count ticks identically to one process.
         """
         if chunk:
-            self.bus.push_many(chunk)
+            # Columnar edge conversion: one pass splits the chunk into
+            # SoA columns for the bus's vectorized intake (push_chunk
+            # falls back to per-sample delivery when ingest faults are
+            # planned, keeping the chaos path's RNG draw order intact).
+            self.bus.push_chunk(chunk)
             if clock_target is None:
                 clock_target = max(s.timestamp for s in chunk)
         if clock_target is not None:

@@ -83,6 +83,7 @@ from .aggregate import ClosedWindow
 from .clock import Clock
 from .drift import CusumDetector
 from .ingest import StreamKey
+from .keys import KeyTable
 
 __all__ = ["RefitEvent", "SchedulerTick", "ForecastScheduler"]
 
@@ -216,7 +217,7 @@ class _CachedAdvisory:
 class _CohortJob:
     """One healthy-path grading deferred into a batched cohort dispatch."""
 
-    key: StreamKey
+    kid: int
     wkey: WorkloadKey
     entry: object
     model: FittedExpSmoothing
@@ -294,6 +295,7 @@ class ForecastScheduler:
         trace: RunTrace | None = None,
         dispatch: str = "cohort",
         repository=None,
+        key_table: KeyTable | None = None,
     ) -> None:
         if min_observations is None:
             min_observations = window_frequency.split_rule.observations
@@ -315,19 +317,31 @@ class ForecastScheduler:
         self.trace = trace if trace is not None else RunTrace()
         self.dispatch = dispatch
         self.repository = repository
-        self._histories: dict[StreamKey, _KeyHistory] = {}
-        self._registered: set[StreamKey] = set()
+        #: Shared (instance, metric) ↔ dense id table; per-key state below
+        #: is keyed by the id so the hot loops never hash string tuples.
+        #: The stream runtime hands in the bus's table so one id means
+        #: the same key on the bus, in the aggregator and here.
+        self.key_table = key_table if key_table is not None else KeyTable()
+        self._histories: dict[int, _KeyHistory] = {}
+        self._registered: set[int] = set()
+        #: Cached grading order (registered kids sorted by StreamKey);
+        #: rebuilt only when registration changes, not every tick.
+        self._registered_order: list[int] | None = None
         self._event_time = -math.inf
         self.refit_log: list[RefitEvent] = []
         #: Last good outcome per key — rung 1 of the degradation ladder.
-        self._fallback: dict[StreamKey, _CachedModel] = {}
+        self._fallback: dict[int, _CachedModel] = {}
         #: Rolled model states per key (keys whose family supports it).
-        self._live: dict[StreamKey, _LiveModel] = {}
+        self._live: dict[int, _LiveModel] = {}
         #: Last advisory per key, keyed on (model identity, elapsed, threshold).
-        self._advisory_memo: dict[StreamKey, _CachedAdvisory] = {}
+        self._advisory_memo: dict[int, _CachedAdvisory] = {}
 
     # ------------------------------------------------------------------
     def workload_key(self, instance: str, metric: str) -> WorkloadKey:
+        return WorkloadKey(customer=self.customer, workload=instance, metric=metric)
+
+    def _wkey(self, kid: int) -> WorkloadKey:
+        instance, metric = self.key_table.key_of(kid)
         return WorkloadKey(customer=self.customer, workload=instance, metric=metric)
 
     def _now(self) -> float:
@@ -337,7 +351,14 @@ class ForecastScheduler:
 
     def history(self, instance: str, metric: str) -> TimeSeries:
         """The hourly history the scheduler holds for a key."""
-        state = self._histories.get((instance, metric))
+        kid = self.key_table.id_of(instance, metric)
+        if kid is None:
+            raise DataError(f"no streamed history for {instance}/{metric}")
+        return self._history_series(kid)
+
+    def _history_series(self, kid: int) -> TimeSeries:
+        state = self._histories.get(kid)
+        instance, metric = self.key_table.key_of(kid)
         if state is None or not len(state):
             raise DataError(f"no streamed history for {instance}/{metric}")
         return state.series(self.window_frequency, f"{instance}.{metric}")
@@ -355,10 +376,10 @@ class ForecastScheduler:
             raise DataError(
                 f"seed history must be {self.window_frequency.name}, got {series.frequency.name}"
             )
-        key: StreamKey = (instance, metric)
-        if key in self._histories:
+        kid = self.key_table.intern(instance, metric)
+        if kid in self._histories:
             raise DataError(f"history already present for {instance}/{metric}")
-        self._histories[key] = _KeyHistory(
+        self._histories[kid] = _KeyHistory(
             start=float(series.start), values=[float(v) for v in series.values]
         )
         self._event_time = max(self._event_time, series.end + series.frequency.seconds)
@@ -374,8 +395,8 @@ class ForecastScheduler:
         normal lifecycle rules govern it) and the key starts rolling and
         grading on the next tick.
         """
-        key: StreamKey = (instance, metric)
-        state = self._histories.get(key)
+        kid = self.key_table.intern(instance, metric)
+        state = self._histories.get(kid)
         if state is None or not len(state):
             raise DataError(
                 f"adopt_model requires history for {instance}/{metric}; seed it first"
@@ -388,7 +409,8 @@ class ForecastScheduler:
             outcome=outcome,
             threshold=self.thresholds.get(metric),
         )
-        self._registered.add(key)
+        self._registered.add(kid)
+        self._registered_order = None
         return wkey
 
     # ------------------------------------------------------------------
@@ -398,10 +420,11 @@ class ForecastScheduler:
         """Consume a batch of finalised windows; the stream's heartbeat."""
         tick = SchedulerTick()
         step = float(self.window_frequency.seconds)
-        fresh: dict[StreamKey, list[float]] = {}
+        intern = self.key_table.intern
+        fresh: dict[int, list[float]] = {}
         for window in windows:
-            key: StreamKey = (window.instance, window.metric)
-            state = self._histories.setdefault(key, _KeyHistory())
+            kid = intern(window.instance, window.metric)
+            state = self._histories.setdefault(kid, _KeyHistory())
             if state.start is not None and len(state):
                 expected = state.start + len(state) * step
                 if abs(window.start - expected) > 1e-6 * step:
@@ -412,7 +435,7 @@ class ForecastScheduler:
             state.append(window)
             if self.history_cap is not None:
                 state.trim(self.history_cap, step)
-            fresh.setdefault(key, []).append(window.value)
+            fresh.setdefault(kid, []).append(window.value)
             self._event_time = max(self._event_time, window.start + step)
             self.trace.count("stream_windows_observed")
 
@@ -422,34 +445,34 @@ class ForecastScheduler:
         now = self._now()
         rolled = self._advance_live(fresh)
         pending = False
-        for key, values in fresh.items():
-            wkey = self.workload_key(*key)
-            if key in self._registered:
+        for kid, values in fresh.items():
+            wkey = self._wkey(kid)
+            if kid in self._registered:
                 if self._entry_failed(wkey):
                     # A failed selection left the key degraded; re-register
                     # with the grown history so the next report retries it.
-                    self._register(key)
+                    self._register(kid)
                     pending = True
                     event = RefitEvent(key=wkey, reason="recovery", at=now)
                     tick.refits.append(event)
                     self.refit_log.append(event)
                     self.trace.fault("recovery_reselections")
                     continue
-                if key in rolled:
-                    verdict = self._absorb_roll(key, wkey, rolled[key], now)
+                if kid in rolled:
+                    verdict = self._absorb_roll(kid, wkey, rolled[kid], now)
                 else:
                     verdict = self.planner.observe(wkey, values)
                 if verdict is not None:
                     tick.verdicts[wkey] = verdict
                     if verdict.stale:
-                        self._register(key)
+                        self._register(kid)
                         pending = True
                         event = RefitEvent(key=wkey, reason=verdict.reason.value, at=now)
                         tick.refits.append(event)
                         self.refit_log.append(event)
                         self.trace.count("stream_refits_triggered")
-            elif len(self._histories[key]) >= self.min_observations:
-                self._register(key)
+            elif len(self._histories[kid]) >= self.min_observations:
+                self._register(kid)
                 pending = True
                 event = RefitEvent(key=wkey, reason="initial", at=now)
                 tick.refits.append(event)
@@ -472,9 +495,9 @@ class ForecastScheduler:
         """
         if not self._histories:
             raise DataError("nothing streamed yet; no keys to resync")
-        for key, state in self._histories.items():
+        for kid, state in self._histories.items():
             if len(state) >= self.min_observations:
-                self._register(key)
+                self._register(kid)
         return self._run_selection()
 
     # ------------------------------------------------------------------
@@ -482,7 +505,8 @@ class ForecastScheduler:
     # ------------------------------------------------------------------
     def export_history(self, instance: str, metric: str) -> TimeSeries | None:
         """A key's hourly history for handoff, or ``None`` when empty."""
-        state = self._histories.get((instance, metric))
+        kid = self.key_table.id_of(instance, metric)
+        state = self._histories.get(kid) if kid is not None else None
         if state is None or not len(state):
             return None
         return state.series(self.window_frequency, f"{instance}.{metric}")
@@ -494,18 +518,20 @@ class ForecastScheduler:
         memo and the planner entry. The receiving shard re-seeds from the
         exported history and re-registers on its next window.
         """
-        key: StreamKey = (instance, metric)
-        self._histories.pop(key, None)
-        self._registered.discard(key)
-        self._live.pop(key, None)
-        self._fallback.pop(key, None)
-        self._advisory_memo.pop(key, None)
+        kid = self.key_table.id_of(instance, metric)
+        if kid is not None:
+            self._histories.pop(kid, None)
+            self._registered.discard(kid)
+            self._registered_order = None
+            self._live.pop(kid, None)
+            self._fallback.pop(kid, None)
+            self._advisory_memo.pop(kid, None)
         self.planner.forget(self.workload_key(instance, metric))
 
     # ------------------------------------------------------------------
     # Incremental state rolls
     # ------------------------------------------------------------------
-    def _live_model_for(self, key: StreamKey, outcome: SelectionOutcome) -> _LiveModel | None:
+    def _live_model_for(self, kid: int, outcome: SelectionOutcome) -> _LiveModel | None:
         """The key's roll chain, started or refreshed from ``outcome``.
 
         ``None`` when the family cannot roll: exogenous-regressor fits
@@ -519,7 +545,7 @@ class ForecastScheduler:
         )
         if uses_exog or not hasattr(outcome.model, "advance"):
             return None
-        live = self._live.get(key)
+        live = self._live.get(kid)
         if live is None or live.source is not outcome:
             live = _LiveModel(
                 source=outcome,
@@ -527,10 +553,10 @@ class ForecastScheduler:
                 fitted_at=float(outcome.model.train.end),
                 initial_len=len(outcome.model.train),
             )
-            self._live[key] = live
+            self._live[kid] = live
         return live
 
-    def _advance_live(self, fresh: dict[StreamKey, list[float]]) -> dict[StreamKey, tuple]:
+    def _advance_live(self, fresh: dict[int, list[float]]) -> dict[int, tuple]:
         """Roll stored model states through this tick's closed windows.
 
         Same-spec exponential-smoothing keys advance in one batched
@@ -541,17 +567,17 @@ class ForecastScheduler:
         fails (non-finite window, sick state) drops back to the legacy
         monitor-based observe path alone; its cohort peers still roll.
         """
-        candidates: list[tuple[StreamKey, object, list[float]]] = []
-        for key, values in fresh.items():
-            if key not in self._registered:
+        candidates: list[tuple[int, object, list[float]]] = []
+        for kid, values in fresh.items():
+            if kid not in self._registered:
                 continue
             try:
-                entry = self.planner.entry(self.workload_key(*key))
+                entry = self.planner.entry(self._wkey(kid))
             except DataError:
                 continue
             if entry.status is not WorkloadStatus.MODELLED or entry.outcome is None:
                 continue
-            live = self._live_model_for(key, entry.outcome)
+            live = self._live_model_for(kid, entry.outcome)
             if live is None:
                 continue
             # Scalar finiteness check: the per-tick block is a handful of
@@ -559,13 +585,13 @@ class ForecastScheduler:
             if not all(math.isfinite(v) for v in values):
                 # The filter cannot run through garbage; hand the key
                 # back to the monitor path and drop the roll chain.
-                self._live.pop(key, None)
+                self._live.pop(kid, None)
                 continue
-            candidates.append((key, live.model, values))
+            candidates.append((kid, live.model, values))
 
-        results: dict[StreamKey, tuple] = {}
+        results: dict[int, tuple] = {}
         groups: dict[tuple, list[int]] = {}
-        for i, (key, model, values) in enumerate(candidates):
+        for i, (kid, model, values) in enumerate(candidates):
             if isinstance(model, FittedExpSmoothing):
                 groups.setdefault(("ets", model.spec, len(values)), []).append(i)
             else:
@@ -585,15 +611,15 @@ class ForecastScheduler:
                         results[candidates[i][0]] = (out[j], innovations[j])
                     continue
             for i in idxs:
-                key, model, values = candidates[i]
+                kid, model, values = candidates[i]
                 try:
-                    results[key] = model.advance(np.asarray(values, dtype=float))
+                    results[kid] = model.advance(np.asarray(values, dtype=float))
                 except Exception:
-                    self._live.pop(key, None)
+                    self._live.pop(kid, None)
         return results
 
     def _absorb_roll(
-        self, key: StreamKey, wkey: WorkloadKey, rolled: tuple, now: float
+        self, kid: int, wkey: WorkloadKey, rolled: tuple, now: float
     ) -> StalenessVerdict:
         """Install a rolled state and run the cheap staleness checks.
 
@@ -604,7 +630,7 @@ class ForecastScheduler:
         costs O(new windows) per key per tick.
         """
         model, innovations = rolled
-        live = self._live[key]
+        live = self._live[kid]
         live.model = model
         live.rolls += int(innovations.size)
         self.trace.count("stream_rolls_applied", int(innovations.size))
@@ -630,21 +656,22 @@ class ForecastScheduler:
             age_seconds=age,
         )
         if stale:
-            self._live.pop(key, None)
+            self._live.pop(kid, None)
             self.planner.cache.invalidate(wkey)
         return verdict
 
     # ------------------------------------------------------------------
-    def _register(self, key: StreamKey) -> None:
-        instance, metric = key
+    def _register(self, kid: int) -> None:
+        instance, metric = self.key_table.key_of(kid)
         self.planner.register(
             customer=self.customer,
             workload=instance,
             metric=metric,
-            series=self.history(instance, metric),
+            series=self._history_series(kid),
             threshold=self.thresholds.get(metric),
         )
-        self._registered.add(key)
+        self._registered.add(kid)
+        self._registered_order = None
 
     def _entry_failed(self, wkey: WorkloadKey) -> bool:
         try:
@@ -724,12 +751,18 @@ class ForecastScheduler:
     # ------------------------------------------------------------------
     # Advisory grading
     # ------------------------------------------------------------------
+    def _grade_order(self) -> list[int]:
+        """Registered kids in StreamKey order, cached between ticks."""
+        if self._registered_order is None:
+            self._registered_order = sorted(self._registered, key=self.key_table.key_of)
+        return self._registered_order
+
     def _grade_all(self, now: float) -> dict[WorkloadKey, BreachPrediction]:
         advisories: dict[WorkloadKey, BreachPrediction] = {}
         order: list[WorkloadKey] = []
         deferred: list[_CohortJob] = []
-        for key in sorted(self._registered):
-            wkey = self.workload_key(*key)
+        for kid in self._grade_order():
+            wkey = self._wkey(kid)
             order.append(wkey)
             try:
                 entry = self.planner.entry(wkey)
@@ -740,16 +773,16 @@ class ForecastScheduler:
             if entry.status is WorkloadStatus.MODELLED and entry.outcome is not None:
                 # Healthy path — and the moment to refresh rung 1 of the
                 # degradation ladder with the newest good outcome.
-                self._fallback[key] = _CachedModel(
+                self._fallback[kid] = _CachedModel(
                     outcome=entry.outcome, threshold=entry.threshold
                 )
-                advisory = self._grade_healthy(key, wkey, entry, now, deferred)
+                advisory = self._grade_healthy(kid, wkey, entry, now, deferred)
                 if advisory is _DEFERRED:
                     continue
             else:
                 # Selection failed (or never completed): degrade rather
                 # than fall silent — alert continuity is the contract.
-                advisory = self._grade_degraded(key, entry.threshold, now)
+                advisory = self._grade_degraded(kid, entry.threshold, now)
                 if advisory is not None:
                     self.trace.fault("degraded_advisories")
             if advisory is not None:
@@ -761,15 +794,15 @@ class ForecastScheduler:
         # both dispatch modes hand the alerting layer the same sequence.
         return {wk: advisories[wk] for wk in order if wk in advisories}
 
-    def _grade_healthy(self, key, wkey, entry, now, deferred):
+    def _grade_healthy(self, kid, wkey, entry, now, deferred):
         """Grade one modelled key, via memo, cohort deferral or scalar path."""
         outcome = entry.outcome
-        live = self._live.get(key)
+        live = self._live.get(kid)
         model = live.model if live is not None and live.source is outcome else outcome.model
         base_horizon, elapsed = self._grading_window(model, now)
         if base_horizon is None:
             return None  # zero lookahead: grading disabled, not defaulted
-        memo = self._advisory_memo.get(key)
+        memo = self._advisory_memo.get(kid)
         if (
             memo is not None
             and memo.model is model
@@ -788,11 +821,11 @@ class ForecastScheduler:
             and not uses_exog
             and isinstance(model, FittedExpSmoothing)
         ):
-            deferred.append(_CohortJob(key, wkey, entry, model, base_horizon, elapsed))
+            deferred.append(_CohortJob(kid, wkey, entry, model, base_horizon, elapsed))
             return _DEFERRED
         advisory = self._grade_entry(entry, now, model=model)
         if advisory is not None:
-            self._advisory_memo[key] = _CachedAdvisory(
+            self._advisory_memo[kid] = _CachedAdvisory(
                 model, elapsed, entry.threshold, advisory
             )
         return advisory
@@ -850,17 +883,17 @@ class ForecastScheduler:
     def _finish_grading(self, job, elapsed, advisory, advisories) -> None:
         if advisory is None:
             return
-        self._advisory_memo[job.key] = _CachedAdvisory(
+        self._advisory_memo[job.kid] = _CachedAdvisory(
             job.model, elapsed, job.entry.threshold, advisory
         )
         advisories[job.wkey] = advisory
         self.trace.count("stream_advisories_graded")
 
     def _grade_degraded(
-        self, key: StreamKey, threshold: float, now: float
+        self, kid: int, threshold: float, now: float
     ) -> BreachPrediction | None:
         """Grade a key whose selection is unavailable, via the fallback ladder."""
-        cached = self._fallback.get(key)
+        cached = self._fallback.get(kid)
         if cached is not None:
             try:
                 advisory = self._grade_entry(cached, now)
@@ -877,7 +910,7 @@ class ForecastScheduler:
         if base_horizon <= 0:
             return None
         try:
-            series = self.history(*key)
+            series = self._history_series(kid)
         except DataError:
             return None
         period = self.window_frequency.default_period
@@ -969,7 +1002,12 @@ class ForecastScheduler:
     # ------------------------------------------------------------------
     def planning_keys(self) -> list[StreamKey]:
         """Registered keys whose metric has a threshold, sorted."""
-        return sorted(k for k in self._registered if k[1] in self.thresholds)
+        key_of = self.key_table.key_of
+        return sorted(
+            key
+            for key in (key_of(kid) for kid in self._registered)
+            if key[1] in self.thresholds
+        )
 
     def planning_view(self, instance: str, metric: str) -> tuple[Forecast, float] | None:
         """(remaining forecast, current capacity) for the planner's scorer.
@@ -981,9 +1019,9 @@ class ForecastScheduler:
         selection is unavailable; ``None`` when the key has no
         threshold, no model, or grading is disabled.
         """
-        key: StreamKey = (instance, metric)
+        kid = self.key_table.id_of(instance, metric)
         threshold = self.thresholds.get(metric)
-        if threshold is None or key not in self._registered:
+        if threshold is None or kid is None or kid not in self._registered:
             return None
         entry = None
         try:
@@ -997,10 +1035,10 @@ class ForecastScheduler:
         ):
             entry = candidate
         else:
-            entry = self._fallback.get(key)
+            entry = self._fallback.get(kid)
         if entry is None or entry.outcome is None:
             return None
-        live = self._live.get(key)
+        live = self._live.get(kid)
         model = (
             live.model
             if live is not None and live.source is entry.outcome

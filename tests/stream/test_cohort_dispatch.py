@@ -268,7 +268,7 @@ class TestKeyHistoryCap:
             assert series.values.tolist() == reference
             assert series.start == (i + 1 - len(reference)) * HOUR
         # The backing list stays bounded: amortised compaction really ran.
-        state = sched._histories[("db1", "cpu")]
+        state = sched._histories[sched.key_table.id_of("db1", "cpu")]
         assert len(state.values) <= cap + max(cap, 64) + 1
 
     def test_continuity_check_survives_compaction(self, monkeypatch):
