@@ -10,8 +10,6 @@ CSVs, and asserts the structural traits the paper reads off the charts:
 * logical-IOPS peak in the paper's millions-per-hour regime.
 """
 
-import numpy as np
-
 from repro.core import seasonal_strength, trend_strength
 from repro.reporting import Table, workload_chart
 from repro.shocks import build_shock_calendar

@@ -12,7 +12,6 @@ additive formulas for HES — but all should be usable: neither ~50 %
 nor ~100 %).
 """
 
-import numpy as np
 import pytest
 
 from repro.models import Arima, HoltWinters

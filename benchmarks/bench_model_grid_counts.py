@@ -14,8 +14,6 @@ correlogram-pruned sizes that make four-node estates ("nearly 24000
 models … unmanageable") tractable.
 """
 
-import numpy as np
-
 from repro.models import Arima
 from repro.reporting import Table
 from repro.selection import (

@@ -537,6 +537,128 @@ def test_cohort_tick_scaling():
         assert ratio < 13.0, f"tick cost scaled {ratio:.1f}x for 10x keys"
 
 
+def test_dayprofile_serving_vs_seasonal_naive():
+    """Day-profile serving cost per tick against the seasonal-naive rung.
+
+    The day-profile family earns its slot in the degradation ladder (and
+    the grid) only if serving it stays in the same cost class as the
+    floor it sits above. Two estates, identical key count and feed:
+
+    * **day-profile** — every key adopts a pre-fitted
+      :class:`~repro.models.dayprofile.FittedDayProfile` (cloned from
+      one template, zero grid fits) and serves through cohort dispatch:
+      one batched label-roll plus one batched centroid-gather forecast
+      per tick;
+    * **seasonal-naive** — the same keys with selection broken (a
+      fault-injected executor), so every tick grades through the
+      ladder's floor: a fresh ``SeasonalNaive`` fit + forecast per key.
+
+    The acceptance contract from the roadmap: day-profile serving costs
+    at most 2x the seasonal-naive rung per tick.
+    """
+    from repro.engine.executor import SerialExecutor
+    from repro.faults.plan import FaultInjector, FaultKind, FaultPlan, FaultRule
+    from repro.models import DayProfile
+    from repro.stream import ForecastScheduler
+
+    n_keys = 200 if REDUCED else 1000
+    seed_hours = 168
+    n_ticks = 8
+    period = 24
+
+    rng = np.random.default_rng(5)
+    t = np.arange(seed_hours)
+    base = 55.0 + 9.0 * np.sin(2 * np.pi * t / period) + rng.normal(0, 0.8, seed_hours)
+    template = DayProfile(period=period).fit(TimeSeries(base, Frequency.HOURLY))
+
+    def feed(sched) -> list[float]:
+        per_tick = []
+        for tick in range(n_ticks):
+            hour = seed_hours + tick
+            batch = [
+                ClosedWindow(
+                    instance=f"db{k:05d}",
+                    metric="cpu",
+                    start=hour * 3600.0,
+                    value=float(base[hour % seed_hours]),
+                    n_samples=4,
+                    expected=4,
+                )
+                for k in range(n_keys)
+            ]
+            t0 = time.perf_counter()
+            out = sched.on_windows(batch)
+            per_tick.append(time.perf_counter() - t0)
+            assert len(out.advisories) == n_keys
+        return per_tick
+
+    # Leg 1: adopted day-profile models served through cohort dispatch.
+    planner = EstatePlanner(config=AutoConfig(technique="hes", n_jobs=1))
+    sched = ForecastScheduler(
+        planner, thresholds={"cpu": 95.0}, min_observations=seed_hours, dispatch="cohort"
+    )
+    for k in range(n_keys):
+        name = f"db{k:05d}"
+        series = TimeSeries(base, Frequency.HOURLY, name=f"{name}.cpu")
+        sched.seed_history(name, "cpu", series)
+        sched.adopt_model(
+            name,
+            "cpu",
+            SelectionOutcome(
+                model=dataclasses.replace(template, train=series),
+                technique="dayprofile",
+                test_rmse=1.0,
+                best_spec=None,
+                seasonality=None,
+                shock_calendar=None,
+            ),
+        )
+    dayprofile_s = min(feed(sched))
+    counters = sched.trace.counters
+    assert counters.get("stream_selection_runs", 0) == 0  # adopted, never fitted
+    assert counters.get("stream_rolls_applied", 0) == n_keys * n_ticks
+    assert counters.get("stream_cohorts_dispatched", 0) >= n_ticks
+
+    # Leg 2: selection permanently broken, every key on the ladder floor.
+    rule = FaultRule(site="executor.submit", kind=FaultKind.TRANSIENT_ERROR, every=1)
+    planner = EstatePlanner(config=AutoConfig(technique="hes", n_jobs=1))
+    sched = ForecastScheduler(
+        planner,
+        thresholds={"cpu": 95.0},
+        executor=SerialExecutor(injector=FaultInjector(FaultPlan(rules=(rule,)))),
+        min_observations=seed_hours,
+    )
+    for k in range(n_keys):
+        name = f"db{k:05d}"
+        sched.seed_history(name, "cpu", TimeSeries(base, Frequency.HOURLY, name=f"{name}.cpu"))
+    naive_s = min(feed(sched))
+    assert sched.trace.faults.get("degraded_seasonal_naive", 0) == n_keys * n_ticks
+
+    ratio = dayprofile_s / naive_s
+    table = Table(
+        ["Keys", "day-profile ms/tick", "seasonal-naive ms/tick", "ratio"],
+        title="Day-profile serving vs seasonal-naive floor",
+    )
+    table.add_row(
+        [str(n_keys), f"{1e3 * dayprofile_s:.2f}", f"{1e3 * naive_s:.2f}", f"{ratio:.2f}x"]
+    )
+    print()
+    table.print()
+    _write_bench_json(
+        "dayprofile_serving",
+        {
+            "n_keys": n_keys,
+            "ticks": n_ticks,
+            "ms_per_tick": 1e3 * dayprofile_s,
+            "seasonal_naive_ms_per_tick": 1e3 * naive_s,
+            "vs_seasonal_naive_ratio": ratio,
+            "reduced": REDUCED,
+        },
+    )
+    # Serving the richer model must stay in the floor's cost class.
+    assert ratio <= 2.0, (dayprofile_s, naive_s)
+
+
 def test_shard_scaling():
     """Partitioned serving capacity vs shard count.
 

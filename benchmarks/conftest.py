@@ -17,7 +17,6 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 from repro.core import TimeSeries, interpolate_missing

@@ -20,7 +20,7 @@ from repro import AutoConfig
 from repro.core import interpolate_missing
 from repro.reporting import Table
 from repro.selection import auto_select
-from repro.service import overprovision_ratio, recommend_capacity
+from repro.service import recommend_capacity
 from repro.workloads import generate_oltp_run
 
 HORIZON_HOURS = 7 * 24  # size for the week after migration

@@ -191,7 +191,12 @@ def _data_plane_lines(trace) -> list[str]:
 
 def _cmd_forecast(args, parser) -> int:
     series = _load_series(args, parser)
-    config = AutoConfig(technique=args.technique, n_jobs=args.jobs, racing=args.racing)
+    config = AutoConfig(
+        technique=args.technique,
+        n_jobs=args.jobs,
+        racing=args.racing,
+        dayprofile=args.dayprofile,
+    )
     executor = default_executor(args.jobs)
     forecast, outcome = auto_forecast(
         series, horizon=args.horizon, config=config, executor=executor
@@ -241,7 +246,7 @@ def _cmd_advise(args, parser) -> int:
     # The estate fans out across (workload, metric) pairs on one shared
     # pool; grid evaluation inside each worker stays serial.
     planner = EstatePlanner(
-        config=AutoConfig(n_jobs=1, racing=args.racing),
+        config=AutoConfig(n_jobs=1, racing=args.racing, dayprofile=args.dayprofile),
         executor=default_executor(args.jobs),
     )
     with MetricsRepository(args.db) as repo:
@@ -266,8 +271,24 @@ def _cmd_advise(args, parser) -> int:
     return 0 if not report.failed else 1
 
 
+def _parse_clusters(pairs: list[str], parser) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for pair in pairs or []:
+        if "=" not in pair:
+            parser.error(f"--cluster expects instance=name, got {pair!r}")
+        instance, __, cluster = pair.partition("=")
+        out[instance.strip()] = cluster.strip()
+    return out
+
+
 def _cmd_plan(args, parser) -> int:
-    from .planner import DEFAULT_CATALOG, demands_from_entries, plan_estate, tier_named
+    from .planner import (
+        DEFAULT_CATALOG,
+        demands_from_entries,
+        plan_estate,
+        reconcile,
+        tier_named,
+    )
     from .shard.ring import HashRing
 
     thresholds = _parse_thresholds(args.threshold, parser)
@@ -284,7 +305,12 @@ def _cmd_plan(args, parser) -> int:
     executor = default_executor(args.jobs)
     planners = [
         EstatePlanner(
-            config=AutoConfig(technique=args.technique, n_jobs=1, racing=args.racing),
+            config=AutoConfig(
+                technique=args.technique,
+                n_jobs=1,
+                racing=args.racing,
+                dayprofile=args.dayprofile,
+            ),
             executor=executor,
         )
         for _ in range(shards)
@@ -314,7 +340,13 @@ def _cmd_plan(args, parser) -> int:
     if not demands:
         print("no modelled workloads to plan (selection failed everywhere)")
         return 1
-    plan = plan_estate(demands, beam_width=args.beam_width, seed=args.seed)
+    # Bottom-up reconciliation: cluster/estate rollups are exact sums of
+    # the per-instance forecasts the beam consumes, so the printed peaks
+    # are coherent with the plan by construction.
+    reconciled = reconcile(demands, clusters=_parse_clusters(args.cluster, parser) or None)
+    plan = plan_estate(reconciled.demands, beam_width=args.beam_width, seed=args.seed)
+    for line in reconciled.describe_lines():
+        print(line)
     for line in plan.describe_lines():
         print(line)
     if args.out:
@@ -344,6 +376,7 @@ def _cmd_stream(args, parser) -> int:
         thresholds=thresholds,
         min_observations=args.min_observations,
         seed=args.seed,
+        dayprofile=args.dayprofile,
         planning=args.plan,
     )
     print(
@@ -360,6 +393,7 @@ def _cmd_stream(args, parser) -> int:
             config=stream_config,
             technique=args.technique,
             racing=args.racing,
+            dayprofile=args.dayprofile,
             repo_url=repo_url,
         ) as sharded:
             ticks = sharded.run(samples)
@@ -384,7 +418,12 @@ def _cmd_stream(args, parser) -> int:
         return 0
 
     planner = EstatePlanner(
-        config=AutoConfig(technique=args.technique, n_jobs=1, racing=args.racing),
+        config=AutoConfig(
+            technique=args.technique,
+            n_jobs=1,
+            racing=args.racing,
+            dayprofile=args.dayprofile,
+        ),
         cache=SelectionCache(),
     )
     repository = None
@@ -496,6 +535,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="race grid candidates through successive-halving rungs",
     )
+    p_fc.add_argument(
+        "--dayprofile",
+        action="store_true",
+        help="race day-profile clustering candidates in the grid",
+    )
     p_fc.add_argument("--out", help="write forecast chart data to this CSV")
     p_fc.set_defaults(func=_cmd_forecast)
 
@@ -513,6 +557,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--racing",
         action="store_true",
         help="race grid candidates through successive-halving rungs",
+    )
+    p_adv.add_argument(
+        "--dayprofile",
+        action="store_true",
+        help="race day-profile clustering candidates in the grid",
     )
     p_adv.set_defaults(func=_cmd_advise)
 
@@ -543,6 +592,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_str.add_argument("--jobs", type=int, default=1, help="selection fan-out workers")
     p_str.add_argument("--seed", type=int, default=0)
     p_str.add_argument("--racing", action="store_true")
+    p_str.add_argument(
+        "--dayprofile",
+        action="store_true",
+        help="race day-profile candidates in selection and enable the "
+        "day-profile degradation rung",
+    )
     p_str.add_argument(
         "--faulty-agent", action="store_true", help="inject agent polling faults"
     )
@@ -582,12 +637,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("--technique", choices=["auto", "sarimax", "hes"], default="hes")
     p_plan.add_argument("--racing", action="store_true")
     p_plan.add_argument(
+        "--dayprofile",
+        action="store_true",
+        help="race day-profile clustering candidates in the grid",
+    )
+    p_plan.add_argument(
         "--tier",
         default=None,
         help="catalog tier every instance currently runs on (default: smallest)",
     )
     p_plan.add_argument("--beam-width", type=int, default=4)
     p_plan.add_argument("--seed", type=int, default=0, help="beam tie-break seed")
+    p_plan.add_argument(
+        "--cluster",
+        action="append",
+        metavar="INSTANCE=NAME",
+        help="assign an instance to a co-location cluster (repeatable); "
+        "clustered instances reconcile bottom-up and may consolidate",
+    )
     p_plan.add_argument(
         "--shards",
         type=int,

@@ -43,6 +43,7 @@ from ..selection.grid import (
     CandidateSpec,
     arima_grid,
     augmentation_specs,
+    dayprofile_grid,
     evaluate_grid,
     sarimax_grid,
 )
@@ -209,9 +210,20 @@ def stage_enumerate(ctx: SelectionContext) -> None:
     else:
         specs = pruned_sarimax_grid(ctx.train, ctx.primary, nlags=config.max_lag)
         full = len(sarimax_grid(ctx.primary, max_lag=config.max_lag))
+    ctx.trace.count("candidates_pruned", max(0, full - len(specs)))
+    # Opt-in day-profile candidates race alongside the ARIMA families:
+    # one cheap clustering fit per cluster count, enumerable whenever the
+    # training window holds at least three complete seasonal cycles.
+    if (
+        config.dayprofile
+        and ctx.primary is not None
+        and len(ctx.train) >= 3 * ctx.primary
+    ):
+        day_specs = dayprofile_grid(ctx.primary, clusters=config.dayprofile_clusters)
+        specs = specs + day_specs
+        ctx.trace.count("candidates_dayprofile", len(day_specs))
     ctx.specs = specs
     ctx.trace.count("candidates_enumerated", len(specs))
-    ctx.trace.count("candidates_pruned", max(0, full - len(specs)))
 
 
 def stage_score(ctx: SelectionContext) -> None:
@@ -358,7 +370,7 @@ def stage_refit(ctx: SelectionContext) -> None:
 
     ctx.outcome = SelectionOutcome(
         model=fitted,
-        technique="sarimax",
+        technique="dayprofile" if best.spec.dayprofile is not None else "sarimax",
         test_rmse=best.rmse,
         best_spec=best.spec,
         seasonality=ctx.seasonality,

@@ -9,6 +9,7 @@ error bars.
 from . import kernels
 from .arima import Arima, ArimaOrder, FittedArima, SeasonalOrder
 from .base import FittedModel, Forecast, ForecastModel
+from .dayprofile import DayProfile, DayProfileSpec, FittedDayProfile
 from .ets import FittedExpSmoothing, Holt, HoltWinters, SimpleExpSmoothing
 from .naive import Drift, MovingAverage, Naive, SeasonalNaive
 from .sarimax import FittedSarimax, Sarimax
@@ -29,6 +30,9 @@ __all__ = [
     "Holt",
     "HoltWinters",
     "FittedExpSmoothing",
+    "DayProfile",
+    "DayProfileSpec",
+    "FittedDayProfile",
     "Tbats",
     "FittedTbats",
     "TbatsConfig",

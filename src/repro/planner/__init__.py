@@ -25,6 +25,7 @@ from .blueprint import (
     tier_named,
 )
 from .escalation import RESOLVED_PROBABILITY, PlanEscalator, PlanProposal
+from .reconcile import ReconciledEstate, ReconciledLevel, combine_bands, reconcile
 from .scoring import (
     BlueprintScore,
     ForecastBand,
@@ -53,6 +54,10 @@ __all__ = [
     "score_blueprint",
     "rank_blueprints",
     "demands_from_entries",
+    "ReconciledLevel",
+    "ReconciledEstate",
+    "combine_bands",
+    "reconcile",
     "PlanChoice",
     "EstatePlan",
     "plan_estate",

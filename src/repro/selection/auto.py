@@ -97,12 +97,21 @@ class AutoConfig:
     racing_eta: float = 3.0
     racing_maxiter: int = 6
     racing_min_specs: int = 32
+    #: Race day-profile clustering candidates (Leverger day-ahead family)
+    #: in the SARIMAX-branch grid. Opt-in, like racing: the default grid
+    #: stays bit-identical to the paper's three families.
+    dayprofile: bool = False
+    #: Cluster counts enumerated when ``dayprofile`` is on; each becomes
+    #: one :class:`~repro.selection.grid.CandidateSpec`.
+    dayprofile_clusters: tuple[int, ...] = (2, 3, 4)
 
     def __post_init__(self) -> None:
         if self.technique not in ("auto", "sarimax", "hes"):
             raise SelectionError(
                 f"technique must be auto/sarimax/hes, got {self.technique!r}"
             )
+        if self.dayprofile and not self.dayprofile_clusters:
+            raise SelectionError("dayprofile needs at least one cluster count")
         if self.racing:
             self.racing_plan()  # validate the knobs eagerly
 
@@ -157,6 +166,8 @@ class SelectionOutcome:
         """
         if self.best_spec is None:
             return {"technique": self.technique}
+        if self.best_spec.dayprofile is not None:
+            return {"dayprofile": list(self.best_spec.dayprofile)}
         return {
             "order": list(self.best_spec.order),
             "seasonal": list(self.best_spec.seasonal or ()),

@@ -45,6 +45,7 @@ from ..core.metrics import accuracy_report, AccuracyReport
 from ..core.timeseries import TimeSeries
 from ..exceptions import CapacityPlanningError, DataError, ModelError, SelectionError
 from ..models.arima import Arima
+from ..models.dayprofile import DayProfile
 from ..models.sarimax import Sarimax
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "GridResult",
     "RacingPlan",
     "arima_grid",
+    "dayprofile_grid",
     "sarimax_grid",
     "augmentation_specs",
     "evaluate_grid",
@@ -81,16 +83,26 @@ class CandidateSpec:
     #: Constant/drift policy forwarded to the model ("auto"/"c"/"n");
     #: "c" on a d=1 candidate makes it a drift model for trending data.
     trend: str = "auto"
+    #: Day-profile clustering candidate (Leverger day-ahead family):
+    #: ``(n_clusters, period, seed)``. When set, all ARIMA-family fields
+    #: above are ignored (``order`` is conventionally ``(0, 0, 0)``).
+    dayprofile: tuple[int, int, int] | None = None
 
     def family(self) -> str:
-        """Which of the paper's three families this candidate belongs to."""
+        """Which model family this candidate belongs to."""
+        if self.dayprofile is not None:
+            return "DayProfile"
         if self.exog_columns or self.fourier_periods:
             return "SARIMAX FFT Exogenous"
         if self.seasonal is not None:
             return "SARIMAX"
         return "ARIMA"
 
-    def build(self, maxiter: int = GRID_MAXITER) -> Sarimax | Arima:
+    def build(self, maxiter: int = GRID_MAXITER) -> "Sarimax | Arima | DayProfile":
+        if self.dayprofile is not None:
+            # Centroid emission has no iterative optimiser; maxiter is moot.
+            k, period, seed = self.dayprofile
+            return DayProfile(n_clusters=k, period=period, seed=seed)
         if self.exog_columns or self.fourier_periods or self.seasonal is not None:
             return Sarimax(
                 self.order,
@@ -103,6 +115,9 @@ class CandidateSpec:
         return Arima(self.order, trend=self.trend, maxiter=maxiter)
 
     def describe(self) -> str:
+        if self.dayprofile is not None:
+            k, period, __ = self.dayprofile
+            return f"DayProfile(k={k}, m={period})"
         order = f"({self.order[0]},{self.order[1]},{self.order[2]})"
         seasonal = (
             f"({self.seasonal[0]},{self.seasonal[1]},{self.seasonal[2]},{self.seasonal[3]})"
@@ -207,6 +222,28 @@ def sarimax_grid(period: int, max_lag: int = 30) -> list[CandidateSpec]:
                         CandidateSpec(order=(p, d, q), seasonal=(P, D, Q, period))
                     )
     return specs
+
+
+def dayprofile_grid(
+    period: int,
+    clusters: tuple[int, ...] = (2, 3, 4),
+    seed: int = 0,
+) -> list[CandidateSpec]:
+    """Day-profile candidates: one per cluster count ``k``.
+
+    The family is cheap to fit (one seeded k-means per candidate), so a
+    handful of ``k`` values race in the grid alongside the ARIMA families
+    and the RMSE leaderboard settles which granularity the series wants.
+    """
+    if period < 2:
+        raise DataError(f"day-profile period must be >= 2, got {period}")
+    if not clusters:
+        raise DataError("day-profile grid needs at least one cluster count")
+    return [
+        CandidateSpec(order=(0, 0, 0), dayprofile=(int(k), int(period), int(seed)))
+        for k in sorted(set(clusters))
+        if k >= 2
+    ]
 
 
 def augmentation_specs(

@@ -163,16 +163,21 @@ class CapacityPlanner:
 
         clean = interpolate_missing(series)
         spec_dict = record.spec
-        if "order" not in spec_dict:
+        if "dayprofile" in spec_dict:
+            spec = CandidateSpec(
+                order=(0, 0, 0), dayprofile=tuple(spec_dict["dayprofile"])
+            )
+        elif "order" not in spec_dict:
             return None  # an HES record: cheap enough to re-select
-        seasonal_stored = spec_dict.get("seasonal") or None
-        spec = CandidateSpec(
-            order=tuple(spec_dict["order"]),
-            seasonal=tuple(seasonal_stored) if seasonal_stored else None,
-            exog_columns=int(spec_dict.get("exog_columns", 0)),
-            fourier_periods=tuple(spec_dict.get("fourier_periods", ())),
-            fourier_orders=tuple(spec_dict.get("fourier_orders", ())),
-        )
+        else:
+            seasonal_stored = spec_dict.get("seasonal") or None
+            spec = CandidateSpec(
+                order=tuple(spec_dict["order"]),
+                seasonal=tuple(seasonal_stored) if seasonal_stored else None,
+                exog_columns=int(spec_dict.get("exog_columns", 0)),
+                fourier_periods=tuple(spec_dict.get("fourier_periods", ())),
+                fourier_orders=tuple(spec_dict.get("fourier_orders", ())),
+            )
         model = spec.build(maxiter=self.config.final_maxiter)
         shock_calendar = None
         exog = None
@@ -191,7 +196,7 @@ class CapacityPlanner:
 
         outcome = SelectionOutcome(
             model=fitted,
-            technique="sarimax",
+            technique="dayprofile" if spec.dayprofile is not None else "sarimax",
             test_rmse=record.rmse,
             best_spec=spec,
             seasonality=None,

@@ -170,6 +170,7 @@ class ShardedRuntime:
         technique: str = "hes",
         n_jobs: int = 1,
         racing: bool = False,
+        dayprofile: bool = False,
         customer: str = "stream",
         repo_url: str | None = None,
         fault_rules: tuple[FaultRule, ...] = (),
@@ -198,6 +199,7 @@ class ShardedRuntime:
             technique=technique,
             n_jobs=n_jobs,
             racing=racing,
+            dayprofile=dayprofile,
             customer=customer,
             repo_url=repo_url,
             fault_rules=tuple(fault_rules),

@@ -56,6 +56,9 @@ class ShardPlan:
     technique: str = "hes"
     n_jobs: int = 1
     racing: bool = False
+    #: Race day-profile candidates in this shard's selection grid (the
+    #: config's own ``dayprofile`` flag governs the degradation ladder).
+    dayprofile: bool = False
     customer: str = "stream"
     repo_url: str | None = None
     fault_rules: tuple[FaultRule, ...] = ()
@@ -126,7 +129,10 @@ class ShardHandler:
         )
         planner = EstatePlanner(
             config=AutoConfig(
-                technique=plan.technique, n_jobs=plan.n_jobs, racing=plan.racing
+                technique=plan.technique,
+                n_jobs=plan.n_jobs,
+                racing=plan.racing,
+                dayprofile=plan.dayprofile,
             ),
             cache=SelectionCache(),
         )

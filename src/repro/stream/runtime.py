@@ -165,6 +165,11 @@ class StreamConfig:
         Scheduler grading mode: ``"cohort"`` (default) batches same-spec
         keys into one kernel call per tick, ``"per-key"`` forces the
         scalar path. Advisories are bit-identical either way.
+    dayprofile:
+        Enable the day-profile rung of the scheduler's degradation
+        ladder (see :class:`~repro.stream.scheduler.ForecastScheduler`).
+        Racing day-profile candidates in *selection* is governed by the
+        planner's :class:`~repro.selection.auto.AutoConfig`, not here.
     planning:
         Enable the alert→plan escalation loop: a
         :class:`~repro.planner.escalation.PlanEscalator` rides every
@@ -191,6 +196,7 @@ class StreamConfig:
     horizon: int | None = None
     history_cap: int | None = None
     dispatch: str = "cohort"
+    dayprofile: bool = False
     planning: bool = False
     plan_sustained_ticks: int = 6
     plan_cooldown_seconds: float = 21600.0
@@ -262,6 +268,7 @@ class StreamRuntime:
             dispatch=self.config.dispatch,
             repository=repository,
             key_table=self.bus.key_table,
+            dayprofile=self.config.dayprofile,
         )
         self.alerts = AlertManager(
             sink=sink,

@@ -39,11 +39,15 @@ is the injected :class:`~repro.stream.clock.Clock`, falling back to the
 event-time high watermark of the windows it has consumed.
 
 Selection failure does not silence a key. The scheduler degrades instead
-of dropping advisories, walking a two-rung fallback ladder per key:
+of dropping advisories, walking a fallback ladder per key:
 
 1. **cached model** — the last outcome that successfully modelled the
    key keeps grading (stale, but calibrated);
-2. **seasonal-naive** — with no cached model, a
+2. **day-profile** *(opt-in, ``dayprofile=True``)* — a
+   :class:`~repro.models.dayprofile.DayProfile` clustering fit on the
+   key's own streamed history grades when it holds at least three
+   complete cycles (shape-aware, still selection-free);
+3. **seasonal-naive** — otherwise a
    :class:`~repro.models.naive.SeasonalNaive` fitted on the key's own
    streamed history grades instead (crude, but alert continuity holds).
 
@@ -69,6 +73,12 @@ from ..engine.executor import Executor
 from ..engine.telemetry import RunTrace
 from ..exceptions import DataError
 from ..models.base import Forecast
+from ..models.dayprofile import (
+    DayProfile,
+    FittedDayProfile,
+    advance_cohort as dayprofile_advance_cohort,
+    forecast_cohort_arrays as dayprofile_forecast_cohort_arrays,
+)
 from ..models.ets import FittedExpSmoothing, advance_cohort, forecast_cohort_arrays
 from ..models.naive import Naive, SeasonalNaive
 from ..selection.auto import SelectionOutcome
@@ -220,7 +230,7 @@ class _CohortJob:
     kid: int
     wkey: WorkloadKey
     entry: object
-    model: FittedExpSmoothing
+    model: FittedExpSmoothing | FittedDayProfile
     base_horizon: int
     elapsed: int
 
@@ -296,6 +306,7 @@ class ForecastScheduler:
         dispatch: str = "cohort",
         repository=None,
         key_table: KeyTable | None = None,
+        dayprofile: bool = False,
     ) -> None:
         if min_observations is None:
             min_observations = window_frequency.split_rule.observations
@@ -317,6 +328,10 @@ class ForecastScheduler:
         self.trace = trace if trace is not None else RunTrace()
         self.dispatch = dispatch
         self.repository = repository
+        #: Opt-in day-profile rung of the degradation ladder (between
+        #: cached-model and seasonal-naive). Off by default so the
+        #: two-rung ladder's behaviour is unchanged unless requested.
+        self.dayprofile = bool(dayprofile)
         #: Shared (instance, metric) ↔ dense id table; per-key state below
         #: is keyed by the id so the hot loops never hash string tuples.
         #: The stream runtime hands in the bus's table so one id means
@@ -594,14 +609,17 @@ class ForecastScheduler:
         for i, (kid, model, values) in enumerate(candidates):
             if isinstance(model, FittedExpSmoothing):
                 groups.setdefault(("ets", model.spec, len(values)), []).append(i)
+            elif isinstance(model, FittedDayProfile):
+                groups.setdefault(("dayprofile", model.spec, len(values)), []).append(i)
             else:
                 groups.setdefault(("solo", i), []).append(i)
         for gkey, idxs in groups.items():
-            if gkey[0] == "ets":
+            if gkey[0] in ("ets", "dayprofile"):
+                roll = advance_cohort if gkey[0] == "ets" else dayprofile_advance_cohort
                 models = [candidates[i][1] for i in idxs]
                 block = np.array([candidates[i][2] for i in idxs], dtype=float)
                 try:
-                    out, innovations = advance_cohort(models, block)
+                    out, innovations = roll(models, block)
                 except Exception:
                     pass  # cohort roll failed: retry the rows one by one
                 else:
@@ -819,7 +837,7 @@ class ForecastScheduler:
         if (
             self.dispatch == "cohort"
             and not uses_exog
-            and isinstance(model, FittedExpSmoothing)
+            and isinstance(model, (FittedExpSmoothing, FittedDayProfile))
         ):
             deferred.append(_CohortJob(kid, wkey, entry, model, base_horizon, elapsed))
             return _DEFERRED
@@ -838,19 +856,28 @@ class ForecastScheduler:
     ) -> None:
         """Grade deferred keys in one batched kernel call per cohort.
 
-        A cohort is every deferred key sharing (smoothing spec, base
+        A cohort is every deferred key sharing (model family, spec, base
         horizon, elapsed offset): one ``(batch, horizon)`` forecast
         block, clipped, sliced to the still-future part and graded row
         by row through :func:`predict_breach_arrays` — bit-identical to
-        the scalar path. If the batched call fails, the cohort's rows
-        are graded one by one so a sick key cannot silence its peers.
+        the scalar path. Smoothing cohorts go through the ETS kernel,
+        day-profile cohorts through the centroid-gather kernel. If the
+        batched call fails, the cohort's rows are graded one by one so a
+        sick key cannot silence its peers.
         """
         groups: dict[tuple, list[_CohortJob]] = {}
         for job in deferred:
-            groups.setdefault((job.model.spec, job.base_horizon, job.elapsed), []).append(job)
-        for (__, base_horizon, elapsed), jobs in groups.items():
+            groups.setdefault(
+                (type(job.model), job.model.spec, job.base_horizon, job.elapsed), []
+            ).append(job)
+        for (mtype, __, base_horizon, elapsed), jobs in groups.items():
+            batched = (
+                dayprofile_forecast_cohort_arrays
+                if mtype is FittedDayProfile
+                else forecast_cohort_arrays
+            )
             try:
-                mean, lower, upper = forecast_cohort_arrays(
+                mean, lower, upper = batched(
                     [job.model for job in jobs], base_horizon + elapsed
                 )
             except Exception:
@@ -914,6 +941,21 @@ class ForecastScheduler:
         except DataError:
             return None
         period = self.window_frequency.default_period
+        if self.dayprofile and len(series) >= 3 * period:
+            # Optional middle rung: a day-profile fit on the key's own
+            # streamed history — shape-aware where seasonal-naive merely
+            # echoes last cycle, still orders of magnitude cheaper than
+            # a grid selection.
+            try:
+                forecast = (
+                    DayProfile(period=period).fit(series).forecast(base_horizon).clipped(0.0)
+                )
+            except Exception:
+                pass  # too few complete days / degenerate shapes: next rung
+            else:
+                self.trace.fault("degraded_day_profile")
+                advisory = predict_breach(forecast, threshold)
+                return replace(advisory, degraded="day-profile")
         model = SeasonalNaive(period) if len(series) > period else Naive()
         try:
             forecast = model.fit(series).forecast(base_horizon).clipped(0.0)

@@ -36,10 +36,22 @@ from .database import (
 )
 from .olap import OlapExperiment, generate_olap_run, olap_cluster
 from .oltp import OltpExperiment, generate_oltp_run, oltp_cluster
+from .queries import (
+    CalendarEffect,
+    FlashCrowd,
+    QueryTemplate,
+    sibyl_template_mix,
+    template_series,
+    workload_series,
+)
 from .scenarios import (
     batch_etl,
+    flash_crowd_frontend,
+    holiday_retail_orders,
     make_series,
+    query_store_arrivals,
     san_storage,
+    tenant_drift_saas,
     unstable_system,
     weblogic_heap,
     web_transactions,
@@ -84,6 +96,13 @@ __all__ = [
     "OltpExperiment",
     "oltp_cluster",
     "generate_oltp_run",
+    # query workloads
+    "QueryTemplate",
+    "FlashCrowd",
+    "CalendarEffect",
+    "template_series",
+    "workload_series",
+    "sibyl_template_mix",
     # scenarios
     "web_transactions",
     "batch_etl",
@@ -91,6 +110,10 @@ __all__ = [
     "san_storage",
     "weblogic_heap",
     "unstable_system",
+    "query_store_arrivals",
+    "flash_crowd_frontend",
+    "holiday_retail_orders",
+    "tenant_drift_saas",
     "make_series",
     # transactions
     "ClickStep",

@@ -1,0 +1,274 @@
+"""Per-template query-arrival workloads (the Sibyl axis).
+
+The paper's estate is host metrics — CPU, memory, IOPS per instance.
+Sibyl-style forecasting (PAPERS.md) works one level up the stack: the
+unit is a *query template* (a normalised statement shape) and the series
+is its arrival rate. Template populations churn — new application
+releases introduce templates and retire old ones — and the aggregate
+rate carries workload-level events the per-host view smears out: flash
+crowds, calendar/holiday effects, slow per-tenant growth.
+
+This module generates those series deterministically from the same
+principles as :mod:`repro.workloads.components`: every template's noise
+stream is seeded from a blake2b digest of ``(seed, template name)``, so
+adding or removing a template never reshuffles its neighbours' draws,
+and a given ``(mix, days, seed)`` always produces identical bytes.
+
+The scenario builders in :mod:`repro.workloads.scenarios` wrap these
+generators into named, one-call series for tests and examples.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.frequency import Frequency
+from ..core.timeseries import TimeSeries
+from ..exceptions import DataError
+
+__all__ = [
+    "QueryTemplate",
+    "FlashCrowd",
+    "CalendarEffect",
+    "template_series",
+    "workload_series",
+    "sibyl_template_mix",
+]
+
+
+def _template_seed(seed: int, name: str) -> int:
+    """Stable per-template RNG seed, independent of mix order."""
+    digest = hashlib.blake2b(
+        f"query-template:{seed}:{name}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class QueryTemplate:
+    """One normalised query shape and the dynamics of its arrival rate.
+
+    Parameters
+    ----------
+    name:
+        Template identity (e.g. a statement digest). Seeds the
+        template's private noise stream.
+    base_rate:
+        Mean arrivals per second at day 0.
+    daily_amplitude / peak_hour:
+        Sinusoidal daily cycle around the base rate.
+    weekly_depth:
+        Weekend dip depth (0 disables the weekly cycle).
+    growth_per_day:
+        Linear drift in arrivals/second per day — slow tenant growth
+        (positive) or product decline (negative).
+    noise_cv:
+        Coefficient of variation of multiplicative arrival noise.
+    born_day / retired_day:
+        Template churn: the rate ramps in over ``ramp_hours`` starting
+        at ``born_day`` and ramps out before ``retired_day`` (``None``
+        means the template lives to the end of the horizon).
+    ramp_hours:
+        Release rollout length for the birth/retirement ramps.
+    """
+
+    name: str
+    base_rate: float
+    daily_amplitude: float = 0.0
+    peak_hour: float = 14.0
+    weekly_depth: float = 0.0
+    growth_per_day: float = 0.0
+    noise_cv: float = 0.02
+    born_day: float = 0.0
+    retired_day: float | None = None
+    ramp_hours: float = 6.0
+
+    def __post_init__(self) -> None:
+        if self.base_rate < 0:
+            raise DataError(f"base_rate must be >= 0, got {self.base_rate}")
+        if self.retired_day is not None and self.retired_day <= self.born_day:
+            raise DataError(
+                f"template {self.name!r} retires (day {self.retired_day}) "
+                f"before it is born (day {self.born_day})"
+            )
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A short-lived arrival surge (viral link, incident retry storm).
+
+    The surge multiplies the template's instantaneous rate: it ramps to
+    ``magnitude`` × base over ``ramp_hours``, holds for
+    ``duration_hours``, and decays back over ``ramp_hours`` again.
+    """
+
+    at_day: float
+    magnitude: float = 3.0
+    duration_hours: float = 2.0
+    ramp_hours: float = 0.5
+
+    def factor(self, hours: np.ndarray) -> np.ndarray:
+        start = self.at_day * 24.0
+        rise = np.clip((hours - start) / max(self.ramp_hours, 1e-9), 0.0, 1.0)
+        fall = np.clip(
+            (start + self.ramp_hours + self.duration_hours + self.ramp_hours - hours)
+            / max(self.ramp_hours, 1e-9),
+            0.0,
+            1.0,
+        )
+        return 1.0 + (self.magnitude - 1.0) * np.minimum(rise, fall)
+
+
+@dataclass(frozen=True)
+class CalendarEffect:
+    """A whole-day multiplier tied to calendar dates (holidays, sales).
+
+    ``days`` are absolute day indices from the series start; each listed
+    day's arrivals are multiplied by ``multiplier`` (e.g. 0.3 for a
+    public holiday on a business app, 2.5 for a retail sale day).
+    """
+
+    days: tuple[int, ...]
+    multiplier: float
+
+    def factor(self, hours: np.ndarray) -> np.ndarray:
+        day_index = np.floor(hours / 24.0).astype(np.int64)
+        mask = np.isin(day_index, np.asarray(self.days, dtype=np.int64))
+        return np.where(mask, self.multiplier, 1.0)
+
+
+def _lifetime_factor(
+    template: QueryTemplate, hours: np.ndarray, total_days: float
+) -> np.ndarray:
+    """Churn envelope: 0 before birth / after retirement, ramped edges."""
+    ramp = max(template.ramp_hours, 1e-9)
+    born = template.born_day * 24.0
+    factor = np.clip((hours - born) / ramp, 0.0, 1.0)
+    if template.retired_day is not None and template.retired_day < total_days:
+        retired = template.retired_day * 24.0
+        factor = factor * np.clip((retired - hours) / ramp, 0.0, 1.0)
+    return factor
+
+
+def template_series(
+    template: QueryTemplate,
+    days: float,
+    seed: int = 0,
+    events: tuple[FlashCrowd, ...] = (),
+    calendar: tuple[CalendarEffect, ...] = (),
+    frequency: Frequency = Frequency.HOURLY,
+) -> TimeSeries:
+    """One template's arrival-rate series over ``days`` days.
+
+    Deterministic in ``(template, days, seed, events, calendar)``; the
+    noise stream is private to the template name, so mixes can grow and
+    shrink without perturbing existing series.
+    """
+    if days <= 0:
+        raise DataError("days must be positive")
+    step = frequency.seconds
+    n = int(round(days * 86400.0 / step))
+    if n < 2:
+        raise DataError("window too short for the chosen frequency")
+    hours = np.arange(n) * (step / 3600.0)
+
+    rate = np.full(n, float(template.base_rate))
+    rate += template.growth_per_day * hours / 24.0
+    if template.daily_amplitude:
+        rate += template.daily_amplitude * np.sin(
+            2.0 * np.pi * (hours - template.peak_hour + 6.0) / 24.0
+        )
+    if template.weekly_depth:
+        # Weekend dip: days 5 and 6 of each week sag by the full depth.
+        day_of_week = np.floor(hours / 24.0).astype(np.int64) % 7
+        rate -= template.weekly_depth * np.isin(day_of_week, (5, 6)).astype(float)
+    rate = np.maximum(rate, 0.0)
+    rate *= _lifetime_factor(template, hours, days)
+    for event in events:
+        rate *= event.factor(hours)
+    for effect in calendar:
+        rate *= effect.factor(hours)
+    if template.noise_cv:
+        rng = np.random.default_rng(_template_seed(seed, template.name))
+        rate *= 1.0 + rng.normal(0.0, template.noise_cv, n)
+    return TimeSeries(
+        np.maximum(rate, 0.0), frequency, start=0.0, name=f"qps.{template.name}"
+    )
+
+
+def workload_series(
+    templates: tuple[QueryTemplate, ...] | list[QueryTemplate],
+    days: float,
+    seed: int = 0,
+    events: tuple[FlashCrowd, ...] = (),
+    calendar: tuple[CalendarEffect, ...] = (),
+    name: str = "qps.total",
+    frequency: Frequency = Frequency.HOURLY,
+) -> TimeSeries:
+    """The aggregate arrival rate of a template mix.
+
+    Sums :func:`template_series` across the mix — the workload-level
+    series a capacity planner actually thresholds, with template churn
+    showing up as level shifts the way real release trains produce them.
+    """
+    if not templates:
+        raise DataError("workload needs at least one query template")
+    total: np.ndarray | None = None
+    for template in templates:
+        series = template_series(
+            template, days, seed=seed, events=events, calendar=calendar, frequency=frequency
+        )
+        total = series.values.copy() if total is None else total + series.values
+    return TimeSeries(total, frequency, start=0.0, name=name)
+
+
+def sibyl_template_mix(
+    n_templates: int = 8,
+    days: float = 35.0,
+    seed: int = 0,
+    churn_fraction: float = 0.25,
+) -> list[QueryTemplate]:
+    """A deterministic Sibyl-style template population with churn.
+
+    Rates follow a heavy-tailed split (a few hot templates dominate, a
+    long tail idles), every template gets its own phase and cycle depth,
+    and ``churn_fraction`` of the population is born mid-horizon while a
+    matching share retires — the release-train dynamics that make
+    template-level forecasting harder than host metrics.
+    """
+    if n_templates < 1:
+        raise DataError("n_templates must be >= 1")
+    if not 0.0 <= churn_fraction <= 1.0:
+        raise DataError("churn_fraction must be in [0, 1]")
+    rng = np.random.default_rng(_template_seed(seed, f"mix:{n_templates}"))
+    # Zipf-ish rate split over a fixed budget of ~1000 qps.
+    weights = 1.0 / np.arange(1, n_templates + 1, dtype=float)
+    rates = 1000.0 * weights / weights.sum()
+    churners = int(round(churn_fraction * n_templates))
+    templates: list[QueryTemplate] = []
+    for i in range(n_templates):
+        born, retired = 0.0, None
+        if churners and i >= n_templates - churners:
+            # The tail churns: retire in the first half, reintroduce a
+            # successor template in the second half.
+            if i % 2 == 0:
+                retired = float(rng.uniform(0.3, 0.5) * days)
+            else:
+                born = float(rng.uniform(0.5, 0.7) * days)
+        templates.append(
+            QueryTemplate(
+                name=f"t{i:03d}",
+                base_rate=float(rates[i]),
+                daily_amplitude=float(rates[i] * rng.uniform(0.2, 0.6)),
+                peak_hour=float(rng.uniform(9.0, 21.0)),
+                weekly_depth=float(rates[i] * rng.uniform(0.0, 0.3)),
+                growth_per_day=float(rates[i] * rng.uniform(-0.002, 0.01)),
+                noise_cv=float(rng.uniform(0.01, 0.05)),
+                born_day=born,
+                retired_day=retired,
+            )
+        )
+    return templates

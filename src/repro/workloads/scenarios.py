@@ -35,6 +35,10 @@ __all__ = [
     "san_storage",
     "weblogic_heap",
     "unstable_system",
+    "query_store_arrivals",
+    "flash_crowd_frontend",
+    "holiday_retail_orders",
+    "tenant_drift_saas",
     "make_series",
 ]
 
@@ -172,6 +176,101 @@ def weblogic_heap(days: float = 40.0, seed: int = 12) -> TimeSeries:
     return TimeSeries(
         np.maximum(heap, 0.0), Frequency.HOURLY, start=0.0, name="weblogic_heap_mb"
     )
+
+
+def query_store_arrivals(days: float = 35.0, seed: int = 13) -> TimeSeries:
+    """Aggregate query arrivals of a churning Sibyl-style template mix.
+
+    A heavy-tailed population of query templates where a quarter of the
+    tail churns mid-horizon — retired templates fade out, release-train
+    successors ramp in — producing the level shifts that distinguish
+    query-workload forecasting from host metrics.
+    """
+    from .queries import sibyl_template_mix, workload_series
+
+    mix = sibyl_template_mix(n_templates=8, days=days, seed=seed)
+    return workload_series(mix, days, seed=seed, name="query_store_qps")
+
+
+def flash_crowd_frontend(days: float = 35.0, seed: int = 14) -> TimeSeries:
+    """A front-end query workload hit by deterministic flash crowds.
+
+    Three short viral surges (3–5× base rate, couple-hour ramps) land on
+    an otherwise well-behaved daily cycle — the regime the paper's ≤3
+    occurrence rule classifies as faults rather than behaviour.
+    """
+    from .queries import FlashCrowd, QueryTemplate, template_series
+
+    template = QueryTemplate(
+        name="frontend",
+        base_rate=800.0,
+        daily_amplitude=350.0,
+        peak_hour=20.0,
+        weekly_depth=120.0,
+        noise_cv=0.03,
+    )
+    events = (
+        FlashCrowd(at_day=0.31 * days, magnitude=4.0, duration_hours=2.0),
+        FlashCrowd(at_day=0.55 * days, magnitude=3.0, duration_hours=3.0),
+        FlashCrowd(at_day=0.82 * days, magnitude=5.0, duration_hours=1.5),
+    )
+    series = template_series(template, days, seed=seed, events=events)
+    return TimeSeries(
+        series.values, series.frequency, start=series.start, name="frontend_qps"
+    )
+
+
+def holiday_retail_orders(days: float = 42.0, seed: int = 15) -> TimeSeries:
+    """Retail order arrivals with calendar effects.
+
+    Weekly seasonality plus two holiday closures (0.25× traffic) and one
+    sale day (2.5×) at fixed calendar dates — the calendar axis the
+    pure-frequency seasonal models cannot express.
+    """
+    from .queries import CalendarEffect, QueryTemplate, template_series
+
+    template = QueryTemplate(
+        name="orders",
+        base_rate=300.0,
+        daily_amplitude=140.0,
+        peak_hour=19.0,
+        weekly_depth=60.0,
+        growth_per_day=1.5,
+        noise_cv=0.04,
+    )
+    calendar = (
+        CalendarEffect(days=(int(0.3 * days), int(0.75 * days)), multiplier=0.25),
+        CalendarEffect(days=(int(0.5 * days),), multiplier=2.5),
+    )
+    series = template_series(template, days, seed=seed, calendar=calendar)
+    return TimeSeries(
+        series.values, series.frequency, start=series.start, name="retail_orders_qps"
+    )
+
+
+def tenant_drift_saas(days: float = 42.0, seed: int = 16) -> TimeSeries:
+    """A multi-tenant SaaS workload under slow tenant growth.
+
+    Five tenants with staggered onboarding and individual growth rates:
+    the aggregate drifts upward slowly enough that any single week looks
+    stationary — the C2 growth challenge at query-workload level.
+    """
+    from .queries import QueryTemplate, workload_series
+
+    tenants = [
+        QueryTemplate(
+            name=f"tenant{i}",
+            base_rate=120.0 + 30.0 * i,
+            daily_amplitude=50.0 + 10.0 * i,
+            peak_hour=10.0 + 2.0 * i,
+            weekly_depth=30.0,
+            growth_per_day=0.8 + 0.6 * i,
+            noise_cv=0.03,
+            born_day=float(3 * i),
+        )
+        for i in range(5)
+    ]
+    return workload_series(tenants, days, seed=seed, name="saas_qps")
 
 
 def unstable_system(days: float = 35.0, seed: int = 10) -> TimeSeries:

@@ -1,0 +1,132 @@
+"""Bottom-up hierarchical reconciliation: instance → cluster → estate."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.planner import (
+    DEFAULT_CATALOG,
+    ForecastBand,
+    InstanceDemand,
+    combine_bands,
+    reconcile,
+)
+
+TIER = DEFAULT_CATALOG[0]
+
+
+def band(mean, half, alpha=0.05):
+    mean = np.asarray(mean, dtype=float)
+    return ForecastBand(mean=mean, upper=mean + np.asarray(half, dtype=float), alpha=alpha)
+
+
+def demand(instance, mean, half, metric="cpu", group=None):
+    return InstanceDemand(
+        instance=instance,
+        tier=TIER,
+        bands={metric: band(mean, half)},
+        capacities={metric: 100.0},
+        group=group,
+    )
+
+
+class TestCombineBands:
+    def test_means_add_half_widths_rss(self):
+        combined = combine_bands(
+            [band([10.0, 20.0], [3.0, 3.0]), band([5.0, 5.0], [4.0, 4.0])]
+        )
+        np.testing.assert_allclose(combined.mean, [15.0, 25.0])
+        # sqrt(3² + 4²) = 5: the z at a shared alpha cancels out.
+        np.testing.assert_allclose(combined.upper - combined.mean, [5.0, 5.0])
+        assert combined.alpha == 0.05
+
+    def test_rss_is_associative(self):
+        """Clusters-then-estate equals instances-directly, bit for bit."""
+        bands = [band([float(i)] * 4, [float(i + 1)] * 4) for i in range(1, 5)]
+        left = combine_bands([combine_bands(bands[:2]), combine_bands(bands[2:])])
+        direct = combine_bands(bands)
+        np.testing.assert_allclose(left.mean, direct.mean, rtol=1e-15)
+        np.testing.assert_allclose(left.upper, direct.upper, rtol=1e-12)
+
+    def test_horizon_truncates_to_shortest(self):
+        combined = combine_bands(
+            [band([1.0, 2.0, 3.0], [1.0, 1.0, 1.0]), band([1.0, 2.0], [1.0, 1.0])]
+        )
+        assert combined.mean.size == 2
+
+    def test_mixed_alpha_rejected(self):
+        with pytest.raises(DataError):
+            combine_bands([band([1.0], [1.0], alpha=0.05), band([1.0], [1.0], alpha=0.1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            combine_bands([])
+
+
+class TestReconcile:
+    def test_levels_and_coherence(self):
+        estate = reconcile(
+            [
+                demand("db2", [10.0, 12.0], [2.0, 2.0]),
+                demand("db1", [20.0, 18.0], [1.0, 1.0]),
+                demand("db3", [5.0, 5.0], [2.0, 2.0]),
+            ],
+            clusters={"db1": "core", "db2": "core"},
+        )
+        assert [d.instance for d in estate.demands] == ["db1", "db2", "db3"]
+        assert [c.name for c in estate.clusters] == ["cluster:core", "cluster:default"]
+        core = estate.clusters[0]
+        assert core.members == ("db1", "db2")
+        np.testing.assert_allclose(core.bands["cpu"].mean, [30.0, 30.0])
+        np.testing.assert_allclose(
+            core.bands["cpu"].upper - core.bands["cpu"].mean, [np.sqrt(5.0)] * 2
+        )
+        np.testing.assert_allclose(estate.estate.bands["cpu"].mean, [35.0, 35.0])
+        assert estate.estate.members == ("db1", "db2", "db3")
+        assert estate.coherence_error() == pytest.approx(0.0, abs=1e-12)
+
+    def test_cluster_map_sets_group_for_consolidation(self):
+        estate = reconcile(
+            [demand("db1", [1.0], [1.0]), demand("db2", [1.0], [1.0])],
+            clusters={"db1": "core", "db2": "core"},
+        )
+        assert all(d.group == "core" for d in estate.demands)
+
+    def test_without_map_demands_pass_through_untouched(self):
+        originals = [
+            demand("db1", [1.0], [1.0], group="pre"),
+            demand("db2", [1.0], [1.0]),
+        ]
+        estate = reconcile(originals)
+        # Base forecasts (and objects) are never altered bottom-up.
+        assert estate.demands[0] is originals[0]
+        assert estate.demands[1] is originals[1]
+        assert [c.name for c in estate.clusters] == [
+            "cluster:default",
+            "cluster:pre",
+        ]
+
+    def test_disjoint_metrics_union_at_the_estate(self):
+        estate = reconcile(
+            [
+                demand("db1", [10.0], [1.0], metric="cpu"),
+                demand("db2", [7.0], [2.0], metric="iops"),
+            ]
+        )
+        assert sorted(estate.estate.bands) == ["cpu", "iops"]
+        np.testing.assert_allclose(estate.estate.bands["cpu"].mean, [10.0])
+        np.testing.assert_allclose(estate.estate.bands["iops"].mean, [7.0])
+
+    def test_peak_and_describe(self):
+        estate = reconcile([demand("db1", [10.0, 30.0, 20.0], [1.0, 2.0, 1.0])])
+        assert estate.estate.peak("cpu") == (30.0, 32.0)
+        lines = estate.describe_lines()
+        assert lines[0] == "cluster:default: 1 member(s)"
+        assert "cpu: peak mean 30.0, upper(95%) 32.0" in lines[1]
+        assert lines[2] == "estate: 1 member(s)"
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            reconcile([])
+        with pytest.raises(DataError):
+            reconcile([demand("db1", [1.0], [1.0]), demand("db1", [2.0], [1.0])])

@@ -1,0 +1,152 @@
+"""Per-template query-arrival generators (the Sibyl axis)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Frequency
+from repro.exceptions import DataError
+from repro.workloads import (
+    CalendarEffect,
+    FlashCrowd,
+    QueryTemplate,
+    sibyl_template_mix,
+    template_series,
+    workload_series,
+)
+
+# born_day predates the window so the release ramp-in is already over.
+FLAT = QueryTemplate(name="flat", base_rate=100.0, noise_cv=0.0, born_day=-1.0)
+
+
+class TestTemplateSeries:
+    def test_deterministic_and_name_seeded(self):
+        t = QueryTemplate(name="q1", base_rate=50.0, daily_amplitude=10.0)
+        a = template_series(t, days=7.0, seed=3)
+        b = template_series(t, days=7.0, seed=3)
+        np.testing.assert_array_equal(a.values, b.values)
+        assert a.name == "qps.q1"
+        # The noise stream is private to the template name: a different
+        # name under the same seed draws different noise.
+        c = template_series(
+            QueryTemplate(name="q2", base_rate=50.0, daily_amplitude=10.0),
+            days=7.0,
+            seed=3,
+        )
+        assert not np.array_equal(a.values, c.values)
+
+    def test_noise_free_flat_template_is_constant(self):
+        series = template_series(FLAT, days=3.0)
+        np.testing.assert_allclose(series.values, 100.0)
+        assert len(series) == 72
+        assert series.frequency is Frequency.HOURLY
+
+    def test_churn_envelope(self):
+        t = QueryTemplate(
+            name="churner",
+            base_rate=100.0,
+            noise_cv=0.0,
+            born_day=2.0,
+            retired_day=5.0,
+            ramp_hours=6.0,
+        )
+        v = template_series(t, days=7.0).values
+        assert (v[: 2 * 24] == 0.0).all()  # not yet born
+        assert (v[2 * 24 + 6 : 5 * 24 - 6] == 100.0).all()  # fully live
+        assert (v[5 * 24 :] == 0.0).all()  # retired
+        # Ramps are strictly between 0 and full rate.
+        assert 0.0 < v[2 * 24 + 3] < 100.0
+        assert 0.0 < v[5 * 24 - 3] < 100.0
+
+    def test_flash_crowd_trapezoid(self):
+        crowd = FlashCrowd(at_day=1.0, magnitude=3.0, duration_hours=2.0, ramp_hours=1.0)
+        v = template_series(FLAT, days=3.0, events=(crowd,)).values
+        assert v[23] == 100.0  # before the surge
+        assert v[25] == pytest.approx(300.0)  # plateau: 24h start + 1h ramp
+        assert v[26] == pytest.approx(300.0)
+        assert v[27] == pytest.approx(300.0)  # hold ends at start+ramp+duration+ramp
+        assert (v[28:] == 100.0).all()  # fully decayed
+
+    def test_calendar_effect_multiplies_whole_days(self):
+        effect = CalendarEffect(days=(1,), multiplier=0.3)
+        v = template_series(FLAT, days=3.0, calendar=(effect,)).values
+        np.testing.assert_allclose(v[:24], 100.0)
+        np.testing.assert_allclose(v[24:48], 30.0)
+        np.testing.assert_allclose(v[48:], 100.0)
+
+    def test_growth_and_weekly_dip(self):
+        t = QueryTemplate(
+            name="grow", base_rate=100.0, noise_cv=0.0,
+            growth_per_day=10.0, weekly_depth=40.0,
+        )
+        v = template_series(t, days=14.0).values
+        # Midweek levels drift up ~10/day; weekend days sag by the depth.
+        assert v[3 * 24] == pytest.approx(130.0)
+        assert v[5 * 24] == pytest.approx(150.0 - 40.0)
+        assert v[10 * 24] == pytest.approx(200.0)
+
+    def test_rates_never_negative(self):
+        t = QueryTemplate(
+            name="decline", base_rate=10.0, growth_per_day=-5.0, noise_cv=0.3
+        )
+        assert (template_series(t, days=14.0, seed=9).values >= 0.0).all()
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            QueryTemplate(name="bad", base_rate=-1.0)
+        with pytest.raises(DataError):
+            QueryTemplate(name="bad", base_rate=1.0, born_day=5.0, retired_day=4.0)
+        with pytest.raises(DataError):
+            template_series(FLAT, days=0.0)
+
+
+class TestWorkloadSeries:
+    def test_aggregate_is_sum_of_templates(self):
+        mix = sibyl_template_mix(n_templates=5, days=10.0, seed=2)
+        total = workload_series(mix, days=10.0, seed=2)
+        parts = np.sum(
+            [template_series(t, days=10.0, seed=2).values for t in mix], axis=0
+        )
+        np.testing.assert_allclose(total.values, parts)
+        assert total.name == "qps.total"
+
+    def test_mix_growth_does_not_reshuffle_neighbours(self):
+        """Adding a template never changes existing templates' bytes."""
+        mix = sibyl_template_mix(n_templates=4, days=7.0, seed=0)
+        small = workload_series(mix, days=7.0, seed=0)
+        extra = QueryTemplate(name="newcomer", base_rate=25.0)
+        grown = workload_series([*mix, extra], days=7.0, seed=0)
+        addition = template_series(extra, days=7.0, seed=0)
+        np.testing.assert_allclose(
+            grown.values, small.values + addition.values, rtol=1e-12
+        )
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(DataError):
+            workload_series([], days=7.0)
+
+
+class TestSibylMix:
+    def test_deterministic_population(self):
+        a = sibyl_template_mix(n_templates=8, days=35.0, seed=1)
+        b = sibyl_template_mix(n_templates=8, days=35.0, seed=1)
+        assert a == b
+
+    def test_heavy_tailed_rates_and_churn_share(self):
+        mix = sibyl_template_mix(n_templates=8, days=35.0, seed=0, churn_fraction=0.25)
+        rates = [t.base_rate for t in mix]
+        assert rates == sorted(rates, reverse=True)
+        assert rates[0] > 3 * rates[-1]  # Zipf-ish head
+        assert sum(rates) == pytest.approx(1000.0)
+        churners = [t for t in mix if t.born_day > 0 or t.retired_day is not None]
+        assert len(churners) == 2  # round(0.25 * 8)
+        for t in churners:
+            if t.retired_day is not None:
+                assert 0.3 * 35.0 <= t.retired_day <= 0.5 * 35.0
+            else:
+                assert 0.5 * 35.0 <= t.born_day <= 0.7 * 35.0
+
+    def test_validation(self):
+        with pytest.raises(DataError):
+            sibyl_template_mix(n_templates=0)
+        with pytest.raises(DataError):
+            sibyl_template_mix(churn_fraction=1.5)
